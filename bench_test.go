@@ -1,0 +1,290 @@
+package flex_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper (see DESIGN.md's experiment index), plus ablation benches for the
+// design choices DESIGN.md calls out. Each benchmark performs one full
+// regeneration of its experiment per iteration at a laptop-friendly scale;
+// cmd/flexbench runs the full-scale versions and prints the paper-style
+// rows.
+
+import (
+	"sync"
+	"testing"
+
+	flex "flexdp"
+	"flexdp/internal/experiments"
+	"flexdp/internal/smooth"
+	"flexdp/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() { benchEnv = experiments.NewEnv(experiments.SmallEnv()) })
+	return benchEnv
+}
+
+// BenchmarkStudyQ1toQ8 regenerates the Section 2 empirical study.
+func BenchmarkStudyQ1toQ8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunStudy(workload.StudyCorpusConfig{Seed: 1, N: 2000})
+		if res.R.Total != 2000 {
+			b.Fatal("study lost queries")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the mechanism feature matrix.
+func BenchmarkTable1(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := experiments.RunTable1(e); len(res.Rows) != 5 {
+			b.Fatal("bad matrix")
+		}
+	}
+}
+
+// BenchmarkTriangleExample regenerates the Section 3.4 worked example.
+func BenchmarkTriangleExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTriangle(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PaperArgK != 19 {
+			b.Fatalf("k = %d, want 19", res.PaperArgK)
+		}
+	}
+}
+
+// BenchmarkTable2Performance regenerates the phase-timing table.
+func BenchmarkTable2Performance(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := experiments.RunTable2(e, 0.1); res.Queries == 0 {
+			b.Fatal("no queries")
+		}
+	}
+}
+
+// BenchmarkSuccessRate regenerates the Section 5.1 success-rate breakdown.
+func BenchmarkSuccessRate(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := experiments.RunSuccessRate(e, 3); res.Total == 0 {
+			b.Fatal("no queries")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the population-size distribution.
+func BenchmarkFigure3(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := experiments.RunFigure3(e, 0.1); res.Total == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates error-vs-population for the no-join and join
+// series.
+func BenchmarkFigure4(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure4(e, 1)
+		if len(res.NoJoin)+len(res.Join) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFigure5TPCH regenerates the TPC-H benchmark rows.
+func BenchmarkFigure5TPCH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure5(workload.TPCHConfig{Seed: 1, Scale: 0.05}, 1, 1)
+		if len(res.Rows) != 5 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the ε sweep.
+func BenchmarkFigure6(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure6(e, 1)
+		if res.Totals[0.1] == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the high-error categorization.
+func BenchmarkTable4(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunTable4(e, 1)
+	}
+}
+
+// BenchmarkFigure7 regenerates the public-table optimization comparison.
+func BenchmarkFigure7(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := experiments.RunFigure7(e, 1); res.Applied == 0 {
+			b.Fatal("optimization never applied")
+		}
+	}
+}
+
+// BenchmarkTable5WPINQ regenerates the wPINQ comparison.
+func BenchmarkTable5WPINQ(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := experiments.RunTable5(e, 3, 11); len(res.Rows) != 6 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches (design choices called out in DESIGN.md).
+
+// benchSystem builds a small standalone system for micro-ablations.
+func benchSystem(b *testing.B) *flex.System {
+	b.Helper()
+	cfg := workload.RideshareConfig{Seed: 1, Cities: 10, Drivers: 100, Users: 300, Trips: 3000, Days: 30}
+	db := flex.WrapEngine(workload.GenerateRideshare(cfg))
+	sys := flex.NewSystem(db, flex.Options{Seed: 1})
+	sys.MarkPublic("cities")
+	sys.CollectMetrics()
+	return sys
+}
+
+// BenchmarkAblationSmoothCutoff compares the Theorem 3 cutoff search against
+// the naive maximization over all k up to the database size.
+func BenchmarkAblationSmoothCutoff(b *testing.B) {
+	fn := func(k int) (float64, error) {
+		kk := float64(k)
+		return 3*kk*kk + 393*kk + 12871, nil
+	}
+	p := smooth.PrivacyParams{Epsilon: 0.7, Delta: 1e-8}
+	const n = 500000
+	b.Run("cutoff", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := smooth.SmoothWithCutoff(fn, 2, n, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := smooth.Smooth(fn, n, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationJoinAlgorithm compares the engine's hash equijoin against
+// the nested-loop path on a semantically identical query (the equality is
+// expressed as a pair of inequalities, defeating equi-key extraction).
+func BenchmarkAblationJoinAlgorithm(b *testing.B) {
+	sys := benchSystem(b)
+	db := sys.Database()
+	hashSQL := "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id"
+	loopSQL := "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id <= d.id AND t.driver_id >= d.id"
+	check := func(sql string) {
+		res, err := db.Query(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			b.Fatal("bad result")
+		}
+	}
+	b.Run("hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			check(hashSQL)
+		}
+	})
+	b.Run("nested-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			check(loopSQL)
+		}
+	})
+}
+
+// BenchmarkAblationMetricsCache compares analyzing with precomputed metrics
+// (the paper's architecture) against recollecting metrics per query.
+func BenchmarkAblationMetricsCache(b *testing.B) {
+	sys := benchSystem(b)
+	sql := "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id"
+	b.Run("precomputed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Analyze(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recollect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys.CollectMetrics()
+			if _, err := sys.Analyze(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAnalysisLatency measures the elastic-sensitivity analysis alone
+// (the "7 ms per query" row of Table 2).
+func BenchmarkAnalysisLatency(b *testing.B) {
+	sys := benchSystem(b)
+	sql := `SELECT COUNT(*) FROM trips t
+		JOIN drivers d ON t.driver_id = d.id
+		JOIN cities c ON t.city_id = c.id
+		WHERE t.day > 5`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Analyze(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerturbationLatency measures output perturbation alone (the
+// "5 ms per query" row of Table 2).
+func BenchmarkPerturbationLatency(b *testing.B) {
+	mech := smooth.NewMechanism(1)
+	s := smooth.Smoothed{S: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mech.Release(1000, s, 0.1)
+	}
+}
+
+// BenchmarkEndToEndQuery measures a full private query round trip.
+func BenchmarkEndToEndQuery(b *testing.B) {
+	sys := benchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run("SELECT COUNT(*) FROM trips WHERE day > 10", 0.5, 1e-8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

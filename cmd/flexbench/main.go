@@ -1,0 +1,115 @@
+// Command flexbench regenerates every table and figure of the paper's
+// evaluation. With no flags it runs the full-scale environment; -small runs
+// a fast smoke configuration. Individual experiments can be selected with
+// -only (comma-separated ids: study, table1, triangle, table2, successrate,
+// fig3, fig4, fig5, fig6, table4, fig7, table5, ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"flexdp/internal/experiments"
+	"flexdp/internal/workload"
+)
+
+func main() {
+	small := flag.Bool("small", false, "use the fast small-scale environment")
+	only := flag.String("only", "", "comma-separated experiment ids to run")
+	reps := flag.Int("reps", 5, "noise repetitions per query for error measurement")
+	wpinqReps := flag.Int("wpinq-reps", 100, "wPINQ repetitions for Table 5")
+	seed := flag.Int64("seed", 20180904, "experiment seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	run := func(id string) bool { return len(want) == 0 || want[id] }
+
+	cfg := experiments.DefaultEnv()
+	if *small {
+		cfg = experiments.SmallEnv()
+	}
+	cfg.Seed = *seed
+
+	var env *experiments.Env
+	needEnv := run("table1") || run("table2") || run("successrate") || run("fig3") ||
+		run("fig4") || run("fig6") || run("table4") || run("fig7") || run("table5") ||
+		run("ablations")
+	if needEnv {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "building environment (%d trips)...\n", cfg.Rideshare.Trips)
+		env = experiments.NewEnv(cfg)
+		fmt.Fprintf(os.Stderr, "environment ready in %v (%d rows, δ = %.3g)\n\n",
+			time.Since(start).Round(time.Millisecond), env.DB.TotalRows(), env.Delta)
+	}
+
+	section := func(s fmt.Stringer) {
+		fmt.Println(s.String())
+		fmt.Println()
+	}
+
+	if run("study") {
+		n := 100000
+		if *small {
+			n = 10000
+		}
+		section(experiments.RunStudy(workload.StudyCorpusConfig{Seed: *seed, N: n}))
+	}
+	if run("table1") {
+		section(experiments.RunTable1(env))
+	}
+	if run("triangle") {
+		res, err := experiments.RunTriangle(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "triangle: %v\n", err)
+			os.Exit(1)
+		}
+		section(res)
+	}
+	if run("table2") {
+		section(experiments.RunTable2(env, 0.1))
+	}
+	if run("successrate") {
+		section(experiments.RunSuccessRate(env, *seed))
+	}
+	if run("fig3") {
+		section(experiments.RunFigure3(env, 0.1))
+	}
+	if run("fig4") {
+		section(experiments.RunFigure4(env, *reps))
+	}
+	if run("fig5") {
+		scale := 1.0
+		if *small {
+			scale = 0.05
+		}
+		section(experiments.RunFigure5(workload.TPCHConfig{Seed: *seed, Scale: scale}, *seed, *reps))
+	}
+	if run("fig6") {
+		section(experiments.RunFigure6(env, *reps))
+	}
+	if run("table4") {
+		section(experiments.RunTable4(env, *reps))
+	}
+	if run("fig7") {
+		section(experiments.RunFigure7(env, *reps))
+	}
+	if run("table5") {
+		section(experiments.RunTable5(env, *wpinqReps, *seed))
+	}
+	if run("ablations") {
+		res, err := experiments.RunAblations(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
+			os.Exit(1)
+		}
+		section(res)
+	}
+}

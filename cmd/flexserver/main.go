@@ -1,0 +1,85 @@
+// Command flexserver runs the FLEX differential-privacy proxy over HTTP.
+// Tables are loaded from CSV files; analysts POST SQL to /query and receive
+// noisy answers, with a shared privacy budget enforced across all clients.
+//
+//	flexserver -addr :8080 -table trips=trips.csv -public cities \
+//	           -max-eps 5 -max-delta 1e-5
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "...", "epsilon": 0.1}        → noisy rows
+//	POST /analyze  {"sql": "..."}                        → sensitivity info
+//	GET  /budget                                         → budget status
+//	GET  /healthz
+//
+// With -demo (no -table flags) the server loads the synthetic rideshare
+// dataset so the API can be exercised immediately.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	flex "flexdp"
+	"flexdp/internal/server"
+	"flexdp/internal/smooth"
+	"flexdp/internal/workload"
+)
+
+type tableFlags []string
+
+func (t *tableFlags) String() string { return strings.Join(*t, ",") }
+func (t *tableFlags) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	var tables tableFlags
+	flag.Var(&tables, "table", "name=file.csv (repeatable)")
+	addr := flag.String("addr", ":8080", "listen address")
+	public := flag.String("public", "", "comma-separated public tables")
+	maxEps := flag.Float64("max-eps", 10, "total privacy budget ε")
+	maxDelta := flag.Float64("max-delta", 1e-4, "total privacy budget δ")
+	demo := flag.Bool("demo", false, "serve the synthetic rideshare dataset")
+	seed := flag.Int64("seed", 0, "noise seed (0 = nondeterministic per restart)")
+	flag.Parse()
+
+	var db *flex.Database
+	switch {
+	case *demo || len(tables) == 0:
+		log.Printf("loading demo rideshare dataset")
+		db = flex.WrapEngine(workload.GenerateRideshare(workload.DefaultRideshare()))
+		if *public == "" {
+			*public = "cities"
+		}
+	default:
+		db = flex.NewDatabase()
+		for _, spec := range tables {
+			name, file, ok := strings.Cut(spec, "=")
+			if !ok {
+				log.Fatalf("bad -table %q: want name=file.csv", spec)
+			}
+			if err := flex.LoadCSV(db, name, file); err != nil {
+				log.Fatalf("loading %s: %v", file, err)
+			}
+			log.Printf("loaded table %s from %s", name, file)
+		}
+	}
+
+	budget := smooth.NewBudget(*maxEps, *maxDelta)
+	sys := flex.NewSystem(db, flex.Options{Seed: *seed, Budget: budget})
+	if *public != "" {
+		sys.MarkPublic(strings.Split(*public, ",")...)
+	}
+	sys.CollectMetrics()
+
+	srv := server.New(sys, budget, smooth.DeltaForSize(db.TotalRows()))
+	log.Printf("FLEX proxy listening on %s (%d rows across %v; budget ε=%g δ=%g)",
+		*addr, db.TotalRows(), db.TableNames(), *maxEps, *maxDelta)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

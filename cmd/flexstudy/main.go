@@ -1,0 +1,19 @@
+// Command flexstudy regenerates the Section 2 empirical study (questions
+// Q1–Q8) over a seeded query corpus whose feature mix matches the paper's
+// published distributions.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"flexdp/internal/experiments"
+	"flexdp/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 100000, "corpus size")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	flag.Parse()
+	fmt.Println(experiments.RunStudy(workload.StudyCorpusConfig{Seed: *seed, N: *n}))
+}

@@ -1,0 +1,101 @@
+package flex
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadCSV creates a table from a CSV file. The first row is the header;
+// column types are inferred from the data (int, then float, then string),
+// and empty cells become NULL.
+func LoadCSV(db *Database, table, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadCSVReader(db, table, f)
+}
+
+// LoadCSVReader is LoadCSV over an arbitrary reader.
+func LoadCSVReader(db *Database, table string, r io.Reader) error {
+	records, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("flex: empty CSV for table %q", table)
+	}
+	header := records[0]
+	rows := records[1:]
+
+	types := make([]ColType, len(header))
+	for c := range header {
+		types[c] = TypeInt
+	scan:
+		for _, row := range rows {
+			if c >= len(row) || row[c] == "" {
+				continue
+			}
+			switch types[c] {
+			case TypeInt:
+				if _, err := strconv.ParseInt(row[c], 10, 64); err == nil {
+					continue
+				}
+				types[c] = TypeFloat
+				fallthrough
+			case TypeFloat:
+				if _, err := strconv.ParseFloat(row[c], 64); err == nil {
+					continue
+				}
+				types[c] = TypeString
+				break scan
+			}
+		}
+	}
+
+	cols := make([]Col, len(header))
+	for c, h := range header {
+		cols[c] = Col{Name: strings.TrimSpace(h), Type: types[c]}
+	}
+	if err := db.CreateTable(table, cols...); err != nil {
+		return err
+	}
+	for ri, row := range rows {
+		vals := make([]any, len(header))
+		for c := range header {
+			var cell string
+			if c < len(row) {
+				cell = row[c]
+			}
+			if cell == "" {
+				vals[c] = nil
+				continue
+			}
+			switch types[c] {
+			case TypeInt:
+				n, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return fmt.Errorf("flex: row %d column %q: %q is not an int", ri+2, header[c], cell)
+				}
+				vals[c] = n
+			case TypeFloat:
+				x, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return fmt.Errorf("flex: row %d column %q: %q is not a float", ri+2, header[c], cell)
+				}
+				vals[c] = x
+			default:
+				vals[c] = cell
+			}
+		}
+		if err := db.Insert(table, vals...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

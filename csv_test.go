@@ -1,0 +1,75 @@
+package flex
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadCSVReader(t *testing.T) {
+	db := NewDatabase()
+	csv := "id,fare,city\n1,12.5,sf\n2,8,nyc\n3,,sf\n"
+	if err := LoadCSVReader(db, "trips", strings.NewReader(csv)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT COUNT(*) FROM trips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 3 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+	// Empty fare becomes NULL and is excluded from COUNT(fare).
+	res2, _ := db.Query("SELECT COUNT(fare) FROM trips")
+	if res2.Rows[0][0].(int64) != 2 {
+		t.Errorf("COUNT(fare) = %v, want 2", res2.Rows[0][0])
+	}
+	// Type inference: fare is float (8 parses as int but 12.5 forces float).
+	res3, _ := db.Query("SELECT SUM(fare) FROM trips")
+	if res3.Rows[0][0].(float64) != 20.5 {
+		t.Errorf("SUM(fare) = %v", res3.Rows[0][0])
+	}
+	// Strings stay strings.
+	res4, _ := db.Query("SELECT COUNT(*) FROM trips WHERE city = 'sf'")
+	if res4.Rows[0][0].(int64) != 2 {
+		t.Errorf("city filter = %v", res4.Rows[0][0])
+	}
+}
+
+func TestLoadCSVIntColumn(t *testing.T) {
+	db := NewDatabase()
+	if err := LoadCSVReader(db, "t", strings.NewReader("n\n1\n2\n3\n")); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query("SELECT SUM(n) FROM t")
+	if res.Rows[0][0].(int64) != 6 {
+		t.Errorf("SUM = %v (int column should stay int)", res.Rows[0][0])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := NewDatabase()
+	if err := LoadCSVReader(db, "t", strings.NewReader("")); err == nil {
+		t.Error("empty CSV should fail")
+	}
+	if err := LoadCSV(db, "t", "/nonexistent/file.csv"); err == nil {
+		t.Error("missing file should fail")
+	}
+	// Ragged rows with extra cells fail in encoding/csv.
+	if err := LoadCSVReader(db, "t2", strings.NewReader("a,b\n1\n2,3,4\n")); err == nil {
+		t.Error("ragged CSV should fail")
+	}
+}
+
+func TestLoadCSVHeaderOnly(t *testing.T) {
+	db := NewDatabase()
+	if err := LoadCSVReader(db, "empty", strings.NewReader("a,b\n")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT COUNT(*) FROM empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 0 {
+		t.Error("header-only CSV should create an empty table")
+	}
+}

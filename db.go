@@ -1,0 +1,169 @@
+package flex
+
+import (
+	"fmt"
+
+	"flexdp/internal/engine"
+	"flexdp/internal/relalg"
+)
+
+// ColType is a column's declared type.
+type ColType int
+
+// Column types.
+const (
+	TypeInt ColType = iota
+	TypeFloat
+	TypeString
+	TypeBool
+)
+
+// Col describes one column of a table.
+type Col struct {
+	Name string
+	Type ColType
+}
+
+// Database is an in-memory SQL database. In the paper's architecture
+// (Figure 2) this role is played by any existing backend — FLEX only needs
+// the ability to execute the query and return true results; this
+// implementation provides that substrate without external dependencies.
+type Database struct {
+	eng *engine.DB
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{eng: engine.NewDB()}
+}
+
+// WrapEngine adapts an existing engine database (e.g. one produced by the
+// workload generators) into the public Database type.
+func WrapEngine(eng *engine.DB) *Database {
+	return &Database{eng: eng}
+}
+
+// CreateTable registers a table.
+func (db *Database) CreateTable(name string, cols ...Col) error {
+	ecols := make([]engine.Column, len(cols))
+	for i, c := range cols {
+		ecols[i] = engine.Column{Name: c.Name, Type: colKind(c.Type)}
+	}
+	_, err := db.eng.CreateTable(name, ecols)
+	return err
+}
+
+func colKind(t ColType) engine.Kind {
+	switch t {
+	case TypeInt:
+		return engine.KindInt
+	case TypeFloat:
+		return engine.KindFloat
+	case TypeString:
+		return engine.KindString
+	case TypeBool:
+		return engine.KindBool
+	}
+	return engine.KindNull
+}
+
+// Insert appends one row; values may be int, int64, float64, string, bool,
+// or nil (NULL).
+func (db *Database) Insert(table string, values ...any) error {
+	row := make([]engine.Value, len(values))
+	for i, v := range values {
+		ev, err := toValue(v)
+		if err != nil {
+			return fmt.Errorf("flex: insert into %s column %d: %w", table, i, err)
+		}
+		row[i] = ev
+	}
+	return db.eng.Insert(table, row)
+}
+
+func toValue(v any) (engine.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return engine.Null, nil
+	case int:
+		return engine.NewInt(int64(x)), nil
+	case int64:
+		return engine.NewInt(x), nil
+	case float64:
+		return engine.NewFloat(x), nil
+	case string:
+		return engine.NewString(x), nil
+	case bool:
+		return engine.NewBool(x), nil
+	}
+	return engine.Null, fmt.Errorf("unsupported value type %T", v)
+}
+
+func fromValue(v engine.Value) any {
+	switch v.Kind {
+	case engine.KindNull:
+		return nil
+	case engine.KindInt:
+		return v.Int
+	case engine.KindFloat:
+		return v.Float
+	case engine.KindString:
+		return v.Str
+	case engine.KindBool:
+		return v.Bool
+	}
+	return nil
+}
+
+// Result is a non-private query result.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+}
+
+// Query executes SQL without any privacy protection (the "query results
+// (sensitive)" path of Figure 2). Use System.Run for differentially private
+// answers.
+func (db *Database) Query(sql string) (*Result, error) {
+	rs, err := db.eng.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(rs), nil
+}
+
+func convertResult(rs *engine.ResultSet) *Result {
+	out := &Result{Columns: rs.Columns}
+	for _, row := range rs.Rows {
+		r := make([]any, len(row))
+		for i, v := range row {
+			r[i] = fromValue(v)
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out
+}
+
+// TotalRows returns the number of tuples across all tables (the database
+// size n).
+func (db *Database) TotalRows() int { return db.eng.TotalRows() }
+
+// TableNames lists the tables.
+func (db *Database) TableNames() []string { return db.eng.TableNames() }
+
+// Engine exposes the underlying engine database for in-module tooling
+// (workload generators, experiments).
+func (db *Database) Engine() *engine.DB { return db.eng }
+
+// catalog adapts the database to the analyzer's schema interface.
+type catalog struct{ eng *engine.DB }
+
+var _ relalg.Catalog = catalog{}
+
+func (c catalog) TableColumns(table string) ([]string, bool) {
+	t := c.eng.Table(table)
+	if t == nil {
+		return nil, false
+	}
+	return t.Schema.Names(), true
+}

@@ -1,0 +1,343 @@
+// Package flex is an end-to-end differential-privacy system for SQL queries
+// based on elastic sensitivity, reproducing the FLEX system of Johnson,
+// Near and Song, "Towards Practical Differential Privacy for SQL Queries"
+// (VLDB 2018).
+//
+// The pipeline follows the paper's Figure 2: a SQL query is statically
+// analyzed to compute its elastic sensitivity (an upper bound on local
+// sensitivity supporting arbitrary equijoins), the bound is smoothed with
+// smooth sensitivity, the query executes unchanged on the database, and
+// Laplace noise scaled to 2S/ε perturbs each aggregated output. No database
+// modification is required and the only interaction with the data outside
+// query execution is a one-time metrics collection.
+//
+// Minimal usage:
+//
+//	db := flex.NewDatabase()
+//	... create tables, insert data ...
+//	sys := flex.NewSystem(db, flex.Options{Seed: 1})
+//	sys.CollectMetrics()
+//	res, err := sys.Run("SELECT COUNT(*) FROM trips", 0.1, 1e-8)
+package flex
+
+import (
+	"fmt"
+	"time"
+
+	"flexdp/internal/core"
+	"flexdp/internal/metrics"
+	"flexdp/internal/relalg"
+	"flexdp/internal/smooth"
+)
+
+// NoiseMode selects how the Laplace scale is derived from elastic
+// sensitivity.
+type NoiseMode int
+
+const (
+	// ModeSmooth is the paper's Definition 7: S = max_k e^{−βk}·Ŝ^(k),
+	// noise Lap(2S/ε), proven (ε, δ)-differentially private. This is the
+	// default and the only mode with an end-to-end privacy proof.
+	ModeSmooth NoiseMode = iota
+	// ModeLocalK0 scales noise to the elastic sensitivity at distance 0,
+	// Lap(2·Ŝ(0)/ε). The paper's published utility numbers (Figure 4,
+	// Figure 5, Table 5) are numerically consistent with this scaling —
+	// full Definition 7 smoothing at δ = n^(−ln n) imposes a noise floor of
+	// 2/(eβε) on every join query, far above the errors the paper reports —
+	// so the evaluation experiments use this mode to reproduce the paper's
+	// utility shape. Ŝ(0) upper-bounds local sensitivity (Theorem 1) but
+	// Laplace noise scaled to an unsmoothed local bound does not by itself
+	// satisfy (ε, δ)-DP; see EXPERIMENTS.md.
+	ModeLocalK0
+)
+
+// Options configures a System.
+type Options struct {
+	// Seed drives the Laplace sampler for reproducible experiments.
+	Seed int64
+	// Budget, when non-nil, enforces cumulative (ε, δ) limits across Run
+	// calls via sequential composition (Section 4.3).
+	Budget *smooth.Budget
+	// DisablePublicTables turns off the Section 3.6 optimization even for
+	// tables marked public (used by the Figure 7 ablation).
+	DisablePublicTables bool
+	// NoiseMode selects Definition 7 smoothing (default) or the
+	// paper-evaluation Ŝ(0) scaling.
+	NoiseMode NoiseMode
+	// StaleMetrics controls behavior when the database has changed since
+	// CollectMetrics. The paper notes the mf metrics must be recomputed on
+	// update or differential privacy is no longer guaranteed (Section 4).
+	StaleMetrics StalePolicy
+}
+
+// StalePolicy selects the response to metrics that predate a database
+// mutation.
+type StalePolicy int
+
+const (
+	// StaleRefresh (default) recollects metrics automatically before
+	// answering, emulating the trigger-based maintenance the paper suggests.
+	StaleRefresh StalePolicy = iota
+	// StaleReject refuses queries until CollectMetrics is called.
+	StaleReject
+	// StaleIgnore answers anyway (only for experiments that manage metrics
+	// manually; unsound if the most frequent join key changed).
+	StaleIgnore
+)
+
+// ErrStaleMetrics is returned under StaleReject when the database changed
+// after the last CollectMetrics.
+var ErrStaleMetrics = fmt.Errorf("flex: metrics are stale (database modified since CollectMetrics)")
+
+// System is the FLEX system: a database plus its precomputed metrics and the
+// release mechanism.
+type System struct {
+	db      *Database
+	metrics *metrics.Store
+	an      *core.Analyzer
+	mech    *smooth.Mechanism
+	opts    Options
+	domains map[metrics.ColumnKey][]any
+	// metricsVersion is the database version the metrics were collected at;
+	// 0 means never collected.
+	metricsVersion uint64
+}
+
+// NewSystem creates a FLEX instance over the database. Metrics start empty;
+// call CollectMetrics (or set them manually) before running queries.
+func NewSystem(db *Database, opts Options) *System {
+	m := metrics.New()
+	return &System{
+		db:      db,
+		metrics: m,
+		an:      core.NewAnalyzer(m),
+		mech:    smooth.NewMechanism(opts.Seed),
+		opts:    opts,
+		domains: make(map[metrics.ColumnKey][]any),
+	}
+}
+
+// CollectMetrics computes max-frequency and value-range metrics for every
+// column of every table, the step the paper performs with one SQL query per
+// column (Section 4). Public-table markings and bin domains are preserved.
+// Columns with enforced check constraints (EnforceValueRange) use the
+// enforced range as vr, which the paper prefers over observed ranges.
+func (s *System) CollectMetrics() {
+	fresh := metrics.CollectFromDB(s.db.eng)
+	for _, name := range s.db.eng.TableNames() {
+		if s.metrics.IsPublic(name) {
+			fresh.MarkPublic(name)
+		}
+		t := s.db.eng.Table(name)
+		for _, c := range t.Checks {
+			fresh.SetVR(name, c.Column, c.Max-c.Min)
+		}
+	}
+	s.metrics.CopyFrom(fresh)
+	s.an = core.NewAnalyzer(s.metrics)
+	s.metricsVersion = s.db.eng.Version()
+}
+
+// MetricsFresh reports whether the metrics reflect the database's current
+// contents.
+func (s *System) MetricsFresh() bool {
+	return s.metricsVersion == s.db.eng.Version()
+}
+
+// EnforceValueRange installs a check constraint bounding a numeric column to
+// [min, max] and records the corresponding value-range metric vr = max − min
+// (Section 3.7.2: the metric must be enforced, e.g. as a column check
+// constraint, for SUM/AVG/MIN/MAX sensitivities to be sound). Existing rows
+// are validated; violations fail without installing the constraint.
+func (s *System) EnforceValueRange(table, column string, min, max float64) error {
+	if err := s.db.eng.AddCheckRange(table, column, min, max); err != nil {
+		return err
+	}
+	s.metrics.SetVR(table, column, max-min)
+	return nil
+}
+
+// Metrics exposes the metrics store for inspection and manual overrides
+// (e.g. setting vr from a data model rather than observed values).
+func (s *System) Metrics() *metrics.Store { return s.metrics }
+
+// MarkPublic declares tables non-protected (Section 3.6).
+func (s *System) MarkPublic(tables ...string) {
+	if s.opts.DisablePublicTables {
+		return
+	}
+	s.metrics.MarkPublic(tables...)
+}
+
+// SetBinDomain registers the finite, enumerable, non-protected domain of a
+// histogram bin label column (Section 4, "Histogram bin enumeration").
+// Queries grouping by this column release one noisy row per domain value,
+// with missing bins zero-filled, so the presence or absence of a bin leaks
+// nothing.
+func (s *System) SetBinDomain(table, column string, values []any) {
+	s.domains[metrics.ColumnKey{Table: lower(table), Column: lower(column)}] = values
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}
+
+// Database returns the wrapped database.
+func (s *System) Database() *Database { return s.db }
+
+// PrivateRow is one row of a differentially private result: the (public)
+// histogram bin labels followed by the noisy aggregate values.
+type PrivateRow struct {
+	Bins   []any
+	Values []float64
+}
+
+// PrivateResult is the output of System.Run.
+type PrivateResult struct {
+	// Columns are the output column names: bin labels first, then
+	// aggregates (matching each Row's Bins ++ Values).
+	Columns []string
+	Rows    []PrivateRow
+
+	// TrueRows holds the unperturbed aggregate values in the same order as
+	// Rows; retained for experiment error measurement only — a production
+	// deployment would never expose them.
+	TrueRows [][]float64
+
+	// Analysis describes the sensitivity computation.
+	Analysis *Analysis
+
+	// BinsEnumerated reports whether histogram bins came from a registered
+	// public domain (true) or were taken from the observed result (false —
+	// in that case bin presence itself is not protected and the caller must
+	// supply labels, mirroring the paper's fallback).
+	BinsEnumerated bool
+
+	// Phase timings for the Table 2 performance experiment.
+	AnalysisTime time.Duration
+	ExecTime     time.Duration
+	PerturbTime  time.Duration
+}
+
+// Run answers a SQL query with (ε, δ)-differential privacy end to end:
+// analyze, smooth, execute, perturb. It returns an error for unsupported
+// queries (classified per Section 5.1 — see Classify).
+func (s *System) Run(sql string, epsilon, delta float64) (*PrivateResult, error) {
+	return s.run(sql, epsilon, delta, nil)
+}
+
+// RunWithBins answers a histogram query using analyst-supplied bin labels,
+// the paper's fallback when no public enumerable domain exists (Section 4):
+// exactly the provided bins are released, zero-filled when absent from the
+// true result, so the output shape is independent of the data.
+func (s *System) RunWithBins(sql string, epsilon, delta float64, bins []any) (*PrivateResult, error) {
+	if len(bins) == 0 {
+		return nil, fmt.Errorf("flex: RunWithBins requires at least one bin label")
+	}
+	return s.run(sql, epsilon, delta, bins)
+}
+
+func (s *System) run(sql string, epsilon, delta float64, analystBins []any) (*PrivateResult, error) {
+	p := smooth.PrivacyParams{Epsilon: epsilon, Delta: delta}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.MetricsFresh() {
+		switch s.opts.StaleMetrics {
+		case StaleRefresh:
+			s.CollectMetrics()
+		case StaleReject:
+			return nil, ErrStaleMetrics
+		}
+	}
+	if s.opts.Budget != nil {
+		if err := s.opts.Budget.Spend(epsilon, delta); err != nil {
+			return nil, err
+		}
+	}
+
+	t0 := time.Now()
+	analysis, err := s.Analyze(sql)
+	if err != nil {
+		return nil, err
+	}
+	n := s.db.TotalRows()
+	bounds := make([]smooth.Smoothed, len(analysis.query.Outputs))
+	if s.opts.NoiseMode == ModeLocalK0 {
+		ss, err := s.an.SensitivityAt(analysis.query, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range ss {
+			bounds[i] = smooth.Smoothed{S: v, ArgK: 0, Beta: smooth.Beta(p)}
+		}
+	} else {
+		for i := range analysis.query.Outputs {
+			idx := i
+			fn := func(k int) (float64, error) {
+				ss, err := s.an.SensitivityAt(analysis.query, k)
+				if err != nil {
+					return 0, err
+				}
+				return ss[idx], nil
+			}
+			sm, err := smooth.SmoothWithCutoff(fn, analysis.Degree, n, p)
+			if err != nil {
+				return nil, err
+			}
+			bounds[i] = sm
+		}
+	}
+	analysisTime := time.Since(t0)
+
+	t1 := time.Now()
+	rs, err := s.db.eng.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	execTime := time.Since(t1)
+
+	t2 := time.Now()
+	out, err := s.perturb(analysis, rs, bounds, epsilon, analystBins)
+	if err != nil {
+		return nil, err
+	}
+	out.Analysis = analysis
+	out.AnalysisTime = analysisTime
+	out.ExecTime = execTime
+	out.PerturbTime = time.Since(t2)
+	return out, nil
+}
+
+// Sensitivity helpers on the analyzer, re-exported for tooling.
+
+// SensitivityAt evaluates the per-output elastic sensitivity of an analyzed
+// query at distance k.
+func (s *System) SensitivityAt(a *Analysis, k int) ([]float64, error) {
+	return s.an.SensitivityAt(a.query, k)
+}
+
+// SmoothBound computes the smooth upper bound (Definition 7 step 2) for one
+// output of an analyzed query.
+func (s *System) SmoothBound(a *Analysis, output int, p smooth.PrivacyParams) (smooth.Smoothed, error) {
+	fn := func(k int) (float64, error) {
+		ss, err := s.an.SensitivityAt(a.query, k)
+		if err != nil {
+			return 0, err
+		}
+		return ss[output], nil
+	}
+	return smooth.SmoothWithCutoff(fn, a.Degree, s.db.TotalRows(), p)
+}
+
+// Analyzer exposes the elastic-sensitivity analyzer for in-module tooling.
+func (s *System) Analyzer() *core.Analyzer { return s.an }
+
+// Query exposes the lowered relational algebra of an analysis.
+func (a *Analysis) Query() *relalg.Query { return a.query }

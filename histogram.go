@@ -1,0 +1,175 @@
+package flex
+
+import (
+	"fmt"
+
+	"flexdp/internal/engine"
+	"flexdp/internal/metrics"
+	"flexdp/internal/smooth"
+)
+
+// perturb converts the true result set into a differentially private one:
+// each aggregate column receives Laplace noise scaled to its smooth bound;
+// histogram queries with a registered public bin domain are re-keyed onto
+// the full domain with missing bins zero-filled (Section 4, "Histogram bin
+// enumeration").
+func (s *System) perturb(a *Analysis, rs *engine.ResultSet, bounds []smooth.Smoothed, epsilon float64, analystBins []any) (*PrivateResult, error) {
+	out := &PrivateResult{}
+	for _, bi := range a.binPos {
+		out.Columns = append(out.Columns, rs.Columns[bi])
+	}
+	for _, ai := range a.aggPos {
+		out.Columns = append(out.Columns, rs.Columns[ai])
+	}
+
+	noisy := func(trueVals []float64) []float64 {
+		vals := make([]float64, len(trueVals))
+		for i, t := range trueVals {
+			vals[i] = s.mech.Release(t, bounds[i], epsilon)
+		}
+		return vals
+	}
+
+	extract := func(row []engine.Value) ([]any, []float64, error) {
+		bins := make([]any, len(a.binPos))
+		for i, bi := range a.binPos {
+			bins[i] = fromValue(row[bi])
+		}
+		vals := make([]float64, len(a.aggPos))
+		for i, ai := range a.aggPos {
+			v := row[ai]
+			switch v.Kind {
+			case engine.KindInt, engine.KindFloat:
+				vals[i] = v.AsFloat()
+			case engine.KindNull:
+				vals[i] = 0 // empty aggregate (e.g. SUM of no rows)
+			default:
+				return nil, nil, fmt.Errorf("flex: aggregate column %q returned non-numeric %s",
+					rs.Columns[ai], v.Kind)
+			}
+		}
+		return bins, vals, nil
+	}
+
+	// Non-histogram: a single row of aggregates.
+	if !a.Histogram {
+		if len(rs.Rows) != 1 {
+			return nil, fmt.Errorf("flex: non-histogram query returned %d rows", len(rs.Rows))
+		}
+		bins, vals, err := extract(rs.Rows[0])
+		if err != nil {
+			return nil, err
+		}
+		out.TrueRows = append(out.TrueRows, vals)
+		out.Rows = append(out.Rows, PrivateRow{Bins: bins, Values: noisy(vals)})
+		return out, nil
+	}
+
+	// Histogram bins: analyst-supplied labels take precedence, then
+	// registered public domains; both enumerate the full label set with
+	// missing bins zero-filled so every bin receives noise. With several
+	// bin columns, the released label set is the cartesian product of the
+	// per-column domains (all must be registered).
+	binDomains, haveDomains := s.binDomainsFor(a)
+	if len(analystBins) > 0 {
+		if len(a.binPos) != 1 {
+			return nil, fmt.Errorf("flex: analyst bins require exactly one bin column, query has %d",
+				len(a.binPos))
+		}
+		binDomains, haveDomains = [][]any{analystBins}, true
+	}
+	if haveDomains && len(a.binPos) > 0 {
+		byKey := make(map[string][]float64, len(rs.Rows))
+		for _, row := range rs.Rows {
+			bins, vals, err := extract(row)
+			if err != nil {
+				return nil, err
+			}
+			key, err := binsKey(bins)
+			if err != nil {
+				return nil, err
+			}
+			byKey[key] = append([]float64(nil), vals...)
+		}
+		out.BinsEnumerated = true
+		zero := make([]float64, len(a.aggPos))
+		var emit func(prefix []any) error
+		emit = func(prefix []any) error {
+			if len(prefix) == len(binDomains) {
+				key, err := binsKey(prefix)
+				if err != nil {
+					return fmt.Errorf("flex: bin domain value: %w", err)
+				}
+				vals, present := byKey[key]
+				if !present {
+					vals = zero
+				}
+				out.TrueRows = append(out.TrueRows, vals)
+				out.Rows = append(out.Rows, PrivateRow{
+					Bins:   append([]any(nil), prefix...),
+					Values: noisy(vals),
+				})
+				return nil
+			}
+			for _, label := range binDomains[len(prefix)] {
+				if err := emit(append(prefix, label)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := emit(nil); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	// Fallback: observed bins with analyst-owned labels (BinsEnumerated
+	// stays false; the caller is responsible for the bin-presence channel,
+	// matching the paper's fallback behavior).
+	for _, row := range rs.Rows {
+		bins, vals, err := extract(row)
+		if err != nil {
+			return nil, err
+		}
+		out.TrueRows = append(out.TrueRows, vals)
+		out.Rows = append(out.Rows, PrivateRow{Bins: bins, Values: noisy(vals)})
+	}
+	return out, nil
+}
+
+// binDomainsFor finds registered public domains for every histogram bin
+// attribute of the query; enumeration applies only when all are available.
+func (s *System) binDomainsFor(a *Analysis) ([][]any, bool) {
+	if len(a.query.GroupBy) == 0 || len(a.query.GroupBy) != len(a.binPos) {
+		return nil, false
+	}
+	out := make([][]any, len(a.query.GroupBy))
+	for i, g := range a.query.GroupBy {
+		if g.Computed() {
+			return nil, false
+		}
+		d, ok := s.domains[metrics.ColumnKey{Table: g.BaseTable, Column: g.Column}]
+		if !ok {
+			return nil, false
+		}
+		out[i] = d
+	}
+	return out, true
+}
+
+// binsKey encodes a bin-label tuple for matching observed rows against
+// enumerated domain tuples.
+func binsKey(bins []any) (string, error) {
+	var sb []byte
+	for _, b := range bins {
+		ev, err := toValue(b)
+		if err != nil {
+			return "", err
+		}
+		k := ev.Key()
+		sb = append(sb, byte(len(k)), ':')
+		sb = append(sb, k...)
+	}
+	return string(sb), nil
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"flexdp/internal/relalg"
+)
+
+// Poly is a polynomial in the neighbor distance k, stored as ascending
+// coefficients. Lemma 3 guarantees elastic stability is a polynomial in k
+// with non-negative coefficients; that property is what licenses the
+// Theorem 3 search cutoff k ≤ degree/β when maximizing e^{-βk}·Ŝ(k).
+type Poly []float64
+
+// Eval evaluates the polynomial at k via Horner's rule.
+func (p Poly) Eval(k float64) float64 {
+	var v float64
+	for i := len(p) - 1; i >= 0; i-- {
+		v = v*k + p[i]
+	}
+	return v
+}
+
+// Degree returns the degree (−1 for the zero polynomial).
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the polynomial as e.g. "2k^2 + 199k + 8711".
+func (p Poly) String() string {
+	var terms []string
+	for i := len(p) - 1; i >= 0; i-- {
+		c := p[i]
+		if c == 0 && !(i == 0 && len(terms) == 0) {
+			continue
+		}
+		coeff := trimFloat(c)
+		if coeff == "1" && i > 0 {
+			coeff = ""
+		}
+		switch i {
+		case 0:
+			terms = append(terms, trimFloat(c))
+		case 1:
+			terms = append(terms, coeff+"k")
+		default:
+			terms = append(terms, fmt.Sprintf("%sk^%d", coeff, i))
+		}
+	}
+	if len(terms) == 0 {
+		return "0"
+	}
+	return strings.Join(terms, " + ")
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+func polyAdd(a, b Poly) Poly {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(Poly, n)
+	copy(out, a)
+	for i, c := range b {
+		out[i] += c
+	}
+	return out
+}
+
+func polyMul(a, b Poly) Poly {
+	if len(a) == 0 || len(b) == 0 {
+		return Poly{}
+	}
+	out := make(Poly, len(a)+len(b)-1)
+	for i, ca := range a {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range b {
+			out[i+j] += ca * cb
+		}
+	}
+	return out
+}
+
+// polyUpperMax returns a polynomial that upper-bounds the pointwise max of
+// two polynomials with non-negative coefficients on k ≥ 0, by taking the
+// coefficient-wise maximum. (Exact max of two polynomials is generally not a
+// polynomial; the coefficient-wise bound keeps Lemma 3 intact and is tighter
+// than the sum.)
+func polyUpperMax(a, b Poly) Poly {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(Poly, n)
+	for i := range out {
+		var ca, cb float64
+		if i < len(a) {
+			ca = a[i]
+		}
+		if i < len(b) {
+			cb = b[i]
+		}
+		if ca > cb {
+			out[i] = ca
+		} else {
+			out[i] = cb
+		}
+	}
+	return out
+}
+
+func polyScale(a Poly, f float64) Poly {
+	out := make(Poly, len(a))
+	for i, c := range a {
+		out[i] = c * f
+	}
+	return out
+}
+
+// StabilityPoly computes a symbolic polynomial upper bound on the elastic
+// stability of a relation as a function of k. For relations without
+// non-self-join max cases the polynomial is exactly Ŝ_R^(k); otherwise it
+// upper-bounds it (coefficient-wise max), which is still sound for the
+// smooth-sensitivity mechanism and preserves the degree bound.
+func (a *Analyzer) StabilityPoly(r relalg.Relation) (Poly, error) {
+	switch x := r.(type) {
+	case *relalg.TableRel:
+		if a.Metrics.IsPublic(x.Table) {
+			return Poly{0}, nil
+		}
+		return Poly{1}, nil
+
+	case *relalg.JoinRel:
+		sL, err := a.StabilityPoly(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		sR, err := a.StabilityPoly(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		mfL, err := a.maxFreqPoly(x.LeftKey, x.Left)
+		if err != nil {
+			return nil, err
+		}
+		mfR, err := a.maxFreqPoly(x.RightKey, x.Right)
+		if err != nil {
+			return nil, err
+		}
+		if relalg.AncestorsOverlap(x.Left, x.Right) {
+			return polyAdd(polyAdd(polyMul(mfL, sR), polyMul(mfR, sL)), polyMul(sL, sR)), nil
+		}
+		return polyUpperMax(polyMul(mfL, sR), polyMul(mfR, sL)), nil
+
+	case *relalg.ProjectRel:
+		return a.StabilityPoly(x.Input)
+	case *relalg.SelectRel:
+		return a.StabilityPoly(x.Input)
+	case *relalg.CountRel:
+		if !x.Grouped {
+			return Poly{1}, nil
+		}
+		s, err := a.StabilityPoly(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		return polyScale(s, 2), nil
+	}
+	return nil, fmt.Errorf("core: unknown relation %T", r)
+}
+
+func (a *Analyzer) maxFreqPoly(attr relalg.Attr, r relalg.Relation) (Poly, error) {
+	if attr.Computed() {
+		return nil, fmt.Errorf("core: mf_k undefined for computed attribute %q", attr.Column)
+	}
+	switch x := r.(type) {
+	case *relalg.TableRel:
+		if x != attr.Leaf {
+			return nil, fmt.Errorf("core: attribute %s does not belong to occurrence %s",
+				attr, x.Table)
+		}
+		mf, ok := a.Metrics.MF(attr.BaseTable, attr.Column)
+		if !ok {
+			return nil, &MissingMetricError{Table: attr.BaseTable, Column: attr.Column}
+		}
+		if a.Metrics.IsPublic(x.Table) {
+			return Poly{float64(mf)}, nil
+		}
+		return Poly{float64(mf), 1}, nil // mf + k
+
+	case *relalg.JoinRel:
+		if relalg.ContainsLeaf(x.Left, attr.Leaf) {
+			fa, err := a.maxFreqPoly(attr, x.Left)
+			if err != nil {
+				return nil, err
+			}
+			fb, err := a.maxFreqPoly(x.RightKey, x.Right)
+			if err != nil {
+				return nil, err
+			}
+			return polyMul(fa, fb), nil
+		}
+		if relalg.ContainsLeaf(x.Right, attr.Leaf) {
+			fa, err := a.maxFreqPoly(attr, x.Right)
+			if err != nil {
+				return nil, err
+			}
+			fb, err := a.maxFreqPoly(x.LeftKey, x.Left)
+			if err != nil {
+				return nil, err
+			}
+			return polyMul(fa, fb), nil
+		}
+		return nil, fmt.Errorf("core: attribute %s not found in join", attr)
+
+	case *relalg.ProjectRel:
+		return a.maxFreqPoly(attr, x.Input)
+	case *relalg.SelectRel:
+		return a.maxFreqPoly(attr, x.Input)
+	case *relalg.CountRel:
+		if !x.Grouped {
+			return nil, fmt.Errorf("core: mf_k undefined over Count relation")
+		}
+		return a.maxFreqPoly(attr, x.Input)
+	}
+	return nil, fmt.Errorf("core: unknown relation %T", r)
+}
+
+// SensitivityPoly returns symbolic per-output sensitivity polynomials for an
+// analyzed query (the polynomial analogue of SensitivityAt).
+func (a *Analyzer) SensitivityPoly(q *relalg.Query) ([]Poly, error) {
+	s, err := a.StabilityPoly(q.Rel)
+	if err != nil {
+		return nil, err
+	}
+	if q.Histogram() {
+		s = polyScale(s, 2)
+	}
+	out := make([]Poly, len(q.Outputs))
+	for i, o := range q.Outputs {
+		switch o.Agg {
+		case relalg.AggCount, relalg.AggCountDistinct:
+			out[i] = s
+		case relalg.AggSum, relalg.AggAvg:
+			vr, err := a.valueRange(o.Attr)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = polyScale(s, vr)
+		case relalg.AggMin, relalg.AggMax:
+			vr, err := a.valueRange(o.Attr)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = Poly{vr}
+		default:
+			return nil, fmt.Errorf("core: no sensitivity rule for %s", o.Agg)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flexdp/internal/metrics"
+	"flexdp/internal/relalg"
+)
+
+// randTree builds a random relation tree over synthetic tables, returning
+// the tree and a metrics store covering every referenced column. Attributes
+// are drawn from the leaf tables so the mf_k recursion always resolves.
+type treeGen struct {
+	rng    *rand.Rand
+	m      *metrics.Store
+	nextID int
+}
+
+func (g *treeGen) leaf() (*relalg.TableRel, relalg.Attr) {
+	g.nextID++
+	name := fmt.Sprintf("t%d", g.nextID)
+	leaf := &relalg.TableRel{Table: name}
+	// Reuse a small pool of table names so self joins occur.
+	if g.rng.Intn(3) == 0 {
+		leaf.Table = fmt.Sprintf("t%d", 1+g.rng.Intn(3))
+	}
+	col := fmt.Sprintf("c%d", g.rng.Intn(3))
+	g.m.SetMF(leaf.Table, col, 1+g.rng.Intn(50))
+	attr := relalg.Attr{BaseTable: leaf.Table, Column: col, Leaf: leaf}
+	return leaf, attr
+}
+
+// build returns a relation of the given depth plus one attribute belonging
+// to it (usable as a join key at the parent).
+func (g *treeGen) build(depth int) (relalg.Relation, relalg.Attr) {
+	if depth == 0 || g.rng.Intn(3) == 0 {
+		leaf, attr := g.leaf()
+		return leaf, attr
+	}
+	switch g.rng.Intn(4) {
+	case 0, 1: // join
+		left, la := g.build(depth - 1)
+		right, ra := g.build(depth - 1)
+		j := &relalg.JoinRel{Left: left, Right: right, LeftKey: la, RightKey: ra}
+		// Expose an attribute from one side.
+		if g.rng.Intn(2) == 0 {
+			return j, la
+		}
+		return j, ra
+	case 2: // selection
+		in, attr := g.build(depth - 1)
+		return &relalg.SelectRel{Input: in}, attr
+	default: // projection
+		in, attr := g.build(depth - 1)
+		return &relalg.ProjectRel{Input: in}, attr
+	}
+}
+
+func TestPropertyStabilityMonotoneAndPolyBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		g := &treeGen{rng: rng, m: metrics.New()}
+		rel, _ := g.build(3)
+		a := NewAnalyzer(g.m)
+
+		poly, err := a.StabilityPoly(rel)
+		if err != nil {
+			t.Fatalf("trial %d: poly: %v", trial, err)
+		}
+		for i, c := range poly {
+			if c < 0 {
+				t.Fatalf("trial %d: negative coefficient %g at degree %d (Lemma 3)", trial, c, i)
+			}
+		}
+		prev := -1.0
+		for k := 0; k <= 25; k++ {
+			s, err := a.StabilityAt(rel, k)
+			if err != nil {
+				t.Fatalf("trial %d: stability(%d): %v", trial, k, err)
+			}
+			if s < prev {
+				t.Fatalf("trial %d: stability decreased at k=%d: %g < %g (tree %s)",
+					trial, k, s, prev, relalg.String(rel))
+			}
+			prev = s
+			if pv := poly.Eval(float64(k)); pv+1e-6 < s {
+				t.Fatalf("trial %d: poly(%d)=%g below pointwise %g (tree %s)",
+					trial, k, pv, s, relalg.String(rel))
+			}
+		}
+
+		// Degree bound: deg ≤ 2·j(r) is a crude sanity bound; the paper's
+		// Lemma 3 uses j².
+		j := relalg.JoinCount(rel)
+		if d := poly.Degree(); d > 2*j+1 {
+			t.Fatalf("trial %d: degree %d too high for %d joins", trial, d, j)
+		}
+	}
+}
+
+func TestPropertyMaxFreqMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		g := &treeGen{rng: rng, m: metrics.New()}
+		rel, attr := g.build(3)
+		a := NewAnalyzer(g.m)
+		prev := -1.0
+		for k := 0; k <= 20; k++ {
+			mf, err := a.MaxFreqAt(attr, rel, k)
+			if err != nil {
+				t.Fatalf("trial %d: mfk(%d): %v", trial, k, err)
+			}
+			if mf < prev {
+				t.Fatalf("trial %d: mf_k decreased at k=%d", trial, k)
+			}
+			prev = mf
+		}
+	}
+}
+
+func TestPropertySelfJoinAtLeastNonSelf(t *testing.T) {
+	// For identical metrics, the self-join stability formula dominates the
+	// non-self-join one (sum of three terms vs max of two of them).
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		m := metrics.New()
+		mfA := 1 + rng.Intn(40)
+		mfB := 1 + rng.Intn(40)
+		m.SetMF("x", "a", mfA)
+		m.SetMF("x2", "a", mfA)
+		m.SetMF("y", "b", mfB)
+		a := NewAnalyzer(m)
+
+		mkJoin := func(lt, rt string) *relalg.JoinRel {
+			l := &relalg.TableRel{Table: lt}
+			r := &relalg.TableRel{Table: rt}
+			return &relalg.JoinRel{
+				Left: l, Right: r,
+				LeftKey:  relalg.Attr{BaseTable: lt, Column: "a", Leaf: l},
+				RightKey: relalg.Attr{BaseTable: rt, Column: "b", Leaf: r},
+			}
+		}
+		// Same mf on the left side, different table identity.
+		m.SetMF("x", "b", mfB)
+		selfJ := mkJoin("x", "x")
+		selfJ.RightKey = relalg.Attr{BaseTable: "x", Column: "b",
+			Leaf: selfJ.Right.(*relalg.TableRel)}
+		nonSelf := mkJoin("x2", "y")
+
+		for k := 0; k <= 10; k++ {
+			ss, err := a.StabilityAt(selfJ, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ns, err := a.StabilityAt(nonSelf, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ss < ns {
+				t.Fatalf("trial %d k=%d: self-join stability %g below non-self %g",
+					trial, k, ss, ns)
+			}
+		}
+	}
+}

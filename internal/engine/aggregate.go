@@ -1,0 +1,453 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"flexdp/internal/sqlparser"
+)
+
+// executeAggregate is the grouped-aggregation select path: it handles
+// GROUP BY, aggregate functions in the select list and HAVING, and the
+// implicit single group for aggregates without GROUP BY.
+func (ctx *execContext) executeAggregate(stmt *sqlparser.SelectStmt, rel *relation) (*ResultSet, [][]Value, error) {
+	// Resolve positional GROUP BY references (GROUP BY 1) to the
+	// corresponding select-list expressions.
+	if resolved, err := resolvePositionalGroupBy(stmt); err != nil {
+		return nil, nil, err
+	} else if resolved != nil {
+		clone := *stmt
+		clone.GroupBy = resolved
+		stmt = &clone
+	}
+
+	// Partition rows into groups keyed by the GROUP BY expressions.
+	type group struct {
+		keyVals []Value
+		rows    [][]Value
+	}
+	var groups []*group
+	if len(stmt.GroupBy) == 0 {
+		groups = []*group{{rows: rel.rows}}
+	} else {
+		index := make(map[string]*group)
+		var order []string
+		for _, row := range rel.rows {
+			env := &rowEnv{rel: rel, row: row, ctx: ctx}
+			keyVals := make([]Value, len(stmt.GroupBy))
+			for i, e := range stmt.GroupBy {
+				v, err := evalExpr(env, e)
+				if err != nil {
+					return nil, nil, err
+				}
+				keyVals[i] = v
+			}
+			k := RowKey(keyVals)
+			g, ok := index[k]
+			if !ok {
+				g = &group{keyVals: keyVals}
+				index[k] = g
+				order = append(order, k)
+			}
+			g.rows = append(g.rows, row)
+		}
+		for _, k := range order {
+			groups = append(groups, index[k])
+		}
+	}
+
+	var names []string
+	for i, item := range stmt.Columns {
+		if item.Star || item.TableStar != "" {
+			return nil, nil, fmt.Errorf("engine: SELECT * is not valid with aggregation")
+		}
+		names = append(names, outputName(item, i))
+	}
+
+	out := &ResultSet{Columns: names}
+	var sortKeys [][]Value
+	needSort := len(stmt.OrderBy) > 0
+	for _, g := range groups {
+		genv := &groupEnv{ctx: ctx, rel: rel, rows: g.rows, groupBy: stmt.GroupBy, keyVals: g.keyVals}
+		if stmt.Having != nil {
+			hv, err := genv.eval(stmt.Having)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !hv.Truthy() {
+				continue
+			}
+		}
+		row := make([]Value, len(stmt.Columns))
+		for i, item := range stmt.Columns {
+			v, err := genv.eval(item.Expr)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		out.Rows = append(out.Rows, row)
+		if needSort {
+			key, err := genv.sortKey(stmt.OrderBy, out, row)
+			if err != nil {
+				return nil, nil, err
+			}
+			sortKeys = append(sortKeys, key)
+		}
+	}
+	return out, sortKeys, nil
+}
+
+// resolvePositionalGroupBy maps integer-literal GROUP BY items onto the
+// select list (SQL's positional form). It returns nil when nothing needs
+// resolving.
+func resolvePositionalGroupBy(stmt *sqlparser.SelectStmt) ([]sqlparser.Expr, error) {
+	hasPositional := false
+	for _, g := range stmt.GroupBy {
+		if _, ok := g.(*sqlparser.IntLit); ok {
+			hasPositional = true
+			break
+		}
+	}
+	if !hasPositional {
+		return nil, nil
+	}
+	out := make([]sqlparser.Expr, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		lit, ok := g.(*sqlparser.IntLit)
+		if !ok {
+			out[i] = g
+			continue
+		}
+		pos := int(lit.Value) - 1
+		if pos < 0 || pos >= len(stmt.Columns) {
+			return nil, fmt.Errorf("engine: GROUP BY position %d out of range", lit.Value)
+		}
+		item := stmt.Columns[pos]
+		if item.Star || item.TableStar != "" || item.Expr == nil {
+			return nil, fmt.Errorf("engine: GROUP BY position %d refers to a star item", lit.Value)
+		}
+		out[i] = item.Expr
+	}
+	return out, nil
+}
+
+// groupEnv evaluates expressions in the context of one group: aggregate
+// calls reduce over the group's rows; other column references resolve
+// against the group's first row (valid for GROUP BY keys and functionally
+// dependent columns).
+type groupEnv struct {
+	ctx     *execContext
+	rel     *relation
+	rows    [][]Value
+	groupBy []sqlparser.Expr
+	keyVals []Value
+}
+
+func (g *groupEnv) eval(e sqlparser.Expr) (Value, error) {
+	// A GROUP BY expression evaluates to the group's key value even when it
+	// is not a bare column (e.g. GROUP BY a+b ... SELECT a+b).
+	for i, gb := range g.groupBy {
+		if exprEqual(e, gb) {
+			return g.keyVals[i], nil
+		}
+	}
+	switch x := e.(type) {
+	case *sqlparser.FuncCall:
+		if sqlparser.IsAggregateFunc(x.Name) {
+			return g.evalAggregate(x)
+		}
+	case *sqlparser.BinaryExpr:
+		if x.Op == "AND" || x.Op == "OR" {
+			// Short-circuit semantics are preserved by re-dispatching through
+			// a shim row env would lose aggregates, so evaluate eagerly here;
+			// aggregate results never error on the second operand.
+			l, err := g.eval(x.Left)
+			if err != nil {
+				return Null, err
+			}
+			r, err := g.eval(x.Right)
+			if err != nil {
+				return Null, err
+			}
+			return combineLogical(x.Op, l, r)
+		}
+		if sqlparser.ContainsAggregate(x.Left) || sqlparser.ContainsAggregate(x.Right) {
+			l, err := g.eval(x.Left)
+			if err != nil {
+				return Null, err
+			}
+			r, err := g.eval(x.Right)
+			if err != nil {
+				return Null, err
+			}
+			return applyBinaryValues(x.Op, l, r)
+		}
+	case *sqlparser.CaseExpr:
+		if sqlparser.ContainsAggregate(e) {
+			return g.evalAggCase(x)
+		}
+	case *sqlparser.UnaryExpr:
+		if sqlparser.ContainsAggregate(x.Expr) {
+			v, err := g.eval(x.Expr)
+			if err != nil {
+				return Null, err
+			}
+			switch x.Op {
+			case "NOT":
+				if v.IsNull() {
+					return Null, nil
+				}
+				return NewBool(!v.Truthy()), nil
+			case "-":
+				if v.Kind == KindInt {
+					return NewInt(-v.Int), nil
+				}
+				return NewFloat(-v.AsFloat()), nil
+			}
+		}
+	}
+	// Non-aggregate expression: evaluate against the group's first row.
+	if len(g.rows) == 0 {
+		return Null, nil
+	}
+	env := &rowEnv{rel: g.rel, row: g.rows[0], ctx: g.ctx}
+	return evalExpr(env, e)
+}
+
+func (g *groupEnv) evalAggCase(x *sqlparser.CaseExpr) (Value, error) {
+	for _, w := range x.Whens {
+		cond, err := g.eval(w.Cond)
+		if err != nil {
+			return Null, err
+		}
+		matched := false
+		if x.Operand != nil {
+			op, err := g.eval(x.Operand)
+			if err != nil {
+				return Null, err
+			}
+			matched = Equal(op, cond)
+		} else {
+			matched = cond.Truthy()
+		}
+		if matched {
+			return g.eval(w.Result)
+		}
+	}
+	if x.Else != nil {
+		return g.eval(x.Else)
+	}
+	return Null, nil
+}
+
+func combineLogical(op string, l, r Value) (Value, error) {
+	switch op {
+	case "AND":
+		if (!l.IsNull() && !l.Truthy()) || (!r.IsNull() && !r.Truthy()) {
+			return NewBool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return NewBool(true), nil
+	case "OR":
+		if l.Truthy() || r.Truthy() {
+			return NewBool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return NewBool(false), nil
+	}
+	return Null, fmt.Errorf("engine: not a logical op %q", op)
+}
+
+// applyBinaryValues applies a non-logical binary operator to two computed
+// values (used when one side is an aggregate result).
+func applyBinaryValues(op string, l, r Value) (Value, error) {
+	switch op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		cmp := Compare(l, r)
+		switch op {
+		case "=":
+			return NewBool(Equal(l, r)), nil
+		case "<>":
+			return NewBool(!Equal(l, r)), nil
+		case "<":
+			return NewBool(cmp < 0), nil
+		case "<=":
+			return NewBool(cmp <= 0), nil
+		case ">":
+			return NewBool(cmp > 0), nil
+		case ">=":
+			return NewBool(cmp >= 0), nil
+		}
+	case "+", "-", "*", "/", "%":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return evalArith(op, l, r)
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return NewString(l.String() + r.String()), nil
+	}
+	return Null, fmt.Errorf("engine: unknown binary op %q", op)
+}
+
+// evalAggregate reduces one aggregate call over the group's rows.
+func (g *groupEnv) evalAggregate(x *sqlparser.FuncCall) (Value, error) {
+	if x.Star {
+		if x.Name != "COUNT" {
+			return Null, fmt.Errorf("engine: %s(*) is not valid", x.Name)
+		}
+		return NewInt(int64(len(g.rows))), nil
+	}
+	if len(x.Args) != 1 {
+		return Null, fmt.Errorf("engine: %s expects one argument", x.Name)
+	}
+	var vals []Value
+	seen := map[string]bool{}
+	for _, row := range g.rows {
+		env := &rowEnv{rel: g.rel, row: row, ctx: g.ctx}
+		v, err := evalExpr(env, x.Args[0])
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if x.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch x.Name {
+	case "COUNT":
+		return NewInt(int64(len(vals))), nil
+	case "SUM":
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		allInt := true
+		var fsum float64
+		var isum int64
+		for _, v := range vals {
+			if v.Kind != KindInt {
+				allInt = false
+			}
+			fsum += v.AsFloat()
+			isum += v.Int
+		}
+		if allInt {
+			return NewInt(isum), nil
+		}
+		return NewFloat(fsum), nil
+	case "AVG":
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v.AsFloat()
+		}
+		return NewFloat(sum / float64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := Compare(v, best)
+			if (x.Name == "MIN" && c < 0) || (x.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "MEDIAN":
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		fs := make([]float64, len(vals))
+		for i, v := range vals {
+			fs[i] = v.AsFloat()
+		}
+		sort.Float64s(fs)
+		mid := len(fs) / 2
+		if len(fs)%2 == 1 {
+			return NewFloat(fs[mid]), nil
+		}
+		return NewFloat((fs[mid-1] + fs[mid]) / 2), nil
+	case "STDDEV":
+		if len(vals) < 2 {
+			return Null, nil
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v.AsFloat()
+		}
+		mean := sum / float64(len(vals))
+		var ss float64
+		for _, v := range vals {
+			d := v.AsFloat() - mean
+			ss += d * d
+		}
+		return NewFloat(math.Sqrt(ss / float64(len(vals)-1))), nil
+	}
+	return Null, fmt.Errorf("engine: unsupported aggregate %s", x.Name)
+}
+
+// sortKey computes ORDER BY keys in the aggregate environment.
+func (g *groupEnv) sortKey(orderBy []sqlparser.OrderItem, out *ResultSet, outRow []Value) ([]Value, error) {
+	key := make([]Value, len(orderBy))
+	for i, item := range orderBy {
+		if lit, ok := item.Expr.(*sqlparser.IntLit); ok {
+			pos := int(lit.Value) - 1
+			if pos < 0 || pos >= len(outRow) {
+				return nil, fmt.Errorf("engine: ORDER BY position %d out of range", lit.Value)
+			}
+			key[i] = outRow[pos]
+			continue
+		}
+		if ref, ok := item.Expr.(*sqlparser.ColumnRef); ok && ref.Table == "" {
+			found := false
+			for ci, name := range out.Columns {
+				if strings.EqualFold(name, ref.Name) {
+					key[i] = outRow[ci]
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+		}
+		v, err := g.eval(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		key[i] = v
+	}
+	return key, nil
+}
+
+// exprEqual reports structural equality of two expressions via their printed
+// form (sound because printing is deterministic and injective up to parse
+// equivalence).
+func exprEqual(a, b sqlparser.Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return sqlparser.PrintExpr(a) == sqlparser.PrintExpr(b)
+}

@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type Kind // declared kind; rows may hold NULLs of any column
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+}
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	names := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// CheckRange is a column check constraint bounding permitted numeric values
+// (the enforcement mechanism the paper's Section 3.7.2 requires for the
+// value-range metric to be sound).
+type CheckRange struct {
+	Column   string
+	Min, Max float64
+}
+
+// Table is an in-memory table: a schema plus a multiset of rows.
+type Table struct {
+	Name   string
+	Schema Schema
+	Rows   [][]Value
+	Checks []CheckRange
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// DB is an in-memory multi-table database. All methods are safe for
+// concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	version uint64 // bumped on every mutation (insert/create/drop)
+}
+
+// Version returns a counter that increases on every mutation; consumers
+// (like FLEX's metrics store) use it to detect staleness, playing the role
+// of the update triggers the paper suggests for metric maintenance.
+func (db *DB) Version() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.version
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a new table with the given schema. It returns an
+// error if a table with the same (case-insensitive) name exists.
+func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	t := &Table{Name: name, Schema: Schema{Columns: cols}}
+	db.tables[key] = t
+	db.version++
+	return t, nil
+}
+
+// MustCreateTable is CreateTable that panics on error, for test and
+// generator setup code.
+func (db *DB) MustCreateTable(name string, cols []Column) *Table {
+	t, err := db.CreateTable(name, cols)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// DropTable removes the named table; missing tables are ignored.
+func (db *DB) DropTable(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.tables, strings.ToLower(name))
+	db.version++
+}
+
+// AddCheckRange installs a check constraint on a numeric column: future
+// inserts with values outside [min, max] are rejected, and existing rows are
+// validated immediately. This is the paper's suggested enforcement of the
+// value-range metric (Section 3.7.2).
+func (db *DB) AddCheckRange(table, column string, min, max float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", table)
+	}
+	ci := t.Schema.Index(column)
+	if ci < 0 {
+		return fmt.Errorf("engine: table %q has no column %q", table, column)
+	}
+	if min > max {
+		return fmt.Errorf("engine: check range min %g > max %g", min, max)
+	}
+	check := CheckRange{Column: t.Schema.Columns[ci].Name, Min: min, Max: max}
+	for ri, row := range t.Rows {
+		if err := checkValue(check, row[ci], table, ri); err != nil {
+			return err
+		}
+	}
+	t.Checks = append(t.Checks, check)
+	return nil
+}
+
+func checkValue(c CheckRange, v Value, table string, row int) error {
+	if v.IsNull() || (v.Kind != KindInt && v.Kind != KindFloat) {
+		return nil
+	}
+	f := v.AsFloat()
+	if f < c.Min || f > c.Max {
+		return fmt.Errorf("engine: check constraint violated: %s.%s value %g outside [%g, %g] (row %d)",
+			table, c.Column, f, c.Min, c.Max, row)
+	}
+	return nil
+}
+
+// Insert appends a row to the named table, checking arity and any check
+// constraints.
+func (db *DB) Insert(name string, row []Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	if len(row) != len(t.Schema.Columns) {
+		return fmt.Errorf("engine: table %q expects %d values, got %d",
+			name, len(t.Schema.Columns), len(row))
+	}
+	for _, c := range t.Checks {
+		ci := t.Schema.Index(c.Column)
+		if ci >= 0 {
+			if err := checkValue(c, row[ci], name, len(t.Rows)); err != nil {
+				return err
+			}
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	db.version++
+	return nil
+}
+
+// InsertRows appends many rows, checking arity for each.
+func (db *DB) InsertRows(name string, rows [][]Value) error {
+	for _, r := range rows {
+		if err := db.Insert(name, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table returns the named table, or nil if absent.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+// TableNames returns the sorted list of table names.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalRows returns the number of tuples across all tables — the database
+// size n used by the smooth-sensitivity parameter δ = n^(−ln n) and the
+// distance bound in Definition 7.
+func (db *DB) TotalRows() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, t := range db.tables {
+		n += len(t.Rows)
+	}
+	return n
+}
+
+// ResultSet is the output of executing a query.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Scalar returns the single value of a 1×1 result set.
+func (r *ResultSet) Scalar() (Value, error) {
+	if len(r.Rows) != 1 || len(r.Rows[0]) != 1 {
+		return Null, fmt.Errorf("engine: result is %dx%d, not scalar",
+			len(r.Rows), len(r.Columns))
+	}
+	return r.Rows[0][0], nil
+}

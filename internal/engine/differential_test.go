@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests: the hash-join fast path must agree with the
+// nested-loop path on random data, and random generated queries must agree
+// across semantically equivalent formulations.
+
+func randJoinDB(rng *rand.Rand) *DB {
+	db := NewDB()
+	db.MustCreateTable("l", []Column{{Name: "k", Type: KindInt}, {Name: "v", Type: KindInt}})
+	db.MustCreateTable("r", []Column{{Name: "k", Type: KindInt}, {Name: "w", Type: KindInt}})
+	for i := 0; i < 5+rng.Intn(30); i++ {
+		key := Value(NewInt(int64(rng.Intn(6))))
+		if rng.Intn(10) == 0 {
+			key = Null
+		}
+		_ = db.Insert("l", []Value{key, NewInt(int64(rng.Intn(100)))})
+	}
+	for i := 0; i < 5+rng.Intn(30); i++ {
+		key := Value(NewInt(int64(rng.Intn(6))))
+		if rng.Intn(10) == 0 {
+			key = Null
+		}
+		_ = db.Insert("r", []Value{key, NewInt(int64(rng.Intn(100)))})
+	}
+	return db
+}
+
+func scalarInt(t *testing.T, db *DB, sql string) int64 {
+	t.Helper()
+	rs, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	v, err := rs.Scalar()
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return v.Int
+}
+
+func TestHashJoinAgreesWithNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		db := randJoinDB(rng)
+		// The double-inequality form defeats equi-key extraction, forcing
+		// the nested-loop path; both must count the same rows.
+		hash := scalarInt(t, db, "SELECT COUNT(*) FROM l JOIN r ON l.k = r.k")
+		loop := scalarInt(t, db, "SELECT COUNT(*) FROM l JOIN r ON l.k <= r.k AND l.k >= r.k")
+		if hash != loop {
+			t.Fatalf("trial %d: hash join %d != nested loop %d", trial, hash, loop)
+		}
+	}
+}
+
+func TestOuterJoinIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		db := randJoinDB(rng)
+		inner := scalarInt(t, db, "SELECT COUNT(*) FROM l JOIN r ON l.k = r.k")
+		left := scalarInt(t, db, "SELECT COUNT(*) FROM l LEFT JOIN r ON l.k = r.k")
+		right := scalarInt(t, db, "SELECT COUNT(*) FROM l RIGHT JOIN r ON l.k = r.k")
+		full := scalarInt(t, db, "SELECT COUNT(*) FROM l FULL JOIN r ON l.k = r.k")
+		nl := scalarInt(t, db, "SELECT COUNT(*) FROM l")
+		nr := scalarInt(t, db, "SELECT COUNT(*) FROM r")
+
+		// LEFT = INNER + unmatched left rows; unmatched ≥ 0 and ≤ |l|.
+		if left < inner || left > inner+nl {
+			t.Fatalf("trial %d: left %d outside [inner %d, inner+|l| %d]", trial, left, inner, inner+nl)
+		}
+		if right < inner || right > inner+nr {
+			t.Fatalf("trial %d: right %d out of range", trial, right)
+		}
+		// FULL = LEFT + RIGHT − INNER (each unmatched side appears once).
+		if full != left+right-inner {
+			t.Fatalf("trial %d: full %d != left %d + right %d - inner %d",
+				trial, full, left, right, inner)
+		}
+	}
+}
+
+func TestGroupByAgreesWithFilterPerGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		db := randJoinDB(rng)
+		rs, err := db.Query("SELECT k, COUNT(*) FROM l GROUP BY k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range rs.Rows {
+			if row[0].IsNull() {
+				// NULL group: compare against IS NULL filter.
+				n := scalarInt(t, db, "SELECT COUNT(*) FROM l WHERE k IS NULL")
+				if row[1].Int != n {
+					t.Fatalf("trial %d: NULL group %d != filter %d", trial, row[1].Int, n)
+				}
+				continue
+			}
+			n := scalarInt(t, db, fmt.Sprintf("SELECT COUNT(*) FROM l WHERE k = %d", row[0].Int))
+			if row[1].Int != n {
+				t.Fatalf("trial %d: group %v count %d != filter count %d",
+					trial, row[0], row[1].Int, n)
+			}
+		}
+	}
+}
+
+func TestDistinctAgreesWithGroupBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 30; trial++ {
+		db := randJoinDB(rng)
+		d, err := db.Query("SELECT DISTINCT k FROM l")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := db.Query("SELECT k FROM l GROUP BY k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Rows) != len(g.Rows) {
+			t.Fatalf("trial %d: DISTINCT %d rows, GROUP BY %d rows", trial, len(d.Rows), len(g.Rows))
+		}
+	}
+}
+
+func TestCountDistinctAgreesWithDistinctCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		db := randJoinDB(rng)
+		a := scalarInt(t, db, "SELECT COUNT(DISTINCT k) FROM l")
+		rs, err := db.Query("SELECT DISTINCT k FROM l")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonNull := int64(0)
+		for _, row := range rs.Rows {
+			if !row[0].IsNull() {
+				nonNull++
+			}
+		}
+		if a != nonNull {
+			t.Fatalf("trial %d: COUNT(DISTINCT) %d != distinct non-null rows %d", trial, a, nonNull)
+		}
+	}
+}
+
+func TestUnionAllCountsAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 20; trial++ {
+		db := randJoinDB(rng)
+		nl := scalarInt(t, db, "SELECT COUNT(*) FROM l")
+		nr := scalarInt(t, db, "SELECT COUNT(*) FROM r")
+		rs, err := db.Query("SELECT v FROM l UNION ALL SELECT w FROM r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(rs.Rows)) != nl+nr {
+			t.Fatalf("trial %d: union all %d != %d + %d", trial, len(rs.Rows), nl, nr)
+		}
+	}
+}

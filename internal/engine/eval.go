@@ -1,0 +1,576 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"flexdp/internal/sqlparser"
+)
+
+// relCol identifies a column of an intermediate relation by the qualifier
+// (table alias, lower-cased) and column name.
+type relCol struct {
+	qual string
+	name string
+}
+
+// relation is an intermediate result during execution. Column lookups are
+// memoized: predicate evaluation resolves the same references once per row,
+// so the linear scan would otherwise dominate large joins.
+type relation struct {
+	cols    []relCol
+	rows    [][]Value
+	colMemo map[string]int // lookup key → index; see colSentinel values
+}
+
+const (
+	colUnknown   = -1
+	colAmbiguous = -2
+)
+
+func (r *relation) findCol(qual, name string) (int, error) {
+	key := strings.ToLower(qual) + "\x00" + strings.ToLower(name)
+	if r.colMemo == nil {
+		r.colMemo = make(map[string]int, len(r.cols))
+	}
+	if idx, ok := r.colMemo[key]; ok {
+		return idx, colErr(idx, qual, name)
+	}
+	idx := r.findColSlow(qual, name)
+	r.colMemo[key] = idx
+	return idx, colErr(idx, qual, name)
+}
+
+func colErr(idx int, qual, name string) error {
+	switch idx {
+	case colUnknown:
+		if qual != "" {
+			return fmt.Errorf("engine: unknown column %s.%s", qual, name)
+		}
+		return fmt.Errorf("engine: unknown column %q", name)
+	case colAmbiguous:
+		return fmt.Errorf("engine: ambiguous column %q", name)
+	}
+	return nil
+}
+
+func (r *relation) findColSlow(qual, name string) int {
+	if qual != "" {
+		q := strings.ToLower(qual)
+		for i, c := range r.cols {
+			if c.qual == q && strings.EqualFold(c.name, name) {
+				return i
+			}
+		}
+		return colUnknown
+	}
+	idx := colUnknown
+	for i, c := range r.cols {
+		if strings.EqualFold(c.name, name) {
+			if idx >= 0 {
+				return colAmbiguous
+			}
+			idx = i
+		}
+	}
+	return idx
+}
+
+// rowEnv is the evaluation environment for one row of a relation.
+type rowEnv struct {
+	rel *relation
+	row []Value
+	ctx *execContext // for subquery evaluation; may be nil in tests
+}
+
+func (env *rowEnv) lookup(qual, name string) (Value, error) {
+	i, err := env.rel.findCol(qual, name)
+	if err != nil {
+		return Null, err
+	}
+	return env.row[i], nil
+}
+
+// evalExpr evaluates a scalar (non-aggregate) expression against a row.
+func evalExpr(env *rowEnv, e sqlparser.Expr) (Value, error) {
+	switch x := e.(type) {
+	case *sqlparser.IntLit:
+		return NewInt(x.Value), nil
+	case *sqlparser.FloatLit:
+		return NewFloat(x.Value), nil
+	case *sqlparser.StringLit:
+		return NewString(x.Value), nil
+	case *sqlparser.BoolLit:
+		return NewBool(x.Value), nil
+	case *sqlparser.NullLit:
+		return Null, nil
+	case *sqlparser.ColumnRef:
+		return env.lookup(x.Table, x.Name)
+	case *sqlparser.BinaryExpr:
+		return evalBinary(env, x)
+	case *sqlparser.UnaryExpr:
+		v, err := evalExpr(env, x.Expr)
+		if err != nil {
+			return Null, err
+		}
+		switch x.Op {
+		case "NOT":
+			if v.IsNull() {
+				return Null, nil
+			}
+			return NewBool(!v.Truthy()), nil
+		case "-":
+			switch v.Kind {
+			case KindInt:
+				return NewInt(-v.Int), nil
+			case KindFloat:
+				return NewFloat(-v.Float), nil
+			case KindNull:
+				return Null, nil
+			}
+			return Null, fmt.Errorf("engine: cannot negate %s", v.Kind)
+		}
+		return Null, fmt.Errorf("engine: unknown unary op %q", x.Op)
+	case *sqlparser.FuncCall:
+		return evalScalarFunc(env, x)
+	case *sqlparser.CaseExpr:
+		return evalCase(env, x)
+	case *sqlparser.InExpr:
+		return evalIn(env, x)
+	case *sqlparser.BetweenExpr:
+		v, err := evalExpr(env, x.Expr)
+		if err != nil {
+			return Null, err
+		}
+		lo, err := evalExpr(env, x.Low)
+		if err != nil {
+			return Null, err
+		}
+		hi, err := evalExpr(env, x.High)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return Null, nil
+		}
+		in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+		if x.Not {
+			in = !in
+		}
+		return NewBool(in), nil
+	case *sqlparser.LikeExpr:
+		v, err := evalExpr(env, x.Expr)
+		if err != nil {
+			return Null, err
+		}
+		pat, err := evalExpr(env, x.Pattern)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() || pat.IsNull() {
+			return Null, nil
+		}
+		m := likeMatch(v.String(), pat.String())
+		if x.Not {
+			m = !m
+		}
+		return NewBool(m), nil
+	case *sqlparser.IsNullExpr:
+		v, err := evalExpr(env, x.Expr)
+		if err != nil {
+			return Null, err
+		}
+		res := v.IsNull()
+		if x.Not {
+			res = !res
+		}
+		return NewBool(res), nil
+	case *sqlparser.ExistsExpr:
+		if env.ctx == nil {
+			return Null, fmt.Errorf("engine: EXISTS subquery outside execution context")
+		}
+		rs, err := env.ctx.executeSelect(x.Query)
+		if err != nil {
+			return Null, err
+		}
+		res := len(rs.Rows) > 0
+		if x.Not {
+			res = !res
+		}
+		return NewBool(res), nil
+	case *sqlparser.SubqueryExpr:
+		if env.ctx == nil {
+			return Null, fmt.Errorf("engine: scalar subquery outside execution context")
+		}
+		rs, err := env.ctx.executeSelect(x.Query)
+		if err != nil {
+			return Null, err
+		}
+		if len(rs.Rows) == 0 {
+			return Null, nil
+		}
+		return rs.Scalar()
+	case *sqlparser.CastExpr:
+		v, err := evalExpr(env, x.Expr)
+		if err != nil {
+			return Null, err
+		}
+		return castValue(v, x.Type)
+	}
+	return Null, fmt.Errorf("engine: unsupported expression %T", e)
+}
+
+func evalBinary(env *rowEnv, x *sqlparser.BinaryExpr) (Value, error) {
+	// AND/OR use three-valued logic with short-circuiting where sound.
+	switch x.Op {
+	case "AND":
+		l, err := evalExpr(env, x.Left)
+		if err != nil {
+			return Null, err
+		}
+		if !l.IsNull() && !l.Truthy() {
+			return NewBool(false), nil
+		}
+		r, err := evalExpr(env, x.Right)
+		if err != nil {
+			return Null, err
+		}
+		if !r.IsNull() && !r.Truthy() {
+			return NewBool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return NewBool(true), nil
+	case "OR":
+		l, err := evalExpr(env, x.Left)
+		if err != nil {
+			return Null, err
+		}
+		if l.Truthy() {
+			return NewBool(true), nil
+		}
+		r, err := evalExpr(env, x.Right)
+		if err != nil {
+			return Null, err
+		}
+		if r.Truthy() {
+			return NewBool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return NewBool(false), nil
+	}
+
+	l, err := evalExpr(env, x.Left)
+	if err != nil {
+		return Null, err
+	}
+	r, err := evalExpr(env, x.Right)
+	if err != nil {
+		return Null, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		cmp := Compare(l, r)
+		eq := Equal(l, r)
+		switch x.Op {
+		case "=":
+			return NewBool(eq), nil
+		case "<>":
+			return NewBool(!eq), nil
+		case "<":
+			return NewBool(cmp < 0), nil
+		case "<=":
+			return NewBool(cmp <= 0), nil
+		case ">":
+			return NewBool(cmp > 0), nil
+		case ">=":
+			return NewBool(cmp >= 0), nil
+		}
+	case "+", "-", "*", "/", "%":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return evalArith(x.Op, l, r)
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return NewString(l.String() + r.String()), nil
+	}
+	return Null, fmt.Errorf("engine: unknown binary op %q", x.Op)
+}
+
+func evalArith(op string, l, r Value) (Value, error) {
+	if !isNumeric(l) || !isNumeric(r) {
+		return Null, fmt.Errorf("engine: arithmetic on non-numeric %s %s %s",
+			l.Kind, op, r.Kind)
+	}
+	if l.Kind == KindInt && r.Kind == KindInt && op != "/" {
+		a, b := l.Int, r.Int
+		switch op {
+		case "+":
+			return NewInt(a + b), nil
+		case "-":
+			return NewInt(a - b), nil
+		case "*":
+			return NewInt(a * b), nil
+		case "%":
+			if b == 0 {
+				return Null, nil
+			}
+			return NewInt(a % b), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch op {
+	case "+":
+		return NewFloat(a + b), nil
+	case "-":
+		return NewFloat(a - b), nil
+	case "*":
+		return NewFloat(a * b), nil
+	case "/":
+		if b == 0 {
+			return Null, nil
+		}
+		// Integer division yields an integer, matching common SQL engines.
+		if l.Kind == KindInt && r.Kind == KindInt {
+			return NewInt(l.Int / r.Int), nil
+		}
+		return NewFloat(a / b), nil
+	case "%":
+		if b == 0 {
+			return Null, nil
+		}
+		return NewFloat(math.Mod(a, b)), nil
+	}
+	return Null, fmt.Errorf("engine: unknown arithmetic op %q", op)
+}
+
+func evalCase(env *rowEnv, x *sqlparser.CaseExpr) (Value, error) {
+	var operand Value
+	hasOperand := x.Operand != nil
+	if hasOperand {
+		v, err := evalExpr(env, x.Operand)
+		if err != nil {
+			return Null, err
+		}
+		operand = v
+	}
+	for _, w := range x.Whens {
+		cond, err := evalExpr(env, w.Cond)
+		if err != nil {
+			return Null, err
+		}
+		matched := false
+		if hasOperand {
+			matched = Equal(operand, cond)
+		} else {
+			matched = cond.Truthy()
+		}
+		if matched {
+			return evalExpr(env, w.Result)
+		}
+	}
+	if x.Else != nil {
+		return evalExpr(env, x.Else)
+	}
+	return Null, nil
+}
+
+func evalIn(env *rowEnv, x *sqlparser.InExpr) (Value, error) {
+	v, err := evalExpr(env, x.Expr)
+	if err != nil {
+		return Null, err
+	}
+	if v.IsNull() {
+		return Null, nil
+	}
+	var candidates []Value
+	if x.Subquery != nil {
+		if env.ctx == nil {
+			return Null, fmt.Errorf("engine: IN subquery outside execution context")
+		}
+		rs, err := env.ctx.executeSelect(x.Subquery)
+		if err != nil {
+			return Null, err
+		}
+		if len(rs.Columns) != 1 {
+			return Null, fmt.Errorf("engine: IN subquery must return one column, got %d",
+				len(rs.Columns))
+		}
+		for _, row := range rs.Rows {
+			candidates = append(candidates, row[0])
+		}
+	} else {
+		for _, item := range x.List {
+			iv, err := evalExpr(env, item)
+			if err != nil {
+				return Null, err
+			}
+			candidates = append(candidates, iv)
+		}
+	}
+	sawNull := false
+	for _, c := range candidates {
+		if c.IsNull() {
+			sawNull = true
+			continue
+		}
+		if Equal(v, c) {
+			return NewBool(!x.Not), nil
+		}
+	}
+	if sawNull {
+		// v IN (... NULL ...) with no match is NULL under 3VL.
+		return Null, nil
+	}
+	return NewBool(x.Not), nil
+}
+
+// evalScalarFunc evaluates the supported non-aggregate functions.
+func evalScalarFunc(env *rowEnv, x *sqlparser.FuncCall) (Value, error) {
+	if sqlparser.IsAggregateFunc(x.Name) {
+		return Null, fmt.Errorf("engine: aggregate %s used outside aggregation context", x.Name)
+	}
+	switch x.Name {
+	case "COALESCE":
+		for _, a := range x.Args {
+			v, err := evalExpr(env, a)
+			if err != nil {
+				return Null, err
+			}
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return Null, nil
+	case "LOWER", "UPPER", "LENGTH", "ABS", "ROUND", "FLOOR", "CEIL":
+		if len(x.Args) < 1 {
+			return Null, fmt.Errorf("engine: %s requires an argument", x.Name)
+		}
+		v, err := evalExpr(env, x.Args[0])
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			return Null, nil
+		}
+		switch x.Name {
+		case "LOWER":
+			return NewString(strings.ToLower(v.String())), nil
+		case "UPPER":
+			return NewString(strings.ToUpper(v.String())), nil
+		case "LENGTH":
+			return NewInt(int64(len(v.String()))), nil
+		case "ABS":
+			if v.Kind == KindInt {
+				if v.Int < 0 {
+					return NewInt(-v.Int), nil
+				}
+				return v, nil
+			}
+			return NewFloat(math.Abs(v.AsFloat())), nil
+		case "ROUND":
+			return NewFloat(math.Round(v.AsFloat())), nil
+		case "FLOOR":
+			return NewFloat(math.Floor(v.AsFloat())), nil
+		case "CEIL":
+			return NewFloat(math.Ceil(v.AsFloat())), nil
+		}
+	case "INTERVAL":
+		// Opaque interval literal: value in its unit, returned as string.
+		if len(x.Args) == 2 {
+			v, _ := evalExpr(env, x.Args[0])
+			u, _ := evalExpr(env, x.Args[1])
+			return NewString(v.String() + " " + u.String()), nil
+		}
+	}
+	return Null, fmt.Errorf("engine: unsupported function %s", x.Name)
+}
+
+func castValue(v Value, typ string) (Value, error) {
+	if v.IsNull() {
+		return Null, nil
+	}
+	switch typ {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		switch v.Kind {
+		case KindInt:
+			return v, nil
+		case KindFloat:
+			return NewInt(int64(v.Float)), nil
+		case KindString:
+			n, err := strconv.ParseInt(strings.TrimSpace(v.Str), 10, 64)
+			if err != nil {
+				return Null, nil
+			}
+			return NewInt(n), nil
+		case KindBool:
+			if v.Bool {
+				return NewInt(1), nil
+			}
+			return NewInt(0), nil
+		}
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		switch v.Kind {
+		case KindInt, KindFloat:
+			return NewFloat(v.AsFloat()), nil
+		case KindString:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.Str), 64)
+			if err != nil {
+				return Null, nil
+			}
+			return NewFloat(f), nil
+		}
+	case "VARCHAR", "TEXT", "CHAR", "STRING":
+		return NewString(v.String()), nil
+	case "BOOL", "BOOLEAN":
+		switch v.Kind {
+		case KindBool:
+			return v, nil
+		case KindInt:
+			return NewBool(v.Int != 0), nil
+		case KindString:
+			return NewBool(strings.EqualFold(v.Str, "true")), nil
+		}
+	}
+	return Null, fmt.Errorf("engine: unsupported cast to %s", typ)
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (single byte)
+// wildcards, matching case-sensitively.
+func likeMatch(s, pattern string) bool {
+	// Dynamic-programming match over bytes.
+	n, m := len(s), len(pattern)
+	// dp[j] = does pattern[:j] match s[:i] for the current i.
+	prev := make([]bool, m+1)
+	cur := make([]bool, m+1)
+	prev[0] = true
+	for j := 1; j <= m; j++ {
+		prev[j] = prev[j-1] && pattern[j-1] == '%'
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = false
+		for j := 1; j <= m; j++ {
+			switch pattern[j-1] {
+			case '%':
+				cur[j] = cur[j-1] || prev[j]
+			case '_':
+				cur[j] = prev[j-1]
+			default:
+				cur[j] = prev[j-1] && pattern[j-1] == s[i-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}

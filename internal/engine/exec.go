@@ -1,0 +1,691 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexdp/internal/sqlparser"
+)
+
+// execContext carries per-query state: the database plus CTE results
+// registered by enclosing WITH clauses.
+type execContext struct {
+	db   *DB
+	ctes map[string]*relation
+}
+
+// Execute runs a parsed SELECT statement and returns its result set.
+func (db *DB) Execute(stmt *sqlparser.SelectStmt) (*ResultSet, error) {
+	ctx := &execContext{db: db, ctes: make(map[string]*relation)}
+	return ctx.executeSelect(stmt)
+}
+
+// Query parses and executes SQL text in one step.
+func (db *DB) Query(sql string) (*ResultSet, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.Execute(stmt)
+}
+
+// executeSelect handles WITH registration, set operations, and trailing
+// ORDER BY / LIMIT / OFFSET.
+func (ctx *execContext) executeSelect(stmt *sqlparser.SelectStmt) (*ResultSet, error) {
+	// CTEs are visible to later CTEs and the main body. Each statement gets
+	// a child context so sibling subqueries cannot see our CTEs leak out.
+	child := &execContext{db: ctx.db, ctes: make(map[string]*relation)}
+	for name, rel := range ctx.ctes {
+		child.ctes[name] = rel
+	}
+	for _, cte := range stmt.With {
+		rs, err := child.executeSelect(cte.Query)
+		if err != nil {
+			return nil, fmt.Errorf("in CTE %q: %w", cte.Name, err)
+		}
+		rel := resultToRelation(rs, cte.Name)
+		if len(cte.Columns) > 0 {
+			if len(cte.Columns) != len(rel.cols) {
+				return nil, fmt.Errorf("engine: CTE %q declares %d columns but query returns %d",
+					cte.Name, len(cte.Columns), len(rel.cols))
+			}
+			for i, c := range cte.Columns {
+				rel.cols[i].name = c
+			}
+		}
+		child.ctes[strings.ToLower(cte.Name)] = rel
+	}
+
+	out, sortKeys, err := child.executeCore(stmt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Set operations chain left-associatively along the SetOp links.
+	for op := stmt.SetOp; op != nil; op = op.Right.SetOp {
+		right, _, err := child.executeCore(op.Right)
+		if err != nil {
+			return nil, err
+		}
+		if len(right.Columns) != len(out.Columns) {
+			return nil, fmt.Errorf("engine: set operation arity mismatch: %d vs %d",
+				len(out.Columns), len(right.Columns))
+		}
+		out = applySetOp(out, right, op.Kind, op.All)
+		sortKeys = nil // positional sort only after set ops
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		if err := sortResult(out, stmt.OrderBy, sortKeys); err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Offset != nil || stmt.Limit != nil {
+		if err := applyLimitOffset(out, stmt, child); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// executeCore runs a single SELECT body (no set ops, no ORDER BY/LIMIT) and
+// additionally returns per-output-row sort keys for the statement's ORDER BY
+// expressions evaluated in the projection environment.
+func (ctx *execContext) executeCore(stmt *sqlparser.SelectStmt) (*ResultSet, [][]Value, error) {
+	rel, err := ctx.buildFrom(stmt.From)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if stmt.Where != nil {
+		filtered := rel.rows[:0:0]
+		for _, row := range rel.rows {
+			env := &rowEnv{rel: rel, row: row, ctx: ctx}
+			v, err := evalExpr(env, stmt.Where)
+			if err != nil {
+				return nil, nil, err
+			}
+			if v.Truthy() {
+				filtered = append(filtered, row)
+			}
+		}
+		rel = &relation{cols: rel.cols, rows: filtered}
+	}
+
+	aggregated := len(stmt.GroupBy) > 0 || stmt.Having != nil
+	if !aggregated {
+		for _, item := range stmt.Columns {
+			if item.Expr != nil && sqlparser.ContainsAggregate(item.Expr) {
+				aggregated = true
+				break
+			}
+		}
+	}
+
+	var out *ResultSet
+	var sortKeys [][]Value
+	if aggregated {
+		out, sortKeys, err = ctx.executeAggregate(stmt, rel)
+	} else {
+		out, sortKeys, err = ctx.executeProjection(stmt, rel)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if stmt.Distinct {
+		out, sortKeys = dedupeRows(out, sortKeys)
+	}
+	return out, sortKeys, nil
+}
+
+// buildFrom evaluates the FROM clause. An empty FROM yields one empty row so
+// that `SELECT 1` works.
+func (ctx *execContext) buildFrom(items []sqlparser.TableExpr) (*relation, error) {
+	if len(items) == 0 {
+		return &relation{rows: [][]Value{{}}}, nil
+	}
+	rel, err := ctx.buildTableExpr(items[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range items[1:] {
+		right, err := ctx.buildTableExpr(item)
+		if err != nil {
+			return nil, err
+		}
+		rel = crossJoin(rel, right)
+	}
+	return rel, nil
+}
+
+func (ctx *execContext) buildTableExpr(te sqlparser.TableExpr) (*relation, error) {
+	switch t := te.(type) {
+	case *sqlparser.TableName:
+		qual := strings.ToLower(t.Name)
+		if t.Alias != "" {
+			qual = strings.ToLower(t.Alias)
+		}
+		if cte, ok := ctx.ctes[strings.ToLower(t.Name)]; ok {
+			return requalify(cte, qual), nil
+		}
+		tbl := ctx.db.Table(t.Name)
+		if tbl == nil {
+			return nil, fmt.Errorf("engine: unknown table %q", t.Name)
+		}
+		cols := make([]relCol, len(tbl.Schema.Columns))
+		for i, c := range tbl.Schema.Columns {
+			cols[i] = relCol{qual: qual, name: c.Name}
+		}
+		return &relation{cols: cols, rows: tbl.Rows}, nil
+
+	case *sqlparser.SubqueryTable:
+		rs, err := ctx.executeSelect(t.Query)
+		if err != nil {
+			return nil, err
+		}
+		return resultToRelation(rs, t.Alias), nil
+
+	case *sqlparser.JoinExpr:
+		left, err := ctx.buildTableExpr(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := ctx.buildTableExpr(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		return ctx.join(t, left, right)
+	}
+	return nil, fmt.Errorf("engine: unsupported table expression %T", te)
+}
+
+func requalify(rel *relation, qual string) *relation {
+	cols := make([]relCol, len(rel.cols))
+	for i, c := range rel.cols {
+		cols[i] = relCol{qual: qual, name: c.name}
+	}
+	return &relation{cols: cols, rows: rel.rows}
+}
+
+func resultToRelation(rs *ResultSet, alias string) *relation {
+	qual := strings.ToLower(alias)
+	cols := make([]relCol, len(rs.Columns))
+	for i, name := range rs.Columns {
+		cols[i] = relCol{qual: qual, name: name}
+	}
+	return &relation{cols: cols, rows: rs.Rows}
+}
+
+func crossJoin(left, right *relation) *relation {
+	cols := append(append([]relCol{}, left.cols...), right.cols...)
+	rows := make([][]Value, 0, len(left.rows)*len(right.rows))
+	for _, lr := range left.rows {
+		for _, rr := range right.rows {
+			row := make([]Value, 0, len(cols))
+			row = append(row, lr...)
+			row = append(row, rr...)
+			rows = append(rows, row)
+		}
+	}
+	return &relation{cols: cols, rows: rows}
+}
+
+// equiKey is one equality conjunct usable as a hash-join key: column
+// positions in the left and right relations.
+type equiKey struct {
+	leftIdx  int
+	rightIdx int
+}
+
+// splitJoinCondition decomposes an ON condition into hash-joinable equality
+// conjuncts plus a residual predicate evaluated on the combined row.
+func splitJoinCondition(on sqlparser.Expr, left, right *relation) (keys []equiKey, residual []sqlparser.Expr) {
+	var conjuncts []sqlparser.Expr
+	var flatten func(e sqlparser.Expr)
+	flatten = func(e sqlparser.Expr) {
+		if b, ok := e.(*sqlparser.BinaryExpr); ok && b.Op == "AND" {
+			flatten(b.Left)
+			flatten(b.Right)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	flatten(on)
+
+	for _, c := range conjuncts {
+		b, ok := c.(*sqlparser.BinaryExpr)
+		if ok && b.Op == "=" {
+			lc, lok := b.Left.(*sqlparser.ColumnRef)
+			rc, rok := b.Right.(*sqlparser.ColumnRef)
+			if lok && rok {
+				li, lerr := left.findCol(lc.Table, lc.Name)
+				ri, rerr := right.findCol(rc.Table, rc.Name)
+				if lerr == nil && rerr == nil {
+					keys = append(keys, equiKey{leftIdx: li, rightIdx: ri})
+					continue
+				}
+				// Try the swapped orientation: right.col = left.col.
+				li2, lerr2 := left.findCol(rc.Table, rc.Name)
+				ri2, rerr2 := right.findCol(lc.Table, lc.Name)
+				if lerr2 == nil && rerr2 == nil {
+					keys = append(keys, equiKey{leftIdx: li2, rightIdx: ri2})
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	return keys, residual
+}
+
+func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*relation, error) {
+	cols := append(append([]relCol{}, left.cols...), right.cols...)
+
+	if t.Kind == sqlparser.JoinCross {
+		return crossJoin(left, right), nil
+	}
+
+	var keys []equiKey
+	var residual []sqlparser.Expr
+	switch {
+	case len(t.Using) > 0:
+		for _, name := range t.Using {
+			li, err := left.findCol("", name)
+			if err != nil {
+				return nil, fmt.Errorf("engine: USING column %q: %w", name, err)
+			}
+			ri, err := right.findCol("", name)
+			if err != nil {
+				return nil, fmt.Errorf("engine: USING column %q: %w", name, err)
+			}
+			keys = append(keys, equiKey{leftIdx: li, rightIdx: ri})
+		}
+	case t.On != nil:
+		keys, residual = splitJoinCondition(t.On, left, right)
+	default:
+		return nil, fmt.Errorf("engine: join without condition")
+	}
+
+	combined := &relation{cols: cols}
+	matchedLeft := make([]bool, len(left.rows))
+	matchedRight := make([]bool, len(right.rows))
+
+	emit := func(li, ri int) error {
+		row := make([]Value, 0, len(cols))
+		row = append(row, left.rows[li]...)
+		row = append(row, right.rows[ri]...)
+		for _, res := range residual {
+			env := &rowEnv{rel: combined, row: row, ctx: ctx}
+			v, err := evalExpr(env, res)
+			if err != nil {
+				return err
+			}
+			if !v.Truthy() {
+				return nil
+			}
+		}
+		matchedLeft[li] = true
+		matchedRight[ri] = true
+		combined.rows = append(combined.rows, row)
+		return nil
+	}
+
+	if len(keys) > 0 {
+		// Hash join: build on the right side.
+		index := make(map[string][]int, len(right.rows))
+		keyBuf := make([]Value, len(keys))
+		for ri, rr := range right.rows {
+			null := false
+			for i, k := range keys {
+				v := rr[k.rightIdx]
+				if v.IsNull() {
+					null = true
+					break
+				}
+				keyBuf[i] = v
+			}
+			if null {
+				continue // NULL join keys never match
+			}
+			key := RowKey(keyBuf)
+			index[key] = append(index[key], ri)
+		}
+		for li, lr := range left.rows {
+			null := false
+			for i, k := range keys {
+				v := lr[k.leftIdx]
+				if v.IsNull() {
+					null = true
+					break
+				}
+				keyBuf[i] = v
+			}
+			if null {
+				continue
+			}
+			for _, ri := range index[RowKey(keyBuf)] {
+				if err := emit(li, ri); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		// Nested-loop join on the full predicate.
+		for li := range left.rows {
+			for ri := range right.rows {
+				if err := emit(li, ri); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Outer-join padding.
+	pad := func(src *relation, idx int, leftSide bool) {
+		row := make([]Value, 0, len(cols))
+		if leftSide {
+			row = append(row, src.rows[idx]...)
+			for range right.cols {
+				row = append(row, Null)
+			}
+		} else {
+			for range left.cols {
+				row = append(row, Null)
+			}
+			row = append(row, src.rows[idx]...)
+		}
+		combined.rows = append(combined.rows, row)
+	}
+	switch t.Kind {
+	case sqlparser.JoinLeft:
+		for li := range left.rows {
+			if !matchedLeft[li] {
+				pad(left, li, true)
+			}
+		}
+	case sqlparser.JoinRight:
+		for ri := range right.rows {
+			if !matchedRight[ri] {
+				pad(right, ri, false)
+			}
+		}
+	case sqlparser.JoinFull:
+		for li := range left.rows {
+			if !matchedLeft[li] {
+				pad(left, li, true)
+			}
+		}
+		for ri := range right.rows {
+			if !matchedRight[ri] {
+				pad(right, ri, false)
+			}
+		}
+	}
+	return combined, nil
+}
+
+// outputName derives the column name for a select item.
+func outputName(item sqlparser.SelectItem, pos int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch e := item.Expr.(type) {
+	case *sqlparser.ColumnRef:
+		return e.Name
+	case *sqlparser.FuncCall:
+		return strings.ToLower(e.Name)
+	}
+	return fmt.Sprintf("col%d", pos)
+}
+
+// executeProjection is the non-aggregated select path.
+func (ctx *execContext) executeProjection(stmt *sqlparser.SelectStmt, rel *relation) (*ResultSet, [][]Value, error) {
+	var names []string
+	type colSpec struct {
+		expr sqlparser.Expr
+		star bool
+		from int // starting col index for stars
+		upto int
+	}
+	var specs []colSpec
+	for i, item := range stmt.Columns {
+		switch {
+		case item.Star:
+			for _, c := range rel.cols {
+				names = append(names, c.name)
+			}
+			specs = append(specs, colSpec{star: true, from: 0, upto: len(rel.cols)})
+		case item.TableStar != "":
+			qual := strings.ToLower(item.TableStar)
+			start := -1
+			end := -1
+			for ci, c := range rel.cols {
+				if c.qual == qual {
+					if start < 0 {
+						start = ci
+					}
+					end = ci + 1
+					names = append(names, c.name)
+				}
+			}
+			if start < 0 {
+				return nil, nil, fmt.Errorf("engine: unknown table alias %q in %s.*",
+					item.TableStar, item.TableStar)
+			}
+			specs = append(specs, colSpec{star: true, from: start, upto: end})
+		default:
+			names = append(names, outputName(item, i))
+			specs = append(specs, colSpec{expr: item.Expr})
+		}
+	}
+
+	out := &ResultSet{Columns: names}
+	var sortKeys [][]Value
+	needSort := len(stmt.OrderBy) > 0
+	for _, row := range rel.rows {
+		env := &rowEnv{rel: rel, row: row, ctx: ctx}
+		outRow := make([]Value, 0, len(names))
+		for _, spec := range specs {
+			if spec.star {
+				outRow = append(outRow, row[spec.from:spec.upto]...)
+				continue
+			}
+			v, err := evalExpr(env, spec.expr)
+			if err != nil {
+				return nil, nil, err
+			}
+			outRow = append(outRow, v)
+		}
+		out.Rows = append(out.Rows, outRow)
+		if needSort {
+			key, err := evalSortKey(env, stmt.OrderBy, out, outRow)
+			if err != nil {
+				return nil, nil, err
+			}
+			sortKeys = append(sortKeys, key)
+		}
+	}
+	return out, sortKeys, nil
+}
+
+// evalSortKey computes ORDER BY key values for one output row. Each ORDER BY
+// expression resolves first against output aliases/positions, then against
+// the row environment.
+func evalSortKey(env *rowEnv, orderBy []sqlparser.OrderItem, out *ResultSet, outRow []Value) ([]Value, error) {
+	key := make([]Value, len(orderBy))
+	for i, item := range orderBy {
+		// Positional reference: ORDER BY 2.
+		if lit, ok := item.Expr.(*sqlparser.IntLit); ok {
+			pos := int(lit.Value) - 1
+			if pos < 0 || pos >= len(outRow) {
+				return nil, fmt.Errorf("engine: ORDER BY position %d out of range", lit.Value)
+			}
+			key[i] = outRow[pos]
+			continue
+		}
+		// Output alias reference.
+		if ref, ok := item.Expr.(*sqlparser.ColumnRef); ok && ref.Table == "" {
+			found := false
+			for ci, name := range out.Columns {
+				if strings.EqualFold(name, ref.Name) {
+					key[i] = outRow[ci]
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+		}
+		if env == nil {
+			return nil, fmt.Errorf("engine: ORDER BY expression %s not resolvable after set operation",
+				sqlparser.PrintExpr(item.Expr))
+		}
+		v, err := evalExpr(env, item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		key[i] = v
+	}
+	return key, nil
+}
+
+func sortResult(out *ResultSet, orderBy []sqlparser.OrderItem, sortKeys [][]Value) error {
+	if sortKeys == nil {
+		// Resolve against output columns/positions only (post-set-op case, or
+		// aggregate path fallbacks).
+		sortKeys = make([][]Value, len(out.Rows))
+		for i, row := range out.Rows {
+			key, err := evalSortKey(nil, orderBy, out, row)
+			if err != nil {
+				return err
+			}
+			sortKeys[i] = key
+		}
+	}
+	idx := make([]int, len(out.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := sortKeys[idx[a]], sortKeys[idx[b]]
+		for i := range orderBy {
+			c := Compare(ka[i], kb[i])
+			if orderBy[i].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	sorted := make([][]Value, len(out.Rows))
+	for i, j := range idx {
+		sorted[i] = out.Rows[j]
+	}
+	out.Rows = sorted
+	return nil
+}
+
+func applyLimitOffset(out *ResultSet, stmt *sqlparser.SelectStmt, ctx *execContext) error {
+	evalInt := func(e sqlparser.Expr) (int, error) {
+		env := &rowEnv{rel: &relation{}, row: nil, ctx: ctx}
+		v, err := evalExpr(env, e)
+		if err != nil {
+			return 0, err
+		}
+		if v.Kind != KindInt {
+			return 0, fmt.Errorf("engine: LIMIT/OFFSET must be integer, got %s", v.Kind)
+		}
+		return int(v.Int), nil
+	}
+	if stmt.Offset != nil {
+		off, err := evalInt(stmt.Offset)
+		if err != nil {
+			return err
+		}
+		if off < 0 {
+			off = 0
+		}
+		if off > len(out.Rows) {
+			off = len(out.Rows)
+		}
+		out.Rows = out.Rows[off:]
+	}
+	if stmt.Limit != nil {
+		lim, err := evalInt(stmt.Limit)
+		if err != nil {
+			return err
+		}
+		if lim < 0 {
+			lim = 0
+		}
+		if lim < len(out.Rows) {
+			out.Rows = out.Rows[:lim]
+		}
+	}
+	return nil
+}
+
+func dedupeRows(out *ResultSet, sortKeys [][]Value) (*ResultSet, [][]Value) {
+	seen := make(map[string]bool, len(out.Rows))
+	var rows [][]Value
+	var keys [][]Value
+	for i, row := range out.Rows {
+		k := RowKey(row)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		rows = append(rows, row)
+		if sortKeys != nil {
+			keys = append(keys, sortKeys[i])
+		}
+	}
+	out.Rows = rows
+	if sortKeys == nil {
+		return out, nil
+	}
+	return out, keys
+}
+
+func applySetOp(left, right *ResultSet, kind sqlparser.SetOpKind, all bool) *ResultSet {
+	out := &ResultSet{Columns: left.Columns}
+	switch kind {
+	case sqlparser.SetUnion:
+		out.Rows = append(append([][]Value{}, left.Rows...), right.Rows...)
+		if !all {
+			out, _ = dedupeRows(out, nil)
+		}
+	case sqlparser.SetIntersect:
+		inRight := make(map[string]bool, len(right.Rows))
+		for _, r := range right.Rows {
+			inRight[RowKey(r)] = true
+		}
+		seen := make(map[string]bool)
+		for _, r := range left.Rows {
+			k := RowKey(r)
+			if inRight[k] && !seen[k] {
+				seen[k] = true
+				out.Rows = append(out.Rows, r)
+			}
+		}
+	case sqlparser.SetExcept:
+		inRight := make(map[string]bool, len(right.Rows))
+		for _, r := range right.Rows {
+			inRight[RowKey(r)] = true
+		}
+		seen := make(map[string]bool)
+		for _, r := range left.Rows {
+			k := RowKey(r)
+			if !inRight[k] && !seen[k] {
+				seen[k] = true
+				out.Rows = append(out.Rows, r)
+			}
+		}
+	}
+	return out
+}

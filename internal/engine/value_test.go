@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randValue generates an arbitrary Value for property tests.
+func randValue(rng *rand.Rand) Value {
+	switch rng.Intn(5) {
+	case 0:
+		return Null
+	case 1:
+		return NewInt(rng.Int63n(2000) - 1000)
+	case 2:
+		return NewFloat((rng.Float64() - 0.5) * 2000)
+	case 3:
+		return NewString(string(rune('a' + rng.Intn(26))))
+	default:
+		return NewBool(rng.Intn(2) == 0)
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	// Antisymmetry and transitivity over random triples.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randValue(rng), randValue(rng), randValue(rng)
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			return false
+		}
+		return Compare(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualConsistentWithKey(t *testing.T) {
+	// Equal values must have equal hash keys, and (for non-null values)
+	// equal keys must mean Equal — the property hash joins rely on.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randValue(rng), randValue(rng)
+		if Equal(a, b) && a.Key() != b.Key() {
+			return false
+		}
+		if !a.IsNull() && !b.IsNull() && a.Key() == b.Key() && !Equal(a, b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntFloatJoinKeyUnification(t *testing.T) {
+	if NewInt(2).Key() != NewFloat(2.0).Key() {
+		t.Error("2 and 2.0 must share a join key")
+	}
+	if NewInt(2).Key() == NewFloat(2.5).Key() {
+		t.Error("2 and 2.5 must differ")
+	}
+	if !Equal(NewInt(2), NewFloat(2.0)) {
+		t.Error("numeric equality across kinds")
+	}
+}
+
+func TestRowKeyInjective(t *testing.T) {
+	// Rows with different values get different keys; prefix ambiguity
+	// (["ab"] vs ["a","b"]) is prevented by length framing.
+	a := RowKey([]Value{NewString("ab")})
+	b := RowKey([]Value{NewString("a"), NewString("b")})
+	if a == b {
+		t.Error("length framing broken")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		r1 := make([]Value, n)
+		r2 := make([]Value, n)
+		same := true
+		for i := range r1 {
+			r1[i] = randValue(rng)
+			r2[i] = randValue(rng)
+			if Compare(r1[i], r2[i]) != 0 || r1[i].Kind != r2[i].Kind {
+				same = false
+			}
+		}
+		k1, k2 := RowKey(r1), RowKey(r2)
+		if same && k1 != k2 {
+			// Identical rows must collide.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(-7), "-7"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("x"), "x"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind, got, c.want)
+		}
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if NewInt(3).AsFloat() != 3.0 {
+		t.Error("int")
+	}
+	if NewFloat(1.5).AsFloat() != 1.5 {
+		t.Error("float")
+	}
+	if NewString("x").AsFloat() != 0 {
+		t.Error("string should be 0")
+	}
+}
+
+func TestNullOrderingFirst(t *testing.T) {
+	if Compare(Null, NewInt(-math.MaxInt64/2)) >= 0 {
+		t.Error("NULL must sort before values")
+	}
+	if Compare(NewInt(1), Null) <= 0 {
+		t.Error("values after NULL")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true},
+		{"hello", "h_lo", false},
+		{"hello", "", false},
+		{"", "", true},
+		{"", "%", true},
+		{"abc", "%%", true},
+		{"abc", "a%c", true},
+		{"abc", "a%b", false},
+		{"aaa", "a%a%a", true},
+		{"ab", "a%a", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.pat); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+}
+
+func TestLikeMatchAgainstNaive(t *testing.T) {
+	// Property: the DP matcher agrees with a naive recursive matcher.
+	var naive func(s, p string) bool
+	naive = func(s, p string) bool {
+		if p == "" {
+			return s == ""
+		}
+		switch p[0] {
+		case '%':
+			for i := 0; i <= len(s); i++ {
+				if naive(s[i:], p[1:]) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			return s != "" && naive(s[1:], p[1:])
+		default:
+			return s != "" && s[0] == p[0] && naive(s[1:], p[1:])
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []byte("ab%_")
+	for trial := 0; trial < 3000; trial++ {
+		s := make([]byte, rng.Intn(6))
+		for i := range s {
+			s[i] = alphabet[rng.Intn(2)] // strings over {a,b}
+		}
+		p := make([]byte, rng.Intn(6))
+		for i := range p {
+			p[i] = alphabet[rng.Intn(4)] // patterns over {a,b,%,_}
+		}
+		if likeMatch(string(s), string(p)) != naive(string(s), string(p)) {
+			t.Fatalf("likeMatch(%q, %q) disagrees with naive", s, p)
+		}
+	}
+}

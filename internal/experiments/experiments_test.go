@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"flexdp/internal/workload"
+)
+
+var (
+	envOnce sync.Once
+	testEnv *Env
+)
+
+// sharedEnv builds the small environment once for all tests.
+func sharedEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() { testEnv = NewEnv(SmallEnv()) })
+	return testEnv
+}
+
+func TestEnvSetup(t *testing.T) {
+	env := sharedEnv(t)
+	if env.DB.TotalRows() == 0 {
+		t.Fatal("empty database")
+	}
+	if len(env.Corpus) == 0 {
+		t.Fatal("empty corpus")
+	}
+	if env.Delta <= 0 || env.Delta >= 1 {
+		t.Errorf("delta = %g", env.Delta)
+	}
+	if !env.Sys.Metrics().IsPublic("cities") {
+		t.Error("cities should be public")
+	}
+	if env.SysNoOpt.Metrics().IsPublic("cities") {
+		t.Error("no-opt system must not mark public tables")
+	}
+}
+
+func TestCorpusQueriesMostlyAnalyzable(t *testing.T) {
+	env := sharedEnv(t)
+	failures := 0
+	for _, q := range env.Corpus {
+		if _, err := env.Sys.Analyze(q.SQL); err != nil {
+			failures++
+			t.Logf("analyze %q: %v", q.SQL, err)
+		}
+	}
+	if failures > 0 {
+		t.Errorf("%d/%d experiment corpus queries failed analysis", failures, len(env.Corpus))
+	}
+}
+
+func TestCorpusQueriesExecutable(t *testing.T) {
+	env := sharedEnv(t)
+	for _, q := range env.Corpus[:30] {
+		if _, err := env.DB.Query(q.SQL); err != nil {
+			t.Errorf("execute %q: %v", q.SQL, err)
+		}
+	}
+}
+
+func TestRunQueryOutcome(t *testing.T) {
+	env := sharedEnv(t)
+	q := workload.ExpQuery{SQL: "SELECT COUNT(*) FROM trips"}
+	o := RunQuery(env.Sys, q, 1.0, env.Delta, 3)
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if o.Population <= 0 {
+		t.Errorf("population = %g", o.Population)
+	}
+	if math.IsNaN(o.MedianError) || o.MedianError < 0 {
+		t.Errorf("median error = %g", o.MedianError)
+	}
+}
+
+func TestTriangleExperiment(t *testing.T) {
+	res, err := RunTriangle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InnerStabilityK0 != 131 {
+		t.Errorf("inner stability = %g, want 131", res.InnerStabilityK0)
+	}
+	if res.FaithfulK0 != 12871 {
+		t.Errorf("faithful Ŝ(0) = %g, want 12871", res.FaithfulK0)
+	}
+	if res.PaperArgK != 19 || math.Abs(res.PaperSmoothS-8896.95) > 0.5 {
+		t.Errorf("paper-stated smoothing = %.2f at k=%d, want 8896.95 at 19",
+			res.PaperSmoothS, res.PaperArgK)
+	}
+	if math.Abs(res.PaperNoise2S-17793.9) > 1 {
+		t.Errorf("2S = %.1f, want 17793.9", res.PaperNoise2S)
+	}
+	if res.FaithfulPolynomial != "3k^2 + 393k + 12871" {
+		t.Errorf("faithful polynomial = %q", res.FaithfulPolynomial)
+	}
+	if res.TrueTriangles < 0 {
+		t.Errorf("true triangles = %d", res.TrueTriangles)
+	}
+	if !strings.Contains(res.String(), "8896.95") {
+		t.Error("report should cite the paper value")
+	}
+}
+
+func TestTriangleEngineMatchesOracle(t *testing.T) {
+	gcfg := workload.GraphConfig{Seed: 5, Nodes: 200, Edges: 600, MaxDegree: 20}
+	eng := workload.GenerateGraph(gcfg)
+	rs, err := eng.Query(workload.TriangleSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rs.Scalar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := workload.CountTrianglesDirect(eng); v.Int != int64(want) {
+		t.Errorf("SQL triangles = %d, oracle = %d", v.Int, want)
+	}
+}
+
+func TestTable1Matrix(t *testing.T) {
+	env := sharedEnv(t)
+	res := RunTable1(env)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	es := res.Rows[len(res.Rows)-1]
+	if !es.DBCompatible || !es.OneToOne || !es.OneToMany || !es.ManyToMany {
+		t.Errorf("elastic sensitivity row = %+v, want all capabilities", es)
+	}
+	for _, row := range res.Rows[:4] {
+		if row.DBCompatible {
+			t.Errorf("%s should not be DB compatible", row.Mechanism)
+		}
+	}
+	if !strings.Contains(res.String(), "Elastic sensitivity") {
+		t.Error("missing row in report")
+	}
+}
+
+func TestTable2Performance(t *testing.T) {
+	env := sharedEnv(t)
+	res := RunTable2(env, 0.1)
+	if res.Queries == 0 {
+		t.Fatal("no queries measured")
+	}
+	if res.AvgAnalysis <= 0 || res.AvgQuery <= 0 {
+		t.Errorf("timings: %+v", res)
+	}
+	_ = res.String()
+}
+
+func TestSuccessRate(t *testing.T) {
+	env := sharedEnv(t)
+	res := RunSuccessRate(env, 3)
+	if res.Total == 0 {
+		t.Fatal("no queries")
+	}
+	succ := 100 * float64(res.Success) / float64(res.Total)
+	if succ < 65 || succ > 90 {
+		t.Errorf("success rate = %.1f%%, want ≈ 76%%", succ)
+	}
+	if res.Unsupported == 0 || res.ParseError == 0 || res.Other == 0 {
+		t.Errorf("missing failure classes: %+v", res)
+	}
+	_ = res.String()
+}
+
+func TestFigure3Buckets(t *testing.T) {
+	env := sharedEnv(t)
+	res := RunFigure3(env, 1.0)
+	if res.Total == 0 {
+		t.Fatal("no queries bucketed")
+	}
+	sum := 0
+	for _, b := range res.Order {
+		sum += res.Buckets[b]
+	}
+	if sum != res.Total {
+		t.Errorf("buckets sum %d != total %d", sum, res.Total)
+	}
+	_ = res.String()
+}
+
+func TestFigure4Trend(t *testing.T) {
+	env := sharedEnv(t)
+	res := RunFigure4(env, 3)
+	if len(res.NoJoin) == 0 || len(res.Join) == 0 {
+		t.Fatalf("series sizes: %d, %d", len(res.NoJoin), len(res.Join))
+	}
+	// Scale-ε exchangeability: the largest-population decade must have lower
+	// median error than the smallest (for the no-join series, which has no
+	// sensitivity confounder).
+	checkTrend := func(name string, pts []Fig4Point) {
+		trend := TrendBuckets(pts)
+		lo, hi := 1<<30, -1
+		for d := range trend {
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		if hi <= lo {
+			t.Logf("%s: single decade, trend not checkable", name)
+			return
+		}
+		if trend[hi] >= trend[lo] {
+			t.Errorf("%s: error did not decrease with population: decade %d → %.2f%%, decade %d → %.2f%%",
+				name, lo, trend[lo], hi, trend[hi])
+		}
+	}
+	checkTrend("no-join", res.NoJoin)
+	checkTrend("join", res.Join)
+	_ = res.String()
+}
+
+func TestFigure5TPCH(t *testing.T) {
+	res := RunFigure5(workload.TPCHConfig{Seed: 1, Scale: 0.05}, 1, 2)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Err != nil {
+			t.Errorf("%s failed: %v", row.ID, row.Err)
+		}
+	}
+	// Q21 (3 joins) should have higher error than Q1 (0 joins).
+	var q1, q21 Fig5Row
+	for _, row := range res.Rows {
+		switch row.ID {
+		case "Q1":
+			q1 = row
+		case "Q21":
+			q21 = row
+		}
+	}
+	if q21.Err == nil && q1.Err == nil && q21.MedianError <= q1.MedianError {
+		t.Errorf("Q21 (3 joins) error %.4f%% not above Q1 (0 joins) %.4f%%",
+			q21.MedianError, q1.MedianError)
+	}
+	_ = res.String()
+}
+
+func TestFigure6EpsilonShift(t *testing.T) {
+	env := sharedEnv(t)
+	res := RunFigure6(env, 2)
+	// Larger ε should not shrink the <1% bucket.
+	lo := float64(res.Buckets[0.1]["<1%"]) / float64(res.Totals[0.1])
+	hi := float64(res.Buckets[10]["<1%"]) / float64(res.Totals[10])
+	if hi < lo {
+		t.Errorf("<1%% bucket shrank with larger ε: %.2f → %.2f", lo, hi)
+	}
+	_ = res.String()
+}
+
+func TestTable4Categories(t *testing.T) {
+	env := sharedEnv(t)
+	res := RunTable4(env, 2)
+	if res.HighError == 0 {
+		t.Skip("no high-error queries at this scale")
+	}
+	// The broad category should not dominate high-error queries.
+	if res.ByCat[workload.CatBroad] > res.HighError/2 {
+		t.Errorf("broad queries dominate high-error set: %+v", res.ByCat)
+	}
+	_ = res.String()
+}
+
+func TestFigure7OptimizationHelps(t *testing.T) {
+	env := sharedEnv(t)
+	res := RunFigure7(env, 2)
+	if res.Applied == 0 {
+		t.Fatal("no public-join queries in corpus")
+	}
+	// The optimization must shrink the worst bucket and grow the low-error
+	// mass (the paper's headline effect: the worst bucket moves to the best).
+	worstWith := float64(res.With["More"]) / float64(res.TotalW)
+	worstWithout := float64(res.Without["More"]) / float64(res.TotalWO)
+	if worstWith > worstWithout {
+		t.Errorf("optimization grew the worst bucket: %.3f vs %.3f", worstWith, worstWithout)
+	}
+	lowWith := float64(res.With["<1%"]+res.With["1-5%"]+res.With["5-10%"]) / float64(res.TotalW)
+	lowWithout := float64(res.Without["<1%"]+res.Without["1-5%"]+res.Without["5-10%"]) / float64(res.TotalWO)
+	if lowWith < lowWithout {
+		t.Errorf("optimization reduced low-error mass: %.3f vs %.3f", lowWith, lowWithout)
+	}
+	_ = res.String()
+}
+
+func TestTable5Comparison(t *testing.T) {
+	env := sharedEnv(t)
+	res := RunTable5(env, 9, 11)
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Err != nil {
+			t.Errorf("%s: %v", row.Name, row.Err)
+		}
+	}
+	_ = res.String()
+}
+
+func TestAblations(t *testing.T) {
+	env := sharedEnv(t)
+	res, err := RunAblations(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SameMaximum {
+		t.Error("cutoff search must find the same maximum as the full search")
+	}
+	if res.CutoffTime >= res.FullSearchTime {
+		t.Errorf("cutoff %v not faster than full %v", res.CutoffTime, res.FullSearchTime)
+	}
+	if res.BoundWithOpt >= res.BoundWithoutOpt {
+		t.Errorf("public-table bound %g not tighter than %g", res.BoundWithOpt, res.BoundWithoutOpt)
+	}
+	if res.HashJoinTime >= res.NestedLoopTime {
+		t.Errorf("hash join %v not faster than nested loop %v", res.HashJoinTime, res.NestedLoopTime)
+	}
+	_ = res.String()
+}
+
+func TestStudyDistributionsMatchPaper(t *testing.T) {
+	res := RunStudy(workload.StudyCorpusConfig{Seed: 1, N: 8000})
+	r := res.R
+	if r.ParseErrors > r.Total/100 {
+		t.Errorf("study corpus should parse: %d errors", r.ParseErrors)
+	}
+	within := func(name string, got, want, tol float64) {
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %.1f%%, want %.1f%% ± %.1f", name, got, want, tol)
+		}
+	}
+	within("join fraction", 100*float64(r.QueriesWithJoin)/float64(r.Total), 62.1, 3)
+	within("statistical fraction", 100*float64(r.Statistical)/float64(r.Total), 34, 3)
+	within("equijoin share", 100*float64(r.Conditions[0])/float64(r.TotalJoins), 76, 4)
+	relTotal := 0
+	for _, v := range r.Relationships {
+		relTotal += v
+	}
+	within("1:N share", 100*float64(r.Relationships[2])/float64(relTotal), 64, 6)
+	within("self-join share", 100*float64(r.SelfJoinQuery)/float64(r.QueriesWithJoin), 28, 4)
+	aggTotal := 0
+	for _, v := range r.Aggregations {
+		aggTotal += v
+	}
+	within("COUNT share", 100*float64(r.Aggregations["COUNT"])/float64(aggTotal), 51, 5)
+	if !strings.Contains(res.String(), "Q1 backends") {
+		t.Error("report truncated")
+	}
+}

@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	flex "flexdp"
+	"flexdp/internal/smooth"
+	"flexdp/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 3 — distribution of query population sizes.
+
+// Fig3Result buckets corpus queries by population size.
+type Fig3Result struct {
+	Buckets map[string]int
+	Order   []string
+	Total   int
+}
+
+// RunFigure3 computes each supported query's population (trips considered)
+// and buckets it per the paper's chart (<100, 100–1K, 1K–10K, >10K).
+func RunFigure3(env *Env, eps float64) *Fig3Result {
+	r := &Fig3Result{
+		Buckets: make(map[string]int),
+		Order:   []string{"<100", "100-1K", "1K-10K", ">10K"},
+	}
+	for _, q := range env.Corpus {
+		o := RunQuery(env.Sys, q, eps, env.Delta, 1)
+		if o.Err != nil {
+			continue
+		}
+		r.Total++
+		switch {
+		case o.Population < 100:
+			r.Buckets["<100"]++
+		case o.Population < 1000:
+			r.Buckets["100-1K"]++
+		case o.Population < 10000:
+			r.Buckets["1K-10K"]++
+		default:
+			r.Buckets[">10K"]++
+		}
+	}
+	return r
+}
+
+func (r *Fig3Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3 — Distribution of population sizes for dataset queries\n")
+	var rows [][]string
+	for _, b := range r.Order {
+		rows = append(rows, []string{b, fmt.Sprint(r.Buckets[b]), pct(r.Buckets[b], r.Total)})
+	}
+	sb.WriteString(formatTable([]string{"Population", "Queries", "Share"}, rows))
+	sb.WriteString("(paper shares: <100 46.7%, 100-1K 12.3%, 1K-10K 15.7%, >10K 25.3%)\n")
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — median error vs population size, without (a) and with (b) joins.
+
+// Fig4Point is one query's (population, error) coordinate.
+type Fig4Point struct {
+	Population  float64
+	MedianError float64
+	ManyToMany  bool
+}
+
+// Fig4Result carries the two series.
+type Fig4Result struct {
+	NoJoin []Fig4Point
+	Join   []Fig4Point
+}
+
+// RunFigure4 measures median error against population size for every corpus
+// query at the paper's setting ε = 0.1, δ = n^(−ln n).
+func RunFigure4(env *Env, reps int) *Fig4Result {
+	r := &Fig4Result{}
+	for _, q := range env.Corpus {
+		o := RunQuery(env.Sys, q, 0.1, env.Delta, reps)
+		if o.Err != nil {
+			continue
+		}
+		pt := Fig4Point{Population: o.Population, MedianError: o.MedianError,
+			ManyToMany: q.ManyToMany}
+		if q.Joins == 0 {
+			r.NoJoin = append(r.NoJoin, pt)
+		} else {
+			r.Join = append(r.Join, pt)
+		}
+	}
+	return r
+}
+
+// TrendBuckets summarizes a series: median error per decade of population.
+func TrendBuckets(pts []Fig4Point) map[int]float64 {
+	byDecade := make(map[int][]float64)
+	for _, p := range pts {
+		d := 0
+		for v := p.Population; v >= 10; v /= 10 {
+			d++
+		}
+		byDecade[d] = append(byDecade[d], p.MedianError)
+	}
+	out := make(map[int]float64, len(byDecade))
+	for d, errs := range byDecade {
+		out[d] = median(errs)
+	}
+	return out
+}
+
+func seriesString(name string, pts []Fig4Point) string {
+	var sb strings.Builder
+	trend := TrendBuckets(pts)
+	decades := make([]int, 0, len(trend))
+	for d := range trend {
+		decades = append(decades, d)
+	}
+	sort.Ints(decades)
+	fmt.Fprintf(&sb, "%s (%d queries): median error by population decade:\n", name, len(pts))
+	for _, d := range decades {
+		fmt.Fprintf(&sb, "  10^%d ≤ pop < 10^%d: %10.3f%%\n", d, d+1, trend[d])
+	}
+	return sb.String()
+}
+
+func (r *Fig4Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4 — Median error vs population size (ε = 0.1, δ = n^(−ln n))\n")
+	sb.WriteString(seriesString("(a) no joins", r.NoJoin))
+	sb.WriteString(seriesString("(b) with joins", r.Join))
+	sb.WriteString("(expected shape: error decreases with population — scale-ε exchangeability;\n")
+	sb.WriteString(" join queries shifted upward, many-to-many joins forming the high cluster)\n")
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 / Table 3 — TPC-H benchmark.
+
+// Fig5Row is one TPC-H query's outcome.
+type Fig5Row struct {
+	ID          string
+	Description string
+	Joins       int
+	Population  float64
+	MedianError float64
+	Err         error
+}
+
+// Fig5Result carries all five queries.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// RunFigure5 builds the TPC-H-shaped database, marks the paper's
+// private/public split, and measures each Table 3 query.
+func RunFigure5(cfg workload.TPCHConfig, seed int64, reps int) *Fig5Result {
+	eng := workload.GenerateTPCH(cfg)
+	db := flex.WrapEngine(eng)
+	// ModeLocalK0 matches the paper's evaluation scaling (see EXPERIMENTS.md).
+	sys := flex.NewSystem(db, flex.Options{Seed: seed, NoiseMode: flex.ModeLocalK0})
+	sys.MarkPublic(workload.TPCHPublicTables()...)
+	sys.CollectMetrics()
+	delta := smooth.DeltaForSize(db.TotalRows())
+
+	r := &Fig5Result{}
+	for _, q := range workload.TPCHQueries() {
+		row := Fig5Row{ID: q.ID, Description: q.Description, Joins: q.Joins}
+		o := RunQuery(sys, workload.ExpQuery{SQL: q.SQL, Joins: q.Joins, Histogram: true},
+			0.1, delta, reps)
+		row.Err = o.Err
+		row.Population = o.Population
+		row.MedianError = o.MedianError
+		r.Rows = append(r.Rows, row)
+	}
+	return r
+}
+
+func (r *Fig5Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5 / Table 3 — TPC-H counting queries (ε = 0.1, δ = n^(−ln n))\n")
+	var rows [][]string
+	for _, row := range r.Rows {
+		if row.Err != nil {
+			rows = append(rows, []string{row.ID, fmt.Sprint(row.Joins), "-", "error: " + row.Err.Error()})
+			continue
+		}
+		rows = append(rows, []string{
+			row.ID, fmt.Sprint(row.Joins),
+			fmt.Sprintf("%.0f", row.Population),
+			fmt.Sprintf("%.4f%%", row.MedianError),
+		})
+	}
+	sb.WriteString(formatTable([]string{"Query", "Joins", "Population", "Median error"}, rows))
+	sb.WriteString("(expected shape: error decreases with population; more joins → higher error)\n")
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — effect of the privacy budget ε.
+
+// Fig6Result buckets queries by median error for each ε.
+type Fig6Result struct {
+	Epsilons []float64
+	// Buckets[eps][bucket] = query count.
+	Buckets map[float64]map[string]int
+	Totals  map[float64]int
+}
+
+// RunFigure6 sweeps ε ∈ {0.1, 1, 10} over the corpus, excluding queries with
+// population below 100 (inherently sensitive, Section 5.2.2).
+func RunFigure6(env *Env, reps int) *Fig6Result {
+	r := &Fig6Result{
+		Epsilons: []float64{0.1, 1, 10},
+		Buckets:  make(map[float64]map[string]int),
+		Totals:   make(map[float64]int),
+	}
+	for _, eps := range r.Epsilons {
+		r.Buckets[eps] = make(map[string]int)
+		for _, q := range env.Corpus {
+			o := RunQuery(env.Sys, q, eps, env.Delta, reps)
+			if o.Err != nil || o.Population < 100 {
+				continue
+			}
+			r.Buckets[eps][errorBucket(o.MedianError)]++
+			r.Totals[eps]++
+		}
+	}
+	return r
+}
+
+func (r *Fig6Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — Effect of ε on median error (population ≥ 100)\n")
+	header := []string{"Median error"}
+	for _, eps := range r.Epsilons {
+		header = append(header, fmt.Sprintf("ε = %g", eps))
+	}
+	var rows [][]string
+	for _, b := range ErrorBuckets {
+		row := []string{b}
+		for _, eps := range r.Epsilons {
+			row = append(row, pct(r.Buckets[eps][b], r.Totals[eps]))
+		}
+		rows = append(rows, row)
+	}
+	sb.WriteString(formatTable(header, rows))
+	sb.WriteString("(paper at ε=0.1: <1% 49.9%, More 34.5%; larger ε shifts mass to low error)\n")
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — manual categorization of high-error queries.
+
+// Table4Result breaks down queries with error above 100% by ground-truth
+// category.
+type Table4Result struct {
+	HighError int
+	ByCat     map[workload.ExpCategory]int
+}
+
+// RunTable4 finds the corpus queries with median error in the "More" bucket
+// (at ε = 0.1, population ≥ 100) and tallies their generator-assigned
+// categories, standing in for the paper's manual inspection.
+func RunTable4(env *Env, reps int) *Table4Result {
+	r := &Table4Result{ByCat: make(map[workload.ExpCategory]int)}
+	for _, q := range env.Corpus {
+		o := RunQuery(env.Sys, q, 0.1, env.Delta, reps)
+		if o.Err != nil || o.Population < 100 {
+			continue
+		}
+		if o.MedianError > 100 {
+			r.HighError++
+			r.ByCat[q.Category]++
+		}
+	}
+	return r
+}
+
+func (r *Table4Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 4 — Categorization of high-error queries (error > 100%)\n")
+	var rows [][]string
+	cats := []workload.ExpCategory{workload.CatIndividual, workload.CatLowPop,
+		workload.CatManyToMany, workload.CatBroad}
+	for _, c := range cats {
+		rows = append(rows, []string{c.String(), pct(r.ByCat[c], r.HighError)})
+	}
+	sb.WriteString(formatTable([]string{"Category", "Share of high-error"}, rows))
+	sb.WriteString("(paper: individual filters 8%, low-population 72%, many-to-many 20%)\n")
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — impact of the public-table optimization.
+
+// Fig7Result compares error buckets with the Section 3.6 optimization on and
+// off.
+type Fig7Result struct {
+	With    map[string]int
+	Without map[string]int
+	TotalW  int
+	TotalWO int
+	Applied int // queries where the optimization applies
+	Total   int
+}
+
+// RunFigure7 measures every corpus query under both systems.
+func RunFigure7(env *Env, reps int) *Fig7Result {
+	r := &Fig7Result{With: make(map[string]int), Without: make(map[string]int)}
+	for _, q := range env.Corpus {
+		r.Total++
+		if q.UsesPublic {
+			r.Applied++
+		}
+		ow := RunQuery(env.Sys, q, 0.1, env.Delta, reps)
+		if ow.Err == nil && ow.Population >= 100 {
+			r.With[errorBucket(ow.MedianError)]++
+			r.TotalW++
+		}
+		owo := RunQuery(env.SysNoOpt, q, 0.1, env.Delta, reps)
+		if owo.Err == nil && owo.Population >= 100 {
+			r.Without[errorBucket(owo.MedianError)]++
+			r.TotalWO++
+		}
+	}
+	return r
+}
+
+func (r *Fig7Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7 — Impact of the public-table optimization (ε = 0.1)\n")
+	var rows [][]string
+	for _, b := range ErrorBuckets {
+		rows = append(rows, []string{b, pct(r.With[b], r.TotalW), pct(r.Without[b], r.TotalWO)})
+	}
+	sb.WriteString(formatTable([]string{"Median error", "With opt", "Without opt"}, rows))
+	fmt.Fprintf(&sb, "optimization applies to %s of corpus queries (paper: 23.4%%)\n",
+		pct(r.Applied, r.Total))
+	sb.WriteString("(paper: <1%% bucket grows 28.5% → 49.8% with the optimization)\n")
+	return sb.String()
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	flex "flexdp"
+	"flexdp/internal/engine"
+	"flexdp/internal/relalg"
+	"flexdp/internal/wpinq"
+)
+
+// innerJoinStability returns the elastic stability at k = 0 of the left
+// operand of the query's outermost join (the "first join" of the Section 3.4
+// walkthrough).
+func innerJoinStability(sys *flex.System, q *relalg.Query) (float64, error) {
+	join, ok := q.Rel.(*relalg.JoinRel)
+	if !ok {
+		return 0, fmt.Errorf("experiments: query root is not a join")
+	}
+	return sys.Analyzer().StabilityAt(join.Left, 0)
+}
+
+// wpinqTriangles counts directed triangles with the wPINQ mechanism: two
+// weight-rescaling self joins with the ordering constraints applied as
+// filters, then a noisy count at the given ε.
+func wpinqTriangles(eng *engine.DB, seed int64, eps float64) (float64, error) {
+	edges := eng.Table("edges")
+	if edges == nil {
+		return 0, fmt.Errorf("experiments: no edges table")
+	}
+	d := wpinq.FromTable(edges) // cols: source(0), dest(1)
+	j1, err := d.Join(d, 1, 0)  // e1.dest = e2.source
+	if err != nil {
+		return 0, err
+	}
+	// cols: e1.source(0), e1.dest(1), e2.source(2), e2.dest(3)
+	j1 = j1.Where(func(v []engine.Value) bool { return v[0].Int < v[2].Int })
+	j2, err := j1.Join(d, 3, 0) // e2.dest = e3.source
+	if err != nil {
+		return 0, err
+	}
+	// cols: ...(0..3), e3.source(4), e3.dest(5)
+	j2 = j2.Where(func(v []engine.Value) bool {
+		return v[5].Int == v[0].Int && v[2].Int < v[4].Int
+	})
+	rng := rand.New(rand.NewSource(seed))
+	return j2.NoisyCount(rng, eps), nil
+}

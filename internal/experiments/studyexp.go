@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"strings"
+
+	"flexdp/internal/study"
+	"flexdp/internal/workload"
+)
+
+// StudyResult wraps the Section 2 study output with the paper's reference
+// values for comparison.
+type StudyResult struct {
+	R *study.Results
+}
+
+// RunStudy generates a seeded corpus with the paper's feature mixes and
+// analyzes it with the study package (the pipeline a practitioner would run
+// against a real query log).
+func RunStudy(cfg workload.StudyCorpusConfig) *StudyResult {
+	corpus := workload.GenerateStudyCorpus(cfg)
+	r := study.NewResults()
+	for _, q := range corpus {
+		r.Analyze(q.SQL, study.QueryMeta{
+			Backend:    q.Backend,
+			ResultRows: q.ResultRows,
+			ResultCols: q.ResultCols,
+		}, workload.UniqueKey)
+	}
+	return &StudyResult{R: r}
+}
+
+func (s *StudyResult) String() string {
+	r := s.R
+	var sb strings.Builder
+	sb.WriteString("Section 2 — Empirical study of the query corpus\n")
+
+	fmt.Fprintf(&sb, "Q1 backends (paper: Vertica 78.5%%, Postgres 18.4%%, Hive 1.2%%, MySQL 1.0%%):\n")
+	for _, b := range study.SortedKeys(r.Backends) {
+		fmt.Fprintf(&sb, "  %-10s %8d  (%s)\n", b, r.Backends[b], pct(r.Backends[b], r.Total))
+	}
+
+	fmt.Fprintf(&sb, "Q2 operators (paper: Select 100%%, Join 62.1%%, Union 0.57%%, Minus 0.06%%, Intersect 0.03%%):\n")
+	fmt.Fprintf(&sb, "  Select    %s\n", pct(r.UsesSelect, r.Total))
+	fmt.Fprintf(&sb, "  Join      %s\n", pct(r.QueriesWithJoin, r.Total))
+	fmt.Fprintf(&sb, "  Union     %s\n", pct(r.UsesUnion, r.Total))
+	fmt.Fprintf(&sb, "  Minus     %s\n", pct(r.UsesExcept, r.Total))
+	fmt.Fprintf(&sb, "  Intersect %s\n", pct(r.UsesIntersect, r.Total))
+
+	fmt.Fprintf(&sb, "Q3 joins per query (max %d; paper max 95):\n", maxKey(r.JoinsPerQuery))
+	for _, b := range []struct {
+		label  string
+		lo, hi int
+	}{{"0", 0, 0}, {"1-3", 1, 3}, {"4-15", 4, 15}, {"16+", 16, 1 << 30}} {
+		n := 0
+		for j, c := range r.JoinsPerQuery {
+			if j >= b.lo && j <= b.hi {
+				n += c
+			}
+		}
+		fmt.Fprintf(&sb, "  %-5s %s\n", b.label, pct(n, r.Total))
+	}
+
+	fmt.Fprintf(&sb, "Q4 join conditions (paper: equijoin 76%%, compound 19%%, column 3%%, literal 2%%):\n")
+	for _, k := range []study.JoinConditionKind{study.CondEquijoin, study.CondCompound,
+		study.CondColumnComparison, study.CondLiteralComparison} {
+		fmt.Fprintf(&sb, "  %-20s %s\n", k, pct(r.Conditions[k], r.TotalJoins))
+	}
+	fmt.Fprintf(&sb, "Q4 join types (paper: inner 69%%, left 29%%, cross 1%%, other 1%%):\n")
+	for _, k := range []string{"inner", "left", "cross", "right", "full"} {
+		if r.JoinTypes[k] > 0 {
+			fmt.Fprintf(&sb, "  %-6s %s\n", k, pct(r.JoinTypes[k], r.TotalJoins))
+		}
+	}
+	fmt.Fprintf(&sb, "Q4 relationships (paper: 1:N 64%%, 1:1 26%%, M:N 10%%):\n")
+	relTotal := r.Relationships[study.RelOneToOne] + r.Relationships[study.RelOneToMany] +
+		r.Relationships[study.RelManyToMany]
+	for _, k := range []study.Relationship{study.RelOneToMany, study.RelOneToOne, study.RelManyToMany} {
+		fmt.Fprintf(&sb, "  %-12s %s\n", k, pct(r.Relationships[k], relTotal))
+	}
+	fmt.Fprintf(&sb, "Q4 self joins (paper: 28%% of join queries): %s\n",
+		pct(r.SelfJoinQuery, r.QueriesWithJoin))
+
+	fmt.Fprintf(&sb, "Q5 statistical queries (paper: 34%%): %s\n", pct(r.Statistical, r.Total))
+
+	fmt.Fprintf(&sb, "Q6 aggregations (paper: Count 51%%, Sum 29%%, Avg 8%%, Max 6%%, Min 5%%):\n")
+	aggTotal := 0
+	for _, n := range r.Aggregations {
+		aggTotal += n
+	}
+	for _, a := range study.SortedKeys(r.Aggregations) {
+		fmt.Fprintf(&sb, "  %-7s %s\n", a, pct(r.Aggregations[a], aggTotal))
+	}
+
+	qs := study.SizeBuckets(r.QuerySizes, []int{4, 30, 70, 150, 350, 1000})
+	fmt.Fprintf(&sb, "Q7 query size (clauses) buckets ≤4/≤30/≤70/≤150/≤350/≤1000/more: %v\n", qs)
+	rows := study.SizeBuckets(r.ResultRows, []int{5, 60, 200, 500, 10000})
+	cols := study.SizeBuckets(r.ResultCols, []int{3, 20, 60, 100, 300})
+	fmt.Fprintf(&sb, "Q8 result rows buckets ≤5/≤60/≤200/≤500/≤10000/more: %v\n", rows)
+	fmt.Fprintf(&sb, "Q8 result cols buckets ≤3/≤20/≤60/≤100/≤300/more: %v\n", cols)
+	fmt.Fprintf(&sb, "(%d parse errors of %d queries)\n", r.ParseErrors, r.Total)
+	return sb.String()
+}
+
+func maxKey(m map[int]int) int {
+	max := 0
+	for k := range m {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}

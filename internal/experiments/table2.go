@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table2Result measures the phase costs of FLEX-based differential privacy
+// (Table 2): original query execution versus elastic-sensitivity analysis
+// versus output perturbation, plus the implied relative overhead.
+type Table2Result struct {
+	Queries                  int
+	AvgQuery, MaxQuery       time.Duration
+	AvgAnalysis, MaxAnalysis time.Duration
+	AvgPerturb, MaxPerturb   time.Duration
+	OverheadPercent          float64
+}
+
+// RunTable2 runs every supported corpus query once through the full pipeline
+// and aggregates the phase timings.
+func RunTable2(env *Env, eps float64) *Table2Result {
+	r := &Table2Result{}
+	var sumQ, sumA, sumP time.Duration
+	for _, q := range env.Corpus {
+		res, err := env.Sys.Run(q.SQL, eps, env.Delta)
+		if err != nil {
+			continue
+		}
+		r.Queries++
+		sumQ += res.ExecTime
+		sumA += res.AnalysisTime
+		sumP += res.PerturbTime
+		if res.ExecTime > r.MaxQuery {
+			r.MaxQuery = res.ExecTime
+		}
+		if res.AnalysisTime > r.MaxAnalysis {
+			r.MaxAnalysis = res.AnalysisTime
+		}
+		if res.PerturbTime > r.MaxPerturb {
+			r.MaxPerturb = res.PerturbTime
+		}
+	}
+	if r.Queries > 0 {
+		n := time.Duration(r.Queries)
+		r.AvgQuery = sumQ / n
+		r.AvgAnalysis = sumA / n
+		r.AvgPerturb = sumP / n
+	}
+	if sumQ > 0 {
+		r.OverheadPercent = 100 * float64(sumA+sumP) / float64(sumQ)
+	}
+	return r
+}
+
+func (r *Table2Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2 — Performance of FLEX-based differential privacy\n")
+	rows := [][]string{
+		{"Original query", r.AvgQuery.String(), r.MaxQuery.String()},
+		{"FLEX: Elastic Sensitivity Analysis", r.AvgAnalysis.String(), r.MaxAnalysis.String()},
+		{"FLEX: Output Perturbation", r.AvgPerturb.String(), r.MaxPerturb.String()},
+	}
+	sb.WriteString(formatTable([]string{"Phase", "Avg", "Max"}, rows))
+	fmt.Fprintf(&sb, "overhead: %.3f%% of query execution (paper: 0.03%% against a 42.4 s\n", r.OverheadPercent)
+	fmt.Fprintf(&sb, "average production query; this in-memory engine executes queries far faster,\n")
+	fmt.Fprintf(&sb, "so the measured ratio is an upper bound on the deployment overhead)\n")
+	return sb.String()
+}

@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	flex "flexdp"
+	"flexdp/internal/engine"
+	"flexdp/internal/wpinq"
+)
+
+// table5Program is one representative counting query: the FLEX SQL plus a
+// hand-transcribed wPINQ program (mirroring the paper's methodology, which
+// manually transcribed each SQL query into wPINQ).
+type table5Program struct {
+	Name      string
+	Tables    string
+	SQL       string
+	Histogram bool
+	// wpinqRun returns the noisy wPINQ histogram (single counts use key "").
+	wpinqRun func(eng *engine.DB, rng *rand.Rand, eps float64) (map[string]float64, error)
+}
+
+// Table5Row is the outcome for one program. FlexError uses the
+// paper-evaluation Ŝ(0) noise scaling; FlexSmoothError uses the full
+// Definition 7 smoothing, quantifying the gap EXPERIMENTS.md documents.
+type Table5Row struct {
+	Name             string
+	Tables           string
+	MedianPopulation float64
+	WPINQError       float64
+	FlexError        float64
+	FlexSmoothError  float64
+	Err              error
+}
+
+// Table5Result is the full comparison.
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+func table5Programs(env *Env) []table5Program {
+	// Filter values chosen to exercise the same join patterns as the paper's
+	// six programs over the rideshare schema.
+	return []table5Program{
+		{
+			Name:   "1. Trips completed in city 1 by drivers enrolled in a different city",
+			Tables: "trips, drivers",
+			SQL: `SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id
+				WHERE t.city_id = 1 AND t.status = 'completed' AND d.home_city <> 1`,
+			wpinqRun: func(eng *engine.DB, rng *rand.Rand, eps float64) (map[string]float64, error) {
+				trips := wpinq.FromTable(eng.Table("trips"))
+				drivers := wpinq.FromTable(eng.Table("drivers"))
+				tf := trips.Where(func(v []engine.Value) bool {
+					return v[3].Int == 1 && v[6].Str == "completed"
+				})
+				df := drivers.Where(func(v []engine.Value) bool { return v[2].Int != 1 })
+				j, err := tf.Join(df, 1, 0) // t.driver_id = d.id
+				if err != nil {
+					return nil, err
+				}
+				return map[string]float64{"": j.NoisyCount(rng, eps)}, nil
+			},
+		},
+		{
+			Name:   "2. Active accounts tagged duplicate after day 45",
+			Tables: "users, user_tags",
+			SQL: `SELECT COUNT(*) FROM users u JOIN user_tags g ON u.id = g.user_id
+				WHERE u.active = TRUE AND g.tag = 'duplicate_account' AND g.day > 45`,
+			wpinqRun: func(eng *engine.DB, rng *rand.Rand, eps float64) (map[string]float64, error) {
+				users := wpinq.FromTable(eng.Table("users")).
+					Where(func(v []engine.Value) bool { return v[3].Bool })
+				tags := wpinq.FromTable(eng.Table("user_tags")).
+					Where(func(v []engine.Value) bool {
+						return v[1].Str == "duplicate_account" && v[2].Int > 45
+					})
+				j, err := users.Join(tags, 0, 0) // u.id = g.user_id
+				if err != nil {
+					return nil, err
+				}
+				return map[string]float64{"": j.NoisyCount(rng, eps)}, nil
+			},
+		},
+		{
+			Name:   "3. Active motorbike drivers with 10+ completed trips",
+			Tables: "drivers, analytics",
+			SQL: `SELECT COUNT(*) FROM drivers d JOIN analytics a ON d.id = a.driver_id
+				WHERE d.vehicle = 'motorbike' AND d.active = TRUE AND a.completed_trips >= 10`,
+			wpinqRun: func(eng *engine.DB, rng *rand.Rand, eps float64) (map[string]float64, error) {
+				drivers := wpinq.FromTable(eng.Table("drivers")).
+					Where(func(v []engine.Value) bool { return v[3].Str == "motorbike" && v[6].Bool })
+				an := wpinq.FromTable(eng.Table("analytics")).
+					Where(func(v []engine.Value) bool { return v[2].Int >= 10 })
+				j, err := drivers.Join(an, 0, 0) // d.id = a.driver_id
+				if err != nil {
+					return nil, err
+				}
+				return map[string]float64{"": j.NoisyCount(rng, eps)}, nil
+			},
+		},
+		{
+			Name:      "4. Histogram: daily trips by city on day 40",
+			Tables:    "trips, cities",
+			Histogram: true,
+			SQL: `SELECT c.id, COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id
+				WHERE t.day = 40 GROUP BY c.id`,
+			wpinqRun: func(eng *engine.DB, rng *rand.Rand, eps float64) (map[string]float64, error) {
+				trips := wpinq.FromTable(eng.Table("trips")).
+					Where(func(v []engine.Value) bool { return v[4].Int == 40 })
+				cities := wpinq.FromTable(eng.Table("cities"))
+				// Public-table join: select semantics, no weight rescaling
+				// (the paper's fairness adjustment, Section 5.5).
+				j, err := trips.JoinPublic(cities, 3, 0)
+				if err != nil {
+					return nil, err
+				}
+				var bins []engine.Value
+				for _, r := range eng.Table("cities").Rows {
+					bins = append(bins, r[0])
+				}
+				return j.NoisyCountByKey(rng, eps, len(trips.Cols), bins), nil
+			},
+		},
+		{
+			Name:      "5. Histogram: total trips per driver in city 5, days 30–55",
+			Tables:    "trips, drivers",
+			Histogram: true,
+			SQL: `SELECT t.driver_id, COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id
+				WHERE t.city_id = 5 AND t.day BETWEEN 30 AND 55 GROUP BY t.driver_id`,
+			wpinqRun: func(eng *engine.DB, rng *rand.Rand, eps float64) (map[string]float64, error) {
+				trips := wpinq.FromTable(eng.Table("trips")).
+					Where(func(v []engine.Value) bool {
+						return v[3].Int == 5 && v[4].Int >= 30 && v[4].Int <= 55
+					})
+				drivers := wpinq.FromTable(eng.Table("drivers"))
+				j, err := trips.Join(drivers, 1, 0)
+				if err != nil {
+					return nil, err
+				}
+				// Analyst-supplied bins: the observed drivers (same labels
+				// the FLEX fallback releases).
+				var bins []engine.Value
+				for _, r := range eng.Table("trips").Rows {
+					if r[3].Int == 5 && r[4].Int >= 30 && r[4].Int <= 55 {
+						bins = append(bins, r[1])
+					}
+				}
+				return j.NoisyCountByKey(rng, eps, 1, dedupeVals(bins)), nil
+			},
+		},
+		{
+			Name:      "6. Histogram: drivers of city 2 by completed-trip threshold",
+			Tables:    "drivers, analytics",
+			Histogram: true,
+			SQL: `SELECT a.completed_trips / 10, COUNT(*) FROM drivers d
+				JOIN analytics a ON d.id = a.driver_id
+				WHERE d.home_city = 2 GROUP BY a.completed_trips / 10`,
+			wpinqRun: func(eng *engine.DB, rng *rand.Rand, eps float64) (map[string]float64, error) {
+				drivers := wpinq.FromTable(eng.Table("drivers")).
+					Where(func(v []engine.Value) bool { return v[2].Int == 2 })
+				an := wpinq.FromTable(eng.Table("analytics"))
+				j, err := drivers.Join(an, 0, 0)
+				if err != nil {
+					return nil, err
+				}
+				// Bucket completed_trips/10 as the bin key by rewriting the
+				// joined values in place (threshold transform).
+				bucketIdx := len(drivers.Cols) + 2
+				for i := range j.Rows {
+					j.Rows[i].Values[bucketIdx] = engine.NewInt(j.Rows[i].Values[bucketIdx].Int / 10)
+				}
+				var bins []engine.Value
+				for _, r := range j.Rows {
+					bins = append(bins, r.Values[bucketIdx])
+				}
+				return j.NoisyCountByKey(rng, eps, bucketIdx, dedupeVals(bins)), nil
+			},
+		},
+	}
+}
+
+func dedupeVals(vals []engine.Value) []engine.Value {
+	seen := make(map[string]bool, len(vals))
+	var out []engine.Value
+	for _, v := range vals {
+		if !seen[v.Key()] {
+			seen[v.Key()] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return engine.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// RunTable5 measures median error of both mechanisms at ε = 0.1, repeating
+// each program reps times (the paper uses 100 wPINQ runs).
+func RunTable5(env *Env, reps int, seed int64) *Table5Result {
+	const eps = 0.1
+	eng := env.DB.Engine()
+	rng := rand.New(rand.NewSource(seed))
+	result := &Table5Result{}
+	for _, prog := range table5Programs(env) {
+		row := Table5Row{Name: prog.Name, Tables: prog.Tables}
+
+		// Ground truth from the unprotected engine.
+		trueRes, err := trueHistogram(env, prog)
+		if err != nil {
+			row.Err = err
+			result.Rows = append(result.Rows, row)
+			continue
+		}
+		row.MedianPopulation = medianOfMap(trueRes)
+
+		// FLEX under both noise modes: repeated private runs.
+		runFlex := func(sys *flex.System) (float64, error) {
+			var errs []float64
+			for rep := 0; rep < reps; rep++ {
+				res, err := sys.Run(prog.SQL, eps, env.Delta)
+				if err != nil {
+					return 0, err
+				}
+				got := make(map[string]float64, len(res.Rows))
+				for _, r := range res.Rows {
+					got[binKey(r.Bins)] = r.Values[0]
+				}
+				errs = append(errs, medianCellError(trueRes, got))
+			}
+			return median(errs), nil
+		}
+		if row.FlexError, err = runFlex(env.Sys); err != nil {
+			row.Err = err
+			result.Rows = append(result.Rows, row)
+			continue
+		}
+		if row.FlexSmoothError, err = runFlex(env.SysSmooth); err != nil {
+			row.Err = err
+			result.Rows = append(result.Rows, row)
+			continue
+		}
+
+		// wPINQ: repeated runs of the transcribed program.
+		var wpErrs []float64
+		for rep := 0; rep < reps; rep++ {
+			got, err := prog.wpinqRun(eng, rng, eps)
+			if err != nil {
+				row.Err = err
+				break
+			}
+			// wPINQ bins use engine.Value.Key(); append the separator to
+			// match the SQL-side bin keys.
+			norm := make(map[string]float64, len(got))
+			for k, v := range got {
+				if k != "" {
+					k += "|"
+				}
+				norm[k] = v
+			}
+			wpErrs = append(wpErrs, medianCellError(trueRes, norm))
+		}
+		if row.Err == nil {
+			row.WPINQError = median(wpErrs)
+		}
+		result.Rows = append(result.Rows, row)
+	}
+	return result
+}
+
+// trueHistogram executes the program's SQL without privacy and returns
+// bin-key → true count.
+func trueHistogram(env *Env, prog table5Program) (map[string]float64, error) {
+	res, err := env.DB.Query(prog.SQL)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(res.Rows))
+	for _, row := range res.Rows {
+		key := ""
+		if len(row) > 1 {
+			key = binKey(row[:len(row)-1])
+		}
+		switch v := row[len(row)-1].(type) {
+		case int64:
+			out[key] += float64(v)
+		case float64:
+			out[key] += v
+		}
+	}
+	return out, nil
+}
+
+func binKey(bins []any) string {
+	var sb strings.Builder
+	for _, b := range bins {
+		switch v := b.(type) {
+		case int64:
+			fmt.Fprintf(&sb, "i%d|", v)
+		case int:
+			fmt.Fprintf(&sb, "i%d|", v)
+		case float64:
+			if v == math.Trunc(v) {
+				fmt.Fprintf(&sb, "i%d|", int64(v))
+			} else {
+				fmt.Fprintf(&sb, "f%g|", v)
+			}
+		default:
+			fmt.Fprintf(&sb, "s%v|", v)
+		}
+	}
+	return sb.String()
+}
+
+// medianCellError compares a noisy histogram against the truth, cellwise
+// over the union of bins, and returns the median percent error.
+func medianCellError(truth, got map[string]float64) float64 {
+	var errs []float64
+	for k, tv := range truth {
+		gv := got[k]
+		if tv == 0 {
+			errs = append(errs, math.Abs(gv)*100)
+			continue
+		}
+		errs = append(errs, math.Abs(gv-tv)/math.Abs(tv)*100)
+	}
+	return median(errs)
+}
+
+func medianOfMap(m map[string]float64) float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	return median(vals)
+}
+
+func (r *Table5Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 5 — wPINQ vs FLEX median error (ε = 0.1)\n")
+	var rows [][]string
+	for _, row := range r.Rows {
+		if row.Err != nil {
+			rows = append(rows, []string{row.Name, row.Tables, "-", "-", "error: " + row.Err.Error()})
+			continue
+		}
+		rows = append(rows, []string{
+			row.Name, row.Tables,
+			fmt.Sprintf("%.0f", row.MedianPopulation),
+			fmt.Sprintf("%.1f%%", row.WPINQError),
+			fmt.Sprintf("%.1f%%", row.FlexError),
+			fmt.Sprintf("%.1f%%", row.FlexSmoothError),
+		})
+	}
+	sb.WriteString(formatTable(
+		[]string{"Program", "Joined tables", "Median pop.", "wPINQ",
+			"Elastic (Ŝ(0))", "Elastic (Def. 7)"}, rows))
+	sb.WriteString("(paper shape under Ŝ(0) scaling: FLEX lower error on 1-3 and 6; wPINQ lower\n")
+	sb.WriteString(" on 4-5; full Definition 7 smoothing adds the noise floor discussed in\n")
+	sb.WriteString(" EXPERIMENTS.md)\n")
+	return sb.String()
+}

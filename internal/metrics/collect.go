@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"flexdp/internal/engine"
+)
+
+// CollectFromDB derives all metrics from an in-memory database: for each
+// column of each table it computes the max frequency (the count of the most
+// frequent value, NULLs excluded) and, for numeric columns, the observed
+// value range. It also records table sizes.
+//
+// This is the programmatic equivalent of running, per column, the SQL query
+// the paper gives in Section 4:
+//
+//	SELECT COUNT(a) FROM T GROUP BY a ORDER BY count DESC LIMIT 1
+func CollectFromDB(db *engine.DB) *Store {
+	s := New()
+	for _, name := range db.TableNames() {
+		t := db.Table(name)
+		s.SetTableSize(name, t.NumRows())
+		for ci, col := range t.Schema.Columns {
+			freq := make(map[string]int)
+			maxFreq := 0
+			haveNumeric := false
+			var minV, maxV float64
+			for _, row := range t.Rows {
+				v := row[ci]
+				if v.IsNull() {
+					continue
+				}
+				k := v.Key()
+				freq[k]++
+				if freq[k] > maxFreq {
+					maxFreq = freq[k]
+				}
+				if v.Kind == engine.KindInt || v.Kind == engine.KindFloat {
+					f := v.AsFloat()
+					if !haveNumeric {
+						minV, maxV = f, f
+						haveNumeric = true
+					} else {
+						if f < minV {
+							minV = f
+						}
+						if f > maxV {
+							maxV = f
+						}
+					}
+				}
+			}
+			s.SetMF(name, col.Name, maxFreq)
+			if haveNumeric {
+				s.SetVR(name, col.Name, maxV-minV)
+			}
+		}
+	}
+	return s
+}

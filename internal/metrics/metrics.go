@@ -1,0 +1,235 @@
+// Package metrics implements the precomputed database metrics that elastic
+// sensitivity consumes: the per-column maximum frequency mf(a, t, x)
+// (Section 4 of the paper), the value range vr(a, r) used by the SUM/AVG/
+// MIN/MAX extensions (Section 3.7.2), and the set of public tables enabling
+// the optimization of Section 3.6.
+//
+// Metrics are collected once (CollectFromDB runs the moral equivalent of the
+// paper's `SELECT COUNT(a) FROM T GROUP BY a ORDER BY count DESC LIMIT 1`
+// for every column) and reused across queries, exactly matching the paper's
+// architecture where metric collection is decoupled from query answering.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ColumnKey identifies a column of a base table. Both parts are stored
+// lower-cased.
+type ColumnKey struct {
+	Table  string
+	Column string
+}
+
+func key(table, column string) ColumnKey {
+	return ColumnKey{Table: strings.ToLower(table), Column: strings.ToLower(column)}
+}
+
+// Store holds the database metrics. The zero value is not usable; call New.
+// Store is safe for concurrent readers with no concurrent writers once
+// populated; the mutation methods take an internal lock.
+type Store struct {
+	mu         sync.RWMutex
+	mf         map[ColumnKey]int
+	vr         map[ColumnKey]float64
+	public     map[string]bool
+	tableSizes map[string]int
+}
+
+// New returns an empty metrics store.
+func New() *Store {
+	return &Store{
+		mf:         make(map[ColumnKey]int),
+		vr:         make(map[ColumnKey]float64),
+		public:     make(map[string]bool),
+		tableSizes: make(map[string]int),
+	}
+}
+
+// SetMF records the maximum frequency of the most frequent value of the
+// column.
+func (s *Store) SetMF(table, column string, mf int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mf[key(table, column)] = mf
+}
+
+// MF returns the max frequency metric for the column and whether it is
+// known.
+func (s *Store) MF(table, column string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.mf[key(table, column)]
+	return v, ok
+}
+
+// SetVR records the value range (max minus min permitted value) of a numeric
+// column.
+func (s *Store) SetVR(table, column string, vr float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vr[key(table, column)] = vr
+}
+
+// VR returns the value range metric for the column and whether it is known.
+func (s *Store) VR(table, column string) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vr[key(table, column)]
+	return v, ok
+}
+
+// MarkPublic declares a table's contents non-protected (Section 3.6). Public
+// tables contribute no stability of their own and their max frequencies do
+// not grow with the neighbor distance k.
+func (s *Store) MarkPublic(tables ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range tables {
+		s.public[strings.ToLower(t)] = true
+	}
+}
+
+// IsPublic reports whether the table was marked public.
+func (s *Store) IsPublic(table string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.public[strings.ToLower(table)]
+}
+
+// SetTableSize records the number of rows in a table at collection time.
+func (s *Store) SetTableSize(table string, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tableSizes[strings.ToLower(table)] = n
+}
+
+// TableSize returns a table's recorded row count and whether it is known.
+func (s *Store) TableSize(table string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.tableSizes[strings.ToLower(table)]
+	return n, ok
+}
+
+// TotalSize returns the sum of recorded table sizes: the database size n
+// used by δ = n^(−ln n) and the smooth-sensitivity distance bound.
+func (s *Store) TotalSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, v := range s.tableSizes {
+		n += v
+	}
+	return n
+}
+
+// CopyFrom replaces this store's contents with those of other (used to
+// refresh metrics in place while holders keep their pointer).
+func (s *Store) CopyFrom(other *Store) {
+	other.mu.RLock()
+	mf := make(map[ColumnKey]int, len(other.mf))
+	for k, v := range other.mf {
+		mf[k] = v
+	}
+	vr := make(map[ColumnKey]float64, len(other.vr))
+	for k, v := range other.vr {
+		vr[k] = v
+	}
+	pub := make(map[string]bool, len(other.public))
+	for k, v := range other.public {
+		pub[k] = v
+	}
+	sizes := make(map[string]int, len(other.tableSizes))
+	for k, v := range other.tableSizes {
+		sizes[k] = v
+	}
+	other.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mf, s.vr, s.public, s.tableSizes = mf, vr, pub, sizes
+}
+
+// jsonStore is the serialized form of a Store.
+type jsonStore struct {
+	MF         map[string]int     `json:"mf"`
+	VR         map[string]float64 `json:"vr"`
+	Public     []string           `json:"public"`
+	TableSizes map[string]int     `json:"table_sizes"`
+}
+
+func flatKey(k ColumnKey) string { return k.Table + "." + k.Column }
+
+func splitFlatKey(s string) (ColumnKey, error) {
+	i := strings.LastIndex(s, ".")
+	if i <= 0 || i == len(s)-1 {
+		return ColumnKey{}, fmt.Errorf("metrics: malformed column key %q", s)
+	}
+	return ColumnKey{Table: s[:i], Column: s[i+1:]}, nil
+}
+
+// MarshalJSON serializes the store (stable key order courtesy of
+// encoding/json map sorting).
+func (s *Store) MarshalJSON() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	js := jsonStore{
+		MF:         make(map[string]int, len(s.mf)),
+		VR:         make(map[string]float64, len(s.vr)),
+		TableSizes: make(map[string]int, len(s.tableSizes)),
+	}
+	for k, v := range s.mf {
+		js.MF[flatKey(k)] = v
+	}
+	for k, v := range s.vr {
+		js.VR[flatKey(k)] = v
+	}
+	for t := range s.public {
+		js.Public = append(js.Public, t)
+	}
+	sort.Strings(js.Public)
+	for t, n := range s.tableSizes {
+		js.TableSizes[t] = n
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON restores a store serialized by MarshalJSON.
+func (s *Store) UnmarshalJSON(data []byte) error {
+	var js jsonStore
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mf = make(map[ColumnKey]int, len(js.MF))
+	s.vr = make(map[ColumnKey]float64, len(js.VR))
+	s.public = make(map[string]bool, len(js.Public))
+	s.tableSizes = make(map[string]int, len(js.TableSizes))
+	for k, v := range js.MF {
+		ck, err := splitFlatKey(k)
+		if err != nil {
+			return err
+		}
+		s.mf[ck] = v
+	}
+	for k, v := range js.VR {
+		ck, err := splitFlatKey(k)
+		if err != nil {
+			return err
+		}
+		s.vr[ck] = v
+	}
+	for _, t := range js.Public {
+		s.public[strings.ToLower(t)] = true
+	}
+	for t, n := range js.TableSizes {
+		s.tableSizes[strings.ToLower(t)] = n
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+
+	"flexdp/internal/engine"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := New()
+	s.SetMF("Trips", "Driver_ID", 42)
+	if mf, ok := s.MF("trips", "driver_id"); !ok || mf != 42 {
+		t.Errorf("MF = %d,%v; want 42,true (case-insensitive)", mf, ok)
+	}
+	if _, ok := s.MF("trips", "missing"); ok {
+		t.Error("missing metric should report ok=false")
+	}
+	s.SetVR("trips", "fare", 99.5)
+	if vr, ok := s.VR("TRIPS", "FARE"); !ok || vr != 99.5 {
+		t.Errorf("VR = %g,%v", vr, ok)
+	}
+	s.MarkPublic("Cities", "regions")
+	if !s.IsPublic("cities") || !s.IsPublic("REGIONS") || s.IsPublic("trips") {
+		t.Error("public flags wrong")
+	}
+	s.SetTableSize("trips", 100)
+	s.SetTableSize("cities", 5)
+	if n, ok := s.TableSize("trips"); !ok || n != 100 {
+		t.Errorf("TableSize = %d,%v", n, ok)
+	}
+	if s.TotalSize() != 105 {
+		t.Errorf("TotalSize = %d", s.TotalSize())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := New()
+	s.SetMF("trips", "driver_id", 7)
+	s.SetMF("edges", "source", 65)
+	s.SetVR("trips", "fare", 12.5)
+	s.MarkPublic("cities")
+	s.SetTableSize("trips", 1000)
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := json.Unmarshal(data, restored); err != nil {
+		t.Fatal(err)
+	}
+	if mf, ok := restored.MF("trips", "driver_id"); !ok || mf != 7 {
+		t.Errorf("restored MF = %d,%v", mf, ok)
+	}
+	if mf, ok := restored.MF("edges", "source"); !ok || mf != 65 {
+		t.Errorf("restored MF = %d,%v", mf, ok)
+	}
+	if vr, ok := restored.VR("trips", "fare"); !ok || vr != 12.5 {
+		t.Errorf("restored VR = %g,%v", vr, ok)
+	}
+	if !restored.IsPublic("cities") {
+		t.Error("restored public flag lost")
+	}
+	if n, ok := restored.TableSize("trips"); !ok || n != 1000 {
+		t.Errorf("restored table size = %d,%v", n, ok)
+	}
+}
+
+func TestJSONMalformedKey(t *testing.T) {
+	s := New()
+	if err := json.Unmarshal([]byte(`{"mf":{"nodot":3}}`), s); err == nil {
+		t.Error("malformed key should fail")
+	}
+}
+
+func TestCollectFromDB(t *testing.T) {
+	db := engine.NewDB()
+	db.MustCreateTable("t", []engine.Column{
+		{Name: "a", Type: engine.KindInt},
+		{Name: "b", Type: engine.KindString},
+	})
+	rows := [][]engine.Value{
+		{engine.NewInt(1), engine.NewString("x")},
+		{engine.NewInt(1), engine.NewString("y")},
+		{engine.NewInt(1), engine.NewString("y")},
+		{engine.NewInt(2), engine.NewString("z")},
+		{engine.Null, engine.NewString("z")},
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	s := CollectFromDB(db)
+	if mf, _ := s.MF("t", "a"); mf != 3 {
+		t.Errorf("mf(a) = %d, want 3 (nulls excluded)", mf)
+	}
+	if mf, _ := s.MF("t", "b"); mf != 2 {
+		t.Errorf("mf(b) = %d, want 2", mf)
+	}
+	if vr, ok := s.VR("t", "a"); !ok || vr != 1 {
+		t.Errorf("vr(a) = %g,%v; want 1", vr, ok)
+	}
+	if _, ok := s.VR("t", "b"); ok {
+		t.Error("string column should have no vr")
+	}
+	if n, _ := s.TableSize("t"); n != 5 {
+		t.Errorf("table size = %d", n)
+	}
+}
+
+func TestCollectMatchesPaperSQL(t *testing.T) {
+	// The collector must agree with the SQL query the paper specifies.
+	db := engine.NewDB()
+	db.MustCreateTable("trips", []engine.Column{{Name: "driver_id", Type: engine.KindInt}})
+	for _, v := range []int64{10, 10, 10, 11, 12, 12} {
+		if err := db.Insert("trips", []engine.Value{engine.NewInt(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := CollectFromDB(db)
+	rs, err := db.Query(
+		"SELECT COUNT(driver_id) FROM trips GROUP BY driver_id ORDER BY count DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rs.Scalar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, _ := s.MF("trips", "driver_id")
+	if int64(mf) != v.Int {
+		t.Errorf("collector mf = %d, SQL mf = %d", mf, v.Int)
+	}
+}
+
+func TestEmptyTableMetrics(t *testing.T) {
+	db := engine.NewDB()
+	db.MustCreateTable("empty", []engine.Column{{Name: "x", Type: engine.KindInt}})
+	s := CollectFromDB(db)
+	if mf, ok := s.MF("empty", "x"); !ok || mf != 0 {
+		t.Errorf("empty table mf = %d,%v; want 0,true", mf, ok)
+	}
+}

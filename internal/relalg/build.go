@@ -1,0 +1,679 @@
+package relalg
+
+import (
+	"fmt"
+	"strings"
+
+	"flexdp/internal/sqlparser"
+)
+
+// Catalog provides table schemas for resolving unqualified column
+// references. It is optional: with a nil catalog the builder resolves
+// qualified references (alias.column) by synthesizing provenance on demand
+// and only fails on unqualified references that cannot be tied to a unique
+// source.
+type Catalog interface {
+	// TableColumns returns the column names of the table and whether the
+	// table exists.
+	TableColumns(table string) ([]string, bool)
+}
+
+// Build lowers a parsed SELECT statement into the core relational algebra,
+// resolving attribute provenance. It returns an *UnsupportedError for query
+// shapes outside the supported class.
+func Build(stmt *sqlparser.SelectStmt, catalog Catalog) (*Query, error) {
+	b := &builder{catalog: catalog, ctes: make(map[string]*boundRel)}
+	return b.buildQuery(stmt)
+}
+
+// scopedAttr is an attribute visible in a scope under (qual, name).
+type scopedAttr struct {
+	qual string
+	name string
+	attr Attr
+}
+
+// boundRel is a lowered relation together with its visible attributes.
+// Base tables whose schemas are unknown appear in open: qualified
+// references against them synthesize provenance lazily.
+type boundRel struct {
+	rel   Relation
+	attrs []scopedAttr
+	open  map[string]*TableRel
+	// aggregated marks relations produced by an aggregate subquery, used by
+	// the root-unwrapping rule for `SELECT count FROM (SELECT COUNT(*) ...)`.
+	aggregated bool
+	aggQuery   *Query // the analyzed inner query when aggregated
+}
+
+type builder struct {
+	catalog Catalog
+	ctes    map[string]*boundRel
+}
+
+// resolve finds the attribute for a column reference within the scope.
+func (br *boundRel) resolve(qual, name string) (Attr, error) {
+	q := strings.ToLower(qual)
+	n := strings.ToLower(name)
+	if q != "" {
+		for _, sa := range br.attrs {
+			if sa.qual == q && sa.name == n {
+				return sa.attr, nil
+			}
+		}
+		if leaf, ok := br.open[q]; ok {
+			return Attr{BaseTable: leaf.Table, Column: n, Leaf: leaf}, nil
+		}
+		return Attr{}, fmt.Errorf("relalg: unknown column %s.%s", qual, name)
+	}
+	var found []Attr
+	for _, sa := range br.attrs {
+		if sa.name == n {
+			found = append(found, sa.attr)
+		}
+	}
+	switch {
+	case len(found) == 1:
+		return found[0], nil
+	case len(found) > 1:
+		return Attr{}, fmt.Errorf("relalg: ambiguous column %q", name)
+	}
+	if len(br.open) == 1 {
+		for _, leaf := range br.open {
+			return Attr{BaseTable: leaf.Table, Column: n, Leaf: leaf}, nil
+		}
+	}
+	return Attr{}, fmt.Errorf("relalg: cannot resolve column %q", name)
+}
+
+// merge combines the scopes of two relations joined together.
+func mergeBound(rel Relation, l, r *boundRel) *boundRel {
+	out := &boundRel{rel: rel, open: make(map[string]*TableRel)}
+	out.attrs = append(append([]scopedAttr{}, l.attrs...), r.attrs...)
+	for q, leaf := range l.open {
+		out.open[q] = leaf
+	}
+	for q, leaf := range r.open {
+		out.open[q] = leaf
+	}
+	return out
+}
+
+// buildQuery analyzes a full statement as a statistical query.
+func (b *builder) buildQuery(stmt *sqlparser.SelectStmt) (*Query, error) {
+	if stmt.SetOp != nil {
+		return nil, unsupported(ReasonSetOp, "%s", stmt.SetOp.Kind)
+	}
+	child := &builder{catalog: b.catalog, ctes: make(map[string]*boundRel)}
+	for k, v := range b.ctes {
+		child.ctes[k] = v
+	}
+	for _, cte := range stmt.With {
+		br, err := child.buildRelStmt(cte.Query)
+		if err != nil {
+			return nil, fmt.Errorf("in CTE %q: %w", cte.Name, err)
+		}
+		if len(cte.Columns) > 0 {
+			if len(cte.Columns) != len(br.attrs) {
+				return nil, fmt.Errorf("relalg: CTE %q declares %d columns, query has %d",
+					cte.Name, len(cte.Columns), len(br.attrs))
+			}
+			renamed := make([]scopedAttr, len(br.attrs))
+			for i, sa := range br.attrs {
+				renamed[i] = scopedAttr{qual: sa.qual, name: strings.ToLower(cte.Columns[i]), attr: sa.attr}
+			}
+			br.attrs = renamed
+		}
+		child.ctes[strings.ToLower(cte.Name)] = br
+	}
+	return child.buildQueryBody(stmt)
+}
+
+func (b *builder) buildQueryBody(stmt *sqlparser.SelectStmt) (*Query, error) {
+	if stmt.Having != nil {
+		return nil, unsupported(ReasonPostAggFilter, "HAVING clause")
+	}
+	// Resolve positional GROUP BY (GROUP BY 1) onto the select list so bin
+	// classification and provenance work on the real expressions.
+	if len(stmt.GroupBy) > 0 {
+		resolved := make([]sqlparser.Expr, len(stmt.GroupBy))
+		changed := false
+		for i, g := range stmt.GroupBy {
+			if lit, ok := g.(*sqlparser.IntLit); ok {
+				pos := int(lit.Value) - 1
+				if pos < 0 || pos >= len(stmt.Columns) || stmt.Columns[pos].Expr == nil {
+					return nil, unsupported(ReasonOther, "GROUP BY position %d", lit.Value)
+				}
+				resolved[i] = stmt.Columns[pos].Expr
+				changed = true
+				continue
+			}
+			resolved[i] = g
+		}
+		if changed {
+			clone := *stmt
+			clone.GroupBy = resolved
+			stmt = &clone
+		}
+	}
+
+	// Root-unwrapping (Section 3.3): a bare projection over a single
+	// aggregate subquery is analyzed by treating the inner relation as the
+	// query root, e.g. SELECT count FROM (SELECT COUNT(*) AS count FROM t).
+	if q, ok, err := b.tryUnwrapRoot(stmt); err != nil {
+		return nil, err
+	} else if ok {
+		return q, nil
+	}
+
+	src, err := b.buildFromWhere(stmt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Classify outputs.
+	var outputs []Output
+	var groupAttrs []Attr
+	sawAggregate := false
+	for i, item := range stmt.Columns {
+		if item.Star || item.TableStar != "" {
+			return nil, unsupported(ReasonRawData, "star projection")
+		}
+		name := outputColName(item, i)
+		if fc, ok := item.Expr.(*sqlparser.FuncCall); ok && sqlparser.IsAggregateFunc(fc.Name) {
+			sawAggregate = true
+			out, err := b.buildAggOutput(fc, name, src)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, out)
+			continue
+		}
+		if sqlparser.ContainsAggregate(item.Expr) {
+			return nil, unsupported(ReasonAggArithmetic, "%s", sqlparser.PrintExpr(item.Expr))
+		}
+		// Non-aggregate output: must be a histogram bin label, i.e. appear
+		// in GROUP BY.
+		if !exprInList(item.Expr, stmt.GroupBy) {
+			return nil, unsupported(ReasonRawData,
+				"non-aggregated output %s not in GROUP BY", sqlparser.PrintExpr(item.Expr))
+		}
+	}
+	if !sawAggregate {
+		return nil, unsupported(ReasonRawData, "no aggregation functions")
+	}
+	for _, g := range stmt.GroupBy {
+		attr, err := b.resolveGroupKey(g, src)
+		if err != nil {
+			return nil, err
+		}
+		groupAttrs = append(groupAttrs, attr)
+	}
+
+	return &Query{Rel: src.rel, GroupBy: groupAttrs, Outputs: outputs}, nil
+}
+
+// tryUnwrapRoot handles the projection-over-aggregate pattern.
+func (b *builder) tryUnwrapRoot(stmt *sqlparser.SelectStmt) (*Query, bool, error) {
+	if len(stmt.From) != 1 || stmt.Where != nil || len(stmt.GroupBy) > 0 ||
+		stmt.Having != nil || stmt.Distinct {
+		return nil, false, nil
+	}
+	for _, item := range stmt.Columns {
+		if item.Star || item.TableStar != "" {
+			continue
+		}
+		if _, ok := item.Expr.(*sqlparser.ColumnRef); !ok {
+			return nil, false, nil
+		}
+	}
+	var inner *sqlparser.SelectStmt
+	switch t := stmt.From[0].(type) {
+	case *sqlparser.SubqueryTable:
+		inner = t.Query
+	default:
+		return nil, false, nil
+	}
+	if inner.SetOp != nil || !hasTopLevelAggregate(inner) {
+		return nil, false, nil
+	}
+	q, err := b.buildQuery(inner)
+	if err != nil {
+		return nil, false, err
+	}
+	return q, true, nil
+}
+
+func hasTopLevelAggregate(stmt *sqlparser.SelectStmt) bool {
+	for _, item := range stmt.Columns {
+		if item.Expr != nil && sqlparser.ContainsAggregate(item.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *builder) buildAggOutput(fc *sqlparser.FuncCall, name string, src *boundRel) (Output, error) {
+	kind, ok := ParseAggKind(fc.Name, fc.Distinct)
+	if !ok {
+		return Output{}, unsupported(ReasonUnsupportedAggregate, "%s", fc.Name)
+	}
+	switch kind {
+	case AggMedian, AggStddev:
+		return Output{}, unsupported(ReasonUnsupportedAggregate, "%s", fc.Name)
+	}
+	out := Output{Agg: kind, Name: name}
+	if fc.Star {
+		return out, nil
+	}
+	if len(fc.Args) != 1 {
+		return Output{}, unsupported(ReasonOther, "%s with %d args", fc.Name, len(fc.Args))
+	}
+	// COUNT(x) needs no attribute metrics; the others need vr(a, r), so the
+	// argument must be a column with provenance.
+	if ref, ok := fc.Args[0].(*sqlparser.ColumnRef); ok {
+		attr, err := src.resolve(ref.Table, ref.Name)
+		if err != nil {
+			return Output{}, err
+		}
+		out.Attr = attr
+		return out, nil
+	}
+	if kind == AggCount || kind == AggCountDistinct {
+		// COUNT over an expression still counts rows; provenance not needed.
+		return out, nil
+	}
+	return Output{}, unsupported(ReasonOther,
+		"%s over non-column expression %s", fc.Name, sqlparser.PrintExpr(fc.Args[0]))
+}
+
+func (b *builder) resolveGroupKey(e sqlparser.Expr, src *boundRel) (Attr, error) {
+	if ref, ok := e.(*sqlparser.ColumnRef); ok {
+		return src.resolve(ref.Table, ref.Name)
+	}
+	// Expressions as bin labels are allowed; they have no provenance.
+	return Attr{Column: sqlparser.PrintExpr(e)}, nil
+}
+
+// buildFromWhere lowers the FROM items (including old-style comma joins
+// linked by WHERE equalities) and wraps the result in σ for the WHERE
+// clause.
+func (b *builder) buildFromWhere(stmt *sqlparser.SelectStmt) (*boundRel, error) {
+	if len(stmt.From) == 0 {
+		return nil, unsupported(ReasonRawData, "query without FROM")
+	}
+	if stmt.Where != nil {
+		if err := checkPredicate(stmt.Where); err != nil {
+			return nil, err
+		}
+	}
+	cur, err := b.buildTableExpr(stmt.From[0])
+	if err != nil {
+		return nil, err
+	}
+	if len(stmt.From) > 1 {
+		// Old-style comma join: find linking equality conjuncts in WHERE.
+		conjuncts := flattenConjuncts(stmt.Where)
+		for _, item := range stmt.From[1:] {
+			right, err := b.buildTableExpr(item)
+			if err != nil {
+				return nil, err
+			}
+			joined, err := b.linkCommaJoin(cur, right, conjuncts)
+			if err != nil {
+				return nil, err
+			}
+			cur = joined
+		}
+	}
+	if stmt.Where != nil {
+		cur = &boundRel{
+			rel:   &SelectRel{Input: cur.rel},
+			attrs: cur.attrs,
+			open:  cur.open,
+		}
+	}
+	return cur, nil
+}
+
+// checkPredicate rejects WHERE predicates containing subqueries, whose
+// selection stability is data-dependent.
+func checkPredicate(e sqlparser.Expr) error {
+	var bad error
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		switch v := x.(type) {
+		case *sqlparser.SubqueryExpr, *sqlparser.ExistsExpr:
+			bad = unsupported(ReasonSubqueryPredicate, "%s", sqlparser.PrintExpr(x))
+			return false
+		case *sqlparser.InExpr:
+			if v.Subquery != nil {
+				bad = unsupported(ReasonSubqueryPredicate, "IN subquery")
+				return false
+			}
+		}
+		return true
+	})
+	return bad
+}
+
+func flattenConjuncts(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if bx, ok := e.(*sqlparser.BinaryExpr); ok && bx.Op == "AND" {
+		return append(flattenConjuncts(bx.Left), flattenConjuncts(bx.Right)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// linkCommaJoin finds an equality conjunct connecting the two scopes and
+// forms an equijoin; with no link the implicit cross join is unsupported.
+func (b *builder) linkCommaJoin(left, right *boundRel, conjuncts []sqlparser.Expr) (*boundRel, error) {
+	for _, c := range conjuncts {
+		bx, ok := c.(*sqlparser.BinaryExpr)
+		if !ok || bx.Op != "=" {
+			continue
+		}
+		lref, lok := bx.Left.(*sqlparser.ColumnRef)
+		rref, rok := bx.Right.(*sqlparser.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		if la, err := left.resolve(lref.Table, lref.Name); err == nil {
+			if ra, err := right.resolve(rref.Table, rref.Name); err == nil {
+				return b.makeJoin(left, right, la, ra, 0)
+			}
+		}
+		if la, err := left.resolve(rref.Table, rref.Name); err == nil {
+			if ra, err := right.resolve(lref.Table, lref.Name); err == nil {
+				return b.makeJoin(left, right, la, ra, 0)
+			}
+		}
+	}
+	return nil, unsupported(ReasonNonEquijoin, "comma join with no linking equality")
+}
+
+func (b *builder) makeJoin(left, right *boundRel, la, ra Attr, residual int) (*boundRel, error) {
+	if la.Computed() || ra.Computed() {
+		return nil, unsupported(ReasonComputedJoinKey, "join on %s = %s", la, ra)
+	}
+	join := &JoinRel{Left: left.rel, Right: right.rel, LeftKey: la, RightKey: ra,
+		ResidualConds: residual}
+	return mergeBound(join, left, right), nil
+}
+
+func (b *builder) buildTableExpr(te sqlparser.TableExpr) (*boundRel, error) {
+	switch t := te.(type) {
+	case *sqlparser.TableName:
+		qual := strings.ToLower(t.Name)
+		if t.Alias != "" {
+			qual = strings.ToLower(t.Alias)
+		}
+		if cte, ok := b.ctes[strings.ToLower(t.Name)]; ok {
+			return instantiate(cte, qual), nil
+		}
+		leaf := &TableRel{Table: strings.ToLower(t.Name)}
+		br := &boundRel{rel: leaf, open: map[string]*TableRel{}}
+		known := false
+		if b.catalog != nil {
+			if cols, ok := b.catalog.TableColumns(t.Name); ok {
+				known = true
+				for _, c := range cols {
+					br.attrs = append(br.attrs, scopedAttr{
+						qual: qual,
+						name: strings.ToLower(c),
+						attr: Attr{BaseTable: leaf.Table, Column: strings.ToLower(c), Leaf: leaf},
+					})
+				}
+			}
+		}
+		// Tables the catalog does not know remain open: qualified references
+		// synthesize provenance on demand (catalog-free operation). Known
+		// tables have closed schemas so unknown columns are errors.
+		if !known {
+			br.open[qual] = leaf
+		}
+		return br, nil
+
+	case *sqlparser.SubqueryTable:
+		inner, err := b.buildRelStmt(t.Query)
+		if err != nil {
+			return nil, err
+		}
+		return instantiate(inner, strings.ToLower(t.Alias)), nil
+
+	case *sqlparser.JoinExpr:
+		left, err := b.buildTableExpr(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := b.buildTableExpr(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == sqlparser.JoinCross {
+			return nil, unsupported(ReasonNonEquijoin, "cross join")
+		}
+		if len(t.Using) > 0 {
+			la, err := left.resolve("", t.Using[0])
+			if err != nil {
+				return nil, err
+			}
+			ra, err := right.resolve("", t.Using[0])
+			if err != nil {
+				return nil, err
+			}
+			return b.makeJoin(left, right, la, ra, len(t.Using)-1)
+		}
+		if t.On == nil {
+			return nil, unsupported(ReasonNonEquijoin, "join without condition")
+		}
+		if err := checkPredicate(t.On); err != nil {
+			return nil, err
+		}
+		conjuncts := flattenConjuncts(t.On)
+		for _, c := range conjuncts {
+			bx, ok := c.(*sqlparser.BinaryExpr)
+			if !ok || bx.Op != "=" {
+				continue
+			}
+			lref, lok := bx.Left.(*sqlparser.ColumnRef)
+			rref, rok := bx.Right.(*sqlparser.ColumnRef)
+			if !lok || !rok {
+				continue
+			}
+			residual := len(conjuncts) - 1
+			if la, err := left.resolve(lref.Table, lref.Name); err == nil {
+				if ra, err := right.resolve(rref.Table, rref.Name); err == nil {
+					return b.makeJoin(left, right, la, ra, residual)
+				}
+			}
+			if la, err := left.resolve(rref.Table, rref.Name); err == nil {
+				if ra, err := right.resolve(lref.Table, lref.Name); err == nil {
+					return b.makeJoin(left, right, la, ra, residual)
+				}
+			}
+		}
+		return nil, unsupported(ReasonNonEquijoin, "%s", sqlparser.PrintExpr(t.On))
+	}
+	return nil, unsupported(ReasonOther, "table expression %T", te)
+}
+
+// buildRelStmt lowers a subquery used as a relation (derived table or CTE).
+func (b *builder) buildRelStmt(stmt *sqlparser.SelectStmt) (*boundRel, error) {
+	if stmt.SetOp != nil {
+		return nil, unsupported(ReasonSetOp, "%s in subquery", stmt.SetOp.Kind)
+	}
+	if stmt.Limit != nil || stmt.Offset != nil {
+		return nil, unsupported(ReasonInnerLimit, "")
+	}
+	child := &builder{catalog: b.catalog, ctes: make(map[string]*boundRel)}
+	for k, v := range b.ctes {
+		child.ctes[k] = v
+	}
+	for _, cte := range stmt.With {
+		br, err := child.buildRelStmt(cte.Query)
+		if err != nil {
+			return nil, err
+		}
+		child.ctes[strings.ToLower(cte.Name)] = br
+	}
+
+	src, err := child.buildFromWhere(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Having != nil {
+		return nil, unsupported(ReasonPostAggFilter, "HAVING in subquery")
+	}
+
+	aggregated := len(stmt.GroupBy) > 0
+	if !aggregated {
+		for _, item := range stmt.Columns {
+			if item.Expr != nil && sqlparser.ContainsAggregate(item.Expr) {
+				aggregated = true
+				break
+			}
+		}
+	}
+
+	if !aggregated {
+		// Plain projection: keep provenance for bare column outputs.
+		out := &boundRel{rel: &ProjectRel{Input: src.rel}, open: map[string]*TableRel{}}
+		for i, item := range stmt.Columns {
+			switch {
+			case item.Star:
+				out.attrs = append(out.attrs, src.attrs...)
+				// Open sources stay resolvable through SELECT *.
+				for q, leaf := range src.open {
+					out.open[q] = leaf
+				}
+			case item.TableStar != "":
+				q := strings.ToLower(item.TableStar)
+				for _, sa := range src.attrs {
+					if sa.qual == q {
+						out.attrs = append(out.attrs, sa)
+					}
+				}
+				if leaf, ok := src.open[q]; ok {
+					out.open[q] = leaf
+				}
+			default:
+				name := strings.ToLower(outputColName(item, i))
+				if ref, ok := item.Expr.(*sqlparser.ColumnRef); ok {
+					attr, err := src.resolve(ref.Table, ref.Name)
+					if err != nil {
+						return nil, err
+					}
+					out.attrs = append(out.attrs, scopedAttr{name: name, attr: attr})
+				} else {
+					out.attrs = append(out.attrs, scopedAttr{name: name, attr: Attr{Column: name}})
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Aggregate subquery: analyze it as a query so root-unwrapping works,
+	// then expose group keys with provenance and aggregates as computed.
+	q, err := child.buildQueryBody(stmt)
+	if err != nil {
+		return nil, err
+	}
+	rel := &CountRel{Input: src.rel, Grouped: len(stmt.GroupBy) > 0}
+	out := &boundRel{rel: rel, open: map[string]*TableRel{}, aggregated: true, aggQuery: q}
+	for i, item := range stmt.Columns {
+		name := strings.ToLower(outputColName(item, i))
+		if ref, ok := item.Expr.(*sqlparser.ColumnRef); ok && exprInList(item.Expr, stmt.GroupBy) {
+			attr, err := src.resolve(ref.Table, ref.Name)
+			if err != nil {
+				return nil, err
+			}
+			out.attrs = append(out.attrs, scopedAttr{name: name, attr: attr})
+			continue
+		}
+		out.attrs = append(out.attrs, scopedAttr{name: name, attr: Attr{Column: name}})
+	}
+	return out, nil
+}
+
+// instantiate clones a bound relation for one syntactic reference,
+// re-qualifying its attributes and remapping leaf identity so that two
+// references to the same CTE are distinct occurrences (required for correct
+// self-join accounting).
+func instantiate(br *boundRel, qual string) *boundRel {
+	leafMap := make(map[*TableRel]*TableRel)
+	rel := cloneRel(br.rel, leafMap)
+	out := &boundRel{rel: rel, open: make(map[string]*TableRel),
+		aggregated: br.aggregated, aggQuery: br.aggQuery}
+	for _, sa := range br.attrs {
+		attr := sa.attr
+		if attr.Leaf != nil {
+			attr.Leaf = leafMap[attr.Leaf]
+		}
+		out.attrs = append(out.attrs, scopedAttr{qual: qual, name: sa.name, attr: attr})
+	}
+	// A subquery's internal aliases are not visible outside; only attrs are.
+	// But if the subquery is a bare open table (e.g. CTE `AS (SELECT * ...)`
+	// over an uncataloged table), keep it reachable under the new qualifier.
+	if len(br.attrs) == 0 && len(br.open) == 1 {
+		for _, leaf := range br.open {
+			out.open[qual] = leafMap[leaf]
+		}
+	}
+	return out
+}
+
+func cloneRel(r Relation, leafMap map[*TableRel]*TableRel) Relation {
+	switch x := r.(type) {
+	case *TableRel:
+		if n, ok := leafMap[x]; ok {
+			return n
+		}
+		n := &TableRel{Table: x.Table}
+		leafMap[x] = n
+		return n
+	case *JoinRel:
+		left := cloneRel(x.Left, leafMap)
+		right := cloneRel(x.Right, leafMap)
+		lk, rk := x.LeftKey, x.RightKey
+		if lk.Leaf != nil {
+			lk.Leaf = leafMap[lk.Leaf]
+		}
+		if rk.Leaf != nil {
+			rk.Leaf = leafMap[rk.Leaf]
+		}
+		return &JoinRel{Left: left, Right: right, LeftKey: lk, RightKey: rk,
+			ResidualConds: x.ResidualConds}
+	case *ProjectRel:
+		return &ProjectRel{Input: cloneRel(x.Input, leafMap)}
+	case *SelectRel:
+		return &SelectRel{Input: cloneRel(x.Input, leafMap)}
+	case *CountRel:
+		return &CountRel{Input: cloneRel(x.Input, leafMap), Grouped: x.Grouped}
+	}
+	return r
+}
+
+func outputColName(item sqlparser.SelectItem, pos int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch e := item.Expr.(type) {
+	case *sqlparser.ColumnRef:
+		return e.Name
+	case *sqlparser.FuncCall:
+		return strings.ToLower(e.Name)
+	}
+	return fmt.Sprintf("col%d", pos)
+}
+
+func exprInList(e sqlparser.Expr, list []sqlparser.Expr) bool {
+	p := sqlparser.PrintExpr(e)
+	for _, x := range list {
+		if sqlparser.PrintExpr(x) == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,428 @@
+package relalg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"flexdp/internal/sqlparser"
+)
+
+// mapCatalog is a test catalog.
+type mapCatalog map[string][]string
+
+func (m mapCatalog) TableColumns(table string) ([]string, bool) {
+	cols, ok := m[strings.ToLower(table)]
+	return cols, ok
+}
+
+var testCatalog = mapCatalog{
+	"trips":   {"id", "driver_id", "city_id", "fare", "status"},
+	"drivers": {"id", "name", "home_city"},
+	"cities":  {"id", "name"},
+	"edges":   {"source", "dest"},
+}
+
+func build(t *testing.T, sql string) *Query {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	q, err := Build(stmt, testCatalog)
+	if err != nil {
+		t.Fatalf("build %q: %v", sql, err)
+	}
+	return q
+}
+
+func buildErr(t *testing.T, sql string) error {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	_, err = Build(stmt, testCatalog)
+	if err == nil {
+		t.Fatalf("build %q: expected error", sql)
+	}
+	return err
+}
+
+func wantReason(t *testing.T, err error, want Reason) {
+	t.Helper()
+	var ue *UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error %v is not UnsupportedError", err)
+	}
+	if ue.Reason != want {
+		t.Errorf("reason = %v, want %v", ue.Reason, want)
+	}
+}
+
+func TestBuildSimpleCount(t *testing.T) {
+	q := build(t, "SELECT COUNT(*) FROM trips")
+	if _, ok := q.Rel.(*TableRel); !ok {
+		t.Fatalf("rel = %s, want table", String(q.Rel))
+	}
+	if q.Histogram() {
+		t.Error("plain count should not be a histogram")
+	}
+	if len(q.Outputs) != 1 || q.Outputs[0].Agg != AggCount {
+		t.Errorf("outputs = %#v", q.Outputs)
+	}
+}
+
+func TestBuildWhereWrapsSelection(t *testing.T) {
+	q := build(t, "SELECT COUNT(*) FROM trips WHERE fare > 10")
+	if _, ok := q.Rel.(*SelectRel); !ok {
+		t.Fatalf("rel = %s, want selection", String(q.Rel))
+	}
+}
+
+func TestBuildJoinProvenance(t *testing.T) {
+	q := build(t, "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id")
+	join, ok := q.Rel.(*JoinRel)
+	if !ok {
+		t.Fatalf("rel = %s, want join", String(q.Rel))
+	}
+	if join.LeftKey.BaseTable != "trips" || join.LeftKey.Column != "driver_id" {
+		t.Errorf("left key = %s", join.LeftKey)
+	}
+	if join.RightKey.BaseTable != "drivers" || join.RightKey.Column != "id" {
+		t.Errorf("right key = %s", join.RightKey)
+	}
+	if AncestorsOverlap(join.Left, join.Right) {
+		t.Error("trips/drivers join misdetected as self join")
+	}
+}
+
+func TestBuildReversedOnCondition(t *testing.T) {
+	q := build(t, "SELECT COUNT(*) FROM trips t JOIN drivers d ON d.id = t.driver_id")
+	join := q.Rel.(*JoinRel)
+	if join.LeftKey.BaseTable != "trips" {
+		t.Errorf("left key = %s, want trips side", join.LeftKey)
+	}
+}
+
+func TestBuildSelfJoinDetected(t *testing.T) {
+	q := build(t, "SELECT COUNT(*) FROM trips a JOIN trips b ON a.driver_id = b.driver_id")
+	join := q.Rel.(*JoinRel)
+	if !AncestorsOverlap(join.Left, join.Right) {
+		t.Error("self join not detected")
+	}
+	// The two occurrences must be distinct leaves.
+	if join.LeftKey.Leaf == join.RightKey.Leaf {
+		t.Error("self join operands share a leaf occurrence")
+	}
+}
+
+func TestBuildTriangleQuery(t *testing.T) {
+	q := build(t, `SELECT COUNT(*) FROM edges e1
+		JOIN edges e2 ON e1.dest = e2.source AND e1.source < e2.source
+		JOIN edges e3 ON e2.dest = e3.source AND e3.dest = e1.source AND e2.source < e3.source`)
+	outer, ok := q.Rel.(*JoinRel)
+	if !ok {
+		t.Fatalf("rel = %s", String(q.Rel))
+	}
+	if JoinCount(q.Rel) != 2 {
+		t.Errorf("join count = %d, want 2", JoinCount(q.Rel))
+	}
+	if outer.ResidualConds != 2 {
+		t.Errorf("outer residual conds = %d, want 2", outer.ResidualConds)
+	}
+	inner := outer.Left.(*JoinRel)
+	if inner.ResidualConds != 1 {
+		t.Errorf("inner residual conds = %d, want 1", inner.ResidualConds)
+	}
+	if !AncestorsOverlap(inner, outer.Right) {
+		t.Error("triangle second join should be a self join")
+	}
+}
+
+func TestBuildHistogram(t *testing.T) {
+	q := build(t, "SELECT city_id, COUNT(*) FROM trips GROUP BY city_id")
+	if !q.Histogram() {
+		t.Fatal("expected histogram")
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].BaseTable != "trips" || q.GroupBy[0].Column != "city_id" {
+		t.Errorf("group by = %#v", q.GroupBy)
+	}
+}
+
+func TestBuildAggregates(t *testing.T) {
+	q := build(t, "SELECT COUNT(*), SUM(fare), AVG(fare), MIN(fare), MAX(fare) FROM trips")
+	wantKinds := []AggKind{AggCount, AggSum, AggAvg, AggMin, AggMax}
+	if len(q.Outputs) != len(wantKinds) {
+		t.Fatalf("outputs = %d, want %d", len(q.Outputs), len(wantKinds))
+	}
+	for i, w := range wantKinds {
+		if q.Outputs[i].Agg != w {
+			t.Errorf("output %d = %v, want %v", i, q.Outputs[i].Agg, w)
+		}
+	}
+	if q.Outputs[1].Attr.BaseTable != "trips" || q.Outputs[1].Attr.Column != "fare" {
+		t.Errorf("SUM attr = %s", q.Outputs[1].Attr)
+	}
+}
+
+func TestBuildCountDistinct(t *testing.T) {
+	q := build(t, "SELECT COUNT(DISTINCT driver_id) FROM trips")
+	if q.Outputs[0].Agg != AggCountDistinct {
+		t.Errorf("agg = %v", q.Outputs[0].Agg)
+	}
+}
+
+func TestBuildSubqueryProvenance(t *testing.T) {
+	q := build(t, `SELECT COUNT(*) FROM (SELECT driver_id AS d FROM trips WHERE fare > 5) s
+		JOIN drivers ON s.d = drivers.id`)
+	join := q.Rel.(*JoinRel)
+	if join.LeftKey.BaseTable != "trips" || join.LeftKey.Column != "driver_id" {
+		t.Errorf("provenance through subquery lost: %s", join.LeftKey)
+	}
+}
+
+func TestBuildCTESelfJoinDistinctOccurrences(t *testing.T) {
+	q := build(t, `WITH w AS (SELECT * FROM trips)
+		SELECT COUNT(*) FROM w a JOIN w b ON a.driver_id = b.driver_id`)
+	join := q.Rel.(*JoinRel)
+	if !AncestorsOverlap(join.Left, join.Right) {
+		t.Error("CTE self join not detected")
+	}
+	if join.LeftKey.Leaf == join.RightKey.Leaf {
+		t.Error("CTE instantiations share leaf pointers — cloning broken")
+	}
+}
+
+func TestBuildRootUnwrapping(t *testing.T) {
+	// Section 3.3: projection of an inner count is analyzed via the inner
+	// relation as query root.
+	q := build(t, "SELECT count FROM (SELECT COUNT(*) AS count FROM trips) t")
+	if len(q.Outputs) != 1 || q.Outputs[0].Agg != AggCount {
+		t.Fatalf("unwrapped query outputs = %#v", q.Outputs)
+	}
+	if _, ok := q.Rel.(*TableRel); !ok {
+		t.Errorf("rel = %s, want trips table", String(q.Rel))
+	}
+}
+
+func TestBuildJoinOnAggregatedCountsRejected(t *testing.T) {
+	// The Section 3.7.1 WITH-counts example must be rejected with the
+	// computed-join-key reason.
+	err := buildErr(t, `WITH a AS (SELECT COUNT(*) FROM t1),
+		b AS (SELECT COUNT(*) FROM t2)
+		SELECT COUNT(*) FROM a JOIN b ON a.count = b.count`)
+	wantReason(t, err, ReasonComputedJoinKey)
+}
+
+func TestBuildGroupKeyJoinSupported(t *testing.T) {
+	// Join keys that are GROUP BY keys of a subquery keep provenance
+	// (they are drawn from original tables), so this is analyzable.
+	q := build(t, `SELECT COUNT(*) FROM
+		(SELECT driver_id, COUNT(*) AS n FROM trips GROUP BY driver_id) s
+		JOIN drivers d ON s.driver_id = d.id`)
+	join := q.Rel.(*JoinRel)
+	if join.LeftKey.BaseTable != "trips" {
+		t.Errorf("group-key provenance lost: %s", join.LeftKey)
+	}
+	cr, ok := join.Left.(*CountRel)
+	if !ok || !cr.Grouped {
+		t.Errorf("left = %s, want grouped CountRel", String(join.Left))
+	}
+}
+
+func TestBuildUnsupportedReasons(t *testing.T) {
+	cases := []struct {
+		sql    string
+		reason Reason
+	}{
+		{"SELECT * FROM trips", ReasonRawData},
+		{"SELECT driver_id FROM trips", ReasonRawData},
+		{"SELECT COUNT(*) FROM a JOIN b ON a.x > b.y", ReasonNonEquijoin},
+		{"SELECT COUNT(*) FROM a CROSS JOIN b", ReasonNonEquijoin},
+		{"SELECT COUNT(*) FROM t1 UNION SELECT COUNT(*) FROM t2", ReasonSetOp},
+		{"SELECT city_id, COUNT(*) FROM trips GROUP BY city_id HAVING COUNT(*) > 5", ReasonPostAggFilter},
+		{"SELECT COUNT(*) + 1 FROM trips", ReasonAggArithmetic},
+		{"SELECT MEDIAN(fare) FROM trips", ReasonUnsupportedAggregate},
+		{"SELECT STDDEV(fare) FROM trips", ReasonUnsupportedAggregate},
+		{"SELECT COUNT(*) FROM trips WHERE fare > (SELECT AVG(fare) FROM trips)", ReasonSubqueryPredicate},
+		{"SELECT COUNT(*) FROM trips WHERE driver_id IN (SELECT id FROM drivers)", ReasonSubqueryPredicate},
+		{"SELECT COUNT(*) FROM (SELECT * FROM trips LIMIT 10) s JOIN drivers d ON s.driver_id = d.id", ReasonInnerLimit},
+	}
+	for _, c := range cases {
+		err := buildErr(t, c.sql)
+		var ue *UnsupportedError
+		if !errors.As(err, &ue) {
+			t.Errorf("%q: error %v is not UnsupportedError", c.sql, err)
+			continue
+		}
+		if ue.Reason != c.reason {
+			t.Errorf("%q: reason = %v, want %v", c.sql, ue.Reason, c.reason)
+		}
+	}
+}
+
+func TestBuildCommaJoin(t *testing.T) {
+	q := build(t, "SELECT COUNT(*) FROM trips t, drivers d WHERE t.driver_id = d.id AND t.fare > 5")
+	// The WHERE equality links the comma join into an equijoin.
+	sel, ok := q.Rel.(*SelectRel)
+	if !ok {
+		t.Fatalf("rel = %s", String(q.Rel))
+	}
+	if _, ok := sel.Input.(*JoinRel); !ok {
+		t.Fatalf("inner = %s, want join", String(sel.Input))
+	}
+}
+
+func TestBuildCommaJoinWithoutLinkRejected(t *testing.T) {
+	err := buildErr(t, "SELECT COUNT(*) FROM trips, drivers")
+	wantReason(t, err, ReasonNonEquijoin)
+}
+
+func TestBuildUsingJoin(t *testing.T) {
+	q := build(t, "SELECT COUNT(*) FROM trips JOIN drivers USING (id)")
+	join := q.Rel.(*JoinRel)
+	if join.LeftKey.Column != "id" || join.RightKey.Column != "id" {
+		t.Errorf("keys = %s, %s", join.LeftKey, join.RightKey)
+	}
+}
+
+func TestBuildWithoutCatalogQualifiedRefs(t *testing.T) {
+	stmt, err := sqlparser.Parse(
+		"SELECT COUNT(*) FROM warehouse_a wa JOIN warehouse_b wb ON wa.k = wb.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Build(stmt, nil)
+	if err != nil {
+		t.Fatalf("catalog-free build failed: %v", err)
+	}
+	join := q.Rel.(*JoinRel)
+	if join.LeftKey.BaseTable != "warehouse_a" || join.RightKey.BaseTable != "warehouse_b" {
+		t.Errorf("keys = %s, %s", join.LeftKey, join.RightKey)
+	}
+}
+
+func TestJoinCountAndAncestors(t *testing.T) {
+	q := build(t, `SELECT COUNT(*) FROM trips t
+		JOIN drivers d ON t.driver_id = d.id
+		JOIN cities c ON t.city_id = c.id`)
+	if JoinCount(q.Rel) != 2 {
+		t.Errorf("join count = %d", JoinCount(q.Rel))
+	}
+	anc := Ancestors(q.Rel)
+	for _, want := range []string{"trips", "drivers", "cities"} {
+		if !anc[want] {
+			t.Errorf("ancestors missing %s: %v", want, anc)
+		}
+	}
+}
+
+func TestLeftJoinTreatedAsEquijoin(t *testing.T) {
+	// Outer equijoins analyze identically to inner (matching the reference
+	// implementation's behavior).
+	q := build(t, "SELECT COUNT(*) FROM trips t LEFT JOIN drivers d ON t.driver_id = d.id")
+	if _, ok := q.Rel.(*JoinRel); !ok {
+		t.Fatalf("rel = %s", String(q.Rel))
+	}
+}
+
+func TestBuildGroupByPositional(t *testing.T) {
+	q := build(t, "SELECT city_id, COUNT(*) FROM trips GROUP BY 1")
+	if !q.Histogram() {
+		t.Fatal("positional group by should form a histogram")
+	}
+	if q.GroupBy[0].BaseTable != "trips" || q.GroupBy[0].Column != "city_id" {
+		t.Errorf("group key = %s", q.GroupBy[0])
+	}
+}
+
+func TestBuildCTEColumnArityMismatch(t *testing.T) {
+	stmt, err := sqlparser.Parse(
+		"WITH w (a, b, c) AS (SELECT id FROM trips) SELECT COUNT(*) FROM w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(stmt, testCatalog); err == nil {
+		t.Error("CTE arity mismatch should fail")
+	}
+}
+
+func TestBuildCTEColumnRenaming(t *testing.T) {
+	q := build(t, `WITH w (d) AS (SELECT driver_id FROM trips)
+		SELECT COUNT(*) FROM w JOIN drivers ON w.d = drivers.id`)
+	join := q.Rel.(*JoinRel)
+	if join.LeftKey.BaseTable != "trips" || join.LeftKey.Column != "driver_id" {
+		t.Errorf("renamed CTE column lost provenance: %s", join.LeftKey)
+	}
+}
+
+func TestBuildNestedSubqueries(t *testing.T) {
+	q := build(t, `SELECT COUNT(*) FROM
+		(SELECT * FROM (SELECT driver_id FROM trips WHERE fare > 1) inner1) outer1
+		JOIN drivers d ON outer1.driver_id = d.id`)
+	join := q.Rel.(*JoinRel)
+	if join.LeftKey.BaseTable != "trips" {
+		t.Errorf("provenance through nested subqueries lost: %s", join.LeftKey)
+	}
+}
+
+func TestBuildUnknownColumnError(t *testing.T) {
+	stmt, err := sqlparser.Parse("SELECT COUNT(*) FROM trips t JOIN drivers d ON t.nope = d.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a catalog, t.nope resolves against trips' known columns and the
+	// equality cannot anchor; the query is rejected.
+	if _, err := Build(stmt, testCatalog); err == nil {
+		t.Error("unknown column in catalog mode should fail")
+	}
+}
+
+func TestBuildAmbiguousUnqualified(t *testing.T) {
+	stmt, err := sqlparser.Parse("SELECT COUNT(id) FROM trips t JOIN drivers d ON t.driver_id = d.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(stmt, testCatalog); err == nil {
+		t.Error("ambiguous unqualified column should fail")
+	}
+}
+
+func TestRelationStringRendering(t *testing.T) {
+	q := build(t, "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id WHERE t.fare > 0")
+	s := String(q.Rel)
+	if !strings.Contains(s, "σ") || !strings.Contains(s, "⋈") {
+		t.Errorf("rendering = %q", s)
+	}
+	sub := build(t, "SELECT COUNT(*) FROM (SELECT driver_id FROM trips) s JOIN drivers d ON s.driver_id = d.id")
+	if !strings.Contains(String(sub.Rel), "Π") {
+		t.Errorf("projection rendering = %q", String(sub.Rel))
+	}
+}
+
+func TestAggKindParsing(t *testing.T) {
+	cases := []struct {
+		name     string
+		distinct bool
+		want     AggKind
+	}{
+		{"count", false, AggCount},
+		{"COUNT", true, AggCountDistinct},
+		{"Sum", false, AggSum},
+		{"AVG", false, AggAvg},
+		{"min", false, AggMin},
+		{"MAX", false, AggMax},
+		{"median", false, AggMedian},
+		{"stddev", false, AggStddev},
+	}
+	for _, c := range cases {
+		got, ok := ParseAggKind(c.name, c.distinct)
+		if !ok || got != c.want {
+			t.Errorf("ParseAggKind(%q, %v) = %v, %v", c.name, c.distinct, got, ok)
+		}
+	}
+	if _, ok := ParseAggKind("nope", false); ok {
+		t.Error("unknown aggregate accepted")
+	}
+}

@@ -1,0 +1,256 @@
+// Package relalg defines the core relational algebra of the paper's
+// Figure 1(a) — table, equijoin, projection, selection, Count and grouped
+// Count — plus the lowering from the sqlparser AST into that algebra.
+//
+// The lowering resolves aliases to base-table provenance for every attribute
+// (needed by the mf_k recursion in Figure 1(c)) and rejects the query shapes
+// the paper declares unsupported (Section 3.7.1): non-equijoins whose
+// condition has no extractable equijoin term, and joins whose keys are
+// computed by aggregation rather than drawn from original tables.
+package relalg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Relation is a node of the core relational algebra (Figure 1a).
+type Relation interface {
+	relation()
+}
+
+// TableRel is a base-table leaf `t`. Each syntactic occurrence of a table in
+// the query is a distinct *TableRel value; attribute provenance uses pointer
+// identity to locate the occurrence inside a join tree, which is what makes
+// the self-join case split of Figure 1(b) decidable.
+type TableRel struct {
+	Table string // base table name, lower-cased
+}
+
+// JoinRel is an equijoin r1 ⋈_{a=b} r2. ResidualConds counts the extra
+// conjuncts stripped from the ON condition (they can only shrink the true
+// stability; Section 3.3 "Join conditions").
+type JoinRel struct {
+	Left, Right   Relation
+	LeftKey       Attr // key attribute belonging to Left
+	RightKey      Attr // key attribute belonging to Right
+	ResidualConds int
+}
+
+// ProjectRel is a projection Π; the projected list is irrelevant to
+// stability, so only the input is kept.
+type ProjectRel struct {
+	Input Relation
+}
+
+// SelectRel is a selection σ; the predicate is irrelevant to stability.
+type SelectRel struct {
+	Input Relation
+}
+
+// CountRel is a nested aggregation producing a relation (a subquery whose
+// output is Count or CountG). Stability of a plain Count is 1 (Figure 1b);
+// a grouped count (histogram) has stability 2·S(input). Attributes computed
+// by the aggregation have no provenance (mf_k = ⊥, Figure 1c); group-key
+// attributes keep theirs.
+type CountRel struct {
+	Input   Relation
+	Grouped bool
+}
+
+func (*TableRel) relation()   {}
+func (*JoinRel) relation()    {}
+func (*ProjectRel) relation() {}
+func (*SelectRel) relation()  {}
+func (*CountRel) relation()   {}
+
+// Attr is a resolved attribute reference. Computed attributes (outputs of
+// aggregation, literals, arithmetic) have Leaf == nil; the mf_k recursion
+// rejects joins keyed on them.
+type Attr struct {
+	BaseTable string    // original table the values are drawn from
+	Column    string    // column name in that table
+	Leaf      *TableRel // the occurrence the attribute belongs to; nil if computed
+}
+
+// Computed reports whether the attribute has no base-table provenance.
+func (a Attr) Computed() bool { return a.Leaf == nil }
+
+func (a Attr) String() string {
+	if a.Computed() {
+		return "<computed:" + a.Column + ">"
+	}
+	return a.BaseTable + "." + a.Column
+}
+
+// Ancestors returns A(r) of Figure 1(d): the set of base-table names
+// possibly contributing rows to r.
+func Ancestors(r Relation) map[string]bool {
+	out := make(map[string]bool)
+	collectAncestors(r, out)
+	return out
+}
+
+func collectAncestors(r Relation, out map[string]bool) {
+	switch x := r.(type) {
+	case *TableRel:
+		out[x.Table] = true
+	case *JoinRel:
+		collectAncestors(x.Left, out)
+		collectAncestors(x.Right, out)
+	case *ProjectRel:
+		collectAncestors(x.Input, out)
+	case *SelectRel:
+		collectAncestors(x.Input, out)
+	case *CountRel:
+		collectAncestors(x.Input, out)
+	}
+}
+
+// AncestorsOverlap reports |A(r1) ∩ A(r2)| > 0, i.e. whether a join of the
+// two relations is a self join.
+func AncestorsOverlap(r1, r2 Relation) bool {
+	a1 := Ancestors(r1)
+	for t := range Ancestors(r2) {
+		if a1[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsLeaf reports whether the relation subtree contains the exact
+// TableRel occurrence (pointer identity).
+func ContainsLeaf(r Relation, leaf *TableRel) bool {
+	switch x := r.(type) {
+	case *TableRel:
+		return x == leaf
+	case *JoinRel:
+		return ContainsLeaf(x.Left, leaf) || ContainsLeaf(x.Right, leaf)
+	case *ProjectRel:
+		return ContainsLeaf(x.Input, leaf)
+	case *SelectRel:
+		return ContainsLeaf(x.Input, leaf)
+	case *CountRel:
+		return ContainsLeaf(x.Input, leaf)
+	}
+	return false
+}
+
+// JoinCount returns j(r), the number of joins in the relation — the degree
+// driver of Lemma 3 and the Theorem 3 smooth-sensitivity search cutoff.
+func JoinCount(r Relation) int {
+	switch x := r.(type) {
+	case *JoinRel:
+		return 1 + JoinCount(x.Left) + JoinCount(x.Right)
+	case *ProjectRel:
+		return JoinCount(x.Input)
+	case *SelectRel:
+		return JoinCount(x.Input)
+	case *CountRel:
+		return JoinCount(x.Input)
+	}
+	return 0
+}
+
+// String renders the relation tree in algebra-ish notation, for diagnostics.
+func String(r Relation) string {
+	switch x := r.(type) {
+	case *TableRel:
+		return x.Table
+	case *JoinRel:
+		return fmt.Sprintf("(%s ⋈[%s=%s] %s)",
+			String(x.Left), x.LeftKey, x.RightKey, String(x.Right))
+	case *ProjectRel:
+		return "Π(" + String(x.Input) + ")"
+	case *SelectRel:
+		return "σ(" + String(x.Input) + ")"
+	case *CountRel:
+		if x.Grouped {
+			return "CountG(" + String(x.Input) + ")"
+		}
+		return "Count(" + String(x.Input) + ")"
+	}
+	return "?"
+}
+
+// AggKind enumerates the aggregation functions of the paper's Question 6.
+type AggKind int
+
+// Aggregation kinds.
+const (
+	AggCount AggKind = iota
+	AggCountDistinct
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+	AggMedian
+	AggStddev
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "COUNT"
+	case AggCountDistinct:
+		return "COUNT DISTINCT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggMedian:
+		return "MEDIAN"
+	case AggStddev:
+		return "STDDEV"
+	}
+	return "AGG?"
+}
+
+// ParseAggKind maps an upper-case SQL function name to an AggKind.
+func ParseAggKind(name string, distinct bool) (AggKind, bool) {
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		if distinct {
+			return AggCountDistinct, true
+		}
+		return AggCount, true
+	case "SUM":
+		return AggSum, true
+	case "AVG":
+		return AggAvg, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	case "MEDIAN":
+		return AggMedian, true
+	case "STDDEV":
+		return AggStddev, true
+	}
+	return 0, false
+}
+
+// Output is one aggregated output column of the query.
+type Output struct {
+	Agg  AggKind
+	Attr Attr // argument attribute for SUM/AVG/MIN/MAX; zero for COUNT(*)
+	Name string
+}
+
+// Query is the analyzed form of a statistical SQL query: the relation being
+// aggregated, the histogram bin attributes (empty for plain counts), and the
+// aggregated outputs.
+type Query struct {
+	Rel     Relation
+	GroupBy []Attr
+	Outputs []Output
+}
+
+// Histogram reports whether the query is a grouped (histogram) query, which
+// doubles elastic stability per Figure 1(b).
+func (q *Query) Histogram() bool { return len(q.GroupBy) > 0 }

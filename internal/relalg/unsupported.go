@@ -1,0 +1,84 @@
+package relalg
+
+import "fmt"
+
+// Reason classifies why a query cannot be analyzed for elastic sensitivity.
+// The categories mirror Section 3.7.1 and the error taxonomy of the paper's
+// Section 5.1 success-rate experiment.
+type Reason int
+
+// Unsupported-query reasons.
+const (
+	// ReasonRawData: the query returns non-aggregated rows; differential
+	// privacy for raw data is out of scope (Section 2.2).
+	ReasonRawData Reason = iota
+	// ReasonNonEquijoin: a join condition with no extractable equijoin term
+	// (e.g. A.x > B.y, or a bare cross join) — Section 3.7.1.
+	ReasonNonEquijoin
+	// ReasonComputedJoinKey: a join keyed on a value computed by aggregation,
+	// for which no mf metric can exist (the WITH-counts example of
+	// Section 3.7.1).
+	ReasonComputedJoinKey
+	// ReasonSetOp: UNION/INTERSECT/EXCEPT are outside the core algebra.
+	ReasonSetOp
+	// ReasonPostAggFilter: HAVING filters bins by their true aggregate
+	// values, which the mechanism cannot release.
+	ReasonPostAggFilter
+	// ReasonAggArithmetic: arithmetic or other modification of an
+	// aggregation result (Section 3.3 restricts to unmodified aggregates).
+	ReasonAggArithmetic
+	// ReasonUnsupportedAggregate: MEDIAN/STDDEV have no elastic-sensitivity
+	// extension (Section 3.7.2 covers only SUM/AVG/MIN/MAX).
+	ReasonUnsupportedAggregate
+	// ReasonSubqueryPredicate: WHERE predicates containing subqueries make
+	// selection stability data-dependent, outside the σ of the core algebra.
+	ReasonSubqueryPredicate
+	// ReasonInnerLimit: LIMIT inside a relation-producing subquery.
+	ReasonInnerLimit
+	// ReasonOther: any remaining analysis failure.
+	ReasonOther
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonRawData:
+		return "raw-data query"
+	case ReasonNonEquijoin:
+		return "non-equijoin"
+	case ReasonComputedJoinKey:
+		return "join key computed by aggregation"
+	case ReasonSetOp:
+		return "set operation"
+	case ReasonPostAggFilter:
+		return "HAVING filter on aggregates"
+	case ReasonAggArithmetic:
+		return "arithmetic on aggregation result"
+	case ReasonUnsupportedAggregate:
+		return "unsupported aggregation function"
+	case ReasonSubqueryPredicate:
+		return "subquery in predicate"
+	case ReasonInnerLimit:
+		return "LIMIT inside subquery"
+	case ReasonOther:
+		return "other"
+	}
+	return fmt.Sprintf("Reason(%d)", int(r))
+}
+
+// UnsupportedError reports a query outside the supported class, with the
+// classification used by the success-rate experiment.
+type UnsupportedError struct {
+	Reason Reason
+	Detail string
+}
+
+func (e *UnsupportedError) Error() string {
+	if e.Detail == "" {
+		return "unsupported query: " + e.Reason.String()
+	}
+	return "unsupported query: " + e.Reason.String() + ": " + e.Detail
+}
+
+func unsupported(r Reason, format string, args ...any) error {
+	return &UnsupportedError{Reason: r, Detail: fmt.Sprintf(format, args...)}
+}

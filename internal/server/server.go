@@ -1,0 +1,185 @@
+// Package server exposes a FLEX system over HTTP: a differential-privacy
+// proxy that analysts query with plain SQL, matching the paper's deployment
+// story — FLEX sits in front of an unmodified database, performing static
+// analysis before and output perturbation after normal query execution.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	flex "flexdp"
+	"flexdp/internal/relalg"
+	"flexdp/internal/smooth"
+)
+
+// Server handles the HTTP API. Create with New and mount via Handler.
+type Server struct {
+	sys    *flex.System
+	budget *smooth.Budget
+	delta  float64 // default δ when a request omits it
+}
+
+// New returns a server over the system. budget may be nil (no limit beyond
+// per-query parameters); defaultDelta is used when requests omit δ.
+func New(sys *flex.System, budget *smooth.Budget, defaultDelta float64) *Server {
+	return &Server{sys: sys, budget: budget, delta: defaultDelta}
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /budget", s.handleBudget)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	SQL     string  `json:"sql"`
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /query.
+type QueryResponse struct {
+	Columns        []string    `json:"columns"`
+	Rows           [][]any     `json:"rows"`
+	BinsEnumerated bool        `json:"bins_enumerated"`
+	Analysis       AnalysisDTO `json:"analysis"`
+}
+
+// AnalysisDTO summarizes the sensitivity analysis for API consumers.
+type AnalysisDTO struct {
+	Joins       int      `json:"joins"`
+	Histogram   bool     `json:"histogram"`
+	Polynomials []string `json:"sensitivity_polynomials"`
+	Outputs     []string `json:"outputs"`
+}
+
+// ErrorResponse is the body of any failed request.
+type ErrorResponse struct {
+	Error    string `json:"error"`
+	Category string `json:"category"`         // Section 5.1 taxonomy
+	Reason   string `json:"reason,omitempty"` // fine-grained unsupported reason
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing sql"))
+		return
+	}
+	delta := req.Delta
+	if delta == 0 {
+		delta = s.delta
+	}
+	res, err := s.sys.Run(req.SQL, req.Epsilon, delta)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	resp := QueryResponse{
+		Columns:        res.Columns,
+		BinsEnumerated: res.BinsEnumerated,
+		Analysis:       analysisDTO(res.Analysis),
+	}
+	for _, row := range res.Rows {
+		out := make([]any, 0, len(row.Bins)+len(row.Values))
+		out = append(out, row.Bins...)
+		for _, v := range row.Values {
+			out = append(out, v)
+		}
+		resp.Rows = append(resp.Rows, out)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AnalyzeRequest is the body of POST /analyze.
+type AnalyzeRequest struct {
+	SQL string `json:"sql"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	a, err := s.sys.Analyze(req.SQL)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, analysisDTO(a))
+}
+
+// BudgetResponse is the body of GET /budget.
+type BudgetResponse struct {
+	Enabled         bool    `json:"enabled"`
+	SpentEpsilon    float64 `json:"spent_epsilon"`
+	SpentDelta      float64 `json:"spent_delta"`
+	RemainEpsilon   float64 `json:"remaining_epsilon"`
+	RemainDelta     float64 `json:"remaining_delta"`
+	QueriesAnswered int     `json:"queries_answered"`
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, _ *http.Request) {
+	resp := BudgetResponse{Enabled: s.budget != nil}
+	if s.budget != nil {
+		resp.SpentEpsilon, resp.SpentDelta = s.budget.Spent()
+		resp.RemainEpsilon, resp.RemainDelta = s.budget.Remaining()
+		resp.QueriesAnswered = s.budget.Queries()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func analysisDTO(a *flex.Analysis) AnalysisDTO {
+	return AnalysisDTO{
+		Joins:       a.Joins,
+		Histogram:   a.Histogram,
+		Polynomials: a.Polynomials,
+		Outputs:     a.OutputNames,
+	}
+}
+
+// statusFor maps error categories to HTTP statuses: client errors for
+// unsupported/unparseable queries, 429 for budget exhaustion, 500 otherwise.
+func statusFor(err error) int {
+	var be *smooth.BudgetExhaustedError
+	if errors.As(err, &be) {
+		return http.StatusTooManyRequests
+	}
+	switch flex.Classify(err) {
+	case flex.CategoryUnsupported, flex.CategoryParseError:
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	resp := ErrorResponse{Error: err.Error(), Category: flex.Classify(err).String()}
+	var ue *relalg.UnsupportedError
+	if errors.As(err, &ue) {
+		resp.Reason = ue.Reason.String()
+	}
+	writeJSON(w, status, resp)
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	flex "flexdp"
+	"flexdp/internal/smooth"
+)
+
+func testServer(t *testing.T, budget *smooth.Budget) *httptest.Server {
+	t.Helper()
+	db := flex.NewDatabase()
+	if err := db.CreateTable("trips",
+		flex.Col{Name: "id", Type: flex.TypeInt},
+		flex.Col{Name: "city", Type: flex.TypeString}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		city := "sf"
+		if i%3 == 0 {
+			city = "nyc"
+		}
+		if err := db.Insert("trips", i, city); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys := flex.NewSystem(db, flex.Options{Seed: 1, Budget: budget})
+	sys.CollectMetrics()
+	sys.SetBinDomain("trips", "city", []any{"sf", "nyc", "la"})
+	srv := httptest.NewServer(New(sys, budget, 1e-8).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t, nil)
+	resp, body := postJSON(t, srv.URL+"/query",
+		QueryRequest{SQL: "SELECT COUNT(*) FROM trips", Epsilon: 1.0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || len(out.Rows[0]) != 1 {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+	noisy, ok := out.Rows[0][0].(float64)
+	if !ok {
+		t.Fatalf("value type %T", out.Rows[0][0])
+	}
+	if noisy < 800 || noisy > 1200 {
+		t.Errorf("noisy count %g implausible for 1000", noisy)
+	}
+	if out.Analysis.Joins != 0 || out.Analysis.Histogram {
+		t.Errorf("analysis = %+v", out.Analysis)
+	}
+}
+
+func TestHistogramEndpoint(t *testing.T) {
+	srv := testServer(t, nil)
+	resp, body := postJSON(t, srv.URL+"/query",
+		QueryRequest{SQL: "SELECT city, COUNT(*) FROM trips GROUP BY city", Epsilon: 1.0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.BinsEnumerated {
+		t.Error("bins should enumerate from the registered domain")
+	}
+	if len(out.Rows) != 3 { // sf, nyc, la (la zero-filled)
+		t.Errorf("rows = %d, want 3", len(out.Rows))
+	}
+}
+
+func TestAnalyzeEndpoint(t *testing.T) {
+	srv := testServer(t, nil)
+	resp, body := postJSON(t, srv.URL+"/analyze",
+		AnalyzeRequest{SQL: "SELECT COUNT(*) FROM trips a JOIN trips b ON a.id = b.id"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out AnalysisDTO
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Joins != 1 || len(out.Polynomials) != 1 {
+		t.Errorf("analysis = %+v", out)
+	}
+}
+
+func TestUnsupportedQueryIs422(t *testing.T) {
+	srv := testServer(t, nil)
+	resp, body := postJSON(t, srv.URL+"/query",
+		QueryRequest{SQL: "SELECT * FROM trips", Epsilon: 1.0})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out ErrorResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Category != "unsupported query" || out.Reason != "raw-data query" {
+		t.Errorf("error = %+v", out)
+	}
+}
+
+func TestParseErrorIs422(t *testing.T) {
+	srv := testServer(t, nil)
+	resp, _ := postJSON(t, srv.URL+"/query",
+		QueryRequest{SQL: "SELEC nope", Epsilon: 1.0})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestBudgetEndpointAndExhaustion(t *testing.T) {
+	budget := smooth.NewBudget(0.5, 1e-5)
+	srv := testServer(t, budget)
+
+	for i := 0; i < 5; i++ {
+		resp, body := postJSON(t, srv.URL+"/query",
+			QueryRequest{SQL: "SELECT COUNT(*) FROM trips", Epsilon: 0.1})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, _ := postJSON(t, srv.URL+"/query",
+		QueryRequest{SQL: "SELECT COUNT(*) FROM trips", Epsilon: 0.1})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("exhausted budget should be 429, got %d", resp.StatusCode)
+	}
+
+	bResp, err := http.Get(srv.URL + "/budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bResp.Body.Close()
+	var out BudgetResponse
+	if err := json.NewDecoder(bResp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Enabled || out.QueriesAnswered != 5 {
+		t.Errorf("budget = %+v", out)
+	}
+	if out.SpentEpsilon < 0.49 || out.SpentEpsilon > 0.51 {
+		t.Errorf("spent epsilon = %g", out.SpentEpsilon)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t, nil)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestBadRequestBody(t *testing.T) {
+	srv := testServer(t, nil)
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

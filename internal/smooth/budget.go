@@ -1,0 +1,96 @@
+package smooth
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Budget tracks cumulative privacy loss across queries under sequential
+// composition (Section 4.3): the ε's and δ's of answered queries add up
+// until they reach the configured maxima, after which further queries are
+// refused. Budget is safe for concurrent use.
+type Budget struct {
+	mu         sync.Mutex
+	maxEps     float64
+	maxDelta   float64
+	spentEps   float64
+	spentDelta float64
+	queries    int
+}
+
+// NewBudget returns a budget with the given maxima.
+func NewBudget(maxEpsilon, maxDelta float64) *Budget {
+	return &Budget{maxEps: maxEpsilon, maxDelta: maxDelta}
+}
+
+// BudgetExhaustedError reports a refused spend.
+type BudgetExhaustedError struct {
+	RequestedEps, RequestedDelta float64
+	RemainingEps, RemainingDelta float64
+}
+
+func (e *BudgetExhaustedError) Error() string {
+	return fmt.Sprintf("privacy budget exhausted: requested (ε=%g, δ=%g), remaining (ε=%g, δ=%g)",
+		e.RequestedEps, e.RequestedDelta, e.RemainingEps, e.RemainingDelta)
+}
+
+// Spend consumes (ε, δ) from the budget, or returns *BudgetExhaustedError
+// without consuming anything.
+func (b *Budget) Spend(eps, delta float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	const tol = 1e-12
+	if b.spentEps+eps > b.maxEps+tol || b.spentDelta+delta > b.maxDelta+tol {
+		return &BudgetExhaustedError{
+			RequestedEps: eps, RequestedDelta: delta,
+			RemainingEps:   b.maxEps - b.spentEps,
+			RemainingDelta: b.maxDelta - b.spentDelta,
+		}
+	}
+	b.spentEps += eps
+	b.spentDelta += delta
+	b.queries++
+	return nil
+}
+
+// Spent returns the consumed (ε, δ) so far.
+func (b *Budget) Spent() (eps, delta float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spentEps, b.spentDelta
+}
+
+// Remaining returns the unconsumed (ε, δ).
+func (b *Budget) Remaining() (eps, delta float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.maxEps - b.spentEps, b.maxDelta - b.spentDelta
+}
+
+// Queries returns the number of successful spends.
+func (b *Budget) Queries() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.queries
+}
+
+// StrongComposition returns the (ε', δ') privacy of answering q queries,
+// each (ε, δ)-differentially private, under the strong composition theorem
+// of Dwork, Rothblum and Vadhan with slack δSlack:
+//
+//	ε' = ε·sqrt(2q·ln(1/δSlack)) + q·ε·(e^ε − 1),  δ' = q·δ + δSlack.
+func StrongComposition(eps, delta float64, q int, deltaSlack float64) (float64, float64) {
+	if q <= 0 {
+		return 0, 0
+	}
+	qf := float64(q)
+	epsPrime := eps*math.Sqrt(2*qf*math.Log(1/deltaSlack)) + qf*eps*(math.Expm1(eps))
+	deltaPrime := qf*delta + deltaSlack
+	return epsPrime, deltaPrime
+}
+
+// SequentialComposition returns the trivial composition (q·ε, q·δ).
+func SequentialComposition(eps, delta float64, q int) (float64, float64) {
+	return float64(q) * eps, float64(q) * delta
+}

@@ -1,0 +1,52 @@
+package smooth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ExponentialMechanism releases a categorical choice under ε-differential
+// privacy (McSherry–Talwar). The paper's related work notes that extending
+// FLEX with it requires a scoring function and a bound on the score's
+// sensitivity — which elastic sensitivity can provide for counting-based
+// scores.
+type ExponentialMechanism struct {
+	rng *rand.Rand
+}
+
+// NewExponentialMechanism returns a seeded instance.
+func NewExponentialMechanism(seed int64) *ExponentialMechanism {
+	return &ExponentialMechanism{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Choose samples index i with probability ∝ exp(ε·score[i] / (2·sensitivity)).
+func (m *ExponentialMechanism) Choose(scores []float64, sensitivity, epsilon float64) (int, error) {
+	if len(scores) == 0 {
+		return 0, fmt.Errorf("smooth: exponential mechanism needs candidates")
+	}
+	if sensitivity <= 0 || epsilon <= 0 {
+		return 0, fmt.Errorf("smooth: exponential mechanism needs positive sensitivity and epsilon")
+	}
+	// Numerically stable weights.
+	maxScore := math.Inf(-1)
+	for _, s := range scores {
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	weights := make([]float64, len(scores))
+	var sum float64
+	for i, s := range scores {
+		weights[i] = math.Exp(epsilon * (s - maxScore) / (2 * sensitivity))
+		sum += weights[i]
+	}
+	r := m.rng.Float64() * sum
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return i, nil
+		}
+	}
+	return len(scores) - 1, nil
+}

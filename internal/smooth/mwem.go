@@ -1,0 +1,143 @@
+package smooth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MWEM implements the Multiplicative Weights Exponential Mechanism (Hardt,
+// Ligett, McSherry), one of the budget-efficient approaches of the paper's
+// Section 4.3: instead of spending budget on every query of a workload, MWEM
+// maintains a synthetic distribution over the data domain, iteratively
+// selects the worst-approximated workload query with the exponential
+// mechanism, measures it with Laplace noise, and applies a multiplicative
+// weights update. All remaining workload queries are answered from the
+// synthetic distribution for free.
+//
+// Queries are linear counting queries over a discretized domain: q[i] ∈
+// {0, 1} selects which domain elements the query counts (exactly the class
+// FLEX's counting queries map to once the domain is histogram-ized).
+type MWEM struct {
+	rng *rand.Rand
+}
+
+// NewMWEM returns an MWEM instance with a seeded noise source.
+func NewMWEM(seed int64) *MWEM {
+	return &MWEM{rng: rand.New(rand.NewSource(seed))}
+}
+
+// LinearQuery is a 0/1 vector over the domain.
+type LinearQuery []float64
+
+// Eval computes the query against a (weighted) histogram.
+func (q LinearQuery) Eval(hist []float64) float64 {
+	var s float64
+	for i, w := range q {
+		if i < len(hist) {
+			s += w * hist[i]
+		}
+	}
+	return s
+}
+
+// MWEMResult holds the synthetic histogram and per-query answers.
+type MWEMResult struct {
+	Synthetic []float64 // synthetic histogram (sums to the true total)
+	Answers   []float64 // workload answers from the synthetic histogram
+	Rounds    int
+}
+
+// Run executes T rounds of MWEM over the true histogram with total privacy
+// budget ε (split evenly across rounds, half for selection and half for
+// measurement, the standard allocation). The true histogram is consumed
+// only through the exponential mechanism and noisy measurements.
+func (m *MWEM) Run(trueHist []float64, workload []LinearQuery, T int, epsilon float64) (*MWEMResult, error) {
+	if len(trueHist) == 0 {
+		return nil, fmt.Errorf("smooth: MWEM needs a non-empty domain")
+	}
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("smooth: MWEM needs a non-empty workload")
+	}
+	if T <= 0 || epsilon <= 0 {
+		return nil, fmt.Errorf("smooth: MWEM needs positive rounds and epsilon")
+	}
+	var total float64
+	for _, v := range trueHist {
+		if v < 0 {
+			return nil, fmt.Errorf("smooth: negative histogram cell")
+		}
+		total += v
+	}
+	if total == 0 {
+		total = 1
+	}
+
+	// Synthetic distribution starts uniform with the true total mass.
+	syn := make([]float64, len(trueHist))
+	for i := range syn {
+		syn[i] = total / float64(len(syn))
+	}
+
+	epsRound := epsilon / float64(T)
+	measured := make(map[int]float64) // query index → noisy measurement
+
+	for t := 0; t < T; t++ {
+		// Exponential mechanism: select the query with the largest
+		// approximation error (score = |q(true) − q(syn)|, sensitivity 1).
+		idx := m.expMechanism(trueHist, syn, workload, epsRound/2)
+		noisy := workload[idx].Eval(trueHist) + Laplace(m.rng, 2/epsRound)
+		measured[idx] = noisy
+
+		// Multiplicative weights update toward the measurement.
+		est := workload[idx].Eval(syn)
+		for i := range syn {
+			factor := math.Exp(workload[idx][i] * (noisy - est) / (2 * total))
+			syn[i] *= factor
+		}
+		// Renormalize to the true total.
+		var s float64
+		for _, v := range syn {
+			s += v
+		}
+		if s > 0 {
+			for i := range syn {
+				syn[i] *= total / s
+			}
+		}
+	}
+
+	res := &MWEMResult{Synthetic: syn, Rounds: T}
+	for _, q := range workload {
+		res.Answers = append(res.Answers, q.Eval(syn))
+	}
+	return res, nil
+}
+
+// expMechanism samples a workload index with probability proportional to
+// exp(ε·score/2), score being the absolute approximation error.
+func (m *MWEM) expMechanism(trueHist, syn []float64, workload []LinearQuery, eps float64) int {
+	scores := make([]float64, len(workload))
+	maxScore := math.Inf(-1)
+	for i, q := range workload {
+		scores[i] = math.Abs(q.Eval(trueHist) - q.Eval(syn))
+		if scores[i] > maxScore {
+			maxScore = scores[i]
+		}
+	}
+	// Numerically stable sampling.
+	weights := make([]float64, len(workload))
+	var sum float64
+	for i, s := range scores {
+		weights[i] = math.Exp(eps * (s - maxScore) / 2)
+		sum += weights[i]
+	}
+	r := m.rng.Float64() * sum
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(workload) - 1
+}

@@ -1,0 +1,73 @@
+package smooth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ProposeTestRelease implements the propose-test-release framework of Dwork
+// and Lei. The paper's Section 6 notes that elastic sensitivity is exactly
+// the missing ingredient PTR requires: a computable upper bound on local
+// sensitivity at arbitrary distance from the true database.
+//
+// Given a proposed sensitivity bound b, PTR privately tests whether the
+// database is far (in neighbor distance) from any database whose local
+// sensitivity exceeds b; if the noisy distance is large enough it releases
+// the answer with Laplace(b/ε) noise, otherwise it refuses (⊥).
+type ProposeTestRelease struct {
+	rng *rand.Rand
+}
+
+// NewPTR returns a PTR mechanism with a seeded noise source.
+func NewPTR(seed int64) *ProposeTestRelease {
+	return &ProposeTestRelease{rng: rand.New(rand.NewSource(seed))}
+}
+
+// ErrPTRRefused is returned when the noisy distance test fails: the true
+// database is (or may be) too close to one with local sensitivity above the
+// proposed bound.
+var ErrPTRRefused = fmt.Errorf("smooth: propose-test-release refused (database too close to high-sensitivity neighbor)")
+
+// DistanceToHighSensitivity computes the smallest k at which the elastic
+// sensitivity bound Ŝ^(k) exceeds the proposed bound b, searching up to
+// maxK. Because Ŝ^(k) upper-bounds A^(k) (Theorem 1), this distance is a
+// conservative (lower) estimate of the true distance to a high-sensitivity
+// database, which preserves PTR's privacy (the test may refuse more often
+// than necessary, never less).
+func DistanceToHighSensitivity(fn SensitivityFn, b float64, maxK int) (int, error) {
+	for k := 0; k <= maxK; k++ {
+		s, err := fn(k)
+		if err != nil {
+			return 0, err
+		}
+		if s > b {
+			return k, nil
+		}
+	}
+	return maxK + 1, nil
+}
+
+// Release answers a query under (ε, δ)-differential privacy using PTR with
+// proposed bound b: it computes the distance γ to the nearest database whose
+// elastic sensitivity exceeds b, adds Lap(1/ε) noise to γ, and releases
+// trueAnswer + Lap(b/ε) only when the noisy distance clears the
+// ln(1/δ)/ε threshold.
+func (p *ProposeTestRelease) Release(trueAnswer float64, fn SensitivityFn, b float64, params PrivacyParams, maxK int) (float64, error) {
+	if err := params.Validate(); err != nil {
+		return 0, err
+	}
+	if b <= 0 {
+		return 0, fmt.Errorf("smooth: PTR proposed bound must be positive")
+	}
+	gamma, err := DistanceToHighSensitivity(fn, b, maxK)
+	if err != nil {
+		return 0, err
+	}
+	noisyDist := float64(gamma) + Laplace(p.rng, 1/params.Epsilon)
+	threshold := math.Log(1/params.Delta) / params.Epsilon
+	if noisyDist <= threshold {
+		return 0, ErrPTRRefused
+	}
+	return trueAnswer + Laplace(p.rng, b/params.Epsilon), nil
+}

@@ -1,0 +1,94 @@
+package smooth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SparseVector implements the sparse vector technique (Dwork et al.), the
+// budget-efficient layer described in Section 4.3: a stream of queries is
+// compared against a noisy threshold and only queries whose noisy answers
+// lie above it consume budget for a released answer. Queries below the
+// threshold cost nothing beyond the shared threshold noise.
+//
+// The implementation follows the standard AboveThreshold algorithm: the
+// threshold receives Lap(2·Δ/ε₁) noise once, each comparison receives
+// Lap(4·Δ/ε₁) noise, and at most maxReleases above-threshold answers are
+// returned (each perturbed with an ε₂ Laplace release) before the vector
+// halts.
+type SparseVector struct {
+	rng            *rand.Rand
+	threshold      float64
+	noisyThreshold float64
+	sensitivity    float64
+	eps1           float64 // budget for the comparisons
+	eps2           float64 // budget for released answers
+	maxReleases    int
+	releases       int
+	halted         bool
+}
+
+// NewSparseVector creates an AboveThreshold instance. sensitivity must
+// upper-bound the sensitivity of every query submitted; eps1 guards the
+// comparisons and eps2 the released answers.
+func NewSparseVector(seed int64, threshold, sensitivity, eps1, eps2 float64, maxReleases int) (*SparseVector, error) {
+	if sensitivity <= 0 {
+		return nil, fmt.Errorf("smooth: sparse vector sensitivity must be positive")
+	}
+	if eps1 <= 0 || eps2 < 0 {
+		return nil, fmt.Errorf("smooth: sparse vector epsilons invalid (%g, %g)", eps1, eps2)
+	}
+	if maxReleases <= 0 {
+		return nil, fmt.Errorf("smooth: maxReleases must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sv := &SparseVector{
+		rng:         rng,
+		threshold:   threshold,
+		sensitivity: sensitivity,
+		eps1:        eps1,
+		eps2:        eps2,
+		maxReleases: maxReleases,
+	}
+	sv.noisyThreshold = threshold + Laplace(rng, 2*sensitivity/eps1)
+	return sv, nil
+}
+
+// Result of one sparse-vector probe.
+type SVTResult struct {
+	Above  bool
+	Answer float64 // released noisy answer; valid only when Above
+}
+
+// ErrSVTHalted is returned once the release quota is exhausted.
+var ErrSVTHalted = fmt.Errorf("smooth: sparse vector halted (release quota exhausted)")
+
+// Probe submits one true query answer. Below-threshold probes return
+// Above=false and consume no per-query budget. Above-threshold probes
+// release a noisy answer; after maxReleases of them the vector halts.
+func (sv *SparseVector) Probe(trueAnswer float64) (SVTResult, error) {
+	if sv.halted {
+		return SVTResult{}, ErrSVTHalted
+	}
+	noisy := trueAnswer + Laplace(sv.rng, 4*float64(sv.maxReleases)*sv.sensitivity/sv.eps1)
+	if noisy < sv.noisyThreshold {
+		return SVTResult{Above: false}, nil
+	}
+	var answer float64
+	if sv.eps2 > 0 {
+		answer = trueAnswer + Laplace(sv.rng, float64(sv.maxReleases)*sv.sensitivity/sv.eps2)
+	} else {
+		answer = sv.noisyThreshold
+	}
+	sv.releases++
+	if sv.releases >= sv.maxReleases {
+		sv.halted = true
+	}
+	return SVTResult{Above: true, Answer: answer}, nil
+}
+
+// Releases returns how many above-threshold answers have been released.
+func (sv *SparseVector) Releases() int { return sv.releases }
+
+// TotalEpsilon returns the total privacy cost of the vector: eps1 + eps2.
+func (sv *SparseVector) TotalEpsilon() float64 { return sv.eps1 + sv.eps2 }

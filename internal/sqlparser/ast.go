@@ -1,0 +1,324 @@
+package sqlparser
+
+// This file defines the typed abstract syntax tree produced by the parser.
+// Every node prints back to valid SQL via the printer in print.go, which the
+// tests use for round-trip checks.
+
+// SelectStmt is a full SELECT statement, possibly with CTEs and a chained
+// set operation. A query such as `A UNION B UNION C` is represented
+// left-associatively: (A UNION B) with SetOp pointing at C.
+type SelectStmt struct {
+	With     []CTE
+	Distinct bool
+	Columns  []SelectItem
+	From     []TableExpr // comma-separated FROM items (implicit cross join)
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // nil if absent
+	Offset   Expr // nil if absent
+	SetOp    *SetOpClause
+}
+
+// CTE is a single WITH-clause entry: name [(cols)] AS (query).
+type CTE struct {
+	Name    string
+	Columns []string
+	Query   *SelectStmt
+}
+
+// SetOpKind enumerates SQL set operations.
+type SetOpKind int
+
+// Set operation kinds.
+const (
+	SetUnion SetOpKind = iota
+	SetIntersect
+	SetExcept
+)
+
+func (k SetOpKind) String() string {
+	switch k {
+	case SetUnion:
+		return "UNION"
+	case SetIntersect:
+		return "INTERSECT"
+	case SetExcept:
+		return "EXCEPT"
+	}
+	return "SETOP?"
+}
+
+// SetOpClause chains another SELECT onto a query with a set operation.
+type SetOpClause struct {
+	Kind  SetOpKind
+	All   bool
+	Right *SelectStmt
+}
+
+// SelectItem is one element of the select list. Exactly one of Star,
+// TableStar, or Expr is set.
+type SelectItem struct {
+	Star      bool   // SELECT *
+	TableStar string // SELECT t.*
+	Expr      Expr
+	Alias     string
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableExpr is a FROM-clause relation: a named table, a derived table
+// (subquery), or a join of two table expressions.
+type TableExpr interface{ tableExpr() }
+
+// TableName references a base table or CTE, optionally aliased.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryTable is a derived table: (SELECT ...) alias.
+type SubqueryTable struct {
+	Query *SelectStmt
+	Alias string
+}
+
+// JoinKind enumerates SQL join types.
+type JoinKind int
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinRight
+	JoinFull
+	JoinCross
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "JOIN"
+	case JoinLeft:
+		return "LEFT JOIN"
+	case JoinRight:
+		return "RIGHT JOIN"
+	case JoinFull:
+		return "FULL JOIN"
+	case JoinCross:
+		return "CROSS JOIN"
+	}
+	return "JOIN?"
+}
+
+// JoinExpr joins two table expressions. For CROSS joins both On and Using
+// are empty; otherwise exactly one of them is set (or neither, for a bare
+// `JOIN ... ON TRUE` equivalent which the parser rejects).
+type JoinExpr struct {
+	Kind  JoinKind
+	Left  TableExpr
+	Right TableExpr
+	On    Expr
+	Using []string
+}
+
+func (*TableName) tableExpr()     {}
+func (*SubqueryTable) tableExpr() {}
+func (*JoinExpr) tableExpr()      {}
+
+// Expr is any SQL scalar expression.
+type Expr interface{ expr() }
+
+// ColumnRef references a column, optionally qualified by table alias.
+type ColumnRef struct {
+	Table string // "" if unqualified
+	Name  string
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ Value float64 }
+
+// StringLit is a single-quoted string literal (unescaped form).
+type StringLit struct{ Value string }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Value bool }
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+// BinaryExpr applies a binary operator. Op is one of
+// = <> < <= > >= + - * / % AND OR ||.
+type BinaryExpr struct {
+	Op    string
+	Left  Expr
+	Right Expr
+}
+
+// UnaryExpr applies a prefix operator: NOT or -.
+type UnaryExpr struct {
+	Op   string
+	Expr Expr
+}
+
+// FuncCall is a (possibly aggregate) function application. Star is set for
+// COUNT(*); Distinct for e.g. COUNT(DISTINCT x).
+type FuncCall struct {
+	Name     string // canonical upper-case
+	Star     bool
+	Distinct bool
+	Args     []Expr
+}
+
+// WhenClause is one WHEN cond THEN result arm of a CASE expression.
+type WhenClause struct {
+	Cond   Expr
+	Result Expr
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr // nil if absent
+}
+
+// InExpr is expr [NOT] IN (list) or expr [NOT] IN (subquery).
+type InExpr struct {
+	Expr     Expr
+	Not      bool
+	List     []Expr
+	Subquery *SelectStmt // nil when List is used
+}
+
+// BetweenExpr is expr [NOT] BETWEEN low AND high.
+type BetweenExpr struct {
+	Expr Expr
+	Not  bool
+	Low  Expr
+	High Expr
+}
+
+// LikeExpr is expr [NOT] LIKE pattern.
+type LikeExpr struct {
+	Expr    Expr
+	Not     bool
+	Pattern Expr
+}
+
+// IsNullExpr is expr IS [NOT] NULL.
+type IsNullExpr struct {
+	Expr Expr
+	Not  bool
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Not   bool
+	Query *SelectStmt
+}
+
+// SubqueryExpr is a scalar subquery used as an expression.
+type SubqueryExpr struct{ Query *SelectStmt }
+
+// CastExpr is CAST(expr AS type).
+type CastExpr struct {
+	Expr Expr
+	Type string
+}
+
+func (*ColumnRef) expr()    {}
+func (*IntLit) expr()       {}
+func (*FloatLit) expr()     {}
+func (*StringLit) expr()    {}
+func (*BoolLit) expr()      {}
+func (*NullLit) expr()      {}
+func (*BinaryExpr) expr()   {}
+func (*UnaryExpr) expr()    {}
+func (*FuncCall) expr()     {}
+func (*CaseExpr) expr()     {}
+func (*InExpr) expr()       {}
+func (*BetweenExpr) expr()  {}
+func (*LikeExpr) expr()     {}
+func (*IsNullExpr) expr()   {}
+func (*ExistsExpr) expr()   {}
+func (*SubqueryExpr) expr() {}
+func (*CastExpr) expr()     {}
+
+// AggregateFuncs is the set of aggregation function names the system
+// recognizes, mirroring the paper's Question 6 categories.
+var AggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"MEDIAN": true, "STDDEV": true,
+}
+
+// IsAggregateFunc reports whether name (upper-cased) is an aggregate.
+func IsAggregateFunc(name string) bool { return AggregateFuncs[name] }
+
+// ContainsAggregate reports whether the expression tree contains an
+// aggregate function call at any depth (not descending into subqueries).
+func ContainsAggregate(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && IsAggregateFunc(f.Name) {
+			found = true
+			return false
+		}
+		if _, ok := x.(*SubqueryExpr); ok {
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// WalkExpr calls fn on e and, if fn returns true, recursively on its
+// children. Subquery bodies are not traversed; callers that need them can
+// recurse through SubqueryExpr/ExistsExpr/InExpr nodes explicitly.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		WalkExpr(x.Left, fn)
+		WalkExpr(x.Right, fn)
+	case *UnaryExpr:
+		WalkExpr(x.Expr, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	case *CaseExpr:
+		WalkExpr(x.Operand, fn)
+		for _, w := range x.Whens {
+			WalkExpr(w.Cond, fn)
+			WalkExpr(w.Result, fn)
+		}
+		WalkExpr(x.Else, fn)
+	case *InExpr:
+		WalkExpr(x.Expr, fn)
+		for _, it := range x.List {
+			WalkExpr(it, fn)
+		}
+	case *BetweenExpr:
+		WalkExpr(x.Expr, fn)
+		WalkExpr(x.Low, fn)
+		WalkExpr(x.High, fn)
+	case *LikeExpr:
+		WalkExpr(x.Expr, fn)
+		WalkExpr(x.Pattern, fn)
+	case *IsNullExpr:
+		WalkExpr(x.Expr, fn)
+	case *CastExpr:
+		WalkExpr(x.Expr, fn)
+	}
+}

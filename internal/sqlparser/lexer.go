@@ -1,0 +1,264 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer converts SQL text into a token stream. It supports line comments
+// (-- ...), block comments (/* ... */), single-quoted string literals with
+// doubled-quote escaping, double-quoted and backquoted identifiers, and the
+// usual SQL operator set.
+type Lexer struct {
+	input string
+	pos   int
+	line  int
+	col   int
+}
+
+// NewLexer returns a lexer over the given SQL text.
+func NewLexer(input string) *Lexer {
+	return &Lexer{input: input, line: 1, col: 1}
+}
+
+// LexError describes a lexical error with its source location.
+type LexError struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("lex error at line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return &LexError{Msg: fmt.Sprintf(format, args...), Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.input) {
+		return 0
+	}
+	return l.input[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.input) {
+		return 0
+	}
+	return l.input[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.input[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.input) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '-' && l.peekAt(1) == '-':
+			for l.pos < len(l.input) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.input) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token in the stream, or an error on malformed input.
+// After the input is exhausted it returns TokenEOF tokens indefinitely.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Pos: l.pos, Line: l.line, Col: l.col}
+	if l.pos >= len(l.input) {
+		tok.Kind = TokenEOF
+		return tok, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.input) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		word := l.input[start:l.pos]
+		upper := strings.ToUpper(word)
+		if IsKeyword(upper) {
+			tok.Kind = TokenKeyword
+			tok.Text = upper
+		} else {
+			tok.Kind = TokenIdent
+			tok.Text = word
+		}
+		return tok, nil
+
+	case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
+		start := l.pos
+		seenDot := false
+		for l.pos < len(l.input) {
+			ch := l.peek()
+			if isDigit(ch) {
+				l.advance()
+				continue
+			}
+			if ch == '.' && !seenDot {
+				seenDot = true
+				l.advance()
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && (isDigit(l.peekAt(1)) ||
+				((l.peekAt(1) == '+' || l.peekAt(1) == '-') && isDigit(l.peekAt(2)))) {
+				l.advance()
+				if l.peek() == '+' || l.peek() == '-' {
+					l.advance()
+				}
+				continue
+			}
+			break
+		}
+		tok.Kind = TokenNumber
+		tok.Text = l.input[start:l.pos]
+		return tok, nil
+
+	case c == '\'':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.input) {
+				return Token{}, l.errf("unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '\'' {
+				if l.peek() == '\'' { // doubled quote escape
+					sb.WriteByte('\'')
+					l.advance()
+					continue
+				}
+				break
+			}
+			sb.WriteByte(ch)
+		}
+		tok.Kind = TokenString
+		tok.Text = sb.String()
+		return tok, nil
+
+	case c == '"' || c == '`':
+		quote := c
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.input) && l.peek() != quote {
+			l.advance()
+		}
+		if l.pos >= len(l.input) {
+			return Token{}, l.errf("unterminated quoted identifier")
+		}
+		tok.Kind = TokenIdent
+		tok.Text = l.input[start:l.pos]
+		l.advance()
+		return tok, nil
+
+	case c == ',':
+		l.advance()
+		tok.Kind = TokenComma
+		tok.Text = ","
+		return tok, nil
+	case c == '(':
+		l.advance()
+		tok.Kind = TokenLParen
+		tok.Text = "("
+		return tok, nil
+	case c == ')':
+		l.advance()
+		tok.Kind = TokenRParen
+		tok.Text = ")"
+		return tok, nil
+	case c == ';':
+		l.advance()
+		tok.Kind = TokenSemicolon
+		tok.Text = ";"
+		return tok, nil
+
+	default:
+		// Multi-character operators first.
+		two := ""
+		if l.pos+1 < len(l.input) {
+			two = l.input[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=", "||":
+			l.advance()
+			l.advance()
+			tok.Kind = TokenOperator
+			tok.Text = two
+			return tok, nil
+		}
+		switch c {
+		case '=', '<', '>', '+', '-', '*', '/', '%', '.':
+			l.advance()
+			tok.Kind = TokenOperator
+			tok.Text = string(c)
+			return tok, nil
+		}
+		return Token{}, l.errf("unexpected character %q", string(c))
+	}
+}
+
+// Tokenize lexes the entire input and returns the token slice excluding the
+// trailing EOF token.
+func Tokenize(input string) ([]Token, error) {
+	l := NewLexer(input)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokenEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

@@ -1,0 +1,1053 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser over a pre-lexed token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// ParseError describes a syntax error with its source location.
+type ParseError struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("parse error at line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses a single SELECT statement (an optional trailing semicolon is
+// allowed). It is the package's main entry point.
+func Parse(sql string) (*SelectStmt, error) {
+	toks, err := Tokenize(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	stmt, err := p.parseSelectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokenSemicolon {
+		p.next()
+	}
+	if p.peek().Kind != TokenEOF {
+		return nil, p.errf("unexpected trailing input %s", p.peek())
+	}
+	return stmt, nil
+}
+
+func (p *Parser) peek() Token {
+	if p.pos >= len(p.toks) {
+		return Token{Kind: TokenEOF}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) peekAt(off int) Token {
+	if p.pos+off >= len(p.toks) {
+		return Token{Kind: TokenEOF}
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *Parser) next() Token {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return &ParseError{Msg: fmt.Sprintf(format, args...), Line: t.Line, Col: t.Col}
+}
+
+// atKeyword reports whether the current token is the given keyword.
+func (p *Parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokenKeyword && t.Text == kw
+}
+
+// acceptKeyword consumes the keyword if present and reports whether it did.
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *Parser) expect(kind TokenKind) (Token, error) {
+	if p.peek().Kind != kind {
+		return Token{}, p.errf("expected %s, found %s", kind, p.peek())
+	}
+	return p.next(), nil
+}
+
+// parseIdent consumes an identifier. Non-reserved function-name keywords
+// (COUNT, SUM, ...) are also accepted as identifiers so that e.g. a column
+// alias named "count" parses.
+func (p *Parser) parseIdent() (string, error) {
+	t := p.peek()
+	if t.Kind == TokenIdent {
+		p.next()
+		return t.Text, nil
+	}
+	if t.Kind == TokenKeyword && IsAggregateFunc(t.Text) {
+		p.next()
+		return strings.ToLower(t.Text), nil
+	}
+	return "", p.errf("expected identifier, found %s", t)
+}
+
+// parseSelectStmt parses [WITH ...] select-core {UNION|INTERSECT|EXCEPT ...}
+// [ORDER BY ...] [LIMIT ...] [OFFSET ...].
+func (p *Parser) parseSelectStmt() (*SelectStmt, error) {
+	var ctes []CTE
+	if p.acceptKeyword("WITH") {
+		for {
+			cte, err := p.parseCTE()
+			if err != nil {
+				return nil, err
+			}
+			ctes = append(ctes, cte)
+			if p.peek().Kind == TokenComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	stmt, err := p.parseSelectCore()
+	if err != nil {
+		return nil, err
+	}
+	stmt.With = ctes
+	if err := p.parseTrailingClauses(stmt); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// parseTrailingClauses parses ORDER BY / LIMIT / OFFSET that apply to the
+// whole (possibly set-op-chained) statement.
+func (p *Parser) parseTrailingClauses(stmt *SelectStmt) error {
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if p.peek().Kind == TokenComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		stmt.Limit = e
+	}
+	if p.acceptKeyword("OFFSET") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		stmt.Offset = e
+	}
+	return nil
+}
+
+func (p *Parser) parseCTE() (CTE, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return CTE{}, err
+	}
+	cte := CTE{Name: name}
+	if p.peek().Kind == TokenLParen {
+		p.next()
+		for {
+			col, err := p.parseIdent()
+			if err != nil {
+				return CTE{}, err
+			}
+			cte.Columns = append(cte.Columns, col)
+			if p.peek().Kind == TokenComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return CTE{}, err
+		}
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return CTE{}, err
+	}
+	if _, err := p.expect(TokenLParen); err != nil {
+		return CTE{}, err
+	}
+	q, err := p.parseSelectStmt()
+	if err != nil {
+		return CTE{}, err
+	}
+	if _, err := p.expect(TokenRParen); err != nil {
+		return CTE{}, err
+	}
+	cte.Query = q
+	return cte, nil
+}
+
+// parseSelectCore parses SELECT ... FROM ... WHERE ... GROUP BY ... HAVING,
+// without trailing ORDER BY/LIMIT (handled by the caller) but including
+// chained set operations.
+func (p *Parser) parseSelectCore() (*SelectStmt, error) {
+	stmt, err := p.parseSelectBody()
+	if err != nil {
+		return nil, err
+	}
+	cur := stmt
+	for {
+		var kind SetOpKind
+		switch {
+		case p.atKeyword("UNION"):
+			kind = SetUnion
+		case p.atKeyword("INTERSECT"):
+			kind = SetIntersect
+		case p.atKeyword("EXCEPT"), p.atKeyword("MINUS"):
+			kind = SetExcept
+		default:
+			return stmt, nil
+		}
+		p.next()
+		all := p.acceptKeyword("ALL")
+		p.acceptKeyword("DISTINCT")
+		right, err := p.parseSelectBody()
+		if err != nil {
+			return nil, err
+		}
+		cur.SetOp = &SetOpClause{Kind: kind, All: all, Right: right}
+		cur = right
+	}
+}
+
+func (p *Parser) parseSelectBody() (*SelectStmt, error) {
+	if p.peek().Kind == TokenLParen {
+		// Parenthesized subselect used as a set-op operand.
+		p.next()
+		inner, err := p.parseSelectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	if p.acceptKeyword("DISTINCT") {
+		stmt.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Columns = append(stmt.Columns, item)
+		if p.peek().Kind == TokenComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("FROM") {
+		for {
+			te, err := p.parseTableExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, te)
+			if p.peek().Kind == TokenComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if p.peek().Kind == TokenComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.Kind == TokenOperator && t.Text == "*" {
+		p.next()
+		return SelectItem{Star: true}, nil
+	}
+	// t.* form
+	if t.Kind == TokenIdent && p.peekAt(1).Kind == TokenOperator && p.peekAt(1).Text == "." &&
+		p.peekAt(2).Kind == TokenOperator && p.peekAt(2).Text == "*" {
+		p.next()
+		p.next()
+		p.next()
+		return SelectItem{TableStar: t.Text}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.peek().Kind == TokenIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+// parseTableExpr parses a FROM item with any number of chained joins,
+// left-associatively.
+func (p *Parser) parseTableExpr() (TableExpr, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind JoinKind
+		switch {
+		case p.atKeyword("JOIN"):
+			kind = JoinInner
+			p.next()
+		case p.atKeyword("INNER"):
+			p.next()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinInner
+		case p.atKeyword("LEFT"):
+			p.next()
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinLeft
+		case p.atKeyword("RIGHT"):
+			p.next()
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinRight
+		case p.atKeyword("FULL"):
+			p.next()
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinFull
+		case p.atKeyword("CROSS"):
+			p.next()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinCross
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		join := &JoinExpr{Kind: kind, Left: left, Right: right}
+		if kind != JoinCross {
+			switch {
+			case p.acceptKeyword("ON"):
+				cond, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				join.On = cond
+			case p.acceptKeyword("USING"):
+				if _, err := p.expect(TokenLParen); err != nil {
+					return nil, err
+				}
+				for {
+					col, err := p.parseIdent()
+					if err != nil {
+						return nil, err
+					}
+					join.Using = append(join.Using, col)
+					if p.peek().Kind == TokenComma {
+						p.next()
+						continue
+					}
+					break
+				}
+				if _, err := p.expect(TokenRParen); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, p.errf("expected ON or USING after %s", kind)
+			}
+		}
+		left = join
+	}
+}
+
+func (p *Parser) parseTablePrimary() (TableExpr, error) {
+	if p.peek().Kind == TokenLParen {
+		p.next()
+		// Either a derived table or a parenthesized join.
+		if p.atKeyword("SELECT") || p.atKeyword("WITH") {
+			q, err := p.parseSelectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokenRParen); err != nil {
+				return nil, err
+			}
+			st := &SubqueryTable{Query: q}
+			if p.acceptKeyword("AS") {
+				alias, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				st.Alias = alias
+			} else if p.peek().Kind == TokenIdent {
+				st.Alias = p.next().Text
+			}
+			return st, nil
+		}
+		te, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+		return te, nil
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	// Optional schema qualification a.b — keep the full dotted name.
+	for p.peek().Kind == TokenOperator && p.peek().Text == "." {
+		p.next()
+		part, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		name = name + "." + part
+	}
+	tn := &TableName{Name: name}
+	if p.acceptKeyword("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		tn.Alias = alias
+	} else if p.peek().Kind == TokenIdent {
+		tn.Alias = p.next().Text
+	}
+	return tn, nil
+}
+
+// Expression parsing: precedence climbing.
+//
+//	OR
+//	AND
+//	NOT
+//	comparison: = <> != < <= > >= IS LIKE IN BETWEEN
+//	|| (concat)
+//	+ -
+//	* / %
+//	unary -
+//	primary
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Expr: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokenOperator {
+			switch t.Text {
+			case "=", "<>", "!=", "<", "<=", ">", ">=":
+				p.next()
+				right, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				op := t.Text
+				if op == "!=" {
+					op = "<>"
+				}
+				left = &BinaryExpr{Op: op, Left: left, Right: right}
+				continue
+			}
+		}
+		if t.Kind == TokenKeyword {
+			switch t.Text {
+			case "IS":
+				p.next()
+				not := p.acceptKeyword("NOT")
+				if err := p.expectKeyword("NULL"); err != nil {
+					return nil, err
+				}
+				left = &IsNullExpr{Expr: left, Not: not}
+				continue
+			case "LIKE":
+				p.next()
+				pat, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &LikeExpr{Expr: left, Pattern: pat}
+				continue
+			case "IN":
+				in, err := p.parseInTail(left, false)
+				if err != nil {
+					return nil, err
+				}
+				left = in
+				continue
+			case "BETWEEN":
+				p.next()
+				low, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("AND"); err != nil {
+					return nil, err
+				}
+				high, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &BetweenExpr{Expr: left, Low: low, High: high}
+				continue
+			case "NOT":
+				// expr NOT LIKE / NOT IN / NOT BETWEEN
+				next := p.peekAt(1)
+				if next.Kind == TokenKeyword {
+					switch next.Text {
+					case "LIKE":
+						p.next()
+						p.next()
+						pat, err := p.parseAdditive()
+						if err != nil {
+							return nil, err
+						}
+						left = &LikeExpr{Expr: left, Not: true, Pattern: pat}
+						continue
+					case "IN":
+						p.next()
+						in, err := p.parseInTail(left, true)
+						if err != nil {
+							return nil, err
+						}
+						left = in
+						continue
+					case "BETWEEN":
+						p.next()
+						p.next()
+						low, err := p.parseAdditive()
+						if err != nil {
+							return nil, err
+						}
+						if err := p.expectKeyword("AND"); err != nil {
+							return nil, err
+						}
+						high, err := p.parseAdditive()
+						if err != nil {
+							return nil, err
+						}
+						left = &BetweenExpr{Expr: left, Not: true, Low: low, High: high}
+						continue
+					}
+				}
+			}
+		}
+		return left, nil
+	}
+}
+
+// parseInTail parses the IN tail; the IN keyword is current.
+func (p *Parser) parseInTail(left Expr, not bool) (Expr, error) {
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	in := &InExpr{Expr: left, Not: not}
+	if p.atKeyword("SELECT") || p.atKeyword("WITH") {
+		q, err := p.parseSelectStmt()
+		if err != nil {
+			return nil, err
+		}
+		in.Subquery = q
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if p.peek().Kind == TokenComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(TokenRParen); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokenOperator && (t.Text == "+" || t.Text == "-" || t.Text == "||") {
+			p.next()
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.Text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokenOperator && (t.Text == "*" || t.Text == "/" || t.Text == "%") {
+			p.next()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.Text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokenOperator && t.Text == "-" {
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative numeric literals.
+		switch lit := inner.(type) {
+		case *IntLit:
+			return &IntLit{Value: -lit.Value}, nil
+		case *FloatLit:
+			return &FloatLit{Value: -lit.Value}, nil
+		}
+		return &UnaryExpr{Op: "-", Expr: inner}, nil
+	}
+	if t.Kind == TokenOperator && t.Text == "+" {
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokenNumber:
+		p.next()
+		if !strings.ContainsAny(t.Text, ".eE") {
+			v, err := strconv.ParseInt(t.Text, 10, 64)
+			if err == nil {
+				return &IntLit{Value: v}, nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.Text)
+		}
+		return &FloatLit{Value: f}, nil
+
+	case TokenString:
+		p.next()
+		return &StringLit{Value: t.Text}, nil
+
+	case TokenLParen:
+		p.next()
+		if p.atKeyword("SELECT") || p.atKeyword("WITH") {
+			q, err := p.parseSelectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokenRParen); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Query: q}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case TokenKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &NullLit{}, nil
+		case "TRUE":
+			p.next()
+			return &BoolLit{Value: true}, nil
+		case "FALSE":
+			p.next()
+			return &BoolLit{Value: false}, nil
+		case "CASE":
+			return p.parseCase()
+		case "EXISTS":
+			p.next()
+			if _, err := p.expect(TokenLParen); err != nil {
+				return nil, err
+			}
+			q, err := p.parseSelectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokenRParen); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Query: q}, nil
+		case "NOT":
+			p.next()
+			if p.atKeyword("EXISTS") {
+				p.next()
+				if _, err := p.expect(TokenLParen); err != nil {
+					return nil, err
+				}
+				q, err := p.parseSelectStmt()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokenRParen); err != nil {
+					return nil, err
+				}
+				return &ExistsExpr{Not: true, Query: q}, nil
+			}
+			inner, err := p.parseNot()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: "NOT", Expr: inner}, nil
+		case "CAST":
+			p.next()
+			if _, err := p.expect(TokenLParen); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return nil, err
+			}
+			typ, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokenRParen); err != nil {
+				return nil, err
+			}
+			return &CastExpr{Expr: e, Type: typ}, nil
+		case "INTERVAL":
+			// INTERVAL '7' day — treated as an opaque literal.
+			p.next()
+			val, err := p.expect(TokenString)
+			if err != nil {
+				return nil, err
+			}
+			unit := ""
+			if p.peek().Kind == TokenIdent {
+				unit = p.next().Text
+			}
+			return &FuncCall{Name: "INTERVAL", Args: []Expr{
+				&StringLit{Value: val.Text}, &StringLit{Value: unit}}}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX", "MEDIAN", "STDDEV":
+			if p.peekAt(1).Kind == TokenLParen {
+				return p.parseFuncCall(t.Text)
+			}
+			// Aggregate names double as column identifiers when not called,
+			// e.g. the paper's `ORDER BY count DESC` metric query.
+			p.next()
+			name := strings.ToLower(t.Text)
+			if p.peek().Kind == TokenOperator && p.peek().Text == "." {
+				p.next()
+				col, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				return &ColumnRef{Table: name, Name: col}, nil
+			}
+			return &ColumnRef{Name: name}, nil
+		}
+		return nil, p.errf("unexpected keyword %s in expression", t.Text)
+
+	case TokenIdent:
+		// Function call or column reference.
+		if p.peekAt(1).Kind == TokenLParen {
+			return p.parseFuncCall(strings.ToUpper(t.Text))
+		}
+		p.next()
+		name := t.Text
+		if p.peek().Kind == TokenOperator && p.peek().Text == "." {
+			p.next()
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: name, Name: col}, nil
+		}
+		return &ColumnRef{Name: name}, nil
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}
+
+// parseCase parses CASE [operand] WHEN ... THEN ... [ELSE ...] END; the CASE
+// keyword is current.
+func (p *Parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	if !p.atKeyword("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN clause")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *Parser) parseTypeName() (string, error) {
+	t := p.peek()
+	if t.Kind != TokenIdent && t.Kind != TokenKeyword {
+		return "", p.errf("expected type name, found %s", t)
+	}
+	p.next()
+	name := strings.ToUpper(t.Text)
+	// Optional (n) or (n, m) length arguments.
+	if p.peek().Kind == TokenLParen {
+		p.next()
+		for p.peek().Kind == TokenNumber || p.peek().Kind == TokenComma {
+			p.next()
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return "", err
+		}
+	}
+	return name, nil
+}
+
+func (p *Parser) parseFuncCall(name string) (Expr, error) {
+	p.next() // function name
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: name}
+	if p.peek().Kind == TokenOperator && p.peek().Text == "*" {
+		p.next()
+		fc.Star = true
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.peek().Kind == TokenRParen {
+		p.next()
+		return fc, nil
+	}
+	if p.acceptKeyword("DISTINCT") {
+		fc.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, e)
+		if p.peek().Kind == TokenComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokenRParen); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}

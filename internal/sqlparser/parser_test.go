@@ -1,0 +1,457 @@
+package sqlparser
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b FROM t")
+	if len(stmt.Columns) != 2 {
+		t.Fatalf("got %d columns, want 2", len(stmt.Columns))
+	}
+	col0, ok := stmt.Columns[0].Expr.(*ColumnRef)
+	if !ok || col0.Name != "a" {
+		t.Errorf("column 0 = %#v, want ColumnRef a", stmt.Columns[0].Expr)
+	}
+	tn, ok := stmt.From[0].(*TableName)
+	if !ok || tn.Name != "t" {
+		t.Errorf("from = %#v, want table t", stmt.From[0])
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t")
+	if !stmt.Columns[0].Star {
+		t.Error("expected star select item")
+	}
+}
+
+func TestParseTableStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT t.* FROM t")
+	if stmt.Columns[0].TableStar != "t" {
+		t.Errorf("TableStar = %q, want t", stmt.Columns[0].TableStar)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT COUNT(*) FROM trips")
+	fc, ok := stmt.Columns[0].Expr.(*FuncCall)
+	if !ok || fc.Name != "COUNT" || !fc.Star {
+		t.Fatalf("got %#v, want COUNT(*)", stmt.Columns[0].Expr)
+	}
+}
+
+func TestParseCountDistinct(t *testing.T) {
+	stmt := mustParse(t, "SELECT COUNT(DISTINCT driver_id) FROM trips")
+	fc := stmt.Columns[0].Expr.(*FuncCall)
+	if !fc.Distinct || len(fc.Args) != 1 {
+		t.Fatalf("got %#v, want COUNT(DISTINCT driver_id)", fc)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	stmt := mustParse(t, "SELECT a AS x, b y FROM trips t1")
+	if stmt.Columns[0].Alias != "x" || stmt.Columns[1].Alias != "y" {
+		t.Errorf("aliases = %q, %q; want x, y", stmt.Columns[0].Alias, stmt.Columns[1].Alias)
+	}
+	tn := stmt.From[0].(*TableName)
+	if tn.Alias != "t1" {
+		t.Errorf("table alias = %q, want t1", tn.Alias)
+	}
+}
+
+func TestParseJoinTypes(t *testing.T) {
+	cases := []struct {
+		sql  string
+		kind JoinKind
+	}{
+		{"SELECT * FROM a JOIN b ON a.x = b.y", JoinInner},
+		{"SELECT * FROM a INNER JOIN b ON a.x = b.y", JoinInner},
+		{"SELECT * FROM a LEFT JOIN b ON a.x = b.y", JoinLeft},
+		{"SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y", JoinLeft},
+		{"SELECT * FROM a RIGHT JOIN b ON a.x = b.y", JoinRight},
+		{"SELECT * FROM a FULL OUTER JOIN b ON a.x = b.y", JoinFull},
+		{"SELECT * FROM a CROSS JOIN b", JoinCross},
+	}
+	for _, c := range cases {
+		stmt := mustParse(t, c.sql)
+		join, ok := stmt.From[0].(*JoinExpr)
+		if !ok {
+			t.Fatalf("%q: expected join, got %#v", c.sql, stmt.From[0])
+		}
+		if join.Kind != c.kind {
+			t.Errorf("%q: kind = %v, want %v", c.sql, join.Kind, c.kind)
+		}
+	}
+}
+
+func TestParseJoinUsing(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM a JOIN b USING (id, city)")
+	join := stmt.From[0].(*JoinExpr)
+	if !reflect.DeepEqual(join.Using, []string{"id", "city"}) {
+		t.Errorf("Using = %v, want [id city]", join.Using)
+	}
+}
+
+func TestParseNestedJoinsLeftAssociative(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y")
+	outer := stmt.From[0].(*JoinExpr)
+	inner, ok := outer.Left.(*JoinExpr)
+	if !ok {
+		t.Fatalf("expected left-associative nesting, got %#v", outer.Left)
+	}
+	if inner.Left.(*TableName).Name != "a" || inner.Right.(*TableName).Name != "b" {
+		t.Error("inner join should be a JOIN b")
+	}
+	if outer.Right.(*TableName).Name != "c" {
+		t.Error("outer right should be c")
+	}
+}
+
+func TestParseTriangleQuery(t *testing.T) {
+	// The Section 3.4 worked example from the paper.
+	sql := `SELECT COUNT(*) FROM edges e1
+		JOIN edges e2 ON e1.dest = e2.source AND e1.source < e2.source
+		JOIN edges e3 ON e2.dest = e3.source AND e3.dest = e1.source AND
+			e2.source < e3.source`
+	stmt := mustParse(t, sql)
+	outer := stmt.From[0].(*JoinExpr)
+	if outer.Right.(*TableName).Alias != "e3" {
+		t.Errorf("outer right alias = %v, want e3", outer.Right)
+	}
+	cond, ok := outer.On.(*BinaryExpr)
+	if !ok || cond.Op != "AND" {
+		t.Fatalf("outer join condition should be AND, got %#v", outer.On)
+	}
+}
+
+func TestParseWhereComparisons(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE a = 1 AND b <> 2 OR c >= 3.5")
+	or, ok := stmt.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top op = %#v, want OR", stmt.Where)
+	}
+	and := or.Left.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Errorf("left op = %s, want AND (precedence)", and.Op)
+	}
+}
+
+func TestParseNotEqualsNormalized(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE a != 1")
+	cmp := stmt.Where.(*BinaryExpr)
+	if cmp.Op != "<>" {
+		t.Errorf("op = %q, want <> (normalized)", cmp.Op)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 + 2 * 3 FROM t")
+	add := stmt.Columns[0].Expr.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("top op = %s, want +", add.Op)
+	}
+	mul := add.Right.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Errorf("right op = %s, want *", mul.Op)
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE city IN ('sf', 'nyc', 'la')")
+	in := stmt.Where.(*InExpr)
+	if len(in.List) != 3 || in.Not {
+		t.Fatalf("got %#v, want 3-item IN", in)
+	}
+}
+
+func TestParseNotIn(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE city NOT IN ('sf')")
+	in := stmt.Where.(*InExpr)
+	if !in.Not {
+		t.Error("expected NOT IN")
+	}
+}
+
+func TestParseInSubquery(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE id IN (SELECT id FROM banned)")
+	in := stmt.Where.(*InExpr)
+	if in.Subquery == nil {
+		t.Fatal("expected IN subquery")
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE x BETWEEN 1 AND 10")
+	b := stmt.Where.(*BetweenExpr)
+	if b.Low.(*IntLit).Value != 1 || b.High.(*IntLit).Value != 10 {
+		t.Errorf("got %#v", b)
+	}
+}
+
+func TestParseLikeAndIsNull(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE name LIKE 'a%' AND x IS NOT NULL")
+	and := stmt.Where.(*BinaryExpr)
+	if _, ok := and.Left.(*LikeExpr); !ok {
+		t.Errorf("left = %#v, want LikeExpr", and.Left)
+	}
+	isn, ok := and.Right.(*IsNullExpr)
+	if !ok || !isn.Not {
+		t.Errorf("right = %#v, want IS NOT NULL", and.Right)
+	}
+}
+
+func TestParseGroupByHaving(t *testing.T) {
+	stmt := mustParse(t,
+		"SELECT city, COUNT(*) FROM trips GROUP BY city HAVING COUNT(*) > 10")
+	if len(stmt.GroupBy) != 1 {
+		t.Fatalf("GroupBy len = %d, want 1", len(stmt.GroupBy))
+	}
+	if stmt.Having == nil {
+		t.Fatal("missing HAVING")
+	}
+}
+
+func TestParseOrderLimitOffset(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5")
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Errorf("OrderBy = %#v", stmt.OrderBy)
+	}
+	if stmt.Limit.(*IntLit).Value != 10 || stmt.Offset.(*IntLit).Value != 5 {
+		t.Errorf("limit/offset = %v/%v", stmt.Limit, stmt.Offset)
+	}
+}
+
+func TestParseCTE(t *testing.T) {
+	sql := `WITH a AS (SELECT COUNT(*) FROM t1),
+		b AS (SELECT COUNT(*) FROM t2)
+		SELECT COUNT(*) FROM a JOIN b ON a.count = b.count`
+	stmt := mustParse(t, sql)
+	if len(stmt.With) != 2 || stmt.With[0].Name != "a" || stmt.With[1].Name != "b" {
+		t.Fatalf("With = %#v", stmt.With)
+	}
+}
+
+func TestParseCTEWithColumns(t *testing.T) {
+	stmt := mustParse(t, "WITH c (x, y) AS (SELECT a, b FROM t) SELECT x FROM c")
+	if !reflect.DeepEqual(stmt.With[0].Columns, []string{"x", "y"}) {
+		t.Errorf("CTE columns = %v", stmt.With[0].Columns)
+	}
+}
+
+func TestParseSubqueryInFrom(t *testing.T) {
+	stmt := mustParse(t, "SELECT COUNT(*) FROM (SELECT * FROM trips WHERE city = 'sf') s")
+	sub, ok := stmt.From[0].(*SubqueryTable)
+	if !ok || sub.Alias != "s" {
+		t.Fatalf("from = %#v, want subquery aliased s", stmt.From[0])
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t1 UNION ALL SELECT a FROM t2")
+	if stmt.SetOp == nil || stmt.SetOp.Kind != SetUnion || !stmt.SetOp.All {
+		t.Fatalf("SetOp = %#v, want UNION ALL", stmt.SetOp)
+	}
+}
+
+func TestParseIntersectExceptMinus(t *testing.T) {
+	for _, c := range []struct {
+		sql  string
+		kind SetOpKind
+	}{
+		{"SELECT a FROM t1 INTERSECT SELECT a FROM t2", SetIntersect},
+		{"SELECT a FROM t1 EXCEPT SELECT a FROM t2", SetExcept},
+		{"SELECT a FROM t1 MINUS SELECT a FROM t2", SetExcept},
+	} {
+		stmt := mustParse(t, c.sql)
+		if stmt.SetOp == nil || stmt.SetOp.Kind != c.kind {
+			t.Errorf("%q: SetOp = %#v", c.sql, stmt.SetOp)
+		}
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	stmt := mustParse(t,
+		"SELECT CASE WHEN x > 0 THEN 'pos' WHEN x < 0 THEN 'neg' ELSE 'zero' END FROM t")
+	c := stmt.Columns[0].Expr.(*CaseExpr)
+	if len(c.Whens) != 2 || c.Else == nil || c.Operand != nil {
+		t.Fatalf("case = %#v", c)
+	}
+}
+
+func TestParseSimpleCaseWithOperand(t *testing.T) {
+	stmt := mustParse(t, "SELECT CASE x WHEN 1 THEN 'a' ELSE 'b' END FROM t")
+	c := stmt.Columns[0].Expr.(*CaseExpr)
+	if c.Operand == nil {
+		t.Fatal("expected operand CASE")
+	}
+}
+
+func TestParseExists(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = 3)")
+	if _, ok := stmt.Where.(*ExistsExpr); !ok {
+		t.Fatalf("where = %#v, want EXISTS", stmt.Where)
+	}
+}
+
+func TestParseCast(t *testing.T) {
+	stmt := mustParse(t, "SELECT CAST(x AS VARCHAR(10)) FROM t")
+	c := stmt.Columns[0].Expr.(*CastExpr)
+	if c.Type != "VARCHAR" {
+		t.Errorf("cast type = %q, want VARCHAR", c.Type)
+	}
+}
+
+func TestParseNegativeNumbersFolded(t *testing.T) {
+	stmt := mustParse(t, "SELECT -5, -2.5 FROM t")
+	if stmt.Columns[0].Expr.(*IntLit).Value != -5 {
+		t.Error("int literal not folded")
+	}
+	if stmt.Columns[1].Expr.(*FloatLit).Value != -2.5 {
+		t.Error("float literal not folded")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	stmt := mustParse(t, "SELECT 'it''s' FROM t")
+	if got := stmt.Columns[0].Expr.(*StringLit).Value; got != "it's" {
+		t.Errorf("string = %q, want it's", got)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	stmt := mustParse(t, `SELECT a -- trailing comment
+		FROM t /* block
+		comment */ WHERE a = 1`)
+	if stmt.Where == nil {
+		t.Fatal("comment handling broke WHERE")
+	}
+}
+
+func TestParseQuotedIdentifiers(t *testing.T) {
+	stmt := mustParse(t, `SELECT "select", `+"`from`"+` FROM "order"`)
+	if stmt.Columns[0].Expr.(*ColumnRef).Name != "select" {
+		t.Error("double-quoted identifier")
+	}
+	if stmt.Columns[1].Expr.(*ColumnRef).Name != "from" {
+		t.Error("backquoted identifier")
+	}
+	if stmt.From[0].(*TableName).Name != "order" {
+		t.Error("quoted table name")
+	}
+}
+
+func TestParseSchemaQualifiedTable(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM warehouse.trips")
+	if stmt.From[0].(*TableName).Name != "warehouse.trips" {
+		t.Errorf("table = %q", stmt.From[0].(*TableName).Name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM a JOIN b",        // missing ON/USING
+		"SELECT * FROM t GROUP",         // missing BY
+		"SELECT * FROM t WHERE a = = 1", // double operator
+		"SELECT 'unterminated FROM t",
+		"SELECT * FROM t WHERE a BETWEEN 1",
+		"SELECT * FROM t extra garbage ( here",
+		"INSERT INTO t VALUES (1)", // not a SELECT
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q): expected error, got nil", sql)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("SELECT *\nFROM t WHERE ???")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should mention line 2: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT COUNT(*) FROM trips",
+		"SELECT a, b AS x FROM t WHERE a = 1 AND b < 2",
+		"SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.z",
+		"SELECT city, COUNT(*) FROM trips GROUP BY city HAVING COUNT(*) > 5 ORDER BY city LIMIT 3",
+		"WITH w AS (SELECT a FROM t) SELECT COUNT(*) FROM w",
+		"SELECT COUNT(DISTINCT x) FROM t WHERE y IN (1, 2, 3)",
+		"SELECT CASE WHEN a > 0 THEN 1 ELSE 0 END FROM t",
+		"SELECT a FROM t1 UNION ALL SELECT a FROM t2",
+		"SELECT COUNT(*) FROM (SELECT * FROM t WHERE x = 'a') s",
+		"SELECT * FROM a CROSS JOIN b WHERE a.x BETWEEN 1 AND 2",
+		"SELECT SUM(fare) FROM trips WHERE city NOT IN ('sf') AND d IS NULL",
+	}
+	for _, sql := range queries {
+		first := mustParse(t, sql)
+		printed := Print(first)
+		second, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse of %q -> %q failed: %v", sql, printed, err)
+			continue
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("round trip mismatch for %q:\nprinted: %s\nfirst:  %#v\nsecond: %#v",
+				sql, printed, first, second)
+		}
+	}
+}
+
+func TestContainsAggregate(t *testing.T) {
+	stmt := mustParse(t, "SELECT a + COUNT(*) FROM t")
+	if !ContainsAggregate(stmt.Columns[0].Expr) {
+		t.Error("should detect aggregate inside arithmetic")
+	}
+	stmt2 := mustParse(t, "SELECT a + b FROM t")
+	if ContainsAggregate(stmt2.Columns[0].Expr) {
+		t.Error("false positive aggregate detection")
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize("a <= b >= c <> d != e || f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TokenOperator {
+			ops = append(ops, tk.Text)
+		}
+	}
+	want := []string{"<=", ">=", "<>", "!=", "||"}
+	if !reflect.DeepEqual(ops, want) {
+		t.Errorf("ops = %v, want %v", ops, want)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, input := range []string{"'open", "/* open", "\"open", "@"} {
+		if _, err := Tokenize(input); err == nil {
+			t.Errorf("Tokenize(%q): expected error", input)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a SELECT statement back to SQL text. The output re-parses to
+// an equivalent AST (round-trip property, checked in tests).
+func Print(stmt *SelectStmt) string {
+	var sb strings.Builder
+	printSelect(&sb, stmt, true)
+	return sb.String()
+}
+
+func printSelect(sb *strings.Builder, stmt *SelectStmt, topLevel bool) {
+	if len(stmt.With) > 0 {
+		sb.WriteString("WITH ")
+		for i, cte := range stmt.With {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(quoteIdent(cte.Name))
+			if len(cte.Columns) > 0 {
+				sb.WriteString(" (")
+				for j, c := range cte.Columns {
+					if j > 0 {
+						sb.WriteString(", ")
+					}
+					sb.WriteString(quoteIdent(c))
+				}
+				sb.WriteString(")")
+			}
+			sb.WriteString(" AS (")
+			printSelect(sb, cte.Query, false)
+			sb.WriteString(")")
+		}
+		sb.WriteString(" ")
+	}
+	printSelectCore(sb, stmt)
+	for op := stmt.SetOp; op != nil; op = op.Right.SetOp {
+		sb.WriteString(" ")
+		sb.WriteString(op.Kind.String())
+		if op.All {
+			sb.WriteString(" ALL")
+		}
+		sb.WriteString(" ")
+		printSelectCore(sb, op.Right)
+	}
+	if len(stmt.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, item := range stmt.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(PrintExpr(item.Expr))
+			if item.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if stmt.Limit != nil {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(PrintExpr(stmt.Limit))
+	}
+	if stmt.Offset != nil {
+		sb.WriteString(" OFFSET ")
+		sb.WriteString(PrintExpr(stmt.Offset))
+	}
+}
+
+func printSelectCore(sb *strings.Builder, stmt *SelectStmt) {
+	sb.WriteString("SELECT ")
+	if stmt.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, item := range stmt.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case item.Star:
+			sb.WriteString("*")
+		case item.TableStar != "":
+			sb.WriteString(quoteIdent(item.TableStar) + ".*")
+		default:
+			sb.WriteString(PrintExpr(item.Expr))
+			if item.Alias != "" {
+				sb.WriteString(" AS " + quoteIdent(item.Alias))
+			}
+		}
+	}
+	if len(stmt.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, te := range stmt.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printTableExpr(sb, te)
+		}
+	}
+	if stmt.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(PrintExpr(stmt.Where))
+	}
+	if len(stmt.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range stmt.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(PrintExpr(e))
+		}
+	}
+	if stmt.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(PrintExpr(stmt.Having))
+	}
+}
+
+func printTableExpr(sb *strings.Builder, te TableExpr) {
+	switch t := te.(type) {
+	case *TableName:
+		sb.WriteString(quoteIdent(t.Name))
+		if t.Alias != "" {
+			sb.WriteString(" " + quoteIdent(t.Alias))
+		}
+	case *SubqueryTable:
+		sb.WriteString("(")
+		printSelect(sb, t.Query, false)
+		sb.WriteString(")")
+		if t.Alias != "" {
+			sb.WriteString(" " + quoteIdent(t.Alias))
+		}
+	case *JoinExpr:
+		printTableExpr(sb, t.Left)
+		sb.WriteString(" " + t.Kind.String() + " ")
+		if _, nested := t.Right.(*JoinExpr); nested {
+			sb.WriteString("(")
+			printTableExpr(sb, t.Right)
+			sb.WriteString(")")
+		} else {
+			printTableExpr(sb, t.Right)
+		}
+		if t.On != nil {
+			sb.WriteString(" ON " + PrintExpr(t.On))
+		}
+		if len(t.Using) > 0 {
+			sb.WriteString(" USING (")
+			for i, c := range t.Using {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(quoteIdent(c))
+			}
+			sb.WriteString(")")
+		}
+	}
+}
+
+// quoteIdent quotes an identifier only when needed (reserved word or
+// non-identifier characters), keeping output readable.
+func quoteIdent(name string) string {
+	if name == "" {
+		return `""`
+	}
+	needQuote := IsKeyword(strings.ToUpper(name)) && !IsAggregateFunc(strings.ToUpper(name))
+	if !needQuote {
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c == '_' || c == '.' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(i > 0 && c >= '0' && c <= '9')
+			if !ok {
+				needQuote = true
+				break
+			}
+		}
+	}
+	if needQuote {
+		return `"` + name + `"`
+	}
+	return name
+}
+
+// PrintExpr renders an expression to SQL. Binary operands are
+// parenthesized conservatively to preserve the parse structure.
+func PrintExpr(e Expr) string {
+	switch x := e.(type) {
+	case *ColumnRef:
+		if x.Table != "" {
+			return quoteIdent(x.Table) + "." + quoteIdent(x.Name)
+		}
+		return quoteIdent(x.Name)
+	case *IntLit:
+		return strconv.FormatInt(x.Value, 10)
+	case *FloatLit:
+		return strconv.FormatFloat(x.Value, 'g', -1, 64)
+	case *StringLit:
+		return "'" + strings.ReplaceAll(x.Value, "'", "''") + "'"
+	case *BoolLit:
+		if x.Value {
+			return "TRUE"
+		}
+		return "FALSE"
+	case *NullLit:
+		return "NULL"
+	case *BinaryExpr:
+		return "(" + PrintExpr(x.Left) + " " + x.Op + " " + PrintExpr(x.Right) + ")"
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			return "(NOT " + PrintExpr(x.Expr) + ")"
+		}
+		return "(" + x.Op + PrintExpr(x.Expr) + ")"
+	case *FuncCall:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, PrintExpr(a))
+		}
+		prefix := ""
+		if x.Distinct {
+			prefix = "DISTINCT "
+		}
+		return x.Name + "(" + prefix + strings.Join(args, ", ") + ")"
+	case *CaseExpr:
+		var sb strings.Builder
+		sb.WriteString("CASE")
+		if x.Operand != nil {
+			sb.WriteString(" " + PrintExpr(x.Operand))
+		}
+		for _, w := range x.Whens {
+			sb.WriteString(" WHEN " + PrintExpr(w.Cond) + " THEN " + PrintExpr(w.Result))
+		}
+		if x.Else != nil {
+			sb.WriteString(" ELSE " + PrintExpr(x.Else))
+		}
+		sb.WriteString(" END")
+		return sb.String()
+	case *InExpr:
+		not := ""
+		if x.Not {
+			not = "NOT "
+		}
+		if x.Subquery != nil {
+			return "(" + PrintExpr(x.Expr) + " " + not + "IN (" + Print(x.Subquery) + "))"
+		}
+		var items []string
+		for _, it := range x.List {
+			items = append(items, PrintExpr(it))
+		}
+		return "(" + PrintExpr(x.Expr) + " " + not + "IN (" + strings.Join(items, ", ") + "))"
+	case *BetweenExpr:
+		not := ""
+		if x.Not {
+			not = "NOT "
+		}
+		return "(" + PrintExpr(x.Expr) + " " + not + "BETWEEN " + PrintExpr(x.Low) +
+			" AND " + PrintExpr(x.High) + ")"
+	case *LikeExpr:
+		not := ""
+		if x.Not {
+			not = "NOT "
+		}
+		return "(" + PrintExpr(x.Expr) + " " + not + "LIKE " + PrintExpr(x.Pattern) + ")"
+	case *IsNullExpr:
+		if x.Not {
+			return "(" + PrintExpr(x.Expr) + " IS NOT NULL)"
+		}
+		return "(" + PrintExpr(x.Expr) + " IS NULL)"
+	case *ExistsExpr:
+		if x.Not {
+			return "(NOT EXISTS (" + Print(x.Query) + "))"
+		}
+		return "(EXISTS (" + Print(x.Query) + "))"
+	case *SubqueryExpr:
+		return "(" + Print(x.Query) + ")"
+	case *CastExpr:
+		return "CAST(" + PrintExpr(x.Expr) + " AS " + x.Type + ")"
+	}
+	return fmt.Sprintf("/*unknown expr %T*/", e)
+}

@@ -1,0 +1,90 @@
+// Package sqlparser implements a lexer, recursive-descent parser, typed AST,
+// and printer for the SQL subset consumed by the FLEX elastic-sensitivity
+// analysis: SELECT queries with arbitrary joins, WHERE/GROUP BY/HAVING,
+// ORDER BY/LIMIT, set operations, common table expressions, and subqueries.
+//
+// The parser is intentionally standalone (no database required) because FLEX
+// performs static analysis only; it mirrors the role the Presto parser plays
+// in the paper's implementation.
+package sqlparser
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokenEOF TokenKind = iota
+	TokenIdent
+	TokenKeyword
+	TokenNumber
+	TokenString
+	TokenOperator // = <> != < <= > >= + - * / % || .
+	TokenComma
+	TokenLParen
+	TokenRParen
+	TokenSemicolon
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokenEOF:
+		return "EOF"
+	case TokenIdent:
+		return "identifier"
+	case TokenKeyword:
+		return "keyword"
+	case TokenNumber:
+		return "number"
+	case TokenString:
+		return "string"
+	case TokenOperator:
+		return "operator"
+	case TokenComma:
+		return "comma"
+	case TokenLParen:
+		return "("
+	case TokenRParen:
+		return ")"
+	case TokenSemicolon:
+		return ";"
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text; keywords are upper-cased, identifiers keep case
+	Pos  int    // byte offset in the input
+	Line int    // 1-based line number
+	Col  int    // 1-based column number
+}
+
+func (t Token) String() string {
+	if t.Kind == TokenEOF {
+		return "EOF"
+	}
+	return fmt.Sprintf("%s %q", t.Kind, t.Text)
+}
+
+// keywords is the set of reserved words recognized by the lexer. Matching is
+// case-insensitive; the lexer stores the canonical upper-case spelling.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "CROSS": true, "ON": true, "USING": true, "NATURAL": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "IN": true,
+	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
+	"END": true, "EXISTS": true, "DISTINCT": true, "ALL": true,
+	"UNION": true, "INTERSECT": true, "EXCEPT": true, "MINUS": true,
+	"WITH": true, "ASC": true, "DESC": true, "CAST": true, "INTERVAL": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"STDDEV": true, "MEDIAN": true,
+}
+
+// IsKeyword reports whether the upper-cased word is a reserved keyword.
+func IsKeyword(word string) bool { return keywords[word] }

@@ -1,0 +1,485 @@
+// Package study implements the Section 2 empirical study: given a corpus of
+// SQL queries (plus per-query backend and result-size metadata), it computes
+// the eight statistics the paper reports — backend mix, relational-operator
+// frequency, joins per query, join condition/relationship/self/type mixes,
+// the statistical-query fraction, aggregation-function mix, query size, and
+// result size.
+package study
+
+import (
+	"sort"
+	"strings"
+
+	"flexdp/internal/sqlparser"
+)
+
+// KeyInfo reports whether a base-table column is unique per row, used to
+// classify join relationships (Q4).
+type KeyInfo func(table, column string) bool
+
+// QueryMeta carries the per-query metadata that is not derivable from SQL.
+type QueryMeta struct {
+	Backend    string
+	ResultRows int
+	ResultCols int
+}
+
+// JoinConditionKind classifies one join condition per the paper's Q4
+// taxonomy.
+type JoinConditionKind int
+
+// Join condition kinds.
+const (
+	CondEquijoin JoinConditionKind = iota
+	CondCompound
+	CondColumnComparison
+	CondLiteralComparison
+	CondOther
+)
+
+func (k JoinConditionKind) String() string {
+	switch k {
+	case CondEquijoin:
+		return "equijoin"
+	case CondCompound:
+		return "compound expression"
+	case CondColumnComparison:
+		return "column comparison"
+	case CondLiteralComparison:
+		return "literal comparison"
+	case CondOther:
+		return "other"
+	}
+	return "?"
+}
+
+// Relationship classifies a join's key relationship.
+type Relationship int
+
+// Join relationships.
+const (
+	RelUnknown Relationship = iota
+	RelOneToOne
+	RelOneToMany
+	RelManyToMany
+)
+
+func (r Relationship) String() string {
+	switch r {
+	case RelOneToOne:
+		return "one-to-one"
+	case RelOneToMany:
+		return "one-to-many"
+	case RelManyToMany:
+		return "many-to-many"
+	}
+	return "unknown"
+}
+
+// Results aggregates the study statistics (the paper's Q1–Q8).
+type Results struct {
+	Total       int
+	ParseErrors int
+
+	// Q1: backend → query count.
+	Backends map[string]int
+
+	// Q2: operator frequency (queries containing the operator at least once).
+	UsesSelect    int
+	UsesJoin      int
+	UsesUnion     int
+	UsesExcept    int
+	UsesIntersect int
+
+	// Q3: joins-per-query histogram (key = join count).
+	JoinsPerQuery map[int]int
+
+	// Q4 (counted per join): condition, type, relationship; self join is
+	// counted per query (fraction of queries containing one).
+	TotalJoins      int
+	Conditions      map[JoinConditionKind]int
+	JoinTypes       map[string]int
+	Relationships   map[Relationship]int
+	SelfJoinQuery   int // queries with ≥1 self join
+	QueriesWithJoin int
+
+	// Q5: statistical vs raw.
+	Statistical int
+
+	// Q6: aggregation function → occurrence count.
+	Aggregations map[string]int
+
+	// Q7: query sizes (clause counts).
+	QuerySizes []int
+
+	// Q8: result sizes.
+	ResultRows []int
+	ResultCols []int
+}
+
+// NewResults returns an empty accumulator.
+func NewResults() *Results {
+	return &Results{
+		Backends:      make(map[string]int),
+		JoinsPerQuery: make(map[int]int),
+		Conditions:    make(map[JoinConditionKind]int),
+		JoinTypes:     make(map[string]int),
+		Relationships: make(map[Relationship]int),
+		Aggregations:  make(map[string]int),
+	}
+}
+
+// Analyze parses and classifies one query, folding it into the results.
+func (r *Results) Analyze(sql string, meta QueryMeta, keys KeyInfo) {
+	r.Total++
+	r.Backends[meta.Backend]++
+	r.ResultRows = append(r.ResultRows, meta.ResultRows)
+	r.ResultCols = append(r.ResultCols, meta.ResultCols)
+
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		r.ParseErrors++
+		return
+	}
+	r.UsesSelect++
+	a := &queryAnalysis{keys: keys}
+	a.walkStmt(stmt)
+
+	if a.unions > 0 {
+		r.UsesUnion++
+	}
+	if a.excepts > 0 {
+		r.UsesExcept++
+	}
+	if a.intersects > 0 {
+		r.UsesIntersect++
+	}
+	r.JoinsPerQuery[a.joins]++
+	if a.joins > 0 {
+		r.QueriesWithJoin++
+		r.TotalJoins += a.joins
+		if a.selfJoin {
+			r.SelfJoinQuery++
+		}
+		for k, v := range a.conditions {
+			r.Conditions[k] += v
+		}
+		for k, v := range a.joinTypes {
+			r.JoinTypes[k] += v
+		}
+		for k, v := range a.relationships {
+			r.Relationships[k] += v
+		}
+	}
+	if a.statistical {
+		r.Statistical++
+	}
+	for k, v := range a.aggs {
+		r.Aggregations[k] += v
+	}
+	r.QuerySizes = append(r.QuerySizes, a.clauses)
+}
+
+// queryAnalysis accumulates per-query features.
+type queryAnalysis struct {
+	keys          KeyInfo
+	joins         int
+	selfJoin      bool
+	unions        int
+	excepts       int
+	intersects    int
+	statistical   bool
+	clauses       int
+	conditions    map[JoinConditionKind]int
+	joinTypes     map[string]int
+	relationships map[Relationship]int
+	aggs          map[string]int
+	// alias → base table for relationship classification.
+	aliases map[string]string
+}
+
+func (a *queryAnalysis) init() {
+	if a.conditions == nil {
+		a.conditions = make(map[JoinConditionKind]int)
+		a.joinTypes = make(map[string]int)
+		a.relationships = make(map[Relationship]int)
+		a.aggs = make(map[string]int)
+		a.aliases = make(map[string]string)
+	}
+}
+
+func (a *queryAnalysis) walkStmt(stmt *sqlparser.SelectStmt) {
+	a.init()
+	for _, cte := range stmt.With {
+		a.clauses++
+		a.walkStmt(cte.Query)
+	}
+	a.clauses += len(stmt.Columns) + len(stmt.GroupBy) + len(stmt.OrderBy)
+	// Collect aliases first so join conditions can resolve tables.
+	for _, te := range stmt.From {
+		a.collectAliases(te)
+	}
+	for _, te := range stmt.From {
+		a.walkTableExpr(te)
+	}
+	if stmt.Where != nil {
+		a.clauses += countConjuncts(stmt.Where)
+	}
+	if stmt.Having != nil {
+		a.clauses++
+	}
+	// A query is statistical when every output column is an aggregate
+	// (Question 5: returns only aggregations).
+	allAgg := len(stmt.Columns) > 0
+	for _, item := range stmt.Columns {
+		if item.Star || item.TableStar != "" || item.Expr == nil {
+			allAgg = false
+			continue
+		}
+		if !sqlparser.ContainsAggregate(item.Expr) {
+			// Histogram bin labels keep a query statistical when grouped.
+			inGroup := false
+			p := sqlparser.PrintExpr(item.Expr)
+			for _, g := range stmt.GroupBy {
+				if sqlparser.PrintExpr(g) == p {
+					inGroup = true
+					break
+				}
+			}
+			if !inGroup {
+				allAgg = false
+			}
+		}
+		a.countAggs(item.Expr)
+	}
+	if allAgg {
+		a.statistical = true
+	}
+	if stmt.SetOp != nil {
+		switch stmt.SetOp.Kind {
+		case sqlparser.SetUnion:
+			a.unions++
+		case sqlparser.SetExcept:
+			a.excepts++
+		case sqlparser.SetIntersect:
+			a.intersects++
+		}
+		a.walkStmt(stmt.SetOp.Right)
+	}
+}
+
+func (a *queryAnalysis) collectAliases(te sqlparser.TableExpr) {
+	switch t := te.(type) {
+	case *sqlparser.TableName:
+		name := strings.ToLower(t.Name)
+		if t.Alias != "" {
+			a.aliases[strings.ToLower(t.Alias)] = name
+		}
+		a.aliases[name] = name
+	case *sqlparser.JoinExpr:
+		a.collectAliases(t.Left)
+		a.collectAliases(t.Right)
+	case *sqlparser.SubqueryTable:
+		// Subquery internals handled when walked.
+	}
+}
+
+func (a *queryAnalysis) walkTableExpr(te sqlparser.TableExpr) {
+	switch t := te.(type) {
+	case *sqlparser.SubqueryTable:
+		a.walkStmt(t.Query)
+	case *sqlparser.JoinExpr:
+		a.walkTableExpr(t.Left)
+		a.walkTableExpr(t.Right)
+		a.joins++
+		a.clauses++
+		switch t.Kind {
+		case sqlparser.JoinInner:
+			a.joinTypes["inner"]++
+		case sqlparser.JoinLeft:
+			a.joinTypes["left"]++
+		case sqlparser.JoinRight:
+			a.joinTypes["right"]++
+		case sqlparser.JoinFull:
+			a.joinTypes["full"]++
+		case sqlparser.JoinCross:
+			a.joinTypes["cross"]++
+		}
+		if baseTablesOverlap(t.Left, t.Right) {
+			a.selfJoin = true
+		}
+		a.classifyCondition(t)
+	}
+}
+
+// baseTablesOverlap reports whether the two sides reference a common base
+// table (the study's self-join definition).
+func baseTablesOverlap(l, r sqlparser.TableExpr) bool {
+	lt := make(map[string]bool)
+	collectBaseTables(l, lt)
+	rt := make(map[string]bool)
+	collectBaseTables(r, rt)
+	for t := range lt {
+		if rt[t] {
+			return true
+		}
+	}
+	return false
+}
+
+func collectBaseTables(te sqlparser.TableExpr, out map[string]bool) {
+	switch t := te.(type) {
+	case *sqlparser.TableName:
+		out[strings.ToLower(t.Name)] = true
+	case *sqlparser.JoinExpr:
+		collectBaseTables(t.Left, out)
+		collectBaseTables(t.Right, out)
+	case *sqlparser.SubqueryTable:
+		for _, f := range t.Query.From {
+			collectBaseTables(f, out)
+		}
+	}
+}
+
+func (a *queryAnalysis) classifyCondition(t *sqlparser.JoinExpr) {
+	if t.Kind == sqlparser.JoinCross {
+		return
+	}
+	if len(t.Using) > 0 {
+		a.conditions[CondEquijoin]++
+		return
+	}
+	if t.On == nil {
+		a.conditions[CondOther]++
+		return
+	}
+	kind := classifyOn(t.On)
+	a.conditions[kind]++
+	// Relationship classification uses the equijoin columns (directly or as
+	// the equijoin term of a compound condition).
+	if lref, rref, ok := equijoinRefs(t.On); ok && a.keys != nil {
+		lt := a.aliases[strings.ToLower(lref.Table)]
+		rt := a.aliases[strings.ToLower(rref.Table)]
+		lu := a.keys(lt, strings.ToLower(lref.Name))
+		ru := a.keys(rt, strings.ToLower(rref.Name))
+		switch {
+		case lu && ru:
+			a.relationships[RelOneToOne]++
+		case lu || ru:
+			a.relationships[RelOneToMany]++
+		default:
+			a.relationships[RelManyToMany]++
+		}
+	}
+}
+
+// classifyOn implements the Q4 condition taxonomy.
+func classifyOn(on sqlparser.Expr) JoinConditionKind {
+	switch x := on.(type) {
+	case *sqlparser.BinaryExpr:
+		switch x.Op {
+		case "AND", "OR":
+			return CondCompound
+		case "=":
+			_, lok := x.Left.(*sqlparser.ColumnRef)
+			_, rok := x.Right.(*sqlparser.ColumnRef)
+			if lok && rok {
+				return CondEquijoin
+			}
+			if lok || rok {
+				return CondLiteralComparison
+			}
+			return CondOther
+		case "<", "<=", ">", ">=", "<>":
+			_, lok := x.Left.(*sqlparser.ColumnRef)
+			_, rok := x.Right.(*sqlparser.ColumnRef)
+			if lok && rok {
+				return CondColumnComparison
+			}
+			return CondLiteralComparison
+		}
+		return CondCompound // arithmetic or function application
+	case *sqlparser.FuncCall:
+		return CondCompound
+	}
+	return CondOther
+}
+
+// equijoinRefs extracts the first column=column equality conjunct.
+func equijoinRefs(on sqlparser.Expr) (*sqlparser.ColumnRef, *sqlparser.ColumnRef, bool) {
+	if b, ok := on.(*sqlparser.BinaryExpr); ok {
+		if b.Op == "AND" {
+			if l, r, ok := equijoinRefs(b.Left); ok {
+				return l, r, true
+			}
+			return equijoinRefs(b.Right)
+		}
+		if b.Op == "=" {
+			l, lok := b.Left.(*sqlparser.ColumnRef)
+			r, rok := b.Right.(*sqlparser.ColumnRef)
+			if lok && rok {
+				return l, r, true
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+func (a *queryAnalysis) countAggs(e sqlparser.Expr) {
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		if f, ok := x.(*sqlparser.FuncCall); ok && sqlparser.IsAggregateFunc(f.Name) {
+			a.aggs[f.Name]++
+		}
+		return true
+	})
+}
+
+func countConjuncts(e sqlparser.Expr) int {
+	if b, ok := e.(*sqlparser.BinaryExpr); ok && b.Op == "AND" {
+		return countConjuncts(b.Left) + countConjuncts(b.Right)
+	}
+	return 1
+}
+
+// Percent returns 100·n/total (0 when total is 0).
+func Percent(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+// SizeBuckets returns counts of values in the given ascending bucket upper
+// bounds (the last bucket is unbounded), used for the Q7/Q8 charts.
+func SizeBuckets(values []int, bounds []int) []int {
+	out := make([]int, len(bounds)+1)
+	for _, v := range values {
+		placed := false
+		for i, b := range bounds {
+			if v <= b {
+				out[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			out[len(bounds)]++
+		}
+	}
+	return out
+}
+
+// SortedKeys returns map keys sorted by descending count (ties lexical).
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

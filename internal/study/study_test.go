@@ -1,0 +1,201 @@
+package study
+
+import (
+	"testing"
+)
+
+func uniqueIDs(table, column string) bool {
+	return column == "id"
+}
+
+func analyzeOne(t *testing.T, sql string) *Results {
+	t.Helper()
+	r := NewResults()
+	r.Analyze(sql, QueryMeta{Backend: "Vertica", ResultRows: 10, ResultCols: 2}, uniqueIDs)
+	if r.ParseErrors != 0 {
+		t.Fatalf("parse error for %q", sql)
+	}
+	return r
+}
+
+func TestOperatorDetection(t *testing.T) {
+	r := analyzeOne(t, "SELECT a FROM t UNION SELECT b FROM u")
+	if r.UsesUnion != 1 {
+		t.Error("union not detected")
+	}
+	r2 := analyzeOne(t, "SELECT a FROM t MINUS SELECT b FROM u")
+	if r2.UsesExcept != 1 {
+		t.Error("minus not detected")
+	}
+	r3 := analyzeOne(t, "SELECT a FROM t INTERSECT SELECT b FROM u")
+	if r3.UsesIntersect != 1 {
+		t.Error("intersect not detected")
+	}
+}
+
+func TestJoinCounting(t *testing.T) {
+	r := analyzeOne(t, `SELECT COUNT(*) FROM a
+		JOIN b ON a.id = b.id
+		JOIN c ON b.id = c.id`)
+	if r.JoinsPerQuery[2] != 1 {
+		t.Errorf("JoinsPerQuery = %v, want one query with 2 joins", r.JoinsPerQuery)
+	}
+	if r.TotalJoins != 2 {
+		t.Errorf("TotalJoins = %d", r.TotalJoins)
+	}
+}
+
+func TestConditionClassification(t *testing.T) {
+	cases := []struct {
+		sql  string
+		kind JoinConditionKind
+	}{
+		{"SELECT * FROM a JOIN b ON a.x = b.y", CondEquijoin},
+		{"SELECT * FROM a JOIN b ON a.x = b.y AND a.z > 1", CondCompound},
+		{"SELECT * FROM a JOIN b ON a.x > b.y", CondColumnComparison},
+		{"SELECT * FROM a JOIN b ON a.x = 5", CondLiteralComparison},
+		{"SELECT * FROM a JOIN b USING (x)", CondEquijoin},
+	}
+	for _, c := range cases {
+		r := analyzeOne(t, c.sql)
+		if r.Conditions[c.kind] != 1 {
+			t.Errorf("%q: conditions = %v, want one %v", c.sql, r.Conditions, c.kind)
+		}
+	}
+}
+
+func TestJoinTypeClassification(t *testing.T) {
+	r := analyzeOne(t, `SELECT * FROM a JOIN b ON a.x = b.x
+		LEFT JOIN c ON a.x = c.x CROSS JOIN d`)
+	if r.JoinTypes["inner"] != 1 || r.JoinTypes["left"] != 1 || r.JoinTypes["cross"] != 1 {
+		t.Errorf("join types = %v", r.JoinTypes)
+	}
+}
+
+func TestSelfJoinDetection(t *testing.T) {
+	r := analyzeOne(t, "SELECT * FROM t a JOIN t b ON a.x = b.x")
+	if r.SelfJoinQuery != 1 {
+		t.Error("direct self join missed")
+	}
+	r2 := analyzeOne(t, "SELECT * FROM a JOIN b ON a.x = b.x")
+	if r2.SelfJoinQuery != 0 {
+		t.Error("false self join")
+	}
+	// Same table reached through two different joins.
+	r3 := analyzeOne(t, `SELECT * FROM t JOIN u x ON t.a = x.id JOIN u y ON t.b = y.id`)
+	if r3.SelfJoinQuery != 1 {
+		t.Error("repeated dimension table should count as self join")
+	}
+}
+
+func TestRelationshipClassification(t *testing.T) {
+	cases := []struct {
+		sql string
+		rel Relationship
+	}{
+		{"SELECT * FROM a JOIN b ON a.id = b.id", RelOneToOne},
+		{"SELECT * FROM a JOIN b ON a.id = b.fk", RelOneToMany},
+		{"SELECT * FROM a JOIN b ON a.fk = b.id", RelOneToMany},
+		{"SELECT * FROM a JOIN b ON a.fk = b.fk", RelManyToMany},
+		// Compound conditions classify on the equijoin term.
+		{"SELECT * FROM a JOIN b ON a.id = b.fk AND a.z > 1", RelOneToMany},
+	}
+	for _, c := range cases {
+		r := analyzeOne(t, c.sql)
+		if r.Relationships[c.rel] != 1 {
+			t.Errorf("%q: relationships = %v, want one %v", c.sql, r.Relationships, c.rel)
+		}
+	}
+}
+
+func TestAliasResolutionInRelationships(t *testing.T) {
+	// Alias resolution: tt.id where tt aliases table "things" with unique id.
+	r := analyzeOne(t, "SELECT * FROM things tt JOIN other o ON tt.id = o.ref")
+	if r.Relationships[RelOneToMany] != 1 {
+		t.Errorf("relationships = %v", r.Relationships)
+	}
+}
+
+func TestStatisticalClassification(t *testing.T) {
+	stats := []string{
+		"SELECT COUNT(*) FROM t",
+		"SELECT SUM(x) FROM t",
+		"SELECT city, COUNT(*) FROM t GROUP BY city",
+	}
+	raw := []string{
+		"SELECT * FROM t",
+		"SELECT x, COUNT(*) FROM t", // x not grouped: mixed output
+		"SELECT a, b FROM t",
+	}
+	for _, sql := range stats {
+		if r := analyzeOne(t, sql); r.Statistical != 1 {
+			t.Errorf("%q should be statistical", sql)
+		}
+	}
+	for _, sql := range raw {
+		if r := analyzeOne(t, sql); r.Statistical != 0 {
+			t.Errorf("%q should be raw", sql)
+		}
+	}
+}
+
+func TestAggregationCounting(t *testing.T) {
+	r := analyzeOne(t, "SELECT COUNT(*), SUM(a), AVG(b), COUNT(c) FROM t")
+	if r.Aggregations["COUNT"] != 2 || r.Aggregations["SUM"] != 1 || r.Aggregations["AVG"] != 1 {
+		t.Errorf("aggregations = %v", r.Aggregations)
+	}
+}
+
+func TestParseErrorCounted(t *testing.T) {
+	r := NewResults()
+	r.Analyze("NOT SQL AT ALL (", QueryMeta{Backend: "Other"}, nil)
+	if r.ParseErrors != 1 || r.Total != 1 {
+		t.Errorf("parse errors = %d, total = %d", r.ParseErrors, r.Total)
+	}
+	// Metadata still recorded even on parse failure.
+	if r.Backends["Other"] != 1 {
+		t.Error("backend not recorded for failed query")
+	}
+}
+
+func TestQuerySizeCounting(t *testing.T) {
+	r := analyzeOne(t, "SELECT a, b FROM t JOIN u ON t.x = u.x WHERE a = 1 AND b = 2 GROUP BY a ORDER BY b")
+	// 2 select items + 1 join + 2 where conjuncts + 1 group + 1 order = 7.
+	if r.QuerySizes[0] != 7 {
+		t.Errorf("query size = %d, want 7", r.QuerySizes[0])
+	}
+}
+
+func TestSubqueryWalked(t *testing.T) {
+	r := analyzeOne(t, "SELECT COUNT(*) FROM (SELECT * FROM a JOIN b ON a.x = b.x) s")
+	if r.TotalJoins != 1 {
+		t.Errorf("joins in subquery not counted: %d", r.TotalJoins)
+	}
+}
+
+func TestSizeBuckets(t *testing.T) {
+	got := SizeBuckets([]int{1, 5, 6, 100, 1000}, []int{5, 50})
+	want := []int{2, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("buckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(1, 4) != 25 {
+		t.Error("percent")
+	}
+	if Percent(1, 0) != 0 {
+		t.Error("zero total")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 2, "a": 2, "c": 5}
+	got := SortedKeys(m)
+	if got[0] != "c" || got[1] != "a" || got[2] != "b" {
+		t.Errorf("sorted = %v", got)
+	}
+}

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// StudyQuery is one corpus entry for the Section 2 empirical study: SQL text
+// plus the metadata that is not derivable from the text (originating backend
+// and observed result size). Study queries are parsed and classified, never
+// executed.
+type StudyQuery struct {
+	SQL        string
+	Backend    string
+	ResultRows int
+	ResultCols int
+}
+
+// StudyCorpusConfig sizes the study corpus.
+type StudyCorpusConfig struct {
+	Seed int64
+	N    int
+}
+
+// Paper-reported mixes (Section 2.1) that seed the generator.
+var (
+	backendWeights = []weighted{
+		{"Vertica", 6362631}, {"Postgres", 1494680}, {"Hive", 94206},
+		{"MySQL", 81660}, {"Presto", 39521}, {"Other", 29387},
+	}
+	// Question 6 aggregation mix (units of 0.1%).
+	aggWeights = []weighted{
+		{"COUNT", 510}, {"SUM", 290}, {"AVG", 84}, {"MAX", 59}, {"MIN", 49},
+		{"MEDIAN", 3}, {"STDDEV", 1},
+	}
+	// Question 4 join-condition mix.
+	condWeights = []weighted{
+		{"equijoin", 76}, {"compound", 19}, {"column", 3}, {"literal", 2},
+	}
+	// Question 4 join-type mix.
+	joinTypeWeights = []weighted{
+		{"inner", 69}, {"left", 29}, {"cross", 1}, {"right", 1},
+	}
+	// Question 4 join-relationship mix for non-self joins. Self joins (on
+	// the unique trips.id) contribute ~16% of all joins as one-to-one, so
+	// the non-self weights are adjusted to land the overall mix on the
+	// paper's 1:N 64%, 1:1 26%, M:N 10%.
+	relWeights = []weighted{
+		{"one-to-many", 76}, {"one-to-one", 12}, {"many-to-many", 12},
+	}
+)
+
+type weighted struct {
+	label  string
+	weight int
+}
+
+func pick(rng *rand.Rand, ws []weighted) string {
+	total := 0
+	for _, w := range ws {
+		total += w.weight
+	}
+	r := rng.Intn(total)
+	for _, w := range ws {
+		r -= w.weight
+		if r < 0 {
+			return w.label
+		}
+	}
+	return ws[len(ws)-1].label
+}
+
+// relSpec gives, per relationship class, a right-hand table and the column
+// pair (left column on trips t0, right column on the joined table) whose
+// uniqueness properties realize the class. Study queries form a star around
+// trips t0, so conditions always reference t0 and the new alias.
+type relSpec struct {
+	table   string
+	onLeft  string // column of trips
+	onRight string // column of table
+}
+
+// relPools offers several tables per relationship class so multi-join
+// queries can avoid repeating a table (which would register as a self join
+// under the study's definition).
+var relPools = map[string][]relSpec{
+	"one-to-one": {
+		// trips.id and analytics.driver_id are both unique.
+		{table: "analytics", onLeft: "id", onRight: "driver_id"},
+	},
+	"one-to-many": {
+		// The right-side keys are unique, the trips side repeats.
+		{table: "drivers", onLeft: "driver_id", onRight: "id"},
+		{table: "users", onLeft: "rider_id", onRight: "id"},
+		{table: "cities", onLeft: "city_id", onRight: "id"},
+	},
+	"many-to-many": {
+		// Neither side is unique.
+		{table: "users", onLeft: "city_id", onRight: "city_id"},
+		{table: "user_tags", onLeft: "day", onRight: "day"},
+	},
+}
+
+// pickSpec chooses a spec of the class, preferring tables not yet used in
+// this query.
+func pickSpec(rng *rand.Rand, rel string, used map[string]bool) relSpec {
+	pool := relPools[rel]
+	var fresh []relSpec
+	for _, s := range pool {
+		if !used[s.table] {
+			fresh = append(fresh, s)
+		}
+	}
+	if len(fresh) > 0 {
+		return fresh[rng.Intn(len(fresh))]
+	}
+	return pool[rng.Intn(len(pool))]
+}
+
+// GenerateStudyCorpus produces a labeled corpus whose feature distribution
+// matches the Section 2 study results: backend mix (Q1), operator mix (Q2),
+// joins-per-query tail (Q3), join condition/type/relationship/self mixes
+// (Q4), statistical fraction (Q5), aggregation mix (Q6), and long-tailed
+// query and result sizes (Q7, Q8).
+func GenerateStudyCorpus(cfg StudyCorpusConfig) []StudyQuery {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]StudyQuery, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		q := StudyQuery{Backend: pick(rng, backendWeights)}
+
+		statistical := rng.Float64() < 0.34
+		hasJoin := rng.Float64() < 0.621
+
+		var selectList string
+		if statistical {
+			agg := pick(rng, aggWeights)
+			if agg == "COUNT" {
+				selectList = "COUNT(*)"
+			} else {
+				selectList = fmt.Sprintf("%s(t0.fare)", agg)
+			}
+			q.ResultRows = 1 + int(rng.ExpFloat64()*20)
+			q.ResultCols = 1 + rng.Intn(3)
+		} else {
+			selectList = "t0.id, t0.driver_id, t0.fare"
+			q.ResultRows = 1 + int(rng.ExpFloat64()*50000)
+			q.ResultCols = 3 + int(rng.ExpFloat64()*30)
+		}
+
+		from := "trips t0"
+		if hasJoin {
+			// Joins per query: heavy-tailed, mostly 1–3, max 95 (Q3).
+			nJoins := 1 + int(rng.ExpFloat64()*1.2)
+			if rng.Float64() < 0.0005 {
+				nJoins = 50 + rng.Intn(46)
+			}
+			if nJoins > 95 {
+				nJoins = 95
+			}
+			// ≈28% of join queries contain at least one self join; self joins
+			// use the unique trips.id (classifying as one-to-one).
+			// Injection rate below 28% because long join chains that exhaust
+			// the table pools add accidental self joins of their own.
+			selfAt := -1
+			if rng.Float64() < 0.235 {
+				selfAt = rng.Intn(nJoins)
+			}
+			used := map[string]bool{"trips": true}
+			for j := 1; j <= nJoins; j++ {
+				alias := fmt.Sprintf("t%d", j)
+				jt := pick(rng, joinTypeWeights)
+				if jt == "cross" {
+					from += fmt.Sprintf(" CROSS JOIN cities %s", alias)
+					used["cities"] = true
+					continue
+				}
+				kw := map[string]string{"inner": "JOIN", "left": "LEFT JOIN", "right": "RIGHT JOIN"}[jt]
+				spec := pickSpec(rng, pick(rng, relWeights), used)
+				if j-1 == selfAt {
+					spec = relSpec{table: "trips", onLeft: "id", onRight: "id"}
+				}
+				table := spec.table
+				used[table] = true
+				var on string
+				switch pick(rng, condWeights) {
+				case "equijoin":
+					on = fmt.Sprintf("t0.%s = %s.%s", spec.onLeft, alias, spec.onRight)
+				case "compound":
+					on = fmt.Sprintf("t0.%s = %s.%s AND t0.fare > 1", spec.onLeft, alias, spec.onRight)
+				case "column":
+					on = fmt.Sprintf("t0.%s > %s.%s", spec.onLeft, alias, spec.onRight)
+				case "literal":
+					on = fmt.Sprintf("%s.%s = 1", alias, spec.onRight)
+				}
+				from += fmt.Sprintf(" %s %s %s ON %s", kw, table, alias, on)
+			}
+		}
+
+		sql := fmt.Sprintf("SELECT %s FROM %s", selectList, from)
+		if statistical && rng.Float64() < 0.4 {
+			sql = fmt.Sprintf("SELECT t0.city_id, %s FROM %s GROUP BY t0.city_id", selectList, from)
+		} else if rng.Float64() < 0.7 {
+			sql += fmt.Sprintf(" WHERE t0.day >= %d", rng.Intn(90))
+		}
+		// Set operations (Q2): union 0.57%, minus 0.06%, intersect 0.03%.
+		switch r := rng.Float64(); {
+		case r < 0.0057:
+			sql += " UNION SELECT t9.id FROM trips t9"
+		case r < 0.0063:
+			sql += " MINUS SELECT t9.id FROM trips t9"
+		case r < 0.0066:
+			sql += " INTERSECT SELECT t9.id FROM trips t9"
+		}
+		q.SQL = sql
+		out = append(out, q)
+	}
+	return out
+}
+
+// UniqueKey reports whether a rideshare column is unique per row of its
+// table — the key information the study's join-relationship classification
+// (Q4) requires.
+func UniqueKey(table, column string) bool {
+	switch table + "." + column {
+	case "trips.id", "drivers.id", "users.id", "cities.id", "analytics.driver_id":
+		return true
+	}
+	return false
+}

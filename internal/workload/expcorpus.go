@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ExpCategory labels an experiment query with the Table 4 high-error
+// taxonomy ground truth.
+type ExpCategory int
+
+// Experiment query categories.
+const (
+	// CatBroad: statistics over large populations (expected low error).
+	CatBroad ExpCategory = iota
+	// CatIndividual: filters on (or bins by) an individual's identifier —
+	// Table 4 "filters on individual's data".
+	CatIndividual
+	// CatLowPop: compounded filters shrinking the considered rows —
+	// Table 4 "low-population statistics".
+	CatLowPop
+	// CatManyToMany: many-to-many joins on private tables with large max
+	// frequencies — Table 4's third category.
+	CatManyToMany
+)
+
+func (c ExpCategory) String() string {
+	switch c {
+	case CatBroad:
+		return "broad statistic"
+	case CatIndividual:
+		return "filters on individual's data"
+	case CatLowPop:
+		return "low-population statistics"
+	case CatManyToMany:
+		return "many-to-many join causes high elastic sensitivity"
+	}
+	return "?"
+}
+
+// ExpQuery is one counting query of the Section 5 experiment set.
+type ExpQuery struct {
+	SQL         string
+	Joins       int
+	Histogram   bool
+	UsesPublic  bool // joins the public cities table
+	ManyToMany  bool
+	Category    ExpCategory
+	Description string
+}
+
+// ExpCorpusConfig sizes the experiment corpus. Cities/Drivers/Days must
+// match the rideshare config the queries will run against.
+type ExpCorpusConfig struct {
+	Seed    int64
+	N       int
+	Cities  int
+	Drivers int
+	Users   int
+	Days    int
+}
+
+// DefaultExpCorpus matches DefaultRideshare.
+func DefaultExpCorpus() ExpCorpusConfig {
+	r := DefaultRideshare()
+	return ExpCorpusConfig{Seed: 7, N: 400, Cities: r.Cities, Drivers: r.Drivers,
+		Users: r.Users, Days: r.Days}
+}
+
+// GenerateExpCorpus builds the experiment query set: counting queries (and
+// histograms) over the rideshare schema spanning a wide range of population
+// sizes, with and without joins, with ground-truth category labels.
+func GenerateExpCorpus(cfg ExpCorpusConfig) []ExpQuery {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []ExpQuery
+	add := func(q ExpQuery) { out = append(out, q) }
+
+	for len(out) < cfg.N {
+		switch rng.Intn(10) {
+		case 0: // Global count, no filter: maximal population.
+			add(ExpQuery{SQL: "SELECT COUNT(*) FROM trips",
+				Description: "all trips", Category: CatBroad})
+		case 1: // Day-range filter: population scales with window width.
+			lo := rng.Intn(cfg.Days)
+			w := 1 + rng.Intn(cfg.Days-1)
+			add(ExpQuery{
+				SQL: fmt.Sprintf(
+					"SELECT COUNT(*) FROM trips WHERE day >= %d AND day < %d", lo, lo+w),
+				Description: "trips in a day window",
+				Category:    categoryForWindow(w, cfg.Days),
+			})
+		case 2: // City filter (Zipf: some cities are tiny).
+			city := 1 + rng.Intn(cfg.Cities)
+			cat := CatBroad
+			if city > cfg.Cities/3 {
+				cat = CatLowPop // tail cities have few trips
+			}
+			add(ExpQuery{
+				SQL: fmt.Sprintf(
+					"SELECT COUNT(*) FROM trips WHERE city_id = %d", city),
+				Description: "trips in one city", Category: cat,
+			})
+		case 3: // Individual filter: a specific driver.
+			add(ExpQuery{
+				SQL: fmt.Sprintf(
+					"SELECT COUNT(*) FROM trips WHERE driver_id = %d", 1+rng.Intn(cfg.Drivers)),
+				Description: "trips of one driver", Category: CatIndividual,
+			})
+		case 4: // Compounded low-population filter.
+			add(ExpQuery{
+				SQL: fmt.Sprintf(
+					"SELECT COUNT(*) FROM trips WHERE city_id = %d AND day >= %d AND day < %d AND product = 'pool' AND status = 'completed'",
+					1+rng.Intn(cfg.Cities), rng.Intn(cfg.Days-7), rng.Intn(7)+rng.Intn(cfg.Days-7)+1),
+				Description: "promotion success in a small slice",
+				Category:    CatLowPop,
+			})
+		case 5: // One-to-many join with drivers over a broad day window.
+			add(ExpQuery{
+				SQL: fmt.Sprintf(
+					"SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id WHERE d.active = TRUE AND t.day >= %d",
+					rng.Intn(cfg.Days/3)),
+				Joins: 1, Description: "trips by active drivers", Category: CatBroad,
+			})
+		case 6: // Join with the public cities table.
+			add(ExpQuery{
+				SQL: fmt.Sprintf(
+					"SELECT COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id WHERE c.region = '%s'",
+					[]string{"na", "emea", "apac", "latam"}[rng.Intn(4)]),
+				Joins: 1, UsesPublic: true,
+				Description: "trips by region via public cities", Category: CatBroad,
+			})
+		case 7: // Many-to-many private join (keyed on day: both sides repeat).
+			add(ExpQuery{
+				SQL: fmt.Sprintf(
+					"SELECT COUNT(*) FROM trips t JOIN user_tags g ON t.day = g.day WHERE t.city_id = %d",
+					1+rng.Intn(cfg.Cities)),
+				Joins: 1, ManyToMany: true,
+				Description: "tag activity coinciding with trips", Category: CatManyToMany,
+			})
+		case 8: // Histogram over cities (public-domain bins).
+			add(ExpQuery{
+				SQL:       "SELECT city_id, COUNT(*) FROM trips GROUP BY city_id",
+				Histogram: true, Description: "daily trips by city", Category: CatBroad,
+			})
+		case 9: // Histogram binned by individual drivers.
+			add(ExpQuery{
+				SQL: fmt.Sprintf(
+					"SELECT driver_id, COUNT(*) FROM trips WHERE city_id = %d GROUP BY driver_id",
+					1+rng.Intn(cfg.Cities)),
+				Histogram: true, Description: "trips per driver",
+				Category: CatIndividual,
+			})
+		}
+	}
+	return out
+}
+
+func categoryForWindow(w, days int) ExpCategory {
+	if w <= days/30 {
+		return CatLowPop
+	}
+	return CatBroad
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math/rand"
+
+	"flexdp/internal/engine"
+)
+
+// GraphConfig sizes the synthetic directed graph used by the Section 3.4
+// triangle-counting example. MaxDegree pins the max-frequency metric of both
+// edge endpoints; the paper's ca-HepTh dataset has mf = 65.
+type GraphConfig struct {
+	Seed      int64
+	Nodes     int
+	Edges     int
+	MaxDegree int
+}
+
+// DefaultGraph mirrors the ca-HepTh parameters at laptop scale.
+func DefaultGraph() GraphConfig {
+	return GraphConfig{Seed: 1, Nodes: 1200, Edges: 8000, MaxDegree: 65}
+}
+
+// GenerateGraph builds an edges(source, dest) table whose per-endpoint
+// frequencies are capped at MaxDegree, with one node pinned to exactly
+// MaxDegree out-edges and one to exactly MaxDegree in-edges so the collected
+// mf metrics equal MaxDegree exactly.
+func GenerateGraph(cfg GraphConfig) *engine.DB {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := engine.NewDB()
+	db.MustCreateTable("edges", []engine.Column{
+		{Name: "source", Type: engine.KindInt},
+		{Name: "dest", Type: engine.KindInt},
+	})
+	outDeg := make(map[int64]int)
+	inDeg := make(map[int64]int)
+	seen := make(map[[2]int64]bool)
+	add := func(s, d int64) bool {
+		if s == d || outDeg[s] >= cfg.MaxDegree || inDeg[d] >= cfg.MaxDegree {
+			return false
+		}
+		key := [2]int64{s, d}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		outDeg[s]++
+		inDeg[d]++
+		_ = db.Insert("edges", []engine.Value{engine.NewInt(s), engine.NewInt(d)})
+		return true
+	}
+
+	// Pin the max frequencies: node 1 gets MaxDegree out-edges, node 2 gets
+	// MaxDegree in-edges.
+	for d := int64(2); outDeg[1] < cfg.MaxDegree && d <= int64(cfg.Nodes); d++ {
+		add(1, d)
+	}
+	for s := int64(3); inDeg[2] < cfg.MaxDegree && s <= int64(cfg.Nodes); s++ {
+		add(s, 2)
+	}
+
+	// Fill the rest with skewed random edges under the degree caps.
+	zipf := rand.NewZipf(rng, 1.1, 4, uint64(cfg.Nodes-1))
+	for tries := 0; len(seen) < cfg.Edges && tries < cfg.Edges*50; tries++ {
+		s := int64(zipf.Uint64() + 1)
+		d := int64(zipf.Uint64() + 1)
+		add(s, d)
+	}
+	return db
+}
+
+// TriangleSQL is the Section 3.4 triangle-counting query verbatim.
+const TriangleSQL = `SELECT COUNT(*) FROM edges e1
+JOIN edges e2 ON e1.dest = e2.source AND e1.source < e2.source
+JOIN edges e3 ON e2.dest = e3.source AND e3.dest = e1.source AND e2.source < e3.source`
+
+// CountTrianglesDirect counts directed triangles (the query's semantics)
+// without SQL, as an oracle for engine tests.
+func CountTrianglesDirect(db *engine.DB) int {
+	edges := db.Table("edges")
+	adj := make(map[int64][]int64)
+	for _, r := range edges.Rows {
+		adj[r[0].Int] = append(adj[r[0].Int], r[1].Int)
+	}
+	count := 0
+	for _, r := range edges.Rows {
+		a, b := r[0].Int, r[1].Int // e1: a -> b with a < ?
+		for _, c := range adj[b] { // e2: b -> c requires a < b? no: e1.source < e2.source means a < b
+			if a >= b {
+				continue
+			}
+			if b >= c {
+				// e2.source < e3.source means b < c
+				continue
+			}
+			for _, d := range adj[c] { // e3: c -> d with d == a
+				if d == a {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

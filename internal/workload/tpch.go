@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flexdp/internal/engine"
+)
+
+// TPCHConfig scales the TPC-H-shaped dataset. Scale 1.0 corresponds to the
+// benchmark's row ratios at a laptop-friendly absolute size.
+type TPCHConfig struct {
+	Seed  int64
+	Scale float64
+}
+
+// DefaultTPCH returns a configuration whose largest table (lineitem) has a
+// few tens of thousands of rows.
+func DefaultTPCH() TPCHConfig { return TPCHConfig{Seed: 1, Scale: 1.0} }
+
+// TPCH table row counts at Scale 1 (ratios follow the benchmark: customer :
+// orders : lineitem = 1 : 10 : 40, supplier : partsupp = 1 : 80).
+func tpchCounts(scale float64) (customers, orders, lineitems, suppliers, parts, partsupps int) {
+	c := func(base int) int {
+		n := int(float64(base) * scale)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return c(1500), c(15000), c(60000), c(100), c(2000), c(8000)
+}
+
+// GenerateTPCH builds the 8-table TPC-H-shaped database with correct key
+// relationships. Dates are integer day offsets in [0, 2557) (seven years,
+// matching the benchmark's 1992–1998 span).
+func GenerateTPCH(cfg TPCHConfig) *engine.DB {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := engine.NewDB()
+	nCust, nOrd, nLine, nSupp, nPart, nPS := tpchCounts(cfg.Scale)
+
+	db.MustCreateTable("region", []engine.Column{
+		{Name: "regionkey", Type: engine.KindInt},
+		{Name: "name", Type: engine.KindString},
+	})
+	regionNames := []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	for i, n := range regionNames {
+		_ = db.Insert("region", []engine.Value{engine.NewInt(int64(i)), engine.NewString(n)})
+	}
+
+	db.MustCreateTable("nation", []engine.Column{
+		{Name: "nationkey", Type: engine.KindInt},
+		{Name: "name", Type: engine.KindString},
+		{Name: "regionkey", Type: engine.KindInt},
+	})
+	for i := 0; i < 25; i++ {
+		_ = db.Insert("nation", []engine.Value{
+			engine.NewInt(int64(i)),
+			engine.NewString(fmt.Sprintf("NATION_%02d", i)),
+			engine.NewInt(int64(i % 5)),
+		})
+	}
+
+	db.MustCreateTable("supplier", []engine.Column{
+		{Name: "suppkey", Type: engine.KindInt},
+		{Name: "name", Type: engine.KindString},
+		{Name: "nationkey", Type: engine.KindInt},
+		{Name: "acctbal", Type: engine.KindFloat},
+	})
+	for i := 0; i < nSupp; i++ {
+		_ = db.Insert("supplier", []engine.Value{
+			engine.NewInt(int64(i + 1)),
+			engine.NewString(fmt.Sprintf("Supplier#%05d", i+1)),
+			engine.NewInt(int64(rng.Intn(25))),
+			engine.NewFloat(rng.Float64() * 10000),
+		})
+	}
+
+	db.MustCreateTable("part", []engine.Column{
+		{Name: "partkey", Type: engine.KindInt},
+		{Name: "name", Type: engine.KindString},
+		{Name: "type", Type: engine.KindString},
+		{Name: "size", Type: engine.KindInt},
+		{Name: "brand", Type: engine.KindString},
+	})
+	typePrefix := []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSuffix := []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	for i := 0; i < nPart; i++ {
+		_ = db.Insert("part", []engine.Value{
+			engine.NewInt(int64(i + 1)),
+			engine.NewString(fmt.Sprintf("part_%d", i+1)),
+			engine.NewString(typePrefix[rng.Intn(len(typePrefix))] + " " + typeSuffix[rng.Intn(len(typeSuffix))]),
+			engine.NewInt(int64(1 + rng.Intn(50))),
+			engine.NewString(fmt.Sprintf("Brand#%d%d", 1+rng.Intn(5), 1+rng.Intn(5))),
+		})
+	}
+
+	db.MustCreateTable("partsupp", []engine.Column{
+		{Name: "partkey", Type: engine.KindInt},
+		{Name: "suppkey", Type: engine.KindInt},
+		{Name: "availqty", Type: engine.KindInt},
+		{Name: "supplycost", Type: engine.KindFloat},
+	})
+	for i := 0; i < nPS; i++ {
+		_ = db.Insert("partsupp", []engine.Value{
+			engine.NewInt(int64(rng.Intn(nPart) + 1)),
+			engine.NewInt(int64(rng.Intn(nSupp) + 1)),
+			engine.NewInt(int64(rng.Intn(9999) + 1)),
+			engine.NewFloat(rng.Float64() * 1000),
+		})
+	}
+
+	db.MustCreateTable("customer", []engine.Column{
+		{Name: "custkey", Type: engine.KindInt},
+		{Name: "name", Type: engine.KindString},
+		{Name: "nationkey", Type: engine.KindInt},
+		{Name: "mktsegment", Type: engine.KindString},
+	})
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	for i := 0; i < nCust; i++ {
+		_ = db.Insert("customer", []engine.Value{
+			engine.NewInt(int64(i + 1)),
+			engine.NewString(fmt.Sprintf("Customer#%06d", i+1)),
+			engine.NewInt(int64(rng.Intn(25))),
+			engine.NewString(segments[rng.Intn(len(segments))]),
+		})
+	}
+
+	db.MustCreateTable("orders", []engine.Column{
+		{Name: "orderkey", Type: engine.KindInt},
+		{Name: "custkey", Type: engine.KindInt},
+		{Name: "orderstatus", Type: engine.KindString},
+		{Name: "totalprice", Type: engine.KindFloat},
+		{Name: "orderdate", Type: engine.KindInt},
+		{Name: "orderpriority", Type: engine.KindString},
+	})
+	priorities := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	statuses := []string{"F", "O", "P"}
+	custZipf := rand.NewZipf(rng, 1.1, 4, uint64(nCust-1))
+	for i := 0; i < nOrd; i++ {
+		_ = db.Insert("orders", []engine.Value{
+			engine.NewInt(int64(i + 1)),
+			engine.NewInt(int64(custZipf.Uint64() + 1)),
+			engine.NewString(statuses[rng.Intn(len(statuses))]),
+			engine.NewFloat(1000 + rng.Float64()*100000),
+			engine.NewInt(int64(rng.Intn(2557))),
+			engine.NewString(priorities[rng.Intn(len(priorities))]),
+		})
+	}
+
+	db.MustCreateTable("lineitem", []engine.Column{
+		{Name: "orderkey", Type: engine.KindInt},
+		{Name: "partkey", Type: engine.KindInt},
+		{Name: "suppkey", Type: engine.KindInt},
+		{Name: "quantity", Type: engine.KindInt},
+		{Name: "extendedprice", Type: engine.KindFloat},
+		{Name: "returnflag", Type: engine.KindString},
+		{Name: "linestatus", Type: engine.KindString},
+		{Name: "shipdate", Type: engine.KindInt},
+		{Name: "commitdate", Type: engine.KindInt},
+		{Name: "receiptdate", Type: engine.KindInt},
+	})
+	returnFlags := []string{"A", "N", "R"}
+	lineStatuses := []string{"F", "O"}
+	for i := 0; i < nLine; i++ {
+		ship := rng.Intn(2557)
+		commit := ship + rng.Intn(60) - 20
+		receipt := ship + rng.Intn(45)
+		_ = db.Insert("lineitem", []engine.Value{
+			engine.NewInt(int64(rng.Intn(nOrd) + 1)),
+			engine.NewInt(int64(rng.Intn(nPart) + 1)),
+			engine.NewInt(int64(rng.Intn(nSupp) + 1)),
+			engine.NewInt(int64(1 + rng.Intn(50))),
+			engine.NewFloat(100 + rng.Float64()*10000),
+			engine.NewString(returnFlags[rng.Intn(len(returnFlags))]),
+			engine.NewString(lineStatuses[rng.Intn(len(lineStatuses))]),
+			engine.NewInt(int64(ship)),
+			engine.NewInt(int64(commit)),
+			engine.NewInt(int64(receipt)),
+		})
+	}
+	return db
+}
+
+// TPCHQuery is one evaluated benchmark query (Table 3): a counting version
+// of the TPC-H query with the paper's join count.
+type TPCHQuery struct {
+	ID          string
+	Description string
+	Joins       int
+	SQL         string
+}
+
+// TPCHPrivateTables lists the tables marked private in the Section 5.2.1
+// experiment (those containing customer or supplier information).
+func TPCHPrivateTables() []string {
+	return []string{"customer", "orders", "lineitem", "supplier", "partsupp"}
+}
+
+// TPCHPublicTables lists the non-sensitive metadata tables.
+func TPCHPublicTables() []string { return []string{"region", "nation", "part"} }
+
+// TPCHQueries returns the five counting queries of Table 3 with the paper's
+// join counts (Q1: 0, Q4: 0, Q13: 1, Q16: 1, Q21: 3).
+func TPCHQueries() []TPCHQuery {
+	return []TPCHQuery{
+		{
+			ID:          "Q1",
+			Description: "Billed, shipped, and returned business",
+			Joins:       0,
+			SQL: `SELECT returnflag, linestatus, COUNT(*) FROM lineitem
+				WHERE shipdate <= 2400 GROUP BY returnflag, linestatus`,
+		},
+		{
+			ID:          "Q4",
+			Description: "Priority system status and customer satisfaction",
+			Joins:       0,
+			SQL: `SELECT orderpriority, COUNT(*) FROM orders
+				WHERE orderdate >= 800 AND orderdate < 892 GROUP BY orderpriority`,
+		},
+		{
+			ID:          "Q13",
+			Description: "Relationship between customers and order size",
+			Joins:       1,
+			SQL: `SELECT c.mktsegment, COUNT(*) FROM customer c
+				JOIN orders o ON c.custkey = o.custkey
+				WHERE o.totalprice > 5000 GROUP BY c.mktsegment`,
+		},
+		{
+			ID:          "Q16",
+			Description: "Suppliers capable of supplying various part types",
+			Joins:       1,
+			SQL: `SELECT p.type, COUNT(DISTINCT ps.suppkey) FROM partsupp ps
+				JOIN part p ON ps.partkey = p.partkey
+				WHERE p.size >= 10 GROUP BY p.type`,
+		},
+		{
+			ID:          "Q21",
+			Description: "Suppliers with late shipping times for required parts",
+			Joins:       3,
+			SQL: `SELECT n.name, COUNT(*) FROM supplier s
+				JOIN lineitem l ON s.suppkey = l.suppkey
+				JOIN orders o ON l.orderkey = o.orderkey
+				JOIN nation n ON s.nationkey = n.nationkey
+				WHERE o.orderstatus = 'F' AND l.receiptdate > l.commitdate
+				GROUP BY n.name`,
+		},
+	}
+}

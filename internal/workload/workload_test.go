@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"flexdp/internal/metrics"
+	"flexdp/internal/sqlparser"
+)
+
+func TestGenerateRideshareShape(t *testing.T) {
+	cfg := RideshareConfig{Seed: 2, Cities: 8, Drivers: 50, Users: 120, Trips: 1000, Days: 30}
+	db := GenerateRideshare(cfg)
+	for _, want := range []struct {
+		table string
+		rows  int
+	}{
+		{"cities", 8}, {"drivers", 50}, {"users", 120}, {"trips", 1000},
+		{"user_tags", 30}, {"analytics", 50},
+	} {
+		tbl := db.Table(want.table)
+		if tbl == nil {
+			t.Fatalf("missing table %s", want.table)
+		}
+		if tbl.NumRows() != want.rows {
+			t.Errorf("%s rows = %d, want %d", want.table, tbl.NumRows(), want.rows)
+		}
+	}
+}
+
+func TestRideshareDeterministic(t *testing.T) {
+	cfg := RideshareConfig{Seed: 5, Cities: 4, Drivers: 10, Users: 20, Trips: 100, Days: 10}
+	a := GenerateRideshare(cfg)
+	b := GenerateRideshare(cfg)
+	ra, _ := a.Query("SELECT SUM(fare) FROM trips")
+	rb, _ := b.Query("SELECT SUM(fare) FROM trips")
+	va, _ := ra.Scalar()
+	vb, _ := rb.Scalar()
+	if va.AsFloat() != vb.AsFloat() {
+		t.Error("same seed produced different data")
+	}
+}
+
+func TestRideshareReferentialIntegrity(t *testing.T) {
+	cfg := RideshareConfig{Seed: 3, Cities: 6, Drivers: 30, Users: 60, Trips: 500, Days: 20}
+	db := GenerateRideshare(cfg)
+	// Every trip references an existing driver and city.
+	orphans, err := db.Query(`SELECT COUNT(*) FROM trips t
+		LEFT JOIN drivers d ON t.driver_id = d.id WHERE d.id IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := orphans.Scalar(); v.Int != 0 {
+		t.Errorf("%d trips reference missing drivers", v.Int)
+	}
+	orphans2, err := db.Query(`SELECT COUNT(*) FROM trips t
+		LEFT JOIN cities c ON t.city_id = c.id WHERE c.id IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := orphans2.Scalar(); v.Int != 0 {
+		t.Errorf("%d trips reference missing cities", v.Int)
+	}
+}
+
+func TestGraphDegreePinnedToMaxDegree(t *testing.T) {
+	cfg := GraphConfig{Seed: 4, Nodes: 300, Edges: 1500, MaxDegree: 65}
+	db := GenerateGraph(cfg)
+	m := metrics.CollectFromDB(db)
+	if mf, _ := m.MF("edges", "source"); mf != 65 {
+		t.Errorf("mf(source) = %d, want exactly 65", mf)
+	}
+	if mf, _ := m.MF("edges", "dest"); mf != 65 {
+		t.Errorf("mf(dest) = %d, want exactly 65", mf)
+	}
+}
+
+func TestGraphNoSelfLoopsOrDuplicates(t *testing.T) {
+	db := GenerateGraph(GraphConfig{Seed: 4, Nodes: 100, Edges: 400, MaxDegree: 20})
+	edges := db.Table("edges")
+	seen := make(map[[2]int64]bool)
+	for _, r := range edges.Rows {
+		s, d := r[0].Int, r[1].Int
+		if s == d {
+			t.Fatalf("self loop %d", s)
+		}
+		k := [2]int64{s, d}
+		if seen[k] {
+			t.Fatalf("duplicate edge %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestTPCHShape(t *testing.T) {
+	db := GenerateTPCH(TPCHConfig{Seed: 1, Scale: 0.02})
+	if got := db.Table("region").NumRows(); got != 5 {
+		t.Errorf("regions = %d", got)
+	}
+	if got := db.Table("nation").NumRows(); got != 25 {
+		t.Errorf("nations = %d", got)
+	}
+	// Every nation references a region; every order a customer.
+	r, err := db.Query(`SELECT COUNT(*) FROM nation n
+		LEFT JOIN region r ON n.regionkey = r.regionkey WHERE r.regionkey IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Scalar(); v.Int != 0 {
+		t.Error("nation → region integrity broken")
+	}
+	r2, err := db.Query(`SELECT COUNT(*) FROM orders o
+		LEFT JOIN customer c ON o.custkey = c.custkey WHERE c.custkey IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r2.Scalar(); v.Int != 0 {
+		t.Error("orders → customer integrity broken")
+	}
+}
+
+func TestTPCHQueriesExecuteAndAnalyzeShapes(t *testing.T) {
+	db := GenerateTPCH(TPCHConfig{Seed: 1, Scale: 0.02})
+	for _, q := range TPCHQueries() {
+		rs, err := db.Query(q.SQL)
+		if err != nil {
+			t.Errorf("%s: %v", q.ID, err)
+			continue
+		}
+		if len(rs.Rows) == 0 {
+			t.Errorf("%s returned no rows", q.ID)
+		}
+		stmt, err := sqlparser.Parse(q.SQL)
+		if err != nil {
+			t.Errorf("%s parse: %v", q.ID, err)
+			continue
+		}
+		joins := countJoins(stmt)
+		if joins != q.Joins {
+			t.Errorf("%s: declared %d joins, query has %d", q.ID, q.Joins, joins)
+		}
+	}
+}
+
+func countJoins(stmt *sqlparser.SelectStmt) int {
+	n := 0
+	var walk func(te sqlparser.TableExpr)
+	walk = func(te sqlparser.TableExpr) {
+		if j, ok := te.(*sqlparser.JoinExpr); ok {
+			n++
+			walk(j.Left)
+			walk(j.Right)
+		}
+	}
+	for _, te := range stmt.From {
+		walk(te)
+	}
+	return n
+}
+
+func TestStudyCorpusParses(t *testing.T) {
+	corpus := GenerateStudyCorpus(StudyCorpusConfig{Seed: 9, N: 3000})
+	if len(corpus) != 3000 {
+		t.Fatalf("corpus size = %d", len(corpus))
+	}
+	failures := 0
+	for _, q := range corpus {
+		if _, err := sqlparser.Parse(q.SQL); err != nil {
+			failures++
+			if failures <= 3 {
+				t.Logf("parse %q: %v", q.SQL, err)
+			}
+		}
+	}
+	if failures > 0 {
+		t.Errorf("%d/%d corpus queries failed to parse", failures, len(corpus))
+	}
+}
+
+func TestStudyCorpusRoundTrips(t *testing.T) {
+	// Printer round-trip over the realistic corpus exercises the printer on
+	// generated join shapes.
+	corpus := GenerateStudyCorpus(StudyCorpusConfig{Seed: 10, N: 500})
+	for _, q := range corpus {
+		stmt, err := sqlparser.Parse(q.SQL)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		printed := sqlparser.Print(stmt)
+		if _, err := sqlparser.Parse(printed); err != nil {
+			t.Fatalf("reparse of %q failed: %v", printed, err)
+		}
+	}
+}
+
+func TestStudyCorpusBackendMix(t *testing.T) {
+	corpus := GenerateStudyCorpus(StudyCorpusConfig{Seed: 11, N: 20000})
+	counts := map[string]int{}
+	for _, q := range corpus {
+		counts[q.Backend]++
+	}
+	vertica := 100 * float64(counts["Vertica"]) / float64(len(corpus))
+	if vertica < 75 || vertica > 82 {
+		t.Errorf("Vertica share = %.1f%%, want ≈ 78.5%%", vertica)
+	}
+}
+
+func TestExpCorpusCoverage(t *testing.T) {
+	cfg := ExpCorpusConfig{Seed: 1, N: 200, Cities: 10, Drivers: 100, Users: 300, Days: 30}
+	corpus := GenerateExpCorpus(cfg)
+	if len(corpus) != 200 {
+		t.Fatalf("corpus size = %d", len(corpus))
+	}
+	var joins, public, mn, hist, individual int
+	for _, q := range corpus {
+		if q.Joins > 0 {
+			joins++
+		}
+		if q.UsesPublic {
+			public++
+		}
+		if q.ManyToMany {
+			mn++
+		}
+		if q.Histogram {
+			hist++
+		}
+		if q.Category == CatIndividual {
+			individual++
+		}
+		if !strings.Contains(strings.ToUpper(q.SQL), "COUNT") {
+			t.Errorf("non-counting query in corpus: %s", q.SQL)
+		}
+	}
+	for name, n := range map[string]int{
+		"join": joins, "public": public, "many-to-many": mn,
+		"histogram": hist, "individual": individual,
+	} {
+		if n == 0 {
+			t.Errorf("corpus has no %s queries", name)
+		}
+	}
+}
+
+func TestUniqueKey(t *testing.T) {
+	if !UniqueKey("trips", "id") || UniqueKey("trips", "driver_id") {
+		t.Error("trips keys misclassified")
+	}
+	if !UniqueKey("analytics", "driver_id") || UniqueKey("user_tags", "user_id") {
+		t.Error("aux keys misclassified")
+	}
+}
+
+func TestTriangleSQLMatchesPaper(t *testing.T) {
+	stmt, err := sqlparser.Parse(TriangleSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countJoins(stmt) != 2 {
+		t.Error("triangle query must have exactly 2 joins")
+	}
+}

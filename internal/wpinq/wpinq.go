@@ -1,0 +1,217 @@
+// Package wpinq implements the weighted-PINQ baseline mechanism (Proserpio,
+// Goldberg, McSherry: "Calibrating Data to Sensitivity in Private Data
+// Analysis"), the comparison system of the paper's Section 5.5.
+//
+// wPINQ represents data as weighted multisets. Transformations rescale
+// record weights so that every query has global sensitivity 1; in
+// particular its equijoin gives each output pair (l, r) with key k the
+// weight a·b / (A_k + B_k), where a and b are the input weights and A_k and
+// B_k are the total input weights carrying key k on each side. A noisy
+// count is then the total weight plus Laplace(1/ε) noise.
+package wpinq
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"flexdp/internal/engine"
+	"flexdp/internal/smooth"
+)
+
+// Row is one weighted record.
+type Row struct {
+	Values []engine.Value
+	Weight float64
+}
+
+// Dataset is a weighted multiset of records with named columns.
+type Dataset struct {
+	Cols []string
+	Rows []Row
+}
+
+// FromTable converts an engine table into a dataset with unit weights.
+func FromTable(t *engine.Table) *Dataset {
+	d := &Dataset{Cols: t.Schema.Names()}
+	d.Rows = make([]Row, len(t.Rows))
+	for i, r := range t.Rows {
+		d.Rows[i] = Row{Values: r, Weight: 1}
+	}
+	return d
+}
+
+// ColIndex returns the index of the named column, or -1.
+func (d *Dataset) ColIndex(name string) int {
+	for i, c := range d.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Where filters records; weights are preserved (a stable transformation).
+func (d *Dataset) Where(pred func(vals []engine.Value) bool) *Dataset {
+	out := &Dataset{Cols: d.Cols}
+	for _, r := range d.Rows {
+		if pred(r.Values) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// Join performs the wPINQ weight-rescaling equijoin on the given key
+// columns. The output columns are the left columns followed by the right
+// columns (prefixed when names collide).
+func (d *Dataset) Join(other *Dataset, leftKey, rightKey int) (*Dataset, error) {
+	if leftKey < 0 || leftKey >= len(d.Cols) || rightKey < 0 || rightKey >= len(other.Cols) {
+		return nil, fmt.Errorf("wpinq: join key out of range")
+	}
+	type side struct {
+		rows  []Row
+		total float64
+	}
+	group := func(rows []Row, key int) map[string]*side {
+		m := make(map[string]*side)
+		for _, r := range rows {
+			v := r.Values[key]
+			if v.IsNull() {
+				continue
+			}
+			k := v.Key()
+			s := m[k]
+			if s == nil {
+				s = &side{}
+				m[k] = s
+			}
+			s.rows = append(s.rows, r)
+			s.total += r.Weight
+		}
+		return m
+	}
+	left := group(d.Rows, leftKey)
+	right := group(other.Rows, rightKey)
+
+	out := &Dataset{Cols: joinCols(d.Cols, other.Cols)}
+	// Deterministic key order for reproducibility.
+	keys := make([]string, 0, len(left))
+	for k := range left {
+		if _, ok := right[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		l, r := left[k], right[k]
+		denom := l.total + r.total
+		if denom == 0 {
+			continue
+		}
+		for _, lr := range l.rows {
+			for _, rr := range r.rows {
+				vals := make([]engine.Value, 0, len(lr.Values)+len(rr.Values))
+				vals = append(vals, lr.Values...)
+				vals = append(vals, rr.Values...)
+				w := lr.Weight * rr.Weight / denom
+				if w == 0 {
+					continue
+				}
+				out.Rows = append(out.Rows, Row{Values: vals, Weight: w})
+			}
+		}
+	}
+	return out, nil
+}
+
+// JoinPublic joins against a public (non-protected) dataset without weight
+// rescaling: each match keeps the private record's weight. This mirrors the
+// paper's experimental setup, which uses wPINQ's select operator for joins
+// on public tables so no noise protects public records (Section 5.5).
+func (d *Dataset) JoinPublic(pub *Dataset, leftKey, pubKey int) (*Dataset, error) {
+	if leftKey < 0 || leftKey >= len(d.Cols) || pubKey < 0 || pubKey >= len(pub.Cols) {
+		return nil, fmt.Errorf("wpinq: join key out of range")
+	}
+	index := make(map[string][]Row)
+	for _, r := range pub.Rows {
+		v := r.Values[pubKey]
+		if v.IsNull() {
+			continue
+		}
+		index[v.Key()] = append(index[v.Key()], r)
+	}
+	out := &Dataset{Cols: joinCols(d.Cols, pub.Cols)}
+	for _, lr := range d.Rows {
+		v := lr.Values[leftKey]
+		if v.IsNull() {
+			continue
+		}
+		for _, rr := range index[v.Key()] {
+			vals := make([]engine.Value, 0, len(lr.Values)+len(rr.Values))
+			vals = append(vals, lr.Values...)
+			vals = append(vals, rr.Values...)
+			out.Rows = append(out.Rows, Row{Values: vals, Weight: lr.Weight})
+		}
+	}
+	return out, nil
+}
+
+func joinCols(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	out := make([]string, 0, len(a)+len(b))
+	for _, c := range a {
+		seen[c] = true
+		out = append(out, c)
+	}
+	for _, c := range b {
+		name := c
+		for seen[name] {
+			name = "r_" + name
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	return out
+}
+
+// TotalWeight returns the exact total weight (the true wPINQ count before
+// noise).
+func (d *Dataset) TotalWeight() float64 {
+	var w float64
+	for _, r := range d.Rows {
+		w += r.Weight
+	}
+	return w
+}
+
+// NoisyCount releases the total weight with Laplace(1/ε) noise; sensitivity
+// is 1 by wPINQ's weight-rescaling invariant.
+func (d *Dataset) NoisyCount(rng *rand.Rand, epsilon float64) float64 {
+	return d.TotalWeight() + smooth.Laplace(rng, 1/epsilon)
+}
+
+// WeightByKey sums weights grouped by the key column (true histogram).
+func (d *Dataset) WeightByKey(key int) map[string]float64 {
+	out := make(map[string]float64)
+	for _, r := range d.Rows {
+		v := r.Values[key]
+		if v.IsNull() {
+			continue
+		}
+		out[v.Key()] += r.Weight
+	}
+	return out
+}
+
+// NoisyCountByKey releases one noisy weight per provided bin label
+// (zero-filled when absent), each with Laplace(1/ε) noise — the wPINQ
+// histogram release for enumerable bins.
+func (d *Dataset) NoisyCountByKey(rng *rand.Rand, epsilon float64, key int, bins []engine.Value) map[string]float64 {
+	true_ := d.WeightByKey(key)
+	out := make(map[string]float64, len(bins))
+	for _, b := range bins {
+		out[b.Key()] = true_[b.Key()] + smooth.Laplace(rng, 1/epsilon)
+	}
+	return out
+}

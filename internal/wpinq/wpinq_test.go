@@ -1,0 +1,187 @@
+package wpinq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flexdp/internal/engine"
+)
+
+func table(t *testing.T, name string, cols []string, rows [][]int64) *engine.Table {
+	t.Helper()
+	ecols := make([]engine.Column, len(cols))
+	for i, c := range cols {
+		ecols[i] = engine.Column{Name: c, Type: engine.KindInt}
+	}
+	tbl := &engine.Table{Name: name, Schema: engine.Schema{Columns: ecols}}
+	for _, r := range rows {
+		row := make([]engine.Value, len(r))
+		for i, v := range r {
+			row[i] = engine.NewInt(v)
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl
+}
+
+func TestFromTableUnitWeights(t *testing.T) {
+	d := FromTable(table(t, "r", []string{"a"}, [][]int64{{1}, {2}, {3}}))
+	if d.TotalWeight() != 3 {
+		t.Errorf("total = %g, want 3", d.TotalWeight())
+	}
+}
+
+func TestWherePreservesWeights(t *testing.T) {
+	d := FromTable(table(t, "r", []string{"a"}, [][]int64{{1}, {2}, {3}}))
+	f := d.Where(func(v []engine.Value) bool { return v[0].Int >= 2 })
+	if f.TotalWeight() != 2 {
+		t.Errorf("filtered weight = %g, want 2", f.TotalWeight())
+	}
+}
+
+func TestJoinWeightRescaling(t *testing.T) {
+	// One-to-one join on a unique key: A_k = B_k = 1, so each output pair
+	// gets weight 1·1/(1+1) = 0.5.
+	l := FromTable(table(t, "l", []string{"k"}, [][]int64{{1}, {2}}))
+	r := FromTable(table(t, "r", []string{"k"}, [][]int64{{1}, {2}}))
+	j, err := l.Join(r, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(j.Rows))
+	}
+	for _, row := range j.Rows {
+		if row.Weight != 0.5 {
+			t.Errorf("weight = %g, want 0.5", row.Weight)
+		}
+	}
+}
+
+func TestJoinManyToMany(t *testing.T) {
+	// 2 left and 3 right records share key 7: A=2, B=3, denom=5; each of the
+	// 6 pairs gets 1/5, total weight 6/5.
+	l := FromTable(table(t, "l", []string{"k"}, [][]int64{{7}, {7}}))
+	r := FromTable(table(t, "r", []string{"k"}, [][]int64{{7}, {7}, {7}}))
+	j, err := l.Join(r, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(j.Rows))
+	}
+	if w := j.TotalWeight(); math.Abs(w-1.2) > 1e-12 {
+		t.Errorf("total = %g, want 1.2", w)
+	}
+}
+
+// TestJoinSensitivityBounded verifies the wPINQ invariant empirically: the
+// total output weight changes by at most ~1 when one input record is added.
+func TestJoinSensitivityBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		var lrows, rrows [][]int64
+		for i := 0; i < 5+rng.Intn(5); i++ {
+			lrows = append(lrows, []int64{int64(rng.Intn(3))})
+		}
+		for i := 0; i < 5+rng.Intn(5); i++ {
+			rrows = append(rrows, []int64{int64(rng.Intn(3))})
+		}
+		l := FromTable(table(t, "l", []string{"k"}, lrows))
+		r := FromTable(table(t, "r", []string{"k"}, rrows))
+		j, err := l.Join(r, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := j.TotalWeight()
+		// Add one record to the left with each key value.
+		for v := int64(0); v < 3; v++ {
+			l2 := FromTable(table(t, "l", []string{"k"}, append(append([][]int64{}, lrows...), []int64{v})))
+			j2, err := l2.Join(r, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(j2.TotalWeight() - base); d > 1+1e-9 {
+				t.Errorf("trial %d: adding one record changed weight by %g > 1", trial, d)
+			}
+		}
+	}
+}
+
+func TestJoinPublicKeepsWeights(t *testing.T) {
+	priv := FromTable(table(t, "p", []string{"city"}, [][]int64{{1}, {1}, {2}}))
+	pub := FromTable(table(t, "cities", []string{"id"}, [][]int64{{1}, {2}, {3}}))
+	j, err := priv.JoinPublic(pub, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.TotalWeight() != 3 {
+		t.Errorf("public join weight = %g, want 3 (unchanged)", j.TotalWeight())
+	}
+}
+
+func TestNoisyCountConcentrates(t *testing.T) {
+	d := FromTable(table(t, "r", []string{"a"}, [][]int64{{1}, {2}, {3}, {4}}))
+	rng := rand.New(rand.NewSource(9))
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sum += d.NoisyCount(rng, 1.0)
+	}
+	if mean := sum / n; math.Abs(mean-4) > 0.1 {
+		t.Errorf("mean noisy count = %g, want ≈ 4", mean)
+	}
+}
+
+func TestNoisyCountByKeyZeroFills(t *testing.T) {
+	d := FromTable(table(t, "r", []string{"a"}, [][]int64{{1}, {1}, {2}}))
+	rng := rand.New(rand.NewSource(2))
+	bins := []engine.Value{engine.NewInt(1), engine.NewInt(2), engine.NewInt(3)}
+	out := d.NoisyCountByKey(rng, 5.0, 0, bins)
+	if len(out) != 3 {
+		t.Fatalf("bins = %d, want 3", len(out))
+	}
+	if _, ok := out[engine.NewInt(3).Key()]; !ok {
+		t.Error("empty bin 3 missing")
+	}
+}
+
+func TestColIndexAndJoinCols(t *testing.T) {
+	l := FromTable(table(t, "l", []string{"k", "v"}, nil))
+	r := FromTable(table(t, "r", []string{"k", "w"}, nil))
+	j, err := l.Join(r, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ColIndex("r_k") != 2 || j.ColIndex("w") != 3 {
+		t.Errorf("cols = %v", j.Cols)
+	}
+	if l.ColIndex("missing") != -1 {
+		t.Error("missing column should be -1")
+	}
+}
+
+func TestJoinKeyRangeChecked(t *testing.T) {
+	l := FromTable(table(t, "l", []string{"k"}, nil))
+	if _, err := l.Join(l, 5, 0); err == nil {
+		t.Error("out-of-range key should error")
+	}
+	if _, err := l.JoinPublic(l, 0, 9); err == nil {
+		t.Error("out-of-range public key should error")
+	}
+}
+
+func TestNullKeysDropped(t *testing.T) {
+	tbl := &engine.Table{Name: "n", Schema: engine.Schema{
+		Columns: []engine.Column{{Name: "k", Type: engine.KindInt}}}}
+	tbl.Rows = [][]engine.Value{{engine.Null}, {engine.NewInt(1)}}
+	d := FromTable(tbl)
+	j, err := d.Join(d, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Rows) != 1 {
+		t.Errorf("rows = %d, want 1 (null keys never match)", len(j.Rows))
+	}
+}

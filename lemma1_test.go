@@ -1,0 +1,113 @@
+package flex
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexdp/internal/core"
+	"flexdp/internal/engine"
+	"flexdp/internal/metrics"
+	"flexdp/internal/relalg"
+)
+
+// This file empirically validates Lemma 1: mf_k(a, r, x) upper-bounds the
+// max frequency of attribute a in relation r over every database within
+// distance k of x. We check it directly on base tables (where mf_k =
+// mf + k) and on joined relations (where the Figure 1(c) recursion
+// multiplies frequencies), by enumerating all distance-1 neighbors and
+// measuring true frequencies in the materialized join.
+
+// maxFreqOfColumn measures the true max frequency of a result column.
+func maxFreqOfColumn(rs *engine.ResultSet, col int) int {
+	freq := make(map[string]int)
+	best := 0
+	for _, row := range rs.Rows {
+		v := row[col]
+		if v.IsNull() {
+			continue
+		}
+		freq[v.Key()]++
+		if freq[v.Key()] > best {
+			best = freq[v.Key()]
+		}
+	}
+	return best
+}
+
+func TestLemma1BaseTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		db := randomSoundnessDB(rng)
+		m := metrics.CollectFromDB(db.Engine())
+		mf0, _ := m.MF("r", "a")
+
+		worst := 0
+		err := forEachNeighbor(db, func() error {
+			m2 := metrics.CollectFromDB(db.Engine())
+			if v, _ := m2.MF("r", "a"); v > worst {
+				worst = v
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// mf_1(a, r) = mf(a, r) + 1 must bound every neighbor's mf.
+		if worst > mf0+1 {
+			t.Errorf("trial %d: neighbor mf %d exceeds mf+1 = %d", trial, worst, mf0+1)
+		}
+	}
+}
+
+func TestLemma1JoinedRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	joinSQL := "SELECT r.a, r.b, s.c FROM r JOIN s ON r.a = s.a"
+	for trial := 0; trial < 8; trial++ {
+		db := randomSoundnessDB(rng)
+		sys := NewSystem(db, Options{Seed: 1})
+		sys.CollectMetrics()
+
+		// Build the joined relation algebraically to query mf_k from the
+		// analyzer: r ⋈_{r.a = s.a} s, attribute r.b.
+		rLeaf := &relalg.TableRel{Table: "r"}
+		sLeaf := &relalg.TableRel{Table: "s"}
+		join := &relalg.JoinRel{
+			Left: rLeaf, Right: sLeaf,
+			LeftKey:  relalg.Attr{BaseTable: "r", Column: "a", Leaf: rLeaf},
+			RightKey: relalg.Attr{BaseTable: "s", Column: "a", Leaf: sLeaf},
+		}
+		attr := relalg.Attr{BaseTable: "r", Column: "b", Leaf: rLeaf}
+		an := core.NewAnalyzer(sys.Metrics())
+
+		for k := 0; k <= 1; k++ {
+			bound, err := an.MaxFreqAt(attr, join, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst := 0
+			measure := func() error {
+				rs, err := db.Engine().Query(joinSQL)
+				if err != nil {
+					return err
+				}
+				if f := maxFreqOfColumn(rs, 1); f > worst {
+					worst = f
+				}
+				return nil
+			}
+			if k == 0 {
+				if err := measure(); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := forEachNeighbor(db, measure); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if float64(worst) > bound+1e-9 {
+				t.Errorf("trial %d k=%d: true joined mf %d exceeds mf_k bound %g",
+					trial, k, worst, bound)
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package flex
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"flexdp/internal/engine"
+)
+
+// This file empirically validates Theorem 1: the elastic sensitivity
+// Ŝ^(k)(q, x) upper-bounds the local sensitivity of q at distance k from x.
+// For random small databases we enumerate every neighbor (bounded DP: one
+// tuple changed) and compare the worst-case true change in the query answer
+// against the analyzer's bound.
+
+// soundnessQueries are counting queries covering the algebra: plain counts,
+// selections, joins, self joins, multi-joins, and histograms.
+var soundnessQueries = []string{
+	"SELECT COUNT(*) FROM r",
+	"SELECT COUNT(*) FROM r WHERE b = 1",
+	"SELECT COUNT(*) FROM r JOIN s ON r.a = s.a",
+	"SELECT COUNT(*) FROM r x JOIN r y ON x.a = y.a",
+	"SELECT COUNT(*) FROM r x JOIN r y ON x.a = y.a JOIN s z ON y.b = z.a",
+	"SELECT a, COUNT(*) FROM r GROUP BY a",
+	"SELECT COUNT(*) FROM r JOIN s ON r.b = s.c WHERE r.a = 0",
+}
+
+const soundnessDomain = 3 // attribute values range over 0..2
+
+func randomSoundnessDB(rng *rand.Rand) *Database {
+	db := NewDatabase()
+	_ = db.CreateTable("r", Col{"a", TypeInt}, Col{"b", TypeInt})
+	_ = db.CreateTable("s", Col{"a", TypeInt}, Col{"c", TypeInt})
+	nr := 3 + rng.Intn(4)
+	ns := 2 + rng.Intn(4)
+	for i := 0; i < nr; i++ {
+		_ = db.Insert("r", rng.Intn(soundnessDomain), rng.Intn(soundnessDomain))
+	}
+	for i := 0; i < ns; i++ {
+		_ = db.Insert("s", rng.Intn(soundnessDomain), rng.Intn(soundnessDomain))
+	}
+	return db
+}
+
+// histogramOf runs the query and returns bin-key → aggregate value.
+func histogramOf(db *Database, sql string) (map[string]float64, error) {
+	res, err := db.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(res.Rows))
+	for _, row := range res.Rows {
+		key := ""
+		var val float64
+		for i, v := range row {
+			if i == len(row)-1 {
+				switch x := v.(type) {
+				case int64:
+					val = float64(x)
+				case float64:
+					val = x
+				case nil:
+					val = 0
+				}
+			} else {
+				key += fmt.Sprintf("%v|", v)
+			}
+		}
+		out[key] += val
+	}
+	return out, nil
+}
+
+// l1Dist is the L1 distance between two histograms over the union of bins.
+func l1Dist(a, b map[string]float64) float64 {
+	var d float64
+	for k, va := range a {
+		d += math.Abs(va - b[k])
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			d += math.Abs(vb)
+		}
+	}
+	return d
+}
+
+// forEachNeighbor calls fn after mutating one row to each alternative value
+// combination, restoring the row afterwards.
+func forEachNeighbor(db *Database, fn func() error) error {
+	for _, tname := range db.Engine().TableNames() {
+		tbl := db.Engine().Table(tname)
+		for ri := range tbl.Rows {
+			orig := tbl.Rows[ri]
+			alt := make([]engine.Value, len(orig))
+			var rec func(col int) error
+			rec = func(col int) error {
+				if col == len(orig) {
+					tbl.Rows[ri] = alt
+					err := fn()
+					tbl.Rows[ri] = orig
+					return err
+				}
+				for v := 0; v < soundnessDomain; v++ {
+					alt2 := make([]engine.Value, len(alt))
+					copy(alt2, alt)
+					alt2[col] = engine.NewInt(int64(v))
+					saved := alt
+					alt = alt2
+					if err := rec(col + 1); err != nil {
+						return err
+					}
+					alt = saved
+				}
+				return nil
+			}
+			if err := rec(0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// empiricalLS computes the true local sensitivity of the query at the
+// database by enumerating every neighbor.
+func empiricalLS(db *Database, sql string) (float64, error) {
+	base, err := histogramOf(db, sql)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	err = forEachNeighbor(db, func() error {
+		h, err := histogramOf(db, sql)
+		if err != nil {
+			return err
+		}
+		if d := l1Dist(base, h); d > worst {
+			worst = d
+		}
+		return nil
+	})
+	return worst, err
+}
+
+func TestTheorem1ElasticBoundsLocalSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20180904))
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		db := randomSoundnessDB(rng)
+		sys := NewSystem(db, Options{Seed: 1})
+		sys.CollectMetrics()
+		for _, sql := range soundnessQueries {
+			a, err := sys.Analyze(sql)
+			if err != nil {
+				t.Fatalf("trial %d analyze %q: %v", trial, sql, err)
+			}
+			bound, err := sys.SensitivityAt(a, 0)
+			if err != nil {
+				t.Fatalf("trial %d bound %q: %v", trial, sql, err)
+			}
+			ls, err := empiricalLS(db, sql)
+			if err != nil {
+				t.Fatalf("trial %d empirical %q: %v", trial, sql, err)
+			}
+			if ls > bound[0]+1e-9 {
+				t.Errorf("trial %d: %q: local sensitivity %g exceeds elastic bound %g",
+					trial, sql, ls, bound[0])
+			}
+		}
+	}
+}
+
+// TestTheorem1AtDistanceOne spot-checks A^(1)(x) ≤ Ŝ^(1): the local
+// sensitivity of random neighbors y of x must respect the distance-1 bound.
+func TestTheorem1AtDistanceOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const trials = 4
+	for trial := 0; trial < trials; trial++ {
+		db := randomSoundnessDB(rng)
+		sys := NewSystem(db, Options{Seed: 1})
+		sys.CollectMetrics()
+		for _, sql := range soundnessQueries[:5] {
+			a, err := sys.Analyze(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := sys.SensitivityAt(a, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Sample random neighbors y and measure LS(y) against Ŝ^(1)(x).
+			for probe := 0; probe < 6; probe++ {
+				tnames := db.Engine().TableNames()
+				tbl := db.Engine().Table(tnames[rng.Intn(len(tnames))])
+				if len(tbl.Rows) == 0 {
+					continue
+				}
+				ri := rng.Intn(len(tbl.Rows))
+				orig := tbl.Rows[ri]
+				mut := make([]engine.Value, len(orig))
+				for i := range mut {
+					mut[i] = engine.NewInt(int64(rng.Intn(soundnessDomain)))
+				}
+				tbl.Rows[ri] = mut
+				ls, err := empiricalLS(db, sql)
+				tbl.Rows[ri] = orig
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ls > bound[0]+1e-9 {
+					t.Errorf("trial %d: %q: LS(neighbor) %g exceeds Ŝ^(1) %g",
+						trial, sql, ls, bound[0])
+				}
+			}
+		}
+	}
+}
+
+// TestSumSensitivitySound checks the Section 3.7.2 SUM extension: with vr
+// set to the attribute's domain range, elastic sensitivity bounds the true
+// change of SUM under single-tuple modification.
+func TestSumSensitivitySound(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 10; trial++ {
+		db := randomSoundnessDB(rng)
+		sys := NewSystem(db, Options{Seed: 1})
+		sys.CollectMetrics()
+		// Enforced data model: b ∈ [0, domain-1], so vr = domain-1.
+		sys.Metrics().SetVR("r", "b", float64(soundnessDomain-1))
+		sql := "SELECT SUM(b) FROM r"
+		a, err := sys.Analyze(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := sys.SensitivityAt(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, err := empiricalLS(db, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ls > bound[0]+1e-9 {
+			t.Errorf("trial %d: SUM LS %g exceeds bound %g", trial, ls, bound[0])
+		}
+	}
+}
