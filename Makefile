@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: check build test vet race bench-short bench-engine bench-paper flexbench-small
+
+# Default: the tier-1 verification plus static analysis.
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the packages with concurrent code paths (the parallel
+# experiment runners force a multi-goroutine pool in their tests).
+race:
+	$(GO) test -race ./internal/experiments/... ./internal/engine/... ./internal/smooth/...
+
+# Quick regression signal on the engine hot paths and the corpus-scale
+# paper benches; compare across commits with benchstat.
+bench-short: bench-engine bench-paper
+
+bench-engine:
+	$(GO) test ./internal/engine -run '^$$' \
+		-bench 'BenchmarkWhereFilter|BenchmarkHashJoin|BenchmarkGroupByAggregate|BenchmarkProjection|BenchmarkDistinct' \
+		-benchtime 1s
+
+bench-paper:
+	$(GO) test . -run '^$$' -bench 'BenchmarkStudyQ1toQ8|BenchmarkTable2Performance' -benchtime 3x
+
+# Small-scale full regeneration of every paper table/figure, with the
+# machine-readable record written to BENCH_<date>.json.
+flexbench-small:
+	$(GO) run ./cmd/flexbench -small -json auto

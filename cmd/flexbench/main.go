@@ -3,12 +3,18 @@
 // a fast smoke configuration. Individual experiments can be selected with
 // -only (comma-separated ids: study, table1, triangle, table2, successrate,
 // fig3, fig4, fig5, fig6, table4, fig7, table5, ablations).
+//
+// -json writes a machine-readable record of every experiment result
+// alongside the paper-style rows, so performance and utility trajectories
+// can be tracked across commits; "auto" expands to BENCH_<date>.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -16,12 +22,28 @@ import (
 	"flexdp/internal/workload"
 )
 
+// benchRecord is the schema of the -json output file.
+type benchRecord struct {
+	Date       string  `json:"date"`
+	Config     string  `json:"config"` // "full" or "small"
+	Seed       int64   `json:"seed"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	EnvRows    int     `json:"env_rows,omitempty"`
+	EnvSetupMS float64 `json:"env_setup_ms,omitempty"`
+	Delta      float64 `json:"delta,omitempty"`
+	// ElapsedMS records per-experiment wall time in milliseconds.
+	ElapsedMS map[string]float64 `json:"elapsed_ms"`
+	// Results holds each experiment's structured result keyed by id.
+	Results map[string]any `json:"results"`
+}
+
 func main() {
 	small := flag.Bool("small", false, "use the fast small-scale environment")
 	only := flag.String("only", "", "comma-separated experiment ids to run")
 	reps := flag.Int("reps", 5, "noise repetitions per query for error measurement")
 	wpinqReps := flag.Int("wpinq-reps", 100, "wPINQ repetitions for Table 5")
 	seed := flag.Int64("seed", 20180904, "experiment seed")
+	jsonPath := flag.String("json", "", `write machine-readable results to this file ("auto" = BENCH_<date>.json)`)
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -33,10 +55,21 @@ func main() {
 	run := func(id string) bool { return len(want) == 0 || want[id] }
 
 	cfg := experiments.DefaultEnv()
+	config := "full"
 	if *small {
 		cfg = experiments.SmallEnv()
+		config = "small"
 	}
 	cfg.Seed = *seed
+
+	record := &benchRecord{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Config:     config,
+		Seed:       *seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		ElapsedMS:  make(map[string]float64),
+		Results:    make(map[string]any),
+	}
 
 	var env *experiments.Env
 	needEnv := run("table1") || run("table2") || run("successrate") || run("fig3") ||
@@ -46,70 +79,91 @@ func main() {
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "building environment (%d trips)...\n", cfg.Rideshare.Trips)
 		env = experiments.NewEnv(cfg)
+		setup := time.Since(start)
 		fmt.Fprintf(os.Stderr, "environment ready in %v (%d rows, δ = %.3g)\n\n",
-			time.Since(start).Round(time.Millisecond), env.DB.TotalRows(), env.Delta)
+			setup.Round(time.Millisecond), env.DB.TotalRows(), env.Delta)
+		record.EnvRows = env.DB.TotalRows()
+		record.EnvSetupMS = float64(setup.Microseconds()) / 1000
+		record.Delta = env.Delta
 	}
 
-	section := func(s fmt.Stringer) {
-		fmt.Println(s.String())
+	// section runs one experiment, prints its paper-style rows, and folds
+	// the structured result plus wall time into the JSON record.
+	section := func(id string, f func() fmt.Stringer) {
+		if !run(id) {
+			return
+		}
+		start := time.Now()
+		res := f()
+		record.ElapsedMS[id] = float64(time.Since(start).Microseconds()) / 1000
+		record.Results[id] = res
+		fmt.Println(res.String())
 		fmt.Println()
 	}
 
-	if run("study") {
+	section("study", func() fmt.Stringer {
 		n := 100000
 		if *small {
 			n = 10000
 		}
-		section(experiments.RunStudy(workload.StudyCorpusConfig{Seed: *seed, N: n}))
-	}
-	if run("table1") {
-		section(experiments.RunTable1(env))
-	}
-	if run("triangle") {
+		return experiments.RunStudy(workload.StudyCorpusConfig{Seed: *seed, N: n})
+	})
+	section("table1", func() fmt.Stringer { return experiments.RunTable1(env) })
+	section("triangle", func() fmt.Stringer {
 		res, err := experiments.RunTriangle(*seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "triangle: %v\n", err)
 			os.Exit(1)
 		}
-		section(res)
-	}
-	if run("table2") {
-		section(experiments.RunTable2(env, 0.1))
-	}
-	if run("successrate") {
-		section(experiments.RunSuccessRate(env, *seed))
-	}
-	if run("fig3") {
-		section(experiments.RunFigure3(env, 0.1))
-	}
-	if run("fig4") {
-		section(experiments.RunFigure4(env, *reps))
-	}
-	if run("fig5") {
+		return res
+	})
+	section("table2", func() fmt.Stringer { return experiments.RunTable2(env, 0.1) })
+	section("successrate", func() fmt.Stringer { return experiments.RunSuccessRate(env, *seed) })
+	section("fig3", func() fmt.Stringer { return experiments.RunFigure3(env, 0.1) })
+	section("fig4", func() fmt.Stringer { return experiments.RunFigure4(env, *reps) })
+	section("fig5", func() fmt.Stringer {
 		scale := 1.0
 		if *small {
 			scale = 0.05
 		}
-		section(experiments.RunFigure5(workload.TPCHConfig{Seed: *seed, Scale: scale}, *seed, *reps))
-	}
-	if run("fig6") {
-		section(experiments.RunFigure6(env, *reps))
-	}
-	if run("table4") {
-		section(experiments.RunTable4(env, *reps))
-	}
-	if run("fig7") {
-		section(experiments.RunFigure7(env, *reps))
-	}
-	if run("table5") {
-		section(experiments.RunTable5(env, *wpinqReps, *seed))
-	}
-	if run("ablations") {
+		return experiments.RunFigure5(workload.TPCHConfig{Seed: *seed, Scale: scale}, *seed, *reps)
+	})
+	section("fig6", func() fmt.Stringer { return experiments.RunFigure6(env, *reps) })
+	section("table4", func() fmt.Stringer { return experiments.RunTable4(env, *reps) })
+	section("fig7", func() fmt.Stringer { return experiments.RunFigure7(env, *reps) })
+	section("table5", func() fmt.Stringer { return experiments.RunTable5(env, *wpinqReps, *seed) })
+	section("ablations", func() fmt.Stringer {
 		res, err := experiments.RunAblations(env)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
 			os.Exit(1)
 		}
-		section(res)
+		return res
+	})
+
+	if *jsonPath != "" {
+		path := *jsonPath
+		if path == "auto" {
+			path = "BENCH_" + record.Date + ".json"
+		}
+		// Never lose a completed run to one unmarshalable result: replace
+		// any offender with an error note and marshal the rest.
+		for id, res := range record.Results {
+			if _, err := json.Marshal(res); err != nil {
+				record.Results[id] = map[string]string{"marshal_error": err.Error()}
+				fmt.Fprintf(os.Stderr, "json: result %s not marshalable: %v\n", id, err)
+			}
+		}
+		data, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 }

@@ -191,6 +191,24 @@ func lower(s string) string {
 // Database returns the wrapped database.
 func (s *System) Database() *Database { return s.db }
 
+// CloneWithSeed returns a System that shares this system's database,
+// collected metrics, analyzer, options, and bin domains but draws noise
+// from an independent mechanism seeded with seed. Parallel experiment
+// runners use it to give each worker a deterministic noise stream that does
+// not depend on goroutine scheduling; the shared read-only state avoids
+// recollecting metrics per worker.
+func (s *System) CloneWithSeed(seed int64) *System {
+	return &System{
+		db:             s.db,
+		metrics:        s.metrics,
+		an:             s.an,
+		mech:           smooth.NewMechanism(seed),
+		opts:           s.opts,
+		domains:        s.domains,
+		metricsVersion: s.metricsVersion,
+	}
+}
+
 // PrivateRow is one row of a differentially private result: the (public)
 // histogram bin labels followed by the noisy aggregate values.
 type PrivateRow struct {

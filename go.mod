@@ -1,0 +1,3 @@
+module flexdp
+
+go 1.24.0

@@ -32,21 +32,32 @@ func (ctx *execContext) executeAggregate(stmt *sqlparser.SelectStmt, rel *relati
 	if len(stmt.GroupBy) == 0 {
 		groups = []*group{{rows: rel.rows}}
 	} else {
+		// Key expressions are compiled once against the input relation; the
+		// per-row work is then index lookups plus the composite key encode.
+		keyFns := make([]evalFn, len(stmt.GroupBy))
+		for i, e := range stmt.GroupBy {
+			fn, err := compileExpr(rel, ctx, e)
+			if err != nil {
+				return nil, nil, err
+			}
+			keyFns[i] = fn
+		}
 		index := make(map[string]*group)
 		var order []string
+		var scratch []byte
 		for _, row := range rel.rows {
-			env := &rowEnv{rel: rel, row: row, ctx: ctx}
-			keyVals := make([]Value, len(stmt.GroupBy))
-			for i, e := range stmt.GroupBy {
-				v, err := evalExpr(env, e)
+			keyVals := make([]Value, len(keyFns))
+			for i, fn := range keyFns {
+				v, err := fn(row)
 				if err != nil {
 					return nil, nil, err
 				}
 				keyVals[i] = v
 			}
-			k := RowKey(keyVals)
-			g, ok := index[k]
+			scratch = AppendRowKey(scratch[:0], keyVals)
+			g, ok := index[string(scratch)]
 			if !ok {
+				k := string(scratch)
 				g = &group{keyVals: keyVals}
 				index[k] = g
 				order = append(order, k)
@@ -69,8 +80,12 @@ func (ctx *execContext) executeAggregate(stmt *sqlparser.SelectStmt, rel *relati
 	out := &ResultSet{Columns: names}
 	var sortKeys [][]Value
 	needSort := len(stmt.OrderBy) > 0
+	// Aggregate-input expressions compile once and are shared by every
+	// group through this cache (AST nodes are stable pointers).
+	cache := make(map[sqlparser.Expr]evalFn)
 	for _, g := range groups {
-		genv := &groupEnv{ctx: ctx, rel: rel, rows: g.rows, groupBy: stmt.GroupBy, keyVals: g.keyVals}
+		genv := &groupEnv{ctx: ctx, rel: rel, rows: g.rows, groupBy: stmt.GroupBy,
+			keyVals: g.keyVals, cache: cache}
 		if stmt.Having != nil {
 			hv, err := genv.eval(stmt.Having)
 			if err != nil {
@@ -144,6 +159,27 @@ type groupEnv struct {
 	rows    [][]Value
 	groupBy []sqlparser.Expr
 	keyVals []Value
+	// cache holds compiled per-row evaluators keyed by AST node, shared
+	// across the groups of one aggregation so each aggregate input is
+	// compiled exactly once per query.
+	cache map[sqlparser.Expr]evalFn
+}
+
+// compiled returns the compiled evaluator for e, memoized across groups.
+func (g *groupEnv) compiled(e sqlparser.Expr) (evalFn, error) {
+	if g.cache != nil {
+		if fn, ok := g.cache[e]; ok {
+			return fn, nil
+		}
+	}
+	fn, err := compileExpr(g.rel, g.ctx, e)
+	if err != nil {
+		return nil, err
+	}
+	if g.cache != nil {
+		g.cache[e] = fn
+	}
+	return fn, nil
 }
 
 func (g *groupEnv) eval(e sqlparser.Expr) (Value, error) {
@@ -213,8 +249,11 @@ func (g *groupEnv) eval(e sqlparser.Expr) (Value, error) {
 	if len(g.rows) == 0 {
 		return Null, nil
 	}
-	env := &rowEnv{rel: g.rel, row: g.rows[0], ctx: g.ctx}
-	return evalExpr(env, e)
+	fn, err := g.compiled(e)
+	if err != nil {
+		return Null, err
+	}
+	return fn(g.rows[0])
 }
 
 func (g *groupEnv) evalAggCase(x *sqlparser.CaseExpr) (Value, error) {
@@ -313,11 +352,18 @@ func (g *groupEnv) evalAggregate(x *sqlparser.FuncCall) (Value, error) {
 	if len(x.Args) != 1 {
 		return Null, fmt.Errorf("engine: %s expects one argument", x.Name)
 	}
+	arg, err := g.compiled(x.Args[0])
+	if err != nil {
+		return Null, err
+	}
 	var vals []Value
-	seen := map[string]bool{}
+	var seen map[string]bool
+	if x.Distinct {
+		seen = make(map[string]bool)
+	}
+	var scratch []byte
 	for _, row := range g.rows {
-		env := &rowEnv{rel: g.rel, row: row, ctx: g.ctx}
-		v, err := evalExpr(env, x.Args[0])
+		v, err := arg(row)
 		if err != nil {
 			return Null, err
 		}
@@ -325,11 +371,11 @@ func (g *groupEnv) evalAggregate(x *sqlparser.FuncCall) (Value, error) {
 			continue
 		}
 		if x.Distinct {
-			k := v.Key()
-			if seen[k] {
+			scratch = v.AppendKey(scratch[:0])
+			if seen[string(scratch)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(scratch)] = true
 		}
 		vals = append(vals, v)
 	}

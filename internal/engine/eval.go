@@ -16,13 +16,15 @@ type relCol struct {
 	name string
 }
 
-// relation is an intermediate result during execution. Column lookups are
-// memoized: predicate evaluation resolves the same references once per row,
-// so the linear scan would otherwise dominate large joins.
+// relation is an intermediate result during execution. Column resolution
+// goes through a per-relation index map built once from the column layout,
+// so lookups are O(1) and ambiguity is detected uniformly for qualified and
+// unqualified references (the old linear scan silently returned the first
+// match for duplicate qualified names).
 type relation struct {
-	cols    []relCol
-	rows    [][]Value
-	colMemo map[string]int // lookup key → index; see colSentinel values
+	cols []relCol
+	rows [][]Value
+	idx  map[string]int // lookup key → column index or colAmbiguous
 }
 
 const (
@@ -30,16 +32,41 @@ const (
 	colAmbiguous = -2
 )
 
+// index returns the relation's column lookup map, building it on first use.
+// Every column is registered under its qualified key (qual NUL name) and its
+// unqualified key (NUL name), both lowercased; a key claimed by more than
+// one column maps to colAmbiguous.
+func (r *relation) index() map[string]int {
+	if r.idx == nil {
+		m := make(map[string]int, 2*len(r.cols))
+		add := func(key string, i int) {
+			if _, ok := m[key]; ok {
+				m[key] = colAmbiguous
+			} else {
+				m[key] = i
+			}
+		}
+		for i, c := range r.cols {
+			name := strings.ToLower(c.name)
+			add(c.qual+"\x00"+name, i)
+			// For unqualified columns (e.g. an unaliased derived table) the
+			// qualified key IS the unqualified key — adding it again would
+			// self-collide into a spurious ambiguity.
+			if c.qual != "" {
+				add("\x00"+name, i)
+			}
+		}
+		r.idx = m
+	}
+	return r.idx
+}
+
 func (r *relation) findCol(qual, name string) (int, error) {
 	key := strings.ToLower(qual) + "\x00" + strings.ToLower(name)
-	if r.colMemo == nil {
-		r.colMemo = make(map[string]int, len(r.cols))
+	idx, ok := r.index()[key]
+	if !ok {
+		idx = colUnknown
 	}
-	if idx, ok := r.colMemo[key]; ok {
-		return idx, colErr(idx, qual, name)
-	}
-	idx := r.findColSlow(qual, name)
-	r.colMemo[key] = idx
 	return idx, colErr(idx, qual, name)
 }
 
@@ -51,31 +78,12 @@ func colErr(idx int, qual, name string) error {
 		}
 		return fmt.Errorf("engine: unknown column %q", name)
 	case colAmbiguous:
+		if qual != "" {
+			return fmt.Errorf("engine: ambiguous column %s.%s", qual, name)
+		}
 		return fmt.Errorf("engine: ambiguous column %q", name)
 	}
 	return nil
-}
-
-func (r *relation) findColSlow(qual, name string) int {
-	if qual != "" {
-		q := strings.ToLower(qual)
-		for i, c := range r.cols {
-			if c.qual == q && strings.EqualFold(c.name, name) {
-				return i
-			}
-		}
-		return colUnknown
-	}
-	idx := colUnknown
-	for i, c := range r.cols {
-		if strings.EqualFold(c.name, name) {
-			if idx >= 0 {
-				return colAmbiguous
-			}
-			idx = i
-		}
-	}
-	return idx
 }
 
 // rowEnv is the evaluation environment for one row of a relation.

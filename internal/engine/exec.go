@@ -99,10 +99,13 @@ func (ctx *execContext) executeCore(stmt *sqlparser.SelectStmt) (*ResultSet, [][
 	}
 
 	if stmt.Where != nil {
-		filtered := rel.rows[:0:0]
+		pred, err := compileExpr(rel, ctx, stmt.Where)
+		if err != nil {
+			return nil, nil, err
+		}
+		filtered := make([][]Value, 0, len(rel.rows))
 		for _, row := range rel.rows {
-			env := &rowEnv{rel: rel, row: row, ctx: ctx}
-			v, err := evalExpr(env, stmt.Where)
+			v, err := pred(row)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -110,7 +113,9 @@ func (ctx *execContext) executeCore(stmt *sqlparser.SelectStmt) (*ResultSet, [][
 				filtered = append(filtered, row)
 			}
 		}
-		rel = &relation{cols: rel.cols, rows: filtered}
+		// cols are unchanged, so the column index built for the predicate
+		// compile carries over to the projection/aggregation passes.
+		rel = &relation{cols: rel.cols, rows: filtered, idx: rel.idx}
 	}
 
 	aggregated := len(stmt.GroupBy) > 0 || stmt.Having != nil
@@ -220,13 +225,17 @@ func resultToRelation(rs *ResultSet, alias string) *relation {
 
 func crossJoin(left, right *relation) *relation {
 	cols := append(append([]relCol{}, left.cols...), right.cols...)
-	rows := make([][]Value, 0, len(left.rows)*len(right.rows))
+	n := len(left.rows) * len(right.rows)
+	rows := make([][]Value, 0, n)
+	// One backing slab for every output row: the result size is known
+	// exactly, so a single allocation replaces n per-row allocations.
+	slab := make([]Value, 0, n*len(cols))
 	for _, lr := range left.rows {
 		for _, rr := range right.rows {
-			row := make([]Value, 0, len(cols))
-			row = append(row, lr...)
-			row = append(row, rr...)
-			rows = append(rows, row)
+			off := len(slab)
+			slab = append(slab, lr...)
+			slab = append(slab, rr...)
+			rows = append(rows, slab[off:len(slab):len(slab)])
 		}
 	}
 	return &relation{cols: cols, rows: rows}
@@ -312,13 +321,23 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 	matchedLeft := make([]bool, len(left.rows))
 	matchedRight := make([]bool, len(right.rows))
 
+	// Residual predicates are compiled once against the combined column
+	// layout instead of being re-walked for every candidate row pair.
+	resFns := make([]evalFn, len(residual))
+	for i, res := range residual {
+		fn, err := compileExpr(combined, ctx, res)
+		if err != nil {
+			return nil, err
+		}
+		resFns[i] = fn
+	}
+
 	emit := func(li, ri int) error {
 		row := make([]Value, 0, len(cols))
 		row = append(row, left.rows[li]...)
 		row = append(row, right.rows[ri]...)
-		for _, res := range residual {
-			env := &rowEnv{rel: combined, row: row, ctx: ctx}
-			v, err := evalExpr(env, res)
+		for _, fn := range resFns {
+			v, err := fn(row)
 			if err != nil {
 				return err
 			}
@@ -333,9 +352,11 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 	}
 
 	if len(keys) > 0 {
-		// Hash join: build on the right side.
+		// Hash join: build on the right side, reusing one key scratch
+		// buffer across rows.
 		index := make(map[string][]int, len(right.rows))
 		keyBuf := make([]Value, len(keys))
+		var keyScratch []byte
 		for ri, rr := range right.rows {
 			null := false
 			for i, k := range keys {
@@ -349,8 +370,8 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 			if null {
 				continue // NULL join keys never match
 			}
-			key := RowKey(keyBuf)
-			index[key] = append(index[key], ri)
+			keyScratch = AppendRowKey(keyScratch[:0], keyBuf)
+			index[string(keyScratch)] = append(index[string(keyScratch)], ri)
 		}
 		for li, lr := range left.rows {
 			null := false
@@ -365,7 +386,8 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 			if null {
 				continue
 			}
-			for _, ri := range index[RowKey(keyBuf)] {
+			keyScratch = AppendRowKey(keyScratch[:0], keyBuf)
+			for _, ri := range index[string(keyScratch)] {
 				if err := emit(li, ri); err != nil {
 					return nil, err
 				}
@@ -440,11 +462,13 @@ func outputName(item sqlparser.SelectItem, pos int) string {
 	return fmt.Sprintf("col%d", pos)
 }
 
-// executeProjection is the non-aggregated select path.
+// executeProjection is the non-aggregated select path. Select-list
+// expressions and ORDER BY keys are compiled once against the input
+// relation before the row loop.
 func (ctx *execContext) executeProjection(stmt *sqlparser.SelectStmt, rel *relation) (*ResultSet, [][]Value, error) {
 	var names []string
 	type colSpec struct {
-		expr sqlparser.Expr
+		eval evalFn
 		star bool
 		from int // starting col index for stars
 		upto int
@@ -476,23 +500,35 @@ func (ctx *execContext) executeProjection(stmt *sqlparser.SelectStmt, rel *relat
 			}
 			specs = append(specs, colSpec{star: true, from: start, upto: end})
 		default:
+			fn, err := compileExpr(rel, ctx, item.Expr)
+			if err != nil {
+				return nil, nil, err
+			}
 			names = append(names, outputName(item, i))
-			specs = append(specs, colSpec{expr: item.Expr})
+			specs = append(specs, colSpec{eval: fn})
 		}
 	}
 
 	out := &ResultSet{Columns: names}
 	var sortKeys [][]Value
 	needSort := len(stmt.OrderBy) > 0
+	var keyFns []sortKeyFn
+	if needSort {
+		fns, err := compileSortKeys(rel, ctx, stmt.OrderBy, names)
+		if err != nil {
+			return nil, nil, err
+		}
+		keyFns = fns
+	}
+	out.Rows = make([][]Value, 0, len(rel.rows))
 	for _, row := range rel.rows {
-		env := &rowEnv{rel: rel, row: row, ctx: ctx}
 		outRow := make([]Value, 0, len(names))
 		for _, spec := range specs {
 			if spec.star {
 				outRow = append(outRow, row[spec.from:spec.upto]...)
 				continue
 			}
-			v, err := evalExpr(env, spec.expr)
+			v, err := spec.eval(row)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -500,14 +536,65 @@ func (ctx *execContext) executeProjection(stmt *sqlparser.SelectStmt, rel *relat
 		}
 		out.Rows = append(out.Rows, outRow)
 		if needSort {
-			key, err := evalSortKey(env, stmt.OrderBy, out, outRow)
-			if err != nil {
-				return nil, nil, err
+			key := make([]Value, len(keyFns))
+			for i, fn := range keyFns {
+				v, err := fn(row, outRow)
+				if err != nil {
+					return nil, nil, err
+				}
+				key[i] = v
 			}
 			sortKeys = append(sortKeys, key)
 		}
 	}
 	return out, sortKeys, nil
+}
+
+// sortKeyFn computes one ORDER BY key for a row, given both the input row
+// and the projected output row (positional and alias references resolve
+// against the output, everything else against the input).
+type sortKeyFn func(row, outRow []Value) (Value, error)
+
+// compileSortKeys binds each ORDER BY item once: positional references and
+// output-alias references become index lookups into the output row, and all
+// other expressions compile against the input relation.
+func compileSortKeys(rel *relation, ctx *execContext, orderBy []sqlparser.OrderItem, outCols []string) ([]sortKeyFn, error) {
+	fns := make([]sortKeyFn, len(orderBy))
+	for i, item := range orderBy {
+		// Positional reference: ORDER BY 2.
+		if lit, ok := item.Expr.(*sqlparser.IntLit); ok {
+			pos := int(lit.Value) - 1
+			want := lit.Value
+			fns[i] = func(_, outRow []Value) (Value, error) {
+				if pos < 0 || pos >= len(outRow) {
+					return Null, fmt.Errorf("engine: ORDER BY position %d out of range", want)
+				}
+				return outRow[pos], nil
+			}
+			continue
+		}
+		// Output alias reference.
+		if ref, ok := item.Expr.(*sqlparser.ColumnRef); ok && ref.Table == "" {
+			found := -1
+			for ci, name := range outCols {
+				if strings.EqualFold(name, ref.Name) {
+					found = ci
+					break
+				}
+			}
+			if found >= 0 {
+				ci := found
+				fns[i] = func(_, outRow []Value) (Value, error) { return outRow[ci], nil }
+				continue
+			}
+		}
+		fn, err := compileExpr(rel, ctx, item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = func(row, _ []Value) (Value, error) { return fn(row) }
+	}
+	return fns, nil
 }
 
 // evalSortKey computes ORDER BY key values for one output row. Each ORDER BY
@@ -634,12 +721,13 @@ func dedupeRows(out *ResultSet, sortKeys [][]Value) (*ResultSet, [][]Value) {
 	seen := make(map[string]bool, len(out.Rows))
 	var rows [][]Value
 	var keys [][]Value
+	var scratch []byte
 	for i, row := range out.Rows {
-		k := RowKey(row)
-		if seen[k] {
+		scratch = AppendRowKey(scratch[:0], row)
+		if seen[string(scratch)] {
 			continue
 		}
-		seen[k] = true
+		seen[string(scratch)] = true
 		rows = append(rows, row)
 		if sortKeys != nil {
 			keys = append(keys, sortKeys[i])
@@ -652,6 +740,18 @@ func dedupeRows(out *ResultSet, sortKeys [][]Value) (*ResultSet, [][]Value) {
 	return out, keys
 }
 
+// rowKeySet builds the membership set of a row multiset, reusing one key
+// scratch buffer.
+func rowKeySet(rows [][]Value) map[string]bool {
+	set := make(map[string]bool, len(rows))
+	var scratch []byte
+	for _, r := range rows {
+		scratch = AppendRowKey(scratch[:0], r)
+		set[string(scratch)] = true
+	}
+	return set
+}
+
 func applySetOp(left, right *ResultSet, kind sqlparser.SetOpKind, all bool) *ResultSet {
 	out := &ResultSet{Columns: left.Columns}
 	switch kind {
@@ -661,26 +761,24 @@ func applySetOp(left, right *ResultSet, kind sqlparser.SetOpKind, all bool) *Res
 			out, _ = dedupeRows(out, nil)
 		}
 	case sqlparser.SetIntersect:
-		inRight := make(map[string]bool, len(right.Rows))
-		for _, r := range right.Rows {
-			inRight[RowKey(r)] = true
-		}
+		inRight := rowKeySet(right.Rows)
 		seen := make(map[string]bool)
+		var scratch []byte
 		for _, r := range left.Rows {
-			k := RowKey(r)
+			scratch = AppendRowKey(scratch[:0], r)
+			k := string(scratch)
 			if inRight[k] && !seen[k] {
 				seen[k] = true
 				out.Rows = append(out.Rows, r)
 			}
 		}
 	case sqlparser.SetExcept:
-		inRight := make(map[string]bool, len(right.Rows))
-		for _, r := range right.Rows {
-			inRight[RowKey(r)] = true
-		}
+		inRight := rowKeySet(right.Rows)
 		seen := make(map[string]bool)
+		var scratch []byte
 		for _, r := range left.Rows {
-			k := RowKey(r)
+			scratch = AppendRowKey(scratch[:0], r)
+			k := string(scratch)
 			if !inRight[k] && !seen[k] {
 				seen[k] = true
 				out.Rows = append(out.Rows, r)

@@ -106,39 +106,57 @@ func (v Value) String() string {
 // distinct keys and equal values (including int/float numeric equality, as
 // used by SQL join keys) map to equal keys.
 func (v Value) Key() string {
+	return string(v.AppendKey(nil))
+}
+
+// AppendKey appends the Key encoding of v to b and returns the extended
+// slice. It is the allocation-free form of Key for callers that reuse a
+// scratch buffer across rows (hash joins, grouping, dedupe).
+func (v Value) AppendKey(b []byte) []byte {
 	switch v.Kind {
 	case KindNull:
-		return "n"
+		return append(b, 'n')
 	case KindInt:
-		return "i" + strconv.FormatInt(v.Int, 10)
+		return strconv.AppendInt(append(b, 'i'), v.Int, 10)
 	case KindFloat:
 		if v.Float == math.Trunc(v.Float) && !math.IsInf(v.Float, 0) &&
 			v.Float >= math.MinInt64 && v.Float <= math.MaxInt64 {
 			// Normalize integral floats to the int key so 2 joins with 2.0.
-			return "i" + strconv.FormatInt(int64(v.Float), 10)
+			return strconv.AppendInt(append(b, 'i'), int64(v.Float), 10)
 		}
-		return "f" + strconv.FormatFloat(v.Float, 'b', -1, 64)
+		return strconv.AppendFloat(append(b, 'f'), v.Float, 'b', -1, 64)
 	case KindString:
-		return "s" + v.Str
+		return append(append(b, 's'), v.Str...)
 	case KindBool:
 		if v.Bool {
-			return "bt"
+			return append(b, 'b', 't')
 		}
-		return "bf"
+		return append(b, 'b', 'f')
 	}
-	return "?"
+	return append(b, '?')
+}
+
+// AppendRowKey appends a composite, injective encoding of the row to b:
+// each component is written as a fixed-width length prefix followed by its
+// Key bytes, so component boundaries never collide. Callers reuse the
+// returned slice as the scratch buffer for the next row.
+func AppendRowKey(b []byte, row []Value) []byte {
+	for _, v := range row {
+		p := len(b)
+		b = append(b, 0, 0, 0, 0)
+		b = v.AppendKey(b)
+		n := len(b) - p - 4
+		b[p] = byte(n)
+		b[p+1] = byte(n >> 8)
+		b[p+2] = byte(n >> 16)
+		b[p+3] = byte(n >> 24)
+	}
+	return b
 }
 
 // RowKey encodes a row of values into a single composite hash key.
 func RowKey(row []Value) string {
-	var sb strings.Builder
-	for _, v := range row {
-		k := v.Key()
-		sb.WriteString(strconv.Itoa(len(k)))
-		sb.WriteByte(':')
-		sb.WriteString(k)
-	}
-	return sb.String()
+	return string(AppendRowKey(nil, row))
 }
 
 // Compare orders two non-null values. Numeric kinds compare numerically,

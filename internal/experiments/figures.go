@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	flex "flexdp"
@@ -208,6 +210,25 @@ type Fig6Result struct {
 	// Buckets[eps][bucket] = query count.
 	Buckets map[float64]map[string]int
 	Totals  map[float64]int
+}
+
+// MarshalJSON renders the float-keyed maps with string keys (encoding/json
+// rejects float64 map keys), keeping the result usable in the flexbench
+// -json record.
+func (r *Fig6Result) MarshalJSON() ([]byte, error) {
+	buckets := make(map[string]map[string]int, len(r.Buckets))
+	for eps, b := range r.Buckets {
+		buckets[strconv.FormatFloat(eps, 'g', -1, 64)] = b
+	}
+	totals := make(map[string]int, len(r.Totals))
+	for eps, n := range r.Totals {
+		totals[strconv.FormatFloat(eps, 'g', -1, 64)] = n
+	}
+	return json.Marshal(struct {
+		Epsilons []float64
+		Buckets  map[string]map[string]int
+		Totals   map[string]int
+	}{r.Epsilons, buckets, totals})
 }
 
 // RunFigure6 sweeps ε ∈ {0.1, 1, 10} over the corpus, excluding queries with

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment harness fans corpus-scale work (study analysis, Table 2
+// phase timing, Table 5 programs) across a worker pool bounded by
+// GOMAXPROCS. The engine's DB and the FLEX analyzer are safe for concurrent
+// reads, and every runner keeps its noise streams deterministic by giving
+// each shard or program an independently seeded mechanism, so results do
+// not depend on goroutine scheduling.
+
+// shardCount returns the number of workers for n work items: GOMAXPROCS
+// capped by n, and at least 1.
+func shardCount(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn(i) for every i in [0, n), fanning indices across
+// min(GOMAXPROCS, n) goroutines through a shared atomic cursor. It returns
+// once every call has completed. fn must be safe for concurrent invocation
+// on distinct indices.
+func parallelFor(n int, fn func(i int)) {
+	workers := shardCount(n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

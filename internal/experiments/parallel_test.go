@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"flexdp/internal/workload"
+)
+
+// withWorkers forces a multi-goroutine pool even on single-CPU machines so
+// the race detector exercises the concurrent paths.
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	withWorkers(t, 4)
+	var sum atomic.Int64
+	var calls atomic.Int64
+	parallelFor(1000, func(i int) {
+		sum.Add(int64(i))
+		calls.Add(1)
+	})
+	if calls.Load() != 1000 {
+		t.Errorf("calls = %d, want 1000", calls.Load())
+	}
+	if want := int64(999 * 1000 / 2); sum.Load() != want {
+		t.Errorf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+// TestStudyShardMergeMatchesSerial verifies that the sharded study pipeline
+// produces exactly the totals of a serial pass.
+func TestStudyShardMergeMatchesSerial(t *testing.T) {
+	cfg := workload.StudyCorpusConfig{Seed: 1, N: 1500}
+
+	withWorkers(t, 1)
+	serial := RunStudy(cfg).R
+	withWorkers(t, 4)
+	parallel := RunStudy(cfg).R
+
+	if serial.Total != parallel.Total || serial.ParseErrors != parallel.ParseErrors {
+		t.Errorf("totals differ: serial %d/%d, parallel %d/%d",
+			serial.Total, serial.ParseErrors, parallel.Total, parallel.ParseErrors)
+	}
+	if serial.QueriesWithJoin != parallel.QueriesWithJoin ||
+		serial.TotalJoins != parallel.TotalJoins ||
+		serial.Statistical != parallel.Statistical ||
+		serial.SelfJoinQuery != parallel.SelfJoinQuery {
+		t.Errorf("join/statistical counters differ: %+v vs %+v", serial, parallel)
+	}
+	for k, v := range serial.Aggregations {
+		if parallel.Aggregations[k] != v {
+			t.Errorf("aggregation %q: serial %d, parallel %d", k, v, parallel.Aggregations[k])
+		}
+	}
+	for k, v := range serial.JoinsPerQuery {
+		if parallel.JoinsPerQuery[k] != v {
+			t.Errorf("joins-per-query %d: serial %d, parallel %d", k, v, parallel.JoinsPerQuery[k])
+		}
+	}
+	if len(serial.QuerySizes) != len(parallel.QuerySizes) {
+		t.Errorf("query sizes: %d vs %d", len(serial.QuerySizes), len(parallel.QuerySizes))
+	}
+}
+
+// TestParallelRunnersUnderConcurrency drives every parallel experiment
+// runner with a real worker pool (the interesting part runs under -race).
+func TestParallelRunnersUnderConcurrency(t *testing.T) {
+	withWorkers(t, 4)
+	env := sharedEnv(t)
+
+	t2 := RunTable2(env, 0.1)
+	if t2.Queries == 0 {
+		t.Error("Table 2 measured no queries")
+	}
+
+	sr := RunSuccessRate(env, 3)
+	if sr.Total == 0 || sr.Success == 0 {
+		t.Errorf("success rate: %+v", sr)
+	}
+
+	t5 := RunTable5(env, 2, 11)
+	if len(t5.Rows) != 6 {
+		t.Fatalf("Table 5 rows = %d", len(t5.Rows))
+	}
+	for _, row := range t5.Rows {
+		if row.Err != nil {
+			t.Errorf("%s: %v", row.Name, row.Err)
+		}
+	}
+}
+
+// TestTable5DeterministicAcrossSchedules verifies the per-program seeding:
+// the measured errors must not depend on goroutine scheduling or pool size.
+func TestTable5DeterministicAcrossSchedules(t *testing.T) {
+	env := sharedEnv(t)
+
+	withWorkers(t, 4)
+	a := RunTable5(env, 2, 11)
+	withWorkers(t, 1)
+	b := RunTable5(env, 2, 11)
+
+	// NaN marks empty histograms at this scale; NaN on both sides agrees.
+	eq := func(x, y float64) bool { return x == y || (math.IsNaN(x) && math.IsNaN(y)) }
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if !eq(ra.FlexError, rb.FlexError) || !eq(ra.FlexSmoothError, rb.FlexSmoothError) ||
+			!eq(ra.WPINQError, rb.WPINQError) {
+			t.Errorf("row %d differs across schedules: %+v vs %+v", i, ra, rb)
+		}
+	}
+}

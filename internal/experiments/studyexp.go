@@ -17,18 +17,30 @@ type StudyResult struct {
 
 // RunStudy generates a seeded corpus with the paper's feature mixes and
 // analyzes it with the study package (the pipeline a practitioner would run
-// against a real query log).
+// against a real query log). Analysis is pure parsing plus classification,
+// so the corpus is sharded across a GOMAXPROCS-bounded worker pool and the
+// per-shard results merge into totals identical to a serial pass.
 func RunStudy(cfg workload.StudyCorpusConfig) *StudyResult {
 	corpus := workload.GenerateStudyCorpus(cfg)
-	r := study.NewResults()
-	for _, q := range corpus {
-		r.Analyze(q.SQL, study.QueryMeta{
-			Backend:    q.Backend,
-			ResultRows: q.ResultRows,
-			ResultCols: q.ResultCols,
-		}, workload.UniqueKey)
+	workers := shardCount(len(corpus))
+	parts := make([]*study.Results, workers)
+	parallelFor(workers, func(w int) {
+		r := study.NewResults()
+		for i := w; i < len(corpus); i += workers {
+			q := corpus[i]
+			r.Analyze(q.SQL, study.QueryMeta{
+				Backend:    q.Backend,
+				ResultRows: q.ResultRows,
+				ResultCols: q.ResultCols,
+			}, workload.UniqueKey)
+		}
+		parts[w] = r
+	})
+	merged := study.NewResults()
+	for _, p := range parts {
+		merged.Merge(p)
 	}
-	return &StudyResult{R: r}
+	return &StudyResult{R: merged}
 }
 
 func (s *StudyResult) String() string {

@@ -91,22 +91,41 @@ func RunSuccessRate(env *Env, seed int64) *SuccessRateResult {
 		sqls = append(sqls, otherPool[rng.Intn(len(otherPool))])
 	}
 
-	res := &SuccessRateResult{ByReason: make(map[string]int)}
-	for _, sql := range sqls {
-		res.Total++
-		_, err := env.Sys.Analyze(sql)
-		switch flex.Classify(err) {
-		case flex.CategorySuccess:
-			res.Success++
-		case flex.CategoryUnsupported:
-			res.Unsupported++
-			if reason, ok := flex.UnsupportedReason(err); ok {
-				res.ByReason[reason.String()]++
+	// Classification is a pure analysis pass, so the mixed corpus fans out
+	// across the worker pool; per-shard tallies merge into totals identical
+	// to a serial pass.
+	workers := shardCount(len(sqls))
+	parts := make([]SuccessRateResult, workers)
+	parallelFor(workers, func(w int) {
+		p := &parts[w]
+		p.ByReason = make(map[string]int)
+		for i := w; i < len(sqls); i += workers {
+			p.Total++
+			_, err := env.Sys.Analyze(sqls[i])
+			switch flex.Classify(err) {
+			case flex.CategorySuccess:
+				p.Success++
+			case flex.CategoryUnsupported:
+				p.Unsupported++
+				if reason, ok := flex.UnsupportedReason(err); ok {
+					p.ByReason[reason.String()]++
+				}
+			case flex.CategoryParseError:
+				p.ParseError++
+			default:
+				p.Other++
 			}
-		case flex.CategoryParseError:
-			res.ParseError++
-		default:
-			res.Other++
+		}
+	})
+	res := &SuccessRateResult{ByReason: make(map[string]int)}
+	for _, p := range parts {
+		res.Total += p.Total
+		res.Success += p.Success
+		res.Unsupported += p.Unsupported
+		res.ParseError += p.ParseError
+		res.Other += p.Other
+		for k, v := range p.ByReason {
+			res.ByReason[k] += v
 		}
 	}
 	return res

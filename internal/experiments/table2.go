@@ -17,28 +17,57 @@ type Table2Result struct {
 	OverheadPercent          float64
 }
 
-// RunTable2 runs every supported corpus query once through the full pipeline
-// and aggregates the phase timings.
+// RunTable2 runs every supported corpus query once through the full
+// pipeline and aggregates the phase timings. The corpus fans out across a
+// GOMAXPROCS-bounded worker pool: the system's analyzer and engine are safe
+// for concurrent reads, and only timings are aggregated, so scheduling does
+// not affect the reported rows.
 func RunTable2(env *Env, eps float64) *Table2Result {
+	type partial struct {
+		queries          int
+		sumQ, sumA, sumP time.Duration
+		maxQ, maxA, maxP time.Duration
+	}
+	workers := shardCount(len(env.Corpus))
+	parts := make([]partial, workers)
+	parallelFor(workers, func(w int) {
+		p := &parts[w]
+		for i := w; i < len(env.Corpus); i += workers {
+			res, err := env.Sys.Run(env.Corpus[i].SQL, eps, env.Delta)
+			if err != nil {
+				continue
+			}
+			p.queries++
+			p.sumQ += res.ExecTime
+			p.sumA += res.AnalysisTime
+			p.sumP += res.PerturbTime
+			if res.ExecTime > p.maxQ {
+				p.maxQ = res.ExecTime
+			}
+			if res.AnalysisTime > p.maxA {
+				p.maxA = res.AnalysisTime
+			}
+			if res.PerturbTime > p.maxP {
+				p.maxP = res.PerturbTime
+			}
+		}
+	})
+
 	r := &Table2Result{}
 	var sumQ, sumA, sumP time.Duration
-	for _, q := range env.Corpus {
-		res, err := env.Sys.Run(q.SQL, eps, env.Delta)
-		if err != nil {
-			continue
+	for _, p := range parts {
+		r.Queries += p.queries
+		sumQ += p.sumQ
+		sumA += p.sumA
+		sumP += p.sumP
+		if p.maxQ > r.MaxQuery {
+			r.MaxQuery = p.maxQ
 		}
-		r.Queries++
-		sumQ += res.ExecTime
-		sumA += res.AnalysisTime
-		sumP += res.PerturbTime
-		if res.ExecTime > r.MaxQuery {
-			r.MaxQuery = res.ExecTime
+		if p.maxA > r.MaxAnalysis {
+			r.MaxAnalysis = p.maxA
 		}
-		if res.AnalysisTime > r.MaxAnalysis {
-			r.MaxAnalysis = res.AnalysisTime
-		}
-		if res.PerturbTime > r.MaxPerturb {
-			r.MaxPerturb = res.PerturbTime
+		if p.maxP > r.MaxPerturb {
+			r.MaxPerturb = p.maxP
 		}
 	}
 	if r.Queries > 0 {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -40,6 +41,32 @@ type Table5Row struct {
 // Table5Result is the full comparison.
 type Table5Result struct {
 	Rows []Table5Row
+}
+
+// MarshalJSON renders NaN measurements (empty histograms at small scale)
+// as null and the error as its message; encoding/json rejects NaN and
+// cannot render error values.
+func (r Table5Row) MarshalJSON() ([]byte, error) {
+	f := func(v float64) *float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+		return &v
+	}
+	var errStr string
+	if r.Err != nil {
+		errStr = r.Err.Error()
+	}
+	return json.Marshal(struct {
+		Name             string
+		Tables           string
+		MedianPopulation *float64
+		WPINQError       *float64
+		FlexError        *float64
+		FlexSmoothError  *float64
+		Err              string `json:",omitempty"`
+	}{r.Name, r.Tables, f(r.MedianPopulation), f(r.WPINQError),
+		f(r.FlexError), f(r.FlexSmoothError), errStr})
 }
 
 func table5Programs(env *Env) []table5Program {
@@ -196,76 +223,83 @@ func dedupeVals(vals []engine.Value) []engine.Value {
 }
 
 // RunTable5 measures median error of both mechanisms at ε = 0.1, repeating
-// each program reps times (the paper uses 100 wPINQ runs).
+// each program reps times (the paper uses 100 wPINQ runs). The six programs
+// run in parallel; each gets FLEX systems cloned with a program-specific
+// seed and its own wPINQ noise source, so the measured errors are
+// deterministic for a given seed regardless of scheduling.
 func RunTable5(env *Env, reps int, seed int64) *Table5Result {
+	progs := table5Programs(env)
+	result := &Table5Result{Rows: make([]Table5Row, len(progs))}
+	parallelFor(len(progs), func(i int) {
+		result.Rows[i] = runTable5Program(env, progs[i], reps, seed+int64(i))
+	})
+	return result
+}
+
+// runTable5Program measures one Table 5 program end to end.
+func runTable5Program(env *Env, prog table5Program, reps int, seed int64) Table5Row {
 	const eps = 0.1
 	eng := env.DB.Engine()
 	rng := rand.New(rand.NewSource(seed))
-	result := &Table5Result{}
-	for _, prog := range table5Programs(env) {
-		row := Table5Row{Name: prog.Name, Tables: prog.Tables}
+	row := Table5Row{Name: prog.Name, Tables: prog.Tables}
 
-		// Ground truth from the unprotected engine.
-		trueRes, err := trueHistogram(env, prog)
+	// Ground truth from the unprotected engine.
+	trueRes, err := trueHistogram(env, prog)
+	if err != nil {
+		row.Err = err
+		return row
+	}
+	row.MedianPopulation = medianOfMap(trueRes)
+
+	// FLEX under both noise modes: repeated private runs against
+	// per-program clones with independent deterministic noise streams.
+	runFlex := func(sys *flex.System) (float64, error) {
+		var errs []float64
+		for rep := 0; rep < reps; rep++ {
+			res, err := sys.Run(prog.SQL, eps, env.Delta)
+			if err != nil {
+				return 0, err
+			}
+			got := make(map[string]float64, len(res.Rows))
+			for _, r := range res.Rows {
+				got[binKey(r.Bins)] = r.Values[0]
+			}
+			errs = append(errs, medianCellError(trueRes, got))
+		}
+		return median(errs), nil
+	}
+	if row.FlexError, err = runFlex(env.Sys.CloneWithSeed(seed + 1000)); err != nil {
+		row.Err = err
+		return row
+	}
+	if row.FlexSmoothError, err = runFlex(env.SysSmooth.CloneWithSeed(seed + 2000)); err != nil {
+		row.Err = err
+		return row
+	}
+
+	// wPINQ: repeated runs of the transcribed program.
+	var wpErrs []float64
+	for rep := 0; rep < reps; rep++ {
+		got, err := prog.wpinqRun(eng, rng, eps)
 		if err != nil {
 			row.Err = err
-			result.Rows = append(result.Rows, row)
-			continue
+			break
 		}
-		row.MedianPopulation = medianOfMap(trueRes)
-
-		// FLEX under both noise modes: repeated private runs.
-		runFlex := func(sys *flex.System) (float64, error) {
-			var errs []float64
-			for rep := 0; rep < reps; rep++ {
-				res, err := sys.Run(prog.SQL, eps, env.Delta)
-				if err != nil {
-					return 0, err
-				}
-				got := make(map[string]float64, len(res.Rows))
-				for _, r := range res.Rows {
-					got[binKey(r.Bins)] = r.Values[0]
-				}
-				errs = append(errs, medianCellError(trueRes, got))
+		// wPINQ bins use engine.Value.Key(); append the separator to
+		// match the SQL-side bin keys.
+		norm := make(map[string]float64, len(got))
+		for k, v := range got {
+			if k != "" {
+				k += "|"
 			}
-			return median(errs), nil
+			norm[k] = v
 		}
-		if row.FlexError, err = runFlex(env.Sys); err != nil {
-			row.Err = err
-			result.Rows = append(result.Rows, row)
-			continue
-		}
-		if row.FlexSmoothError, err = runFlex(env.SysSmooth); err != nil {
-			row.Err = err
-			result.Rows = append(result.Rows, row)
-			continue
-		}
-
-		// wPINQ: repeated runs of the transcribed program.
-		var wpErrs []float64
-		for rep := 0; rep < reps; rep++ {
-			got, err := prog.wpinqRun(eng, rng, eps)
-			if err != nil {
-				row.Err = err
-				break
-			}
-			// wPINQ bins use engine.Value.Key(); append the separator to
-			// match the SQL-side bin keys.
-			norm := make(map[string]float64, len(got))
-			for k, v := range got {
-				if k != "" {
-					k += "|"
-				}
-				norm[k] = v
-			}
-			wpErrs = append(wpErrs, medianCellError(trueRes, norm))
-		}
-		if row.Err == nil {
-			row.WPINQError = median(wpErrs)
-		}
-		result.Rows = append(result.Rows, row)
+		wpErrs = append(wpErrs, medianCellError(trueRes, norm))
 	}
-	return result
+	if row.Err == nil {
+		row.WPINQError = median(wpErrs)
+	}
+	return row
 }
 
 // trueHistogram executes the program's SQL without privacy and returns

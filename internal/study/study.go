@@ -129,6 +129,46 @@ func NewResults() *Results {
 	}
 }
 
+// Merge folds o's accumulated statistics into r. It enables shard-parallel
+// corpus analysis: each worker analyzes a disjoint slice of the corpus into
+// its own Results, then the shards merge. Every reported statistic is a
+// counter, histogram, or bucketed size list, so merging is
+// order-insensitive and the merged totals equal a serial pass.
+func (r *Results) Merge(o *Results) {
+	r.Total += o.Total
+	r.ParseErrors += o.ParseErrors
+	for k, v := range o.Backends {
+		r.Backends[k] += v
+	}
+	r.UsesSelect += o.UsesSelect
+	r.UsesJoin += o.UsesJoin
+	r.UsesUnion += o.UsesUnion
+	r.UsesExcept += o.UsesExcept
+	r.UsesIntersect += o.UsesIntersect
+	for k, v := range o.JoinsPerQuery {
+		r.JoinsPerQuery[k] += v
+	}
+	r.TotalJoins += o.TotalJoins
+	for k, v := range o.Conditions {
+		r.Conditions[k] += v
+	}
+	for k, v := range o.JoinTypes {
+		r.JoinTypes[k] += v
+	}
+	for k, v := range o.Relationships {
+		r.Relationships[k] += v
+	}
+	r.SelfJoinQuery += o.SelfJoinQuery
+	r.QueriesWithJoin += o.QueriesWithJoin
+	r.Statistical += o.Statistical
+	for k, v := range o.Aggregations {
+		r.Aggregations[k] += v
+	}
+	r.QuerySizes = append(r.QuerySizes, o.QuerySizes...)
+	r.ResultRows = append(r.ResultRows, o.ResultRows...)
+	r.ResultCols = append(r.ResultCols, o.ResultCols...)
+}
+
 // Analyze parses and classifies one query, folding it into the results.
 func (r *Results) Analyze(sql string, meta QueryMeta, keys KeyInfo) {
 	r.Total++
