@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench-short bench-engine bench-paper flexbench-small
+.PHONY: check build test vet race bench-short bench-engine bench-prepared bench-paper flexbench-small
 
 # Default: the tier-1 verification plus static analysis.
 check: build vet test
@@ -14,10 +14,10 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-check the packages with concurrent code paths (the parallel
-# experiment runners force a multi-goroutine pool in their tests).
+# Race-check everything: the concurrent System.Run/Prepare and server tests
+# are specifically written to be meaningful under the race detector.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/engine/... ./internal/smooth/...
+	$(GO) test -race ./...
 
 # Quick regression signal on the engine hot paths and the corpus-scale
 # paper benches; compare across commits with benchstat.
@@ -27,6 +27,13 @@ bench-engine:
 	$(GO) test ./internal/engine -run '^$$' \
 		-bench 'BenchmarkWhereFilter|BenchmarkHashJoin|BenchmarkGroupByAggregate|BenchmarkProjection|BenchmarkDistinct' \
 		-benchtime 1s
+
+# Prepared-query pipeline: repeated-query speedup and server throughput.
+bench-prepared:
+	$(GO) test . -run '^$$' \
+		-bench 'BenchmarkSystemRunRepeated|BenchmarkPreparedRunRepeated|BenchmarkPreparedRunParallel' \
+		-benchtime 1s
+	$(GO) test ./internal/server -run '^$$' -bench 'BenchmarkServerConcurrentQuery' -benchtime 1s
 
 bench-paper:
 	$(GO) test . -run '^$$' -bench 'BenchmarkStudyQ1toQ8|BenchmarkTable2Performance' -benchtime 3x

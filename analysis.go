@@ -60,7 +60,7 @@ func (s *System) Analyze(sql string) (*Analysis, error) {
 	// The paper's Theorem 3 uses λ = j(q)²; the exact symbolic degree is
 	// available and tighter, so use the max of the two safe bounds' minimum:
 	// the polynomial degree when computable, else j².
-	polys, err := s.an.SensitivityPoly(q)
+	polys, err := s.analyzer().SensitivityPoly(q)
 	if err != nil {
 		return nil, err
 	}

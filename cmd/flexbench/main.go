@@ -2,7 +2,7 @@
 // evaluation. With no flags it runs the full-scale environment; -small runs
 // a fast smoke configuration. Individual experiments can be selected with
 // -only (comma-separated ids: study, table1, triangle, table2, successrate,
-// fig3, fig4, fig5, fig6, table4, fig7, table5, ablations).
+// fig3, fig4, fig5, fig6, table4, fig7, table5, ablations, server).
 //
 // -json writes a machine-readable record of every experiment result
 // alongside the paper-style rows, so performance and utility trajectories
@@ -74,7 +74,7 @@ func main() {
 	var env *experiments.Env
 	needEnv := run("table1") || run("table2") || run("successrate") || run("fig3") ||
 		run("fig4") || run("fig6") || run("table4") || run("fig7") || run("table5") ||
-		run("ablations")
+		run("ablations") || run("server")
 	if needEnv {
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "building environment (%d trips)...\n", cfg.Rideshare.Trips)
@@ -136,6 +136,18 @@ func main() {
 		res, err := experiments.RunAblations(env)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
+			os.Exit(1)
+		}
+		return res
+	})
+	section("server", func() fmt.Stringer {
+		clients, perClient := 8, 50
+		if *small {
+			clients, perClient = 4, 25
+		}
+		res, err := experiments.RunServerThroughput(env, clients, perClient)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "server: %v\n", err)
 			os.Exit(1)
 		}
 		return res

@@ -1,26 +1,35 @@
 // Command flexserver runs the FLEX differential-privacy proxy over HTTP.
 // Tables are loaded from CSV files; analysts POST SQL to /query and receive
-// noisy answers, with a shared privacy budget enforced across all clients.
+// noisy answers. Repeated queries are served through a prepared-query cache,
+// and privacy budgets are enforced per analyst (the X-Analyst header) with a
+// shared pool for anonymous requests.
 //
 //	flexserver -addr :8080 -table trips=trips.csv -public cities \
-//	           -max-eps 5 -max-delta 1e-5
+//	           -max-eps 5 -max-delta 1e-5 -cache-size 256 \
+//	           -analyst-budget 1.0 -analyst-delta 1e-6
 //
 // Endpoints:
 //
 //	POST /query    {"sql": "...", "epsilon": 0.1}        → noisy rows
 //	POST /analyze  {"sql": "..."}                        → sensitivity info
 //	GET  /budget                                         → budget status
-//	GET  /healthz
+//	GET  /healthz                                        → liveness + cache stats
 //
 // With -demo (no -table flags) the server loads the synthetic rideshare
-// dataset so the API can be exercised immediately.
+// dataset so the API can be exercised immediately. The server shuts down
+// gracefully on SIGINT/SIGTERM, draining in-flight requests.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	flex "flexdp"
 	"flexdp/internal/server"
@@ -41,10 +50,16 @@ func main() {
 	flag.Var(&tables, "table", "name=file.csv (repeatable)")
 	addr := flag.String("addr", ":8080", "listen address")
 	public := flag.String("public", "", "comma-separated public tables")
-	maxEps := flag.Float64("max-eps", 10, "total privacy budget ε")
-	maxDelta := flag.Float64("max-delta", 1e-4, "total privacy budget δ")
+	maxEps := flag.Float64("max-eps", 10, "shared-pool privacy budget ε")
+	maxDelta := flag.Float64("max-delta", 1e-4, "shared-pool privacy budget δ")
+	cacheSize := flag.Int("cache-size", server.DefaultCacheSize, "prepared-query LRU cache capacity")
+	analystEps := flag.Float64("analyst-budget", 0, "per-analyst privacy budget ε (0 = all analysts share the pool)")
+	analystDelta := flag.Float64("analyst-delta", 0, "per-analyst privacy budget δ (default: -max-delta)")
 	demo := flag.Bool("demo", false, "serve the synthetic rideshare dataset")
 	seed := flag.Int64("seed", 0, "noise seed (0 = nondeterministic per restart)")
+	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for graceful shutdown")
 	flag.Parse()
 
 	var db *flex.Database
@@ -69,17 +84,56 @@ func main() {
 		}
 	}
 
+	// The server layer owns all budget accounting (shared pool plus
+	// per-analyst budgets), so the System carries no Options.Budget.
 	budget := smooth.NewBudget(*maxEps, *maxDelta)
-	sys := flex.NewSystem(db, flex.Options{Seed: *seed, Budget: budget})
+	sys := flex.NewSystem(db, flex.Options{Seed: *seed})
 	if *public != "" {
 		sys.MarkPublic(strings.Split(*public, ",")...)
 	}
 	sys.CollectMetrics()
 
-	srv := server.New(sys, budget, smooth.DeltaForSize(db.TotalRows()))
-	log.Printf("FLEX proxy listening on %s (%d rows across %v; budget ε=%g δ=%g)",
-		*addr, db.TotalRows(), db.TableNames(), *maxEps, *maxDelta)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		log.Fatal(err)
+	if *analystDelta == 0 {
+		*analystDelta = *maxDelta
 	}
+	srv := server.NewWithConfig(sys, budget, server.Config{
+		DefaultDelta:   smooth.DeltaForSize(db.TotalRows()),
+		CacheSize:      *cacheSize,
+		AnalystEpsilon: *analystEps,
+		AnalystDelta:   *analystDelta,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	log.Printf("FLEX proxy listening on %s (%d rows across %v; pool ε=%g δ=%g, analyst ε=%g, cache=%d)",
+		*addr, db.TotalRows(), db.TableNames(), *maxEps, *maxDelta, *analystEps, *cacheSize)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining for up to %v", *shutdownGrace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	log.Printf("bye")
 }

@@ -21,8 +21,10 @@ import (
 func main() {
 	cfg := workload.RideshareConfig{Seed: 4, Cities: 15, Drivers: 300, Users: 800, Trips: 15000, Days: 45}
 	db := flex.WrapEngine(workload.GenerateRideshare(cfg))
+	// The server layer owns budget accounting, so the System is built
+	// without Options.Budget.
 	budget := smooth.NewBudget(2.0, 1e-4)
-	sys := flex.NewSystem(db, flex.Options{Seed: 4, Budget: budget})
+	sys := flex.NewSystem(db, flex.Options{Seed: 4})
 	sys.MarkPublic("cities")
 	sys.CollectMetrics()
 

@@ -18,10 +18,29 @@
 //	sys := flex.NewSystem(db, flex.Options{Seed: 1})
 //	sys.CollectMetrics()
 //	res, err := sys.Run("SELECT COUNT(*) FROM trips", 0.1, 1e-8)
+//
+// For repeated queries — the dominant workload of a deployed DP proxy —
+// prepare once and run many times. Prepare performs the parse, the
+// relational-algebra lowering, the elastic-sensitivity analysis, and the
+// engine plan compilation a single time; each Run only evaluates the smooth
+// bound (memoized per (ε, δ)), executes the cached plan, and draws fresh
+// noise:
+//
+//	prep, err := sys.Prepare("SELECT COUNT(*) FROM trips WHERE city_id = 1")
+//	res1, err := prep.Run(0.1, 1e-8)
+//	res2, err := prep.Run(0.5, 1e-8)
+//
+// A System and its Prepared queries are safe for concurrent use: metrics
+// refreshes swap under a lock, and every answered query draws noise from a
+// private sampler forked deterministically from the root seed and a call
+// counter, so sequential runs stay reproducible for a fixed seed.
 package flex
 
 import (
 	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"flexdp/internal/core"
@@ -90,13 +109,27 @@ const (
 var ErrStaleMetrics = fmt.Errorf("flex: metrics are stale (database modified since CollectMetrics)")
 
 // System is the FLEX system: a database plus its precomputed metrics and the
-// release mechanism.
+// release mechanism. A System is safe for concurrent Run/Prepare calls; see
+// the package documentation.
 type System struct {
-	db      *Database
+	db   *Database
+	mech *smooth.Mechanism
+	opts Options
+	// calls numbers answered queries; each one draws noise from a sampler
+	// forked off the mechanism with its call number, so noise streams are
+	// mutex-free and reproducible for sequential callers.
+	calls atomic.Uint64
+
+	// collectMu serializes whole CollectMetrics invocations: without it,
+	// two concurrent collections racing a database mutation could install
+	// the older store contents under the newer version stamp, permanently
+	// passing MetricsFresh with stale metrics.
+	collectMu sync.Mutex
+	// mu guards the metrics/analyzer swap performed by CollectMetrics (the
+	// StaleRefresh path runs it mid-query) and the bin-domain registry.
+	mu      sync.RWMutex
 	metrics *metrics.Store
 	an      *core.Analyzer
-	mech    *smooth.Mechanism
-	opts    Options
 	domains map[metrics.ColumnKey][]any
 	// metricsVersion is the database version the metrics were collected at;
 	// 0 means never collected.
@@ -123,9 +156,16 @@ func NewSystem(db *Database, opts Options) *System {
 // Columns with enforced check constraints (EnforceValueRange) use the
 // enforced range as vr, which the paper prefers over observed ranges.
 func (s *System) CollectMetrics() {
+	s.collectMu.Lock()
+	defer s.collectMu.Unlock()
+	// Capture the version before reading the data: a mutation that lands
+	// mid-collection leaves the metrics marked stale rather than silently
+	// unaccounted for.
+	version := s.db.eng.Version()
 	fresh := metrics.CollectFromDB(s.db.eng)
+	cur := s.Metrics()
 	for _, name := range s.db.eng.TableNames() {
-		if s.metrics.IsPublic(name) {
+		if cur.IsPublic(name) {
 			fresh.MarkPublic(name)
 		}
 		t := s.db.eng.Table(name)
@@ -133,15 +173,49 @@ func (s *System) CollectMetrics() {
 			fresh.SetVR(name, c.Column, c.Max-c.Min)
 		}
 	}
-	s.metrics.CopyFrom(fresh)
-	s.an = core.NewAnalyzer(s.metrics)
-	s.metricsVersion = s.db.eng.Version()
+	// Swap in the fresh store and a new analyzer over it rather than
+	// mutating the current store in place: in-flight queries hold the old
+	// (analyzer, store) snapshot and keep reading a consistent Ŝ(k)
+	// sequence; only calls that start after the swap see the new metrics.
+	s.mu.Lock()
+	s.metrics = fresh
+	s.an = core.NewAnalyzer(fresh)
+	s.metricsVersion = version
+	s.mu.Unlock()
+}
+
+// analyzer returns the current analyzer under the read lock.
+func (s *System) analyzer() *core.Analyzer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.an
 }
 
 // MetricsFresh reports whether the metrics reflect the database's current
 // contents.
 func (s *System) MetricsFresh() bool {
-	return s.metricsVersion == s.db.eng.Version()
+	return s.metricsVersionNow() == s.db.eng.Version()
+}
+
+func (s *System) metricsVersionNow() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.metricsVersion
+}
+
+// refreshIfStale applies the configured stale-metrics policy; it returns
+// ErrStaleMetrics under StaleReject.
+func (s *System) refreshIfStale() error {
+	if s.MetricsFresh() {
+		return nil
+	}
+	switch s.opts.StaleMetrics {
+	case StaleRefresh:
+		s.CollectMetrics()
+	case StaleReject:
+		return ErrStaleMetrics
+	}
+	return nil
 }
 
 // EnforceValueRange installs a check constraint bounding a numeric column to
@@ -153,20 +227,24 @@ func (s *System) EnforceValueRange(table, column string, min, max float64) error
 	if err := s.db.eng.AddCheckRange(table, column, min, max); err != nil {
 		return err
 	}
-	s.metrics.SetVR(table, column, max-min)
+	s.Metrics().SetVR(table, column, max-min)
 	return nil
 }
 
 // Metrics exposes the metrics store for inspection and manual overrides
 // (e.g. setting vr from a data model rather than observed values).
-func (s *System) Metrics() *metrics.Store { return s.metrics }
+func (s *System) Metrics() *metrics.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.metrics
+}
 
 // MarkPublic declares tables non-protected (Section 3.6).
 func (s *System) MarkPublic(tables ...string) {
 	if s.opts.DisablePublicTables {
 		return
 	}
-	s.metrics.MarkPublic(tables...)
+	s.Metrics().MarkPublic(tables...)
 }
 
 // SetBinDomain registers the finite, enumerable, non-protected domain of a
@@ -175,18 +253,16 @@ func (s *System) MarkPublic(tables ...string) {
 // with missing bins zero-filled, so the presence or absence of a bin leaks
 // nothing.
 func (s *System) SetBinDomain(table, column string, values []any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.domains[metrics.ColumnKey{Table: lower(table), Column: lower(column)}] = values
 }
 
-func lower(s string) string {
-	b := []byte(s)
-	for i, c := range b {
-		if c >= 'A' && c <= 'Z' {
-			b[i] = c + 32
-		}
-	}
-	return string(b)
-}
+// lower delegates to strings.ToLower: SQL identifiers in this module are
+// folded with the same Unicode-correct rule everywhere (the engine and the
+// metrics store also use strings.ToLower), so non-ASCII identifier bytes
+// round-trip consistently instead of being byte-shifted.
+func lower(s string) string { return strings.ToLower(s) }
 
 // Database returns the wrapped database.
 func (s *System) Database() *Database { return s.db }
@@ -198,13 +274,22 @@ func (s *System) Database() *Database { return s.db }
 // not depend on goroutine scheduling; the shared read-only state avoids
 // recollecting metrics per worker.
 func (s *System) CloneWithSeed(seed int64) *System {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// The bin-domain map is copied, not shared: each System guards its map
+	// with its own mutex, so sharing would let SetBinDomain on one instance
+	// race readers on the other.
+	domains := make(map[metrics.ColumnKey][]any, len(s.domains))
+	for k, v := range s.domains {
+		domains[k] = v
+	}
 	return &System{
 		db:             s.db,
 		metrics:        s.metrics,
 		an:             s.an,
 		mech:           smooth.NewMechanism(seed),
 		opts:           s.opts,
-		domains:        s.domains,
+		domains:        domains,
 		metricsVersion: s.metricsVersion,
 	}
 }
@@ -256,61 +341,41 @@ func (s *System) Run(sql string, epsilon, delta float64) (*PrivateResult, error)
 // true result, so the output shape is independent of the data.
 func (s *System) RunWithBins(sql string, epsilon, delta float64, bins []any) (*PrivateResult, error) {
 	if len(bins) == 0 {
-		return nil, fmt.Errorf("flex: RunWithBins requires at least one bin label")
+		return nil, errNoBins
 	}
 	return s.run(sql, epsilon, delta, bins)
 }
+
+var errNoBins = fmt.Errorf("flex: RunWithBins requires at least one bin label")
 
 func (s *System) run(sql string, epsilon, delta float64, analystBins []any) (*PrivateResult, error) {
 	p := smooth.PrivacyParams{Epsilon: epsilon, Delta: delta}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if !s.MetricsFresh() {
-		switch s.opts.StaleMetrics {
-		case StaleRefresh:
-			s.CollectMetrics()
-		case StaleReject:
-			return nil, ErrStaleMetrics
-		}
+	if err := s.refreshIfStale(); err != nil {
+		return nil, err
 	}
-	if s.opts.Budget != nil {
-		if err := s.opts.Budget.Spend(epsilon, delta); err != nil {
-			return nil, err
-		}
-	}
-
 	t0 := time.Now()
 	analysis, err := s.Analyze(sql)
 	if err != nil {
 		return nil, err
 	}
-	n := s.db.TotalRows()
-	bounds := make([]smooth.Smoothed, len(analysis.query.Outputs))
-	if s.opts.NoiseMode == ModeLocalK0 {
-		ss, err := s.an.SensitivityAt(analysis.query, 0)
-		if err != nil {
+	// Budget admission and noise-stream forking happen after analysis, so a
+	// rejected query neither consumes budget nor burns a call number — and
+	// the prepared path (which fails invalid queries at Prepare) charges and
+	// forks in exactly the same order.
+	if s.opts.Budget != nil {
+		if err := s.opts.Budget.Spend(epsilon, delta); err != nil {
 			return nil, err
 		}
-		for i, v := range ss {
-			bounds[i] = smooth.Smoothed{S: v, ArgK: 0, Beta: smooth.Beta(p)}
-		}
-	} else {
-		for i := range analysis.query.Outputs {
-			idx := i
-			fn := func(k int) (float64, error) {
-				ss, err := s.an.SensitivityAt(analysis.query, k)
-				if err != nil {
-					return 0, err
-				}
-				return ss[idx], nil
-			}
-			sm, err := smooth.SmoothWithCutoff(fn, analysis.Degree, n, p)
-			if err != nil {
-				return nil, err
-			}
-			bounds[i] = sm
-		}
+	}
+	sampler := s.forkSampler()
+	an := s.analyzer()
+	sensAt := func(k int) ([]float64, error) { return an.SensitivityAt(analysis.query, k) }
+	bounds, err := computeBounds(sensAt, analysis, s.db.TotalRows(), p, s.opts.NoiseMode)
+	if err != nil {
+		return nil, err
 	}
 	analysisTime := time.Since(t0)
 
@@ -322,7 +387,7 @@ func (s *System) run(sql string, epsilon, delta float64, analystBins []any) (*Pr
 	execTime := time.Since(t1)
 
 	t2 := time.Now()
-	out, err := s.perturb(analysis, rs, bounds, epsilon, analystBins)
+	out, err := s.perturb(analysis, rs, bounds, epsilon, analystBins, sampler)
 	if err != nil {
 		return nil, err
 	}
@@ -333,19 +398,63 @@ func (s *System) run(sql string, epsilon, delta float64, analystBins []any) (*Pr
 	return out, nil
 }
 
+// forkSampler numbers this call and forks its private noise stream. Both
+// the one-shot and the prepared path fork at the same point — right after
+// budget admission — so a prepared query replays exactly the noise the
+// unprepared path would have drawn for the same seed and call sequence.
+func (s *System) forkSampler() *smooth.Sampler {
+	return s.mech.Fork(s.calls.Add(1))
+}
+
+// computeBounds evaluates the per-output noise bounds for an analyzed query:
+// Definition 7 smoothing by default, or the paper-evaluation Ŝ(0) scaling
+// under ModeLocalK0. sensAt supplies Ŝ^(k) vectors — either a direct
+// analyzer walk (System.Run) or a memoized cache (Prepared.Run); both yield
+// bit-identical bounds.
+func computeBounds(sensAt func(int) ([]float64, error), analysis *Analysis, n int, p smooth.PrivacyParams, mode NoiseMode) ([]smooth.Smoothed, error) {
+	bounds := make([]smooth.Smoothed, len(analysis.query.Outputs))
+	if mode == ModeLocalK0 {
+		ss, err := sensAt(0)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range ss {
+			bounds[i] = smooth.Smoothed{S: v, ArgK: 0, Beta: smooth.Beta(p)}
+		}
+		return bounds, nil
+	}
+	for i := range bounds {
+		idx := i
+		fn := func(k int) (float64, error) {
+			ss, err := sensAt(k)
+			if err != nil {
+				return 0, err
+			}
+			return ss[idx], nil
+		}
+		sm, err := smooth.SmoothWithCutoff(fn, analysis.Degree, n, p)
+		if err != nil {
+			return nil, err
+		}
+		bounds[i] = sm
+	}
+	return bounds, nil
+}
+
 // Sensitivity helpers on the analyzer, re-exported for tooling.
 
 // SensitivityAt evaluates the per-output elastic sensitivity of an analyzed
 // query at distance k.
 func (s *System) SensitivityAt(a *Analysis, k int) ([]float64, error) {
-	return s.an.SensitivityAt(a.query, k)
+	return s.analyzer().SensitivityAt(a.query, k)
 }
 
 // SmoothBound computes the smooth upper bound (Definition 7 step 2) for one
 // output of an analyzed query.
 func (s *System) SmoothBound(a *Analysis, output int, p smooth.PrivacyParams) (smooth.Smoothed, error) {
+	an := s.analyzer()
 	fn := func(k int) (float64, error) {
-		ss, err := s.an.SensitivityAt(a.query, k)
+		ss, err := an.SensitivityAt(a.query, k)
 		if err != nil {
 			return 0, err
 		}
@@ -355,7 +464,7 @@ func (s *System) SmoothBound(a *Analysis, output int, p smooth.PrivacyParams) (s
 }
 
 // Analyzer exposes the elastic-sensitivity analyzer for in-module tooling.
-func (s *System) Analyzer() *core.Analyzer { return s.an }
+func (s *System) Analyzer() *core.Analyzer { return s.analyzer() }
 
 // Query exposes the lowered relational algebra of an analysis.
 func (a *Analysis) Query() *relalg.Query { return a.query }

@@ -12,8 +12,9 @@ import (
 // each aggregate column receives Laplace noise scaled to its smooth bound;
 // histogram queries with a registered public bin domain are re-keyed onto
 // the full domain with missing bins zero-filled (Section 4, "Histogram bin
-// enumeration").
-func (s *System) perturb(a *Analysis, rs *engine.ResultSet, bounds []smooth.Smoothed, epsilon float64, analystBins []any) (*PrivateResult, error) {
+// enumeration"). Noise comes from the per-call sampler, so concurrent
+// queries never contend on a shared RNG.
+func (s *System) perturb(a *Analysis, rs *engine.ResultSet, bounds []smooth.Smoothed, epsilon float64, analystBins []any, sampler *smooth.Sampler) (*PrivateResult, error) {
 	out := &PrivateResult{}
 	for _, bi := range a.binPos {
 		out.Columns = append(out.Columns, rs.Columns[bi])
@@ -25,7 +26,7 @@ func (s *System) perturb(a *Analysis, rs *engine.ResultSet, bounds []smooth.Smoo
 	noisy := func(trueVals []float64) []float64 {
 		vals := make([]float64, len(trueVals))
 		for i, t := range trueVals {
-			vals[i] = s.mech.Release(t, bounds[i], epsilon)
+			vals[i] = sampler.Release(t, bounds[i], epsilon)
 		}
 		return vals
 	}
@@ -144,6 +145,8 @@ func (s *System) binDomainsFor(a *Analysis) ([][]any, bool) {
 	if len(a.query.GroupBy) == 0 || len(a.query.GroupBy) != len(a.binPos) {
 		return nil, false
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([][]any, len(a.query.GroupBy))
 	for i, g := range a.query.GroupBy {
 		if g.Computed() {

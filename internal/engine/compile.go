@@ -30,14 +30,36 @@ type evalFn func(row []Value) (Value, error)
 // evaluator. ctx supplies subquery execution; it may be nil when e contains
 // no subqueries. The returned error is reserved for structural failures;
 // data-dependent errors are deferred into the evaluator.
+//
+// When ctx carries a prepared-plan cache, subquery-free expressions are
+// compiled once per (expression, column layout) and the closure is reused
+// across executions and goroutines. Expressions containing subqueries embed
+// per-execution memoized results and are therefore recompiled every time.
 func compileExpr(rel *relation, ctx *execContext, e sqlparser.Expr) (evalFn, error) {
+	var plans *planCache
+	if ctx != nil {
+		plans = ctx.plans
+	}
+	if plans != nil {
+		if fn, ok := plans.get(e, rel.layoutSig()); ok {
+			return fn, nil
+		}
+	}
 	c := &compiler{rel: rel, ctx: ctx}
-	return c.compile(e), nil
+	fn := c.compile(e)
+	if plans != nil && !c.impure {
+		plans.put(e, rel.layoutSig(), fn)
+	}
+	return fn, nil
 }
 
 type compiler struct {
 	rel *relation
 	ctx *execContext
+	// impure marks the compiled closure as unsafe to cache across
+	// executions: it embeds a subquery whose result is memoized per
+	// execution context (and whose value depends on the data).
+	impure bool
 }
 
 func constFn(v Value) evalFn {
@@ -408,6 +430,7 @@ func (c *compiler) compileIn(x *sqlparser.InExpr) evalFn {
 	if x.Subquery != nil {
 		// Uncorrelated subquery: execute once on first evaluation and
 		// memoize both the candidate list and any error.
+		c.impure = true
 		sub := x.Subquery
 		ctx := c.ctx
 		var candidates []Value
@@ -523,6 +546,7 @@ func (c *compiler) compileLike(x *sqlparser.LikeExpr) evalFn {
 }
 
 func (c *compiler) compileExists(x *sqlparser.ExistsExpr) evalFn {
+	c.impure = true
 	if c.ctx == nil {
 		return errFn(fmt.Errorf("engine: EXISTS subquery outside execution context"))
 	}
@@ -551,6 +575,7 @@ func (c *compiler) compileExists(x *sqlparser.ExistsExpr) evalFn {
 }
 
 func (c *compiler) compileScalarSubquery(x *sqlparser.SubqueryExpr) evalFn {
+	c.impure = true
 	if c.ctx == nil {
 		return errFn(fmt.Errorf("engine: scalar subquery outside execution context"))
 	}

@@ -25,6 +25,26 @@ type relation struct {
 	cols []relCol
 	rows [][]Value
 	idx  map[string]int // lookup key → column index or colAmbiguous
+	sig  string         // lazily built layout signature for the plan cache
+}
+
+// layoutSig returns a string identifying the relation's column layout
+// (qualifier + name per column, in order). Two relations with equal
+// signatures resolve every column reference to the same index, so a compiled
+// closure is interchangeable between them; the prepared-plan cache keys on
+// this together with the expression identity.
+func (r *relation) layoutSig() string {
+	if r.sig == "" && len(r.cols) > 0 {
+		var b strings.Builder
+		for _, c := range r.cols {
+			b.WriteString(c.qual)
+			b.WriteByte('.')
+			b.WriteString(c.name)
+			b.WriteByte(0)
+		}
+		r.sig = b.String()
+	}
+	return r.sig
 }
 
 const (

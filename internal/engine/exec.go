@@ -9,10 +9,15 @@ import (
 )
 
 // execContext carries per-query state: the database plus CTE results
-// registered by enclosing WITH clauses.
+// registered by enclosing WITH clauses, and (for prepared queries) the
+// shared compiled-plan cache.
 type execContext struct {
 	db   *DB
 	ctes map[string]*relation
+	// plans, when non-nil, memoizes compiled subquery-free expression
+	// closures across executions of the same prepared statement. It is safe
+	// for concurrent use; nil for one-shot Query/Execute calls.
+	plans *planCache
 }
 
 // Execute runs a parsed SELECT statement and returns its result set.
@@ -35,7 +40,7 @@ func (db *DB) Query(sql string) (*ResultSet, error) {
 func (ctx *execContext) executeSelect(stmt *sqlparser.SelectStmt) (*ResultSet, error) {
 	// CTEs are visible to later CTEs and the main body. Each statement gets
 	// a child context so sibling subqueries cannot see our CTEs leak out.
-	child := &execContext{db: ctx.db, ctes: make(map[string]*relation)}
+	child := &execContext{db: ctx.db, ctes: make(map[string]*relation), plans: ctx.plans}
 	for name, rel := range ctx.ctes {
 		child.ctes[name] = rel
 	}
@@ -115,7 +120,7 @@ func (ctx *execContext) executeCore(stmt *sqlparser.SelectStmt) (*ResultSet, [][
 		}
 		// cols are unchanged, so the column index built for the predicate
 		// compile carries over to the projection/aggregation passes.
-		rel = &relation{cols: rel.cols, rows: filtered, idx: rel.idx}
+		rel = &relation{cols: rel.cols, rows: filtered, idx: rel.idx, sig: rel.sig}
 	}
 
 	aggregated := len(stmt.GroupBy) > 0 || stmt.Having != nil

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"sync"
+
+	"flexdp/internal/sqlparser"
+)
+
+// This file implements prepare-once/run-many execution: a PreparedQuery
+// parses its SQL a single time and keeps a cache of the closure trees that
+// compile.go builds, so repeated executions skip both the parser and the
+// per-relation expression compilation. The cache is keyed by (expression
+// identity, column-layout signature) — a compiled closure only captures
+// column indices, so it is valid for any relation with the same layout — and
+// is invalidated wholesale when the database version changes, since closures
+// that embed memoized subquery results depend on the data (those are never
+// cached) and a schema change can re-shape every layout.
+
+// planKey identifies one cached compiled expression: the AST node (stable
+// pointer for the lifetime of the prepared statement) plus the column layout
+// it was bound against.
+type planKey struct {
+	expr sqlparser.Expr
+	sig  string
+}
+
+// planCache memoizes compiled expression closures. Safe for concurrent use;
+// a lost race on put costs one redundant compilation, never correctness,
+// because both goroutines compile the same expression against the same
+// layout.
+type planCache struct {
+	mu sync.RWMutex
+	m  map[planKey]evalFn
+}
+
+func newPlanCache() *planCache {
+	return &planCache{m: make(map[planKey]evalFn)}
+}
+
+func (p *planCache) get(e sqlparser.Expr, sig string) (evalFn, bool) {
+	p.mu.RLock()
+	fn, ok := p.m[planKey{expr: e, sig: sig}]
+	p.mu.RUnlock()
+	return fn, ok
+}
+
+func (p *planCache) put(e sqlparser.Expr, sig string, fn evalFn) {
+	p.mu.Lock()
+	p.m[planKey{expr: e, sig: sig}] = fn
+	p.mu.Unlock()
+}
+
+// size reports the number of cached closures (for tests).
+func (p *planCache) size() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.m)
+}
+
+// PreparedQuery is a parsed SELECT statement bound to a database, reusable
+// across calls and goroutines. Exec re-reads the current table contents on
+// every call, so a prepared query always answers against live data; only
+// the parse and the compiled closure trees are reused, and those are
+// flushed automatically when the database version changes.
+type PreparedQuery struct {
+	db   *DB
+	sql  string
+	stmt *sqlparser.SelectStmt
+
+	mu      sync.Mutex
+	plans   *planCache
+	version uint64 // database version the plan cache was built at
+}
+
+// Prepare parses sql once and returns a reusable prepared query. Semantic
+// errors (unknown tables or columns) surface on Exec, matching Query.
+func (db *DB) Prepare(sql string) (*PreparedQuery, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{db: db, sql: sql, stmt: stmt}, nil
+}
+
+// SQL returns the prepared statement's original text.
+func (p *PreparedQuery) SQL() string { return p.sql }
+
+// Statement exposes the parsed AST (read-only; shared across executions).
+func (p *PreparedQuery) Statement() *sqlparser.SelectStmt { return p.stmt }
+
+// plansFor returns the plan cache valid for the given database version,
+// replacing a stale one.
+func (p *PreparedQuery) plansFor(version uint64) *planCache {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.plans == nil || p.version != version {
+		p.plans = newPlanCache()
+		p.version = version
+	}
+	return p.plans
+}
+
+// Exec runs the prepared statement against the database's current contents.
+// It is safe for concurrent use.
+func (p *PreparedQuery) Exec() (*ResultSet, error) {
+	plans := p.plansFor(p.db.Version())
+	ctx := &execContext{db: p.db, ctes: make(map[string]*relation), plans: plans}
+	return ctx.executeSelect(p.stmt)
+}

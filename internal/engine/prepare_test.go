@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func preparedTestDB(t testing.TB) *DB {
+	t.Helper()
+	db := NewDB()
+	db.MustCreateTable("orders", []Column{
+		{Name: "id", Type: KindInt},
+		{Name: "user_id", Type: KindInt},
+		{Name: "amount", Type: KindFloat},
+		{Name: "city", Type: KindString},
+	})
+	db.MustCreateTable("users", []Column{
+		{Name: "id", Type: KindInt},
+		{Name: "name", Type: KindString},
+	})
+	cities := []string{"sf", "nyc", "la"}
+	for i := 0; i < 300; i++ {
+		if err := db.Insert("orders", []Value{
+			NewInt(int64(i)), NewInt(int64(i % 40)),
+			NewFloat(float64(i%50) + 0.5), NewString(cities[i%3]),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := db.Insert("users", []Value{
+			NewInt(int64(i)), NewString(fmt.Sprintf("u%d", i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+var preparedSQL = []string{
+	"SELECT COUNT(*) FROM orders WHERE amount > 20",
+	"SELECT city, COUNT(*), SUM(amount) FROM orders GROUP BY city ORDER BY city",
+	"SELECT COUNT(*) FROM orders o JOIN users u ON o.user_id = u.id WHERE u.id < 20",
+	"WITH big AS (SELECT user_id FROM orders WHERE amount > 30) SELECT COUNT(*) FROM big",
+	"SELECT COUNT(*) FROM orders WHERE user_id IN (SELECT id FROM users WHERE id < 10)",
+}
+
+func resultSetsEqual(t *testing.T, sql string, a, b *ResultSet) {
+	t.Helper()
+	if len(a.Rows) != len(b.Rows) || len(a.Columns) != len(b.Columns) {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", sql,
+			len(a.Rows), len(a.Columns), len(b.Rows), len(b.Columns))
+	}
+	var ka, kb []byte
+	for i := range a.Rows {
+		ka = AppendRowKey(ka[:0], a.Rows[i])
+		kb = AppendRowKey(kb[:0], b.Rows[i])
+		if string(ka) != string(kb) {
+			t.Fatalf("%s: row %d differs: %v vs %v", sql, i, a.Rows[i], b.Rows[i])
+		}
+	}
+}
+
+// TestPreparedExecMatchesQuery checks that repeated prepared executions are
+// indistinguishable from one-shot Query across query shapes, including ones
+// with uncacheable subquery closures.
+func TestPreparedExecMatchesQuery(t *testing.T) {
+	db := preparedTestDB(t)
+	for _, sql := range preparedSQL {
+		pq, err := db.Prepare(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		want, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		for i := 0; i < 3; i++ {
+			got, err := pq.Exec()
+			if err != nil {
+				t.Fatalf("%s exec %d: %v", sql, i, err)
+			}
+			resultSetsEqual(t, sql, want, got)
+		}
+	}
+}
+
+// TestPreparedSeesMutations proves the version check: a prepared query
+// re-reads live data, and its plan cache is rebuilt after the database
+// version moves.
+func TestPreparedSeesMutations(t *testing.T) {
+	db := preparedTestDB(t)
+	pq, err := db.Prepare("SELECT COUNT(*) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := pq.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := rs.Scalar()
+	if v.Int != 300 {
+		t.Fatalf("count = %d, want 300", v.Int)
+	}
+	firstPlans := pq.plans
+
+	if err := db.Insert("orders", []Value{NewInt(1000), NewInt(1), NewFloat(9), NewString("sf")}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err = pq.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ = rs.Scalar()
+	if v.Int != 301 {
+		t.Fatalf("count after insert = %d, want 301", v.Int)
+	}
+	if pq.plans == firstPlans {
+		t.Error("plan cache should be rebuilt after a version change")
+	}
+}
+
+// TestPreparedPlanCacheReuse checks that, absent mutations, repeated Execs
+// share one populated plan cache instead of recompiling.
+func TestPreparedPlanCacheReuse(t *testing.T) {
+	db := preparedTestDB(t)
+	pq, err := db.Prepare("SELECT city, COUNT(*) FROM orders WHERE amount > 10 GROUP BY city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.Exec(); err != nil {
+		t.Fatal(err)
+	}
+	plans := pq.plans
+	if plans == nil || plans.size() == 0 {
+		t.Fatal("first exec should populate the plan cache")
+	}
+	n := plans.size()
+	if _, err := pq.Exec(); err != nil {
+		t.Fatal(err)
+	}
+	if pq.plans != plans || plans.size() != n {
+		t.Errorf("second exec should reuse the cache unchanged (size %d → %d)", n, plans.size())
+	}
+}
+
+// TestPreparedConcurrentExec runs one prepared query from many goroutines;
+// meaningful under -race.
+func TestPreparedConcurrentExec(t *testing.T) {
+	db := preparedTestDB(t)
+	pq, err := db.Prepare("SELECT city, COUNT(*) FROM orders o JOIN users u ON o.user_id = u.id GROUP BY city ORDER BY city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Query(pq.SQL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got, err := pq.Exec()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(got.Rows) != len(want.Rows) {
+					errCh <- fmt.Errorf("rows = %d, want %d", len(got.Rows), len(want.Rows))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQueryRepeated(b *testing.B) {
+	db := preparedTestDB(b)
+	sql := "SELECT city, COUNT(*) FROM orders o JOIN users u ON o.user_id = u.id WHERE amount > 10 GROUP BY city"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPreparedExecRepeated(b *testing.B) {
+	db := preparedTestDB(b)
+	pq, err := db.Prepare("SELECT city, COUNT(*) FROM orders o JOIN users u ON o.user_id = u.id WHERE amount > 10 GROUP BY city")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pq.Exec(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

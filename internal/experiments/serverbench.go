@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"flexdp/internal/server"
+)
+
+// ServerThroughputResult records the proxy load benchmark: repeated-query
+// throughput through the HTTP service layer (prepared-query LRU cache,
+// per-call noise samplers), alongside the direct library-level speedup of
+// Prepare+Run over System.Run for the same query. flexbench folds it into
+// BENCH_<date>.json so serving performance is tracked across commits like
+// the paper experiments.
+type ServerThroughputResult struct {
+	Clients     int     `json:"clients"`
+	Queries     int     `json:"queries_total"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	QPS         float64 `json:"qps"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	// PreparedSpeedup is unprepared System.Run latency over Prepared.Run
+	// latency for the benchmark query (library level, no HTTP).
+	UnpreparedUS    float64 `json:"unprepared_us_per_query"`
+	PreparedUS      float64 `json:"prepared_us_per_query"`
+	PreparedSpeedup float64 `json:"prepared_speedup"`
+}
+
+func (r *ServerThroughputResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Server throughput — prepared-query proxy under repeated load\n")
+	fmt.Fprintf(&sb, "  %d clients × repeated query: %.0f q/s (%d queries in %.0f ms; cache %d hits / %d misses)\n",
+		r.Clients, r.QPS, r.Queries, r.ElapsedMS, r.CacheHits, r.CacheMisses)
+	fmt.Fprintf(&sb, "  library path: System.Run %.0f µs vs Prepared.Run %.0f µs per query (%.1fx)\n",
+		r.UnpreparedUS, r.PreparedUS, r.PreparedSpeedup)
+	return sb.String()
+}
+
+// serverBenchSQL is the repeated query: an equijoin aggregate, the shape
+// whose fixed static-analysis cost (Table 2) the prepared cache amortizes.
+const serverBenchSQL = "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id"
+
+// RunServerThroughput drives an in-process HTTP proxy over the environment's
+// database with `clients` concurrent analysts repeating the same query
+// `perClient` times each, then measures the library-level prepared speedup
+// on the same query.
+func RunServerThroughput(env *Env, clients, perClient int) (*ServerThroughputResult, error) {
+	sys := env.Sys.CloneWithSeed(12345)
+	srv := httptest.NewServer(server.New(sys, nil, env.Delta).Handler())
+	defer srv.Close()
+
+	payload, err := json.Marshal(server.QueryRequest{SQL: serverBenchSQL, Epsilon: 0.1})
+	if err != nil {
+		return nil, err
+	}
+	post := func() error {
+		resp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("server returned %d", resp.StatusCode)
+		}
+		return nil
+	}
+	// Warm the prepared cache so the measurement sees steady state.
+	if err := post(); err != nil {
+		return nil, err
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if err := post(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+
+	total := clients * perClient
+	res := &ServerThroughputResult{
+		Clients:   clients,
+		Queries:   total,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		QPS:       float64(total) / elapsed.Seconds(),
+	}
+
+	// Cache statistics from the health endpoint.
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err == nil {
+		var health struct {
+			Hits   uint64 `json:"cache_hits"`
+			Misses uint64 `json:"cache_misses"`
+		}
+		if json.NewDecoder(hresp.Body).Decode(&health) == nil {
+			res.CacheHits, res.CacheMisses = health.Hits, health.Misses
+		}
+		hresp.Body.Close()
+	}
+
+	// Library-level prepared speedup on the same query.
+	const reps = 30
+	direct := env.Sys.CloneWithSeed(777)
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := direct.Run(serverBenchSQL, 0.1, env.Delta); err != nil {
+			return nil, err
+		}
+	}
+	unprep := time.Since(t0)
+	prep, err := direct.Prepare(serverBenchSQL)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := prep.Run(0.1, env.Delta); err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := prep.Run(0.1, env.Delta); err != nil {
+			return nil, err
+		}
+	}
+	prepd := time.Since(t1)
+	res.UnpreparedUS = float64(unprep.Microseconds()) / reps
+	res.PreparedUS = float64(prepd.Microseconds()) / reps
+	if prepd > 0 {
+		res.PreparedSpeedup = float64(unprep) / float64(prepd)
+	}
+	return res, nil
+}

@@ -38,6 +38,18 @@ type Store struct {
 	vr         map[ColumnKey]float64
 	public     map[string]bool
 	tableSizes map[string]int
+	// epoch increments on every mutation; consumers that cache values
+	// derived from the metrics (e.g. prepared-query sensitivity caches) use
+	// it to detect any change, including manual SetVR/MarkPublic overrides
+	// that bypass a full re-collection.
+	epoch uint64
+}
+
+// Epoch returns a counter that increases on every store mutation.
+func (s *Store) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
 }
 
 // New returns an empty metrics store.
@@ -55,6 +67,7 @@ func New() *Store {
 func (s *Store) SetMF(table, column string, mf int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch++
 	s.mf[key(table, column)] = mf
 }
 
@@ -72,6 +85,7 @@ func (s *Store) MF(table, column string) (int, bool) {
 func (s *Store) SetVR(table, column string, vr float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch++
 	s.vr[key(table, column)] = vr
 }
 
@@ -89,6 +103,7 @@ func (s *Store) VR(table, column string) (float64, bool) {
 func (s *Store) MarkPublic(tables ...string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch++
 	for _, t := range tables {
 		s.public[strings.ToLower(t)] = true
 	}
@@ -105,6 +120,7 @@ func (s *Store) IsPublic(table string) bool {
 func (s *Store) SetTableSize(table string, n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch++
 	s.tableSizes[strings.ToLower(table)] = n
 }
 
@@ -152,6 +168,7 @@ func (s *Store) CopyFrom(other *Store) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch++
 	s.mf, s.vr, s.public, s.tableSizes = mf, vr, pub, sizes
 }
 
@@ -207,6 +224,7 @@ func (s *Store) UnmarshalJSON(data []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch++
 	s.mf = make(map[ColumnKey]int, len(js.MF))
 	s.vr = make(map[ColumnKey]float64, len(js.VR))
 	s.public = make(map[string]bool, len(js.Public))

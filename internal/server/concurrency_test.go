@@ -1,0 +1,327 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	flex "flexdp"
+	"flexdp/internal/smooth"
+)
+
+// testSystem builds a server system and returns the database for mutation
+// tests.
+func testSystem(t testing.TB) (*flex.System, *flex.Database) {
+	t.Helper()
+	db := flex.NewDatabase()
+	if err := db.CreateTable("trips",
+		flex.Col{Name: "id", Type: flex.TypeInt},
+		flex.Col{Name: "city", Type: flex.TypeString}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		city := "sf"
+		if i%3 == 0 {
+			city = "nyc"
+		}
+		if err := db.Insert("trips", i, city); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys := flex.NewSystem(db, flex.Options{Seed: 1})
+	sys.CollectMetrics()
+	return sys, db
+}
+
+func postQuery(t testing.TB, url, analyst string, req QueryRequest) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, url+"/query", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if analyst != "" {
+		hr.Header.Set(AnalystHeader, analyst)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestAnalystBudgetIsolation proves the proxy is multi-tenant: each analyst
+// spends only their own budget, and anonymous requests fall back to the
+// shared pool.
+func TestAnalystBudgetIsolation(t *testing.T) {
+	sys, _ := testSystem(t)
+	pool := smooth.NewBudget(10, 1e-3)
+	srv := httptest.NewServer(NewWithConfig(sys, pool, Config{
+		DefaultDelta:   1e-8,
+		AnalystEpsilon: 0.2,
+		AnalystDelta:   1e-5,
+	}).Handler())
+	t.Cleanup(srv.Close)
+
+	q := QueryRequest{SQL: "SELECT COUNT(*) FROM trips", Epsilon: 0.1}
+	// alice exhausts her 0.2 budget with two queries.
+	for i := 0; i < 2; i++ {
+		resp, body := postQuery(t, srv.URL, "alice", q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("alice query %d: %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, _ := postQuery(t, srv.URL, "alice", q)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice over budget: status %d, want 429", resp.StatusCode)
+	}
+	// bob's budget is untouched.
+	resp, body := postQuery(t, srv.URL, "bob", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob: %d: %s", resp.StatusCode, body)
+	}
+	// Anonymous requests draw from the shared pool, which is far from
+	// exhausted.
+	resp, body = postQuery(t, srv.URL, "", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("anonymous: %d: %s", resp.StatusCode, body)
+	}
+
+	// Per-analyst budget reporting.
+	hr, _ := http.NewRequest(http.MethodGet, srv.URL+"/budget", nil)
+	hr.Header.Set(AnalystHeader, "alice")
+	bresp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	var out BudgetResponse
+	if err := json.NewDecoder(bresp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Analyst != "alice" || out.QueriesAnswered != 2 || out.SpentEpsilon < 0.19 {
+		t.Errorf("alice budget = %+v", out)
+	}
+}
+
+// TestInvalidEpsilonRejectedBeforeSpend: malformed privacy parameters must
+// be rejected before budget admission — a negative ε would otherwise refund
+// budget and a zero ε would drain δ without any release.
+func TestInvalidEpsilonRejectedBeforeSpend(t *testing.T) {
+	sys, _ := testSystem(t)
+	pool := smooth.NewBudget(1.0, 1e-5)
+	srv := httptest.NewServer(New(sys, pool, 1e-8).Handler())
+	t.Cleanup(srv.Close)
+
+	for _, eps := range []float64{-1000, 0} {
+		resp, _ := postQuery(t, srv.URL, "", QueryRequest{SQL: "SELECT COUNT(*) FROM trips", Epsilon: eps})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("epsilon %g: status %d, want 400", eps, resp.StatusCode)
+		}
+	}
+	spentEps, spentDelta := pool.Spent()
+	if spentEps != 0 || spentDelta != 0 {
+		t.Errorf("invalid requests changed the budget: spent (%g, %g)", spentEps, spentDelta)
+	}
+}
+
+// TestPreparedCacheInvalidationAfterMutation: a cached prepared query must
+// answer from live data after the table changes (the engine version check),
+// with metrics refreshed under the default StaleRefresh policy.
+func TestPreparedCacheInvalidationAfterMutation(t *testing.T) {
+	sys, db := testSystem(t)
+	srv := httptest.NewServer(New(sys, nil, 1e-8).Handler())
+	t.Cleanup(srv.Close)
+
+	q := QueryRequest{SQL: "SELECT COUNT(*) FROM trips", Epsilon: 5}
+	readCount := func() float64 {
+		resp, body := postQuery(t, srv.URL, "", q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var out QueryResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Rows[0][0].(float64)
+	}
+
+	before := readCount()
+	if before < 900 || before > 1100 {
+		t.Fatalf("noisy count %g implausible for 1000", before)
+	}
+	// Second call hits the prepared cache.
+	readCount()
+	for i := 0; i < 500; i++ {
+		if err := db.Insert("trips", 10000+i, "la"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := readCount()
+	if after < 1400 || after > 1600 {
+		t.Errorf("noisy count after mutation %g implausible for 1500 (stale prepared state?)", after)
+	}
+}
+
+// TestDroppedTableNotChargedAndEvicted: a cached prepared query whose table
+// disappears must fail before budget admission and be evicted, not drain
+// the budget on every retry.
+func TestDroppedTableNotChargedAndEvicted(t *testing.T) {
+	sys, db := testSystem(t)
+	pool := smooth.NewBudget(10, 1e-3)
+	srv := httptest.NewServer(New(sys, pool, 1e-8).Handler())
+	t.Cleanup(srv.Close)
+
+	q := QueryRequest{SQL: "SELECT COUNT(*) FROM trips", Epsilon: 0.1}
+	resp, body := postQuery(t, srv.URL, "", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up: %d: %s", resp.StatusCode, body)
+	}
+	spentBefore, _ := pool.Spent()
+
+	db.Engine().DropTable("trips")
+	resp, _ = postQuery(t, srv.URL, "", q)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("query against a dropped table should fail")
+	}
+	if spent, _ := pool.Spent(); spent != spentBefore {
+		t.Errorf("failed query was charged: spent %g → %g", spentBefore, spent)
+	}
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health struct {
+		PreparedCached int `json:"prepared_cached"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.PreparedCached != 0 {
+		t.Errorf("broken entry still cached (%d entries)", health.PreparedCached)
+	}
+}
+
+// TestPreparedCacheHitStats checks that repeated queries are served from the
+// prepared cache (via the healthz counters) even with varied whitespace and
+// keyword case, thanks to canonical-SQL keying.
+func TestPreparedCacheHitStats(t *testing.T) {
+	sys, _ := testSystem(t)
+	srv := httptest.NewServer(New(sys, nil, 1e-8).Handler())
+	t.Cleanup(srv.Close)
+
+	spellings := []string{
+		"SELECT COUNT(*) FROM trips",
+		"select count(*)   from trips",
+		"SELECT COUNT(*)\nFROM trips",
+	}
+	for _, sql := range spellings {
+		resp, body := postQuery(t, srv.URL, "", QueryRequest{SQL: sql, Epsilon: 0.5})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%q: %d: %s", sql, resp.StatusCode, body)
+		}
+	}
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health struct {
+		PreparedCached int    `json:"prepared_cached"`
+		CacheHits      uint64 `json:"cache_hits"`
+		CacheMisses    uint64 `json:"cache_misses"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.PreparedCached != 1 || health.CacheMisses != 1 || health.CacheHits != 2 {
+		t.Errorf("health = %+v, want 1 cached entry, 1 miss, 2 hits", health)
+	}
+}
+
+// TestConcurrentQueries exercises the full proxy stack from many clients at
+// once; meaningful under -race.
+func TestConcurrentQueries(t *testing.T) {
+	sys, _ := testSystem(t)
+	srv := httptest.NewServer(NewWithConfig(sys, nil, Config{
+		DefaultDelta:   1e-8,
+		AnalystEpsilon: 100,
+		AnalystDelta:   1,
+	}).Handler())
+	t.Cleanup(srv.Close)
+
+	queries := []string{
+		"SELECT COUNT(*) FROM trips",
+		"SELECT city, COUNT(*) FROM trips GROUP BY city",
+		"SELECT COUNT(*) FROM trips a JOIN trips b ON a.id = b.id",
+	}
+	analysts := []string{"", "alice", "bob"}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 6)
+	for w := 0; w < 6; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, body := postQuery(t, srv.URL, analysts[w%len(analysts)],
+					QueryRequest{SQL: queries[(w+i)%len(queries)], Epsilon: 0.1})
+				if resp.StatusCode != http.StatusOK {
+					errCh <- &testError{resp.StatusCode, string(body)}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+type testError struct {
+	status int
+	body   string
+}
+
+func (e *testError) Error() string { return e.body }
+
+// BenchmarkServerConcurrentQuery drives the proxy with parallel clients
+// repeating one query — the serving shape the prepared-query cache and the
+// per-call noise samplers exist for. Throughput should scale with
+// GOMAXPROCS; compare -cpu 1,4,8 runs.
+func BenchmarkServerConcurrentQuery(b *testing.B) {
+	sys, _ := testSystem(b)
+	srv := httptest.NewServer(New(sys, nil, 1e-8).Handler())
+	b.Cleanup(srv.Close)
+
+	payload, _ := json.Marshal(QueryRequest{SQL: "SELECT COUNT(*) FROM trips", Epsilon: 0.1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	})
+}

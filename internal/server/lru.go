@@ -1,0 +1,81 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	flex "flexdp"
+)
+
+// lruCache is a fixed-capacity least-recently-used cache of prepared
+// queries, keyed by canonical SQL. Preparing a query runs the full static
+// pipeline (parse, lowering, sensitivity analysis, plan compilation), which
+// Table 2 shows is the dominant cost for small-data queries, so the proxy
+// keeps the hot working set prepared and lets the engine's version checks
+// handle staleness.
+type lruCache struct {
+	cap int
+
+	mu sync.Mutex
+	ll *list.List // front = most recently used
+	m  map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	p   *flex.Prepared
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached prepared query and marks it most recently used.
+func (c *lruCache) get(key string) (*flex.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).p, true
+}
+
+// add inserts (or refreshes) a prepared query, evicting the least recently
+// used entry beyond capacity.
+func (c *lruCache) add(key string, p *flex.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).p = p
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, p: p})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*lruEntry).key)
+	}
+}
+
+// remove evicts the entry for key, if present.
+func (c *lruCache) remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.Remove(el)
+		delete(c.m, key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

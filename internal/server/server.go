@@ -2,6 +2,12 @@
 // proxy that analysts query with plain SQL, matching the paper's deployment
 // story — FLEX sits in front of an unmodified database, performing static
 // analysis before and output perturbation after normal query execution.
+//
+// The proxy is built for heavy repeated-query traffic: /query is served
+// through an LRU cache of prepared queries keyed by canonical SQL, so a
+// repeated query pays the static analysis and plan compilation once, and
+// privacy budgets are tracked per analyst (the X-Analyst request header)
+// with an unnamed shared pool as the fallback.
 package server
 
 import (
@@ -9,23 +15,76 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
+	"sync/atomic"
 
 	flex "flexdp"
 	"flexdp/internal/relalg"
 	"flexdp/internal/smooth"
+	"flexdp/internal/sqlparser"
 )
 
-// Server handles the HTTP API. Create with New and mount via Handler.
-type Server struct {
-	sys    *flex.System
-	budget *smooth.Budget
-	delta  float64 // default δ when a request omits it
+// AnalystHeader names the request header that selects a per-analyst budget.
+// The proxy trusts this header: in the paper's deployment model FLEX sits
+// behind the organization's authenticated query frontend, which is expected
+// to set (and enforce) the analyst identity. Exposed directly to untrusted
+// clients, a caller could mint fresh budgets by varying the header, so the
+// per-analyst feature must only be enabled behind authentication.
+const AnalystHeader = "X-Analyst"
+
+// Config tunes the service layer.
+type Config struct {
+	// DefaultDelta is used when a request omits δ.
+	DefaultDelta float64
+	// CacheSize bounds the prepared-query LRU cache; 0 means DefaultCacheSize.
+	CacheSize int
+	// AnalystEpsilon/AnalystDelta, when AnalystEpsilon > 0, give every
+	// distinct X-Analyst header value its own (ε, δ) budget; requests
+	// without the header draw from the shared pool budget.
+	AnalystEpsilon float64
+	AnalystDelta   float64
 }
 
-// New returns a server over the system. budget may be nil (no limit beyond
-// per-query parameters); defaultDelta is used when requests omit δ.
+// DefaultCacheSize is the prepared-query cache capacity when Config leaves
+// CacheSize zero.
+const DefaultCacheSize = 128
+
+// Server handles the HTTP API. Create with New or NewWithConfig and mount
+// via Handler. Safe for concurrent use.
+type Server struct {
+	sys    *flex.System
+	budget *smooth.Budget // shared pool; may be nil (no limit)
+	cfg    Config
+
+	prepared     *lruCache
+	hits, misses atomic.Uint64
+
+	mu       sync.Mutex
+	analysts map[string]*smooth.Budget
+}
+
+// New returns a server over the system with default cache size and no
+// per-analyst budgets. budget is the shared pool (may be nil — no limit
+// beyond per-query parameters); defaultDelta is used when requests omit δ.
+//
+// The server owns budget accounting: the System should be constructed
+// without Options.Budget, or queries will be charged twice.
 func New(sys *flex.System, budget *smooth.Budget, defaultDelta float64) *Server {
-	return &Server{sys: sys, budget: budget, delta: defaultDelta}
+	return NewWithConfig(sys, budget, Config{DefaultDelta: defaultDelta})
+}
+
+// NewWithConfig returns a server with explicit service-layer configuration.
+func NewWithConfig(sys *flex.System, budget *smooth.Budget, cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	return &Server{
+		sys:      sys,
+		budget:   budget,
+		cfg:      cfg,
+		prepared: newLRU(cfg.CacheSize),
+		analysts: make(map[string]*smooth.Budget),
+	}
 }
 
 // Handler returns the HTTP handler with all routes mounted.
@@ -36,6 +95,62 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /budget", s.handleBudget)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
+}
+
+// canonicalSQL parses the query and prints it back, so equivalent spellings
+// (whitespace, keyword case) share one cache entry while string literals —
+// which a naive whitespace collapse would corrupt — survive verbatim. The
+// per-request parse costs microseconds against an HTTP round trip; keying on
+// the raw string instead would skip it, but an exact-string front cache
+// grows with client spellings and misses trivially-reformatted repeats.
+func canonicalSQL(sql string) (string, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	return sqlparser.Print(stmt), nil
+}
+
+// preparedFor returns the prepared query for sql (with its cache key), from
+// cache or freshly prepared. Staleness is not checked here: Prepared.Run
+// re-validates against the database version on every call, so cached
+// entries self-heal after table mutations.
+func (s *Server) preparedFor(sql string) (*flex.Prepared, string, error) {
+	key, err := canonicalSQL(sql)
+	if err != nil {
+		return nil, "", err
+	}
+	if p, ok := s.prepared.get(key); ok {
+		s.hits.Add(1)
+		return p, key, nil
+	}
+	p, err := s.sys.Prepare(sql)
+	if err != nil {
+		return nil, "", err
+	}
+	s.misses.Add(1)
+	s.prepared.add(key, p)
+	return p, key, nil
+}
+
+// budgetFor selects the budget charged for a request: the analyst's own
+// when per-analyst budgets are configured and the header is present, else
+// the shared pool. A nil result means unlimited. With create=false an
+// unknown analyst returns nil without allocating (read-only endpoints must
+// not grow the analyst table as a side effect).
+func (s *Server) budgetFor(r *http.Request, create bool) *smooth.Budget {
+	analyst := r.Header.Get(AnalystHeader)
+	if analyst == "" || s.cfg.AnalystEpsilon <= 0 {
+		return s.budget
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.analysts[analyst]
+	if !ok && create {
+		b = smooth.NewBudget(s.cfg.AnalystEpsilon, s.cfg.AnalystDelta)
+		s.analysts[analyst] = b
+	}
+	return b
 }
 
 // QueryRequest is the body of POST /query.
@@ -80,12 +195,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	delta := req.Delta
 	if delta == 0 {
-		delta = s.delta
+		delta = s.cfg.DefaultDelta
 	}
-	res, err := s.sys.Run(req.SQL, req.Epsilon, delta)
+	// Parameters are validated before budget admission: Budget.Spend only
+	// guards the upper limit, so an unvalidated negative ε would *refund*
+	// budget and a zero ε would drain δ with no release.
+	if err := (smooth.PrivacyParams{Epsilon: req.Epsilon, Delta: delta}).Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	prep, key, err := s.preparedFor(req.SQL)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
+	}
+	res, err := prep.Run(req.Epsilon, delta)
+	if err != nil {
+		// Entries that can no longer run (e.g. their table was dropped) are
+		// evicted so the next request re-prepares instead of replaying the
+		// failure. Nothing was released, so nothing is charged.
+		s.prepared.remove(key)
+		writeError(w, statusFor(err), err)
+		return
+	}
+	// Budget admission happens after the query ran but before its result
+	// leaves the server: privacy loss occurs on release, so a refused spend
+	// discards the computed answer uncharged, and no failure mode — parse,
+	// analysis, staleness, execution — ever drains budget without a release.
+	if b := s.budgetFor(r, true); b != nil {
+		if err := b.Spend(req.Epsilon, delta); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
 	}
 	resp := QueryResponse{
 		Columns:        res.Columns,
@@ -122,9 +263,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, analysisDTO(a))
 }
 
-// BudgetResponse is the body of GET /budget.
+// BudgetResponse is the body of GET /budget. With an X-Analyst header (and
+// per-analyst budgets configured) it reports that analyst's budget,
+// otherwise the shared pool.
 type BudgetResponse struct {
 	Enabled         bool    `json:"enabled"`
+	Analyst         string  `json:"analyst,omitempty"`
 	SpentEpsilon    float64 `json:"spent_epsilon"`
 	SpentDelta      float64 `json:"spent_delta"`
 	RemainEpsilon   float64 `json:"remaining_epsilon"`
@@ -132,18 +276,36 @@ type BudgetResponse struct {
 	QueriesAnswered int     `json:"queries_answered"`
 }
 
-func (s *Server) handleBudget(w http.ResponseWriter, _ *http.Request) {
-	resp := BudgetResponse{Enabled: s.budget != nil}
-	if s.budget != nil {
-		resp.SpentEpsilon, resp.SpentDelta = s.budget.Spent()
-		resp.RemainEpsilon, resp.RemainDelta = s.budget.Remaining()
-		resp.QueriesAnswered = s.budget.Queries()
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	b := s.budgetFor(r, false)
+	resp := BudgetResponse{Enabled: b != nil}
+	if s.cfg.AnalystEpsilon > 0 {
+		if analyst := r.Header.Get(AnalystHeader); analyst != "" {
+			resp.Analyst = analyst
+			if b == nil {
+				// Analyst has not queried yet: report the untouched
+				// allocation without materializing a budget.
+				resp.Enabled = true
+				resp.RemainEpsilon = s.cfg.AnalystEpsilon
+				resp.RemainDelta = s.cfg.AnalystDelta
+			}
+		}
+	}
+	if b != nil {
+		resp.SpentEpsilon, resp.SpentDelta = b.Spent()
+		resp.RemainEpsilon, resp.RemainDelta = b.Remaining()
+		resp.QueriesAnswered = b.Queries()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"prepared_cached": s.prepared.len(),
+		"cache_hits":      s.hits.Load(),
+		"cache_misses":    s.misses.Load(),
+	})
 }
 
 func analysisDTO(a *flex.Analysis) AnalysisDTO {

@@ -28,7 +28,9 @@ func testServer(t *testing.T, budget *smooth.Budget) *httptest.Server {
 			t.Fatal(err)
 		}
 	}
-	sys := flex.NewSystem(db, flex.Options{Seed: 1, Budget: budget})
+	// The server owns budget accounting, so the System is built without
+	// Options.Budget (passing it too would double-charge every query).
+	sys := flex.NewSystem(db, flex.Options{Seed: 1})
 	sys.CollectMetrics()
 	sys.SetBinDomain("trips", "city", []any{"sf", "nyc", "la"})
 	srv := httptest.NewServer(New(sys, budget, 1e-8).Handler())

@@ -152,14 +152,51 @@ func Laplace(rng *rand.Rand, scale float64) float64 {
 // Mechanism is the FLEX release mechanism of Definition 7. It is safe for
 // concurrent use.
 type Mechanism struct {
-	mu  sync.Mutex
-	rng *rand.Rand
+	seed int64
+	mu   sync.Mutex
+	rng  *rand.Rand
 }
 
 // NewMechanism returns a mechanism seeded for reproducible experiments. A
 // deployment would seed from crypto/rand; the experiments need determinism.
 func NewMechanism(seed int64) *Mechanism {
-	return &Mechanism{rng: rand.New(rand.NewSource(seed))}
+	return &Mechanism{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to derive well-separated
+// child seeds from (root seed, call id) pairs. Consecutive call ids map to
+// statistically independent streams, which a bare seed+id sum would not.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sampler is a single-call Laplace noise source forked off a Mechanism. It
+// holds a private RNG, so drawing noise takes no lock; callers that want
+// concurrency fork one Sampler per query answer. A Sampler must not be
+// shared across goroutines.
+type Sampler struct {
+	rng *rand.Rand
+}
+
+// Fork derives the sampler for call number `call`, deterministically from
+// the mechanism's root seed. The (seed, call) → stream mapping is fixed, so
+// sequential callers get reproducible noise regardless of how many
+// goroutines answer other calls in between. The derivation chains the mixes
+// — sm(sm(seed) + call), not sm(seed) XOR sm(call) — so that (seed a, call
+// b) and (seed b, call a) do not collapse to the same stream across
+// mechanisms with different seeds.
+func (m *Mechanism) Fork(call uint64) *Sampler {
+	child := splitmix64(splitmix64(uint64(m.seed)) + call)
+	return &Sampler{rng: rand.New(rand.NewSource(int64(child)))}
+}
+
+// Release perturbs a true answer with Laplace noise scaled to 2S/ε
+// (Definition 7 step 3) from the sampler's private stream.
+func (s *Sampler) Release(trueAnswer float64, sm Smoothed, epsilon float64) float64 {
+	return trueAnswer + Laplace(s.rng, sm.NoiseScale(epsilon))
 }
 
 // Release perturbs a true answer with Laplace noise scaled to 2S/ε

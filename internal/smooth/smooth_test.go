@@ -194,6 +194,28 @@ func TestMechanismDeterministicWithSeed(t *testing.T) {
 	}
 }
 
+func TestForkDeterministicAndAsymmetric(t *testing.T) {
+	s := Smoothed{S: 1, Beta: 0.1}
+	// Same (seed, call) → identical stream.
+	a := NewMechanism(7).Fork(3).Release(100, s, 0.5)
+	b := NewMechanism(7).Fork(3).Release(100, s, 0.5)
+	if a != b {
+		t.Fatalf("same (seed, call) diverged: %g vs %g", a, b)
+	}
+	// Different calls from one seed → different streams.
+	c := NewMechanism(7).Fork(4).Release(100, s, 0.5)
+	if a == c {
+		t.Error("calls 3 and 4 produced identical noise")
+	}
+	// (seed a, call b) must not equal (seed b, call a): the derivation is
+	// chained, not a symmetric XOR of the two mixes.
+	x := NewMechanism(3).Fork(9).Release(100, s, 0.5)
+	y := NewMechanism(9).Fork(3).Release(100, s, 0.5)
+	if x == y {
+		t.Error("swapped (seed, call) pairs collapsed to one stream")
+	}
+}
+
 func TestReleaseVec(t *testing.T) {
 	m := NewMechanism(3)
 	bounds := []Smoothed{{S: 1}, {S: 2}}

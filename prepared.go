@@ -1,0 +1,227 @@
+package flex
+
+import (
+	"sync"
+	"time"
+
+	"flexdp/internal/core"
+	"flexdp/internal/engine"
+	"flexdp/internal/metrics"
+	"flexdp/internal/smooth"
+)
+
+// Prepared is a query that has been parsed, lowered to relational algebra,
+// analyzed for elastic sensitivity, and compiled into an engine plan exactly
+// once. Run answers it with fresh (ε, δ) parameters, reusing every cached
+// stage:
+//
+//   - the parse and the relational-algebra lowering,
+//   - the symbolic sensitivity polynomials and output classification,
+//   - the Ŝ^(k) evaluations of the smoothing search (memoized per distance,
+//     shared across output columns and (ε, δ) settings),
+//   - the smooth bounds themselves (memoized per (ε, δ) pair), and
+//   - the engine's compiled closure trees.
+//
+// Invalidation is by version: when the table store has changed since the
+// state was built, or the metrics store has mutated in any way (a
+// re-collection, MarkPublic, EnforceValueRange, manual SetVR), the next Run
+// rebuilds everything against the live schema, metrics, and data, so a
+// Prepared query never answers from stale analysis. Execution always reads
+// the current table contents — only derived, content-addressed artifacts are
+// cached.
+//
+// A Prepared query is safe for concurrent Run calls, and its answers are
+// bit-identical to System.Run for the same seed and call sequence.
+type Prepared struct {
+	sys *System
+	sql string
+
+	mu sync.RWMutex
+	st *preparedState
+}
+
+// preparedState is everything derived from (SQL, schema, metrics, database
+// version). It is immutable after construction apart from its two
+// concurrency-safe caches.
+type preparedState struct {
+	version        uint64         // database version the state was built at
+	metricsVersion uint64         // System metrics version the analysis used
+	store          *metrics.Store // metrics store instance the analysis used
+	metricsEpoch   uint64         // that store's mutation epoch at build
+	analysis       *Analysis
+	pq             *engine.PreparedQuery
+	sens           *core.SensitivityCache
+	n              int // database size at build, for the Theorem 3 cutoff
+
+	boundsMu sync.Mutex
+	bounds   map[smooth.PrivacyParams][]smooth.Smoothed
+}
+
+// Prepare analyzes and compiles sql for repeated execution. Unsupported or
+// unparseable queries fail here, with the same errors Run would produce.
+func (s *System) Prepare(sql string) (*Prepared, error) {
+	p := &Prepared{sys: s, sql: sql}
+	if _, err := p.state(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SQL returns the prepared query text.
+func (p *Prepared) SQL() string { return p.sql }
+
+// Analysis returns the current static analysis (rebuilt if the database has
+// changed since Prepare).
+func (p *Prepared) Analysis() (*Analysis, error) {
+	st, err := p.state()
+	if err != nil {
+		return nil, err
+	}
+	return st.analysis, nil
+}
+
+// state returns the prepared state valid for the database's current version,
+// rebuilding it when the table store or the metrics have moved. The metrics
+// check uses the store's mutation epoch, so manual overrides (MarkPublic,
+// EnforceValueRange, Metrics().SetVR) invalidate cached sensitivities just
+// like a full re-collection does.
+func (p *Prepared) state() (*preparedState, error) {
+	s := p.sys
+	p.mu.RLock()
+	st := p.st
+	p.mu.RUnlock()
+	if st != nil && st.fresh(s) {
+		return st, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Re-read under the write lock: another goroutine may have rebuilt.
+	if p.st != nil && p.st.fresh(s) {
+		return p.st, nil
+	}
+	v := s.db.eng.Version()
+	mv := s.metricsVersionNow()
+	store := s.Metrics()
+	me := store.Epoch()
+	analysis, err := s.Analyze(p.sql)
+	if err != nil {
+		return nil, err
+	}
+	pq, err := s.db.eng.Prepare(p.sql)
+	if err != nil {
+		return nil, err
+	}
+	p.st = &preparedState{
+		version:        v,
+		metricsVersion: mv,
+		store:          store,
+		metricsEpoch:   me,
+		analysis:       analysis,
+		pq:             pq,
+		sens:           core.NewSensitivityCache(s.analyzer(), analysis.query),
+		n:              s.db.TotalRows(),
+		bounds:         make(map[smooth.PrivacyParams][]smooth.Smoothed),
+	}
+	return p.st, nil
+}
+
+// fresh reports whether the state still matches the system's database
+// version and metrics: the same store instance (CollectMetrics swaps in a
+// new one) at the same mutation epoch (manual overrides bump it in place).
+func (st *preparedState) fresh(s *System) bool {
+	cur := s.Metrics()
+	return st.version == s.db.eng.Version() &&
+		st.metricsVersion == s.metricsVersionNow() &&
+		st.store == cur &&
+		st.metricsEpoch == cur.Epoch()
+}
+
+// maxBoundsEntries caps the per-state (ε, δ) → bounds memo. The parameters
+// come from callers (for the HTTP proxy, straight from request bodies), so
+// an unbounded map would let a client leak memory by sweeping ε; past the
+// cap, bounds are still computed correctly, just not memoized.
+const maxBoundsEntries = 64
+
+// boundsFor returns the per-output smooth bounds for the privacy parameters,
+// memoized per (ε, δ) pair on top of the per-distance sensitivity cache.
+func (st *preparedState) boundsFor(p smooth.PrivacyParams, mode NoiseMode) ([]smooth.Smoothed, error) {
+	st.boundsMu.Lock()
+	b, ok := st.bounds[p]
+	st.boundsMu.Unlock()
+	if ok {
+		return b, nil
+	}
+	b, err := computeBounds(st.sens.At, st.analysis, st.n, p, mode)
+	if err != nil {
+		return nil, err
+	}
+	st.boundsMu.Lock()
+	if len(st.bounds) < maxBoundsEntries {
+		st.bounds[p] = b
+	}
+	st.boundsMu.Unlock()
+	return b, nil
+}
+
+// Run answers the prepared query with (ε, δ)-differential privacy. It
+// follows exactly the System.Run pipeline — stale-metrics policy, budget
+// admission, noise-stream forking, smoothing, execution, perturbation — with
+// every query-dependent stage served from the prepared caches.
+func (p *Prepared) Run(epsilon, delta float64) (*PrivateResult, error) {
+	return p.run(epsilon, delta, nil)
+}
+
+// RunWithBins answers the prepared histogram query with analyst-supplied bin
+// labels (see System.RunWithBins).
+func (p *Prepared) RunWithBins(epsilon, delta float64, bins []any) (*PrivateResult, error) {
+	if len(bins) == 0 {
+		return nil, errNoBins
+	}
+	return p.run(epsilon, delta, bins)
+}
+
+func (p *Prepared) run(epsilon, delta float64, analystBins []any) (*PrivateResult, error) {
+	s := p.sys
+	pp := smooth.PrivacyParams{Epsilon: epsilon, Delta: delta}
+	if err := pp.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.refreshIfStale(); err != nil {
+		return nil, err
+	}
+	st, err := p.state()
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.Budget != nil {
+		if err := s.opts.Budget.Spend(epsilon, delta); err != nil {
+			return nil, err
+		}
+	}
+	sampler := s.forkSampler()
+
+	t0 := time.Now()
+	bounds, err := st.boundsFor(pp, s.opts.NoiseMode)
+	if err != nil {
+		return nil, err
+	}
+	analysisTime := time.Since(t0)
+
+	t1 := time.Now()
+	rs, err := st.pq.Exec()
+	if err != nil {
+		return nil, err
+	}
+	execTime := time.Since(t1)
+
+	t2 := time.Now()
+	out, err := s.perturb(st.analysis, rs, bounds, epsilon, analystBins, sampler)
+	if err != nil {
+		return nil, err
+	}
+	out.Analysis = st.analysis
+	out.AnalysisTime = analysisTime
+	out.ExecTime = execTime
+	out.PerturbTime = time.Since(t2)
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package flex_test
+
+import (
+	"testing"
+
+	flex "flexdp"
+)
+
+// The prepared-query benchmarks target the paper's Table 2 regime: on small
+// data the fixed static-analysis cost (parse, lowering, sensitivity
+// polynomials, and the Definition 7 smoothing search — one full chain of
+// Ŝ(k) tree walks per output column) dominates per-query latency. The
+// repeated query is a multi-aggregate equijoin at tight δ, the shape a
+// deployed proxy answers over and over with fresh noise.
+
+const benchRepeatedSQL = "SELECT COUNT(*), SUM(fare), AVG(fare) FROM trips t JOIN drivers d ON t.driver_id = d.id"
+
+func smallBenchSystem(b *testing.B) *flex.System {
+	b.Helper()
+	db := flex.NewDatabase()
+	if err := db.CreateTable("trips",
+		flex.Col{Name: "id", Type: flex.TypeInt},
+		flex.Col{Name: "driver_id", Type: flex.TypeInt},
+		flex.Col{Name: "fare", Type: flex.TypeFloat}); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateTable("drivers",
+		flex.Col{Name: "id", Type: flex.TypeInt},
+		flex.Col{Name: "city", Type: flex.TypeInt}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := db.Insert("trips", i, i%20, float64(i%40)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := db.Insert("drivers", i, i%5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sys := flex.NewSystem(db, flex.Options{Seed: 1})
+	sys.CollectMetrics()
+	if err := sys.EnforceValueRange("trips", "fare", 0, 40); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkSystemRunRepeated is the unprepared baseline: every call
+// re-parses, re-lowers, re-analyzes, and re-smooths the same query.
+func BenchmarkSystemRunRepeated(b *testing.B) {
+	sys := smallBenchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(benchRepeatedSQL, 0.1, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedRunRepeated is the same repeated query through
+// Prepare-once/Run-many; the acceptance target is ≥ 3× over
+// BenchmarkSystemRunRepeated.
+func BenchmarkPreparedRunRepeated(b *testing.B) {
+	sys := smallBenchSystem(b)
+	prep, err := sys.Prepare(benchRepeatedSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prep.Run(0.1, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedRunParallel measures the same prepared query under
+// concurrent load (the serving shape of the HTTP proxy): per-call forked
+// noise samplers mean the only shared mutable state is the bounds cache.
+func BenchmarkPreparedRunParallel(b *testing.B) {
+	sys := smallBenchSystem(b)
+	prep, err := sys.Prepare(benchRepeatedSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := prep.Run(0.1, 1e-9); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
