@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: check build test vet race bench-short bench-engine bench-prepared bench-paper flexbench-small
+# Benchmarks covered by the CI regression gate (serial hot paths only:
+# worker-scaling and RunParallel benches vary with the runner's core count
+# and would make cross-run comparison meaningless).
+GATE_ENGINE_BENCH = BenchmarkWhereFilter|BenchmarkHashJoin|BenchmarkGroupByAggregate|BenchmarkProjection|BenchmarkDistinct
+GATE_PREPARED_BENCH = BenchmarkSystemRunRepeated|BenchmarkPreparedRunRepeated
+GATE_COUNT = 5
+GATE_BENCHTIME = 200ms
+
+.PHONY: check build test vet race lint bench-short bench-engine bench-prepared bench-paper bench-parallel bench-current bench-baseline bench-gate flexbench-small
 
 # Default: the tier-1 verification plus static analysis.
 check: build vet test
@@ -38,7 +46,42 @@ bench-prepared:
 bench-paper:
 	$(GO) test . -run '^$$' -bench 'BenchmarkStudyQ1toQ8|BenchmarkTable2Performance' -benchtime 3x
 
+# Morsel-parallel executor scaling: serial vs 2 vs 4 workers on large
+# tables. Meaningful on multi-core machines only.
+bench-parallel:
+	$(GO) test ./internal/engine -run '^$$' \
+		-bench 'BenchmarkParallelScan|BenchmarkParallelAggregate|BenchmarkParallelJoin' \
+		-benchtime 1s
+
+# Formatting + static analysis exactly as CI's lint job runs them.
+lint:
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) vet ./...
+
+# Gate-covered benchmarks, multiple samples, to stdout.
+bench-current:
+	@$(GO) test ./internal/engine -run '^$$' -bench '$(GATE_ENGINE_BENCH)' \
+		-benchtime $(GATE_BENCHTIME) -count $(GATE_COUNT)
+	@$(GO) test . -run '^$$' -bench '$(GATE_PREPARED_BENCH)' \
+		-benchtime $(GATE_BENCHTIME) -count $(GATE_COUNT)
+
+# Refresh the checked-in baseline (bench/baseline.txt). Do this on the CI
+# runner class the gate runs on; a laptop baseline makes the gate noisy.
+bench-baseline:
+	@$(MAKE) --no-print-directory bench-current > bench/baseline.txt
+	@echo "wrote bench/baseline.txt"
+
+# The CI regression gate: current benchmarks vs the checked-in baseline,
+# failing on a >15% median ns/op regression. Redirect (not tee) so a failing
+# benchmark run fails the target instead of being masked by the pipe.
+bench-gate:
+	@$(MAKE) --no-print-directory bench-current > /tmp/bench-current.txt || { cat /tmp/bench-current.txt; exit 1; }
+	@cat /tmp/bench-current.txt
+	$(GO) run ./cmd/benchgate -old bench/baseline.txt -new /tmp/bench-current.txt -threshold 0.15
+
 # Small-scale full regeneration of every paper table/figure, with the
-# machine-readable record written to BENCH_<date>.json.
+# machine-readable record written to BENCH_<date>.json (auto-suffixed on
+# same-day reruns; use flexbench -out for an explicit path).
 flexbench-small:
 	$(GO) run ./cmd/flexbench -small -json auto

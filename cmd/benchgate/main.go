@@ -1,0 +1,181 @@
+// Command benchgate is the CI benchmark-regression gate: it compares two
+// `go test -bench` outputs benchstat-style — grouping samples per benchmark,
+// taking the median ns/op — and fails (exit 1) when any benchmark regressed
+// by more than the threshold against the checked-in baseline.
+//
+//	go test ./internal/engine -bench . -count 5 | tee current.txt
+//	go run ./cmd/benchgate -old bench/baseline.txt -new current.txt -threshold 0.15
+//
+// Benchmarks present in only one file are listed but never fatal, so adding
+// a benchmark does not require regenerating the baseline in the same commit
+// (refresh with `make bench-baseline`). Baselines are hardware-specific:
+// regenerate after a CI runner change, not to paper over a regression.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one `go test -bench` result line; the -<N> GOMAXPROCS
+// suffix is stripped so baselines transfer across runner core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench collects ns/op samples per benchmark name from go test output.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	return samples, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// comparison is the verdict for one benchmark name.
+type comparison struct {
+	name      string
+	oldNS     float64
+	newNS     float64
+	delta     float64 // (new-old)/old
+	missing   string  // "baseline" or "current" when only one side has it
+	regressed bool
+}
+
+// compare evaluates current against baseline at the given regression
+// threshold (0.15 = fail when ns/op grew more than 15%).
+func compare(baseline, current map[string][]float64, threshold float64) []comparison {
+	names := make(map[string]bool)
+	for n := range baseline {
+		names[n] = true
+	}
+	for n := range current {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	var out []comparison
+	for _, n := range ordered {
+		c := comparison{name: n}
+		ob, okOld := baseline[n]
+		cb, okNew := current[n]
+		switch {
+		case !okOld:
+			c.missing = "baseline"
+			c.newNS = median(cb)
+		case !okNew:
+			// A baseline benchmark absent from the current run is fatal:
+			// otherwise a bench that starts panicking (or is quietly dropped
+			// from the run) would take its regression coverage with it.
+			// Retire a benchmark by refreshing the baseline.
+			c.missing = "current"
+			c.oldNS = median(ob)
+			c.regressed = true
+		default:
+			c.oldNS = median(ob)
+			c.newNS = median(cb)
+			c.delta = (c.newNS - c.oldNS) / c.oldNS
+			c.regressed = c.delta > threshold
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func render(w io.Writer, comps []comparison, threshold float64) (failed bool) {
+	fmt.Fprintf(w, "%-50s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, c := range comps {
+		switch {
+		case c.missing == "baseline":
+			fmt.Fprintf(w, "%-50s %14s %14.0f %9s  (not in baseline; run make bench-baseline)\n",
+				c.name, "-", c.newNS, "-")
+		case c.missing == "current":
+			fmt.Fprintf(w, "%-50s %14.0f %14s %9s  MISSING from current run (retire via make bench-baseline)\n",
+				c.name, c.oldNS, "-", "-")
+			failed = true
+		default:
+			mark := ""
+			if c.regressed {
+				mark = fmt.Sprintf("  REGRESSION (> %+.0f%%)", threshold*100)
+				failed = true
+			}
+			fmt.Fprintf(w, "%-50s %14.0f %14.0f %+8.1f%%%s\n",
+				c.name, c.oldNS, c.newNS, c.delta*100, mark)
+		}
+	}
+	return failed
+}
+
+func main() {
+	oldPath := flag.String("old", "bench/baseline.txt", "baseline go test -bench output")
+	newPath := flag.String("new", "", "current go test -bench output (default: stdin)")
+	threshold := flag.Float64("threshold", 0.15, "fractional ns/op regression that fails the gate")
+	flag.Parse()
+
+	oldFile, err := os.Open(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	defer oldFile.Close()
+	baseline, err := parseBench(oldFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	var newReader io.Reader = os.Stdin
+	if *newPath != "" {
+		f, err := os.Open(*newPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		newReader = f
+	}
+	current, err := parseBench(newReader)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results in current input")
+		os.Exit(2)
+	}
+
+	if render(os.Stdout, compare(baseline, current, *threshold), *threshold) {
+		fmt.Fprintf(os.Stderr, "benchgate: benchmark regression beyond %.0f%% threshold\n", *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println(strings.TrimSpace("benchgate: OK"))
+}

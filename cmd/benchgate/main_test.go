@@ -1,0 +1,118 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baselineOut = `
+goos: linux
+BenchmarkWhereFilter-8   	     100	   1000000 ns/op	  120 B/op
+BenchmarkWhereFilter-8   	     100	   1040000 ns/op	  120 B/op
+BenchmarkWhereFilter-8   	     100	    980000 ns/op	  120 B/op
+BenchmarkHashJoin-8      	      50	   2000000 ns/op
+PASS
+`
+
+func parse(t *testing.T, s string) map[string][]float64 {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBenchGroupsSamples(t *testing.T) {
+	m := parse(t, baselineOut)
+	if len(m["BenchmarkWhereFilter"]) != 3 {
+		t.Fatalf("samples: %v", m)
+	}
+	if med := median(m["BenchmarkWhereFilter"]); med != 1000000 {
+		t.Fatalf("median %v", med)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so baselines transfer
+	// across runner core counts.
+	if _, ok := m["BenchmarkHashJoin-8"]; ok {
+		t.Fatal("suffix not stripped")
+	}
+}
+
+// TestGateCatchesTwentyPercentSlowdown is the ISSUE acceptance check: a
+// deliberate 20% slowdown must trip the 15% gate, while a 10% wobble and an
+// improvement must pass.
+func TestGateCatchesTwentyPercentSlowdown(t *testing.T) {
+	base := parse(t, baselineOut)
+	slowed := parse(t, `
+BenchmarkWhereFilter-4   	     100	   1200000 ns/op
+BenchmarkHashJoin-4      	      50	   1900000 ns/op
+`)
+	comps := compare(base, slowed, 0.15)
+	var failed bool
+	for _, c := range comps {
+		if c.name == "BenchmarkWhereFilter" && !c.regressed {
+			t.Fatalf("20%% slowdown not caught: %+v", c)
+		}
+		if c.name == "BenchmarkHashJoin" && c.regressed {
+			t.Fatalf("improvement flagged as regression: %+v", c)
+		}
+		failed = failed || c.regressed
+	}
+	if !failed {
+		t.Fatal("gate did not fail overall")
+	}
+
+	ok := parse(t, `
+BenchmarkWhereFilter-4   	     100	   1100000 ns/op
+BenchmarkHashJoin-4      	      50	   2100000 ns/op
+`)
+	for _, c := range compare(base, ok, 0.15) {
+		if c.regressed {
+			t.Fatalf("10%% wobble flagged: %+v", c)
+		}
+	}
+}
+
+// TestGateMissingBenchmarks: new benchmarks (absent from the baseline) are
+// reported but never fatal, while a baseline benchmark absent from the
+// current run IS fatal — a bench that starts panicking must not silently
+// drop its regression coverage.
+func TestGateMissingBenchmarks(t *testing.T) {
+	base := parse(t, baselineOut)
+	cur := parse(t, `
+BenchmarkWhereFilter-4   	     100	   1000000 ns/op
+BenchmarkBrandNew-4      	     100	   9000000 ns/op
+`)
+	for _, c := range compare(base, cur, 0.15) {
+		switch c.name {
+		case "BenchmarkBrandNew":
+			if c.missing != "baseline" || c.regressed {
+				t.Fatalf("new benchmark must be non-fatal: %+v", c)
+			}
+		case "BenchmarkHashJoin":
+			if c.missing != "current" || !c.regressed {
+				t.Fatalf("vanished benchmark must be fatal: %+v", c)
+			}
+		case "BenchmarkWhereFilter":
+			if c.regressed {
+				t.Fatalf("unchanged benchmark regressed: %+v", c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if !render(&sb, compare(base, cur, 0.15), 0.15) {
+		t.Fatal("render did not fail on vanished benchmark")
+	}
+}
+
+func TestRenderFlagsRegression(t *testing.T) {
+	base := parse(t, baselineOut)
+	slowed := parse(t, "BenchmarkWhereFilter-4 100 1300000 ns/op\n")
+	var sb strings.Builder
+	if !render(&sb, compare(base, slowed, 0.15), 0.15) {
+		t.Fatal("render did not report failure")
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("output missing marker:\n%s", sb.String())
+	}
+}

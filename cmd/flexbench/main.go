@@ -1,12 +1,17 @@
 // Command flexbench regenerates every table and figure of the paper's
 // evaluation. With no flags it runs the full-scale environment; -small runs
 // a fast smoke configuration. Individual experiments can be selected with
-// -only (comma-separated ids: study, table1, triangle, table2, successrate,
-// fig3, fig4, fig5, fig6, table4, fig7, table5, ablations, server).
+// -only (comma-separated ids: engine, study, table1, triangle, table2,
+// successrate, fig3, fig4, fig5, fig6, table4, fig7, table5, ablations,
+// server).
 //
 // -json writes a machine-readable record of every experiment result
 // alongside the paper-style rows, so performance and utility trajectories
-// can be tracked across commits; "auto" expands to BENCH_<date>.json.
+// can be tracked across commits; "auto" expands to BENCH_<date>.json,
+// adding a -2, -3, ... suffix when that file already exists so same-day
+// reruns never overwrite an earlier record. -out writes to an explicit path
+// instead. The record header embeds the git commit and GOMAXPROCS for
+// provenance.
 package main
 
 import (
@@ -14,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -22,12 +29,16 @@ import (
 	"flexdp/internal/workload"
 )
 
-// benchRecord is the schema of the -json output file.
+// benchRecord is the schema of the -json/-out output file.
 type benchRecord struct {
-	Date       string  `json:"date"`
-	Config     string  `json:"config"` // "full" or "small"
-	Seed       int64   `json:"seed"`
-	GoMaxProcs int     `json:"gomaxprocs"`
+	Date       string `json:"date"`
+	Config     string `json:"config"` // "full" or "small"
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// GitCommit is the VCS revision the binary was built from (with a
+	// "+dirty" suffix for modified trees), so a benchmark artifact can
+	// always be traced back to the code that produced it.
+	GitCommit  string  `json:"git_commit"`
 	EnvRows    int     `json:"env_rows,omitempty"`
 	EnvSetupMS float64 `json:"env_setup_ms,omitempty"`
 	Delta      float64 `json:"delta,omitempty"`
@@ -37,13 +48,69 @@ type benchRecord struct {
 	Results map[string]any `json:"results"`
 }
 
+// gitCommit resolves the revision the benchmark record was produced from:
+// the VCS info the Go toolchain embeds at build time when present, else the
+// CI-provided GITHUB_SHA, else `git rev-parse HEAD` against the working
+// tree (the common case — `go run ./cmd/flexbench` does not stamp VCS
+// info), else "unknown".
+func gitCommit() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				rev += "+dirty"
+			}
+			return rev
+		}
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	rev := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// resolveOutPath picks the output file: an explicit path is used verbatim,
+// while "auto" expands to BENCH_<date>.json — with a -2, -3, ... suffix when
+// the file already exists, so same-day reruns never silently overwrite an
+// earlier record.
+func resolveOutPath(path, date string) string {
+	if path != "auto" {
+		return path
+	}
+	base := "BENCH_" + date
+	candidate := base + ".json"
+	for n := 2; ; n++ {
+		if _, err := os.Stat(candidate); os.IsNotExist(err) {
+			return candidate
+		}
+		candidate = fmt.Sprintf("%s-%d.json", base, n)
+	}
+}
+
 func main() {
 	small := flag.Bool("small", false, "use the fast small-scale environment")
 	only := flag.String("only", "", "comma-separated experiment ids to run")
 	reps := flag.Int("reps", 5, "noise repetitions per query for error measurement")
 	wpinqReps := flag.Int("wpinq-reps", 100, "wPINQ repetitions for Table 5")
 	seed := flag.Int64("seed", 20180904, "experiment seed")
-	jsonPath := flag.String("json", "", `write machine-readable results to this file ("auto" = BENCH_<date>.json)`)
+	jsonPath := flag.String("json", "", `write machine-readable results to this file ("auto" = BENCH_<date>.json, suffixed on collision)`)
+	outPath := flag.String("out", "", "output file for the JSON record (overrides -json; never auto-suffixed)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -67,6 +134,7 @@ func main() {
 		Config:     config,
 		Seed:       *seed,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GitCommit:  gitCommit(),
 		ElapsedMS:  make(map[string]float64),
 		Results:    make(map[string]any),
 	}
@@ -101,6 +169,13 @@ func main() {
 		fmt.Println()
 	}
 
+	section("engine", func() fmt.Stringer {
+		rows, reps := 400000, 5
+		if *small {
+			rows, reps = 50000, 3
+		}
+		return experiments.RunEngineParallel(*seed, rows, reps)
+	})
 	section("study", func() fmt.Stringer {
 		n := 100000
 		if *small {
@@ -153,10 +228,10 @@ func main() {
 		return res
 	})
 
-	if *jsonPath != "" {
-		path := *jsonPath
-		if path == "auto" {
-			path = "BENCH_" + record.Date + ".json"
+	if *outPath != "" || *jsonPath != "" {
+		path := *outPath
+		if path == "" {
+			path = resolveOutPath(*jsonPath, record.Date)
 		}
 		// Never lose a completed run to one unmarshalable result: replace
 		// any offender with an error note and marshal the rest.

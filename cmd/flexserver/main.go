@@ -57,6 +57,7 @@ func main() {
 	analystDelta := flag.Float64("analyst-delta", 0, "per-analyst privacy budget δ (default: -max-delta)")
 	demo := flag.Bool("demo", false, "serve the synthetic rideshare dataset")
 	seed := flag.Int64("seed", 0, "noise seed (0 = nondeterministic per restart)")
+	parallelism := flag.Int("parallelism", 0, "engine worker goroutines per query (0 = one per CPU, 1 = serial)")
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for graceful shutdown")
@@ -86,8 +87,11 @@ func main() {
 
 	// The server layer owns all budget accounting (shared pool plus
 	// per-analyst budgets), so the System carries no Options.Budget.
+	// Queries execute morsel-parallel by default (one worker per CPU);
+	// results are bit-identical at any -parallelism, so the flag only trades
+	// per-query latency against cross-query throughput under load.
 	budget := smooth.NewBudget(*maxEps, *maxDelta)
-	sys := flex.NewSystem(db, flex.Options{Seed: *seed})
+	sys := flex.NewSystem(db, flex.Options{Seed: *seed, Parallelism: *parallelism})
 	if *public != "" {
 		sys.MarkPublic(strings.Split(*public, ",")...)
 	}

@@ -144,6 +144,12 @@ func convertResult(rs *engine.ResultSet) *Result {
 	return out
 }
 
+// SetParallelism bounds the engine's intra-query worker count (morsel-driven
+// execution); n <= 0 restores the default of one worker per CPU. Results are
+// bit-identical at every setting, so it is safe to change between queries —
+// including under Systems and Prepared queries sharing this database.
+func (db *Database) SetParallelism(n int) { db.eng.SetParallelism(n) }
+
 // TotalRows returns the number of tuples across all tables (the database
 // size n).
 func (db *Database) TotalRows() int { return db.eng.TotalRows() }

@@ -87,6 +87,15 @@ type Options struct {
 	// CollectMetrics. The paper notes the mf metrics must be recomputed on
 	// update or differential privacy is no longer guaranteed (Section 4).
 	StaleMetrics StalePolicy
+	// Parallelism bounds the engine's intra-query worker count (the
+	// morsel-driven executor): 0 leaves the database's current setting
+	// (default: one worker per CPU), 1 forces serial execution, n > 1 caps
+	// the pool. The setting is applied to the wrapped Database, which may be
+	// shared between Systems. It is purely a throughput knob: query results
+	// — and therefore sensitivities, noise draws, and private outputs — are
+	// bit-identical at every value, and the sensitivity analysis itself
+	// never executes queries, so the privacy guarantees are unaffected.
+	Parallelism int
 }
 
 // StalePolicy selects the response to metrics that predate a database
@@ -139,6 +148,9 @@ type System struct {
 // NewSystem creates a FLEX instance over the database. Metrics start empty;
 // call CollectMetrics (or set them manually) before running queries.
 func NewSystem(db *Database, opts Options) *System {
+	if opts.Parallelism > 0 {
+		db.SetParallelism(opts.Parallelism)
+	}
 	m := metrics.New()
 	return &System{
 		db:      db,

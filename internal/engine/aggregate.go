@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"flexdp/internal/sqlparser"
 )
@@ -21,6 +22,14 @@ func (ctx *execContext) executeAggregate(stmt *sqlparser.SelectStmt, rel *relati
 		clone := *stmt
 		clone.GroupBy = resolved
 		stmt = &clone
+	}
+
+	// Morsel-parallel path: partial aggregation per worker with a
+	// deterministic morsel-order merge (aggregate_parallel.go). Falls
+	// through to the serial path for subquery-bearing statements and
+	// single-morsel inputs.
+	if out, keys, ok, err := ctx.tryExecuteAggregateParallel(stmt, rel); ok {
+		return out, keys, err
 	}
 
 	// Partition rows into groups keyed by the GROUP BY expressions.
@@ -82,7 +91,7 @@ func (ctx *execContext) executeAggregate(stmt *sqlparser.SelectStmt, rel *relati
 	needSort := len(stmt.OrderBy) > 0
 	// Aggregate-input expressions compile once and are shared by every
 	// group through this cache (AST nodes are stable pointers).
-	cache := make(map[sqlparser.Expr]evalFn)
+	cache := newExprCache()
 	for _, g := range groups {
 		genv := &groupEnv{ctx: ctx, rel: rel, rows: g.rows, groupBy: stmt.GroupBy,
 			keyVals: g.keyVals, cache: cache}
@@ -149,26 +158,51 @@ func resolvePositionalGroupBy(stmt *sqlparser.SelectStmt) ([]sqlparser.Expr, err
 	return out, nil
 }
 
+// exprCache holds compiled per-row evaluators keyed by AST node, shared
+// across the groups of one aggregation so each aggregate input is compiled
+// exactly once per query. It is mutex-guarded because the parallel
+// aggregation path evaluates groups from multiple workers; the serial path
+// pays one uncontended lock per compiled-expression lookup, which is per
+// group, not per row.
+type exprCache struct {
+	mu sync.RWMutex
+	m  map[sqlparser.Expr]evalFn
+}
+
+func newExprCache() *exprCache {
+	return &exprCache{m: make(map[sqlparser.Expr]evalFn)}
+}
+
 // groupEnv evaluates expressions in the context of one group: aggregate
 // calls reduce over the group's rows; other column references resolve
 // against the group's first row (valid for GROUP BY keys and functionally
 // dependent columns).
+//
+// The environment has two backing modes. In serial mode rows holds the
+// group's full row list and aggregates reduce over it on demand. In
+// parallel mode par holds the group's merged partial-aggregation state
+// (ordered per-aggregate value runs, row count, first row) built by the
+// morsel workers, and slotOf maps each aggregate call in the statement to
+// its slot in that state; rows is nil.
 type groupEnv struct {
 	ctx     *execContext
 	rel     *relation
 	rows    [][]Value
 	groupBy []sqlparser.Expr
 	keyVals []Value
-	// cache holds compiled per-row evaluators keyed by AST node, shared
-	// across the groups of one aggregation so each aggregate input is
-	// compiled exactly once per query.
-	cache map[sqlparser.Expr]evalFn
+	cache   *exprCache
+
+	par    *parGroup
+	slotOf map[*sqlparser.FuncCall]int
 }
 
 // compiled returns the compiled evaluator for e, memoized across groups.
 func (g *groupEnv) compiled(e sqlparser.Expr) (evalFn, error) {
 	if g.cache != nil {
-		if fn, ok := g.cache[e]; ok {
+		g.cache.mu.RLock()
+		fn, ok := g.cache.m[e]
+		g.cache.mu.RUnlock()
+		if ok {
 			return fn, nil
 		}
 	}
@@ -177,9 +211,23 @@ func (g *groupEnv) compiled(e sqlparser.Expr) (evalFn, error) {
 		return nil, err
 	}
 	if g.cache != nil {
-		g.cache[e] = fn
+		g.cache.mu.Lock()
+		g.cache.m[e] = fn
+		g.cache.mu.Unlock()
 	}
 	return fn, nil
+}
+
+// firstRow returns the group's first row in scan order, or ok=false for an
+// empty group (the implicit single group of an aggregate over no rows).
+func (g *groupEnv) firstRow() ([]Value, bool) {
+	if g.par != nil {
+		return g.par.first, g.par.first != nil
+	}
+	if len(g.rows) == 0 {
+		return nil, false
+	}
+	return g.rows[0], true
 }
 
 func (g *groupEnv) eval(e sqlparser.Expr) (Value, error) {
@@ -246,14 +294,15 @@ func (g *groupEnv) eval(e sqlparser.Expr) (Value, error) {
 		}
 	}
 	// Non-aggregate expression: evaluate against the group's first row.
-	if len(g.rows) == 0 {
+	first, ok := g.firstRow()
+	if !ok {
 		return Null, nil
 	}
 	fn, err := g.compiled(e)
 	if err != nil {
 		return Null, err
 	}
-	return fn(g.rows[0])
+	return fn(first)
 }
 
 func (g *groupEnv) evalAggCase(x *sqlparser.CaseExpr) (Value, error) {
@@ -341,16 +390,33 @@ func applyBinaryValues(op string, l, r Value) (Value, error) {
 	return Null, fmt.Errorf("engine: unknown binary op %q", op)
 }
 
-// evalAggregate reduces one aggregate call over the group's rows.
+// evalAggregate reduces one aggregate call over the group. In serial mode
+// it collects the call's non-null (optionally DISTINCT-deduped) argument
+// values by scanning the group's rows; in parallel mode the morsel workers
+// already collected exactly that list — in the same canonical row order —
+// into the call's slot, so only the final fold runs here. Both modes feed
+// foldAggregate the identical value sequence, which is what makes results
+// bit-identical across worker counts.
 func (g *groupEnv) evalAggregate(x *sqlparser.FuncCall) (Value, error) {
 	if x.Star {
 		if x.Name != "COUNT" {
 			return Null, fmt.Errorf("engine: %s(*) is not valid", x.Name)
 		}
+		if g.par != nil {
+			return NewInt(g.par.count), nil
+		}
 		return NewInt(int64(len(g.rows))), nil
 	}
 	if len(x.Args) != 1 {
 		return Null, fmt.Errorf("engine: %s expects one argument", x.Name)
+	}
+	if g.par != nil {
+		slot, ok := g.slotOf[x]
+		if !ok {
+			return Null, fmt.Errorf("engine: internal: aggregate %s(%s) missing from parallel plan",
+				x.Name, sqlparser.PrintExpr(x.Args[0]))
+		}
+		return foldAggregate(x.Name, g.par.slots[slot].vals)
 	}
 	arg, err := g.compiled(x.Args[0])
 	if err != nil {
@@ -379,7 +445,15 @@ func (g *groupEnv) evalAggregate(x *sqlparser.FuncCall) (Value, error) {
 		}
 		vals = append(vals, v)
 	}
-	switch x.Name {
+	return foldAggregate(x.Name, vals)
+}
+
+// foldAggregate applies the named aggregate to an ordered list of non-null
+// argument values (already DISTINCT-deduped when the call requires it).
+// Order matters: float accumulation is non-associative, so callers must
+// supply values in canonical row-scan order for reproducible results.
+func foldAggregate(name string, vals []Value) (Value, error) {
+	switch name {
 	case "COUNT":
 		return NewInt(int64(len(vals))), nil
 	case "SUM":
@@ -416,7 +490,7 @@ func (g *groupEnv) evalAggregate(x *sqlparser.FuncCall) (Value, error) {
 		best := vals[0]
 		for _, v := range vals[1:] {
 			c := Compare(v, best)
-			if (x.Name == "MIN" && c < 0) || (x.Name == "MAX" && c > 0) {
+			if (name == "MIN" && c < 0) || (name == "MAX" && c > 0) {
 				best = v
 			}
 		}
@@ -451,7 +525,7 @@ func (g *groupEnv) evalAggregate(x *sqlparser.FuncCall) (Value, error) {
 		}
 		return NewFloat(math.Sqrt(ss / float64(len(vals)-1))), nil
 	}
-	return Null, fmt.Errorf("engine: unsupported aggregate %s", x.Name)
+	return Null, fmt.Errorf("engine: unsupported aggregate %s", name)
 }
 
 // sortKey computes ORDER BY keys in the aggregate environment.

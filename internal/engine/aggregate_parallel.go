@@ -1,0 +1,341 @@
+package engine
+
+import (
+	"fmt"
+
+	"flexdp/internal/sqlparser"
+)
+
+// Morsel-parallel grouped aggregation.
+//
+// Phase 1 fans the input rows across workers in fixed-size morsels. Each
+// morsel builds its own hash table of groups; for every row it evaluates the
+// GROUP BY keys plus every aggregate call's argument expression, collecting
+// the non-null (and, for DISTINCT, locally deduped) values per group in
+// scan order, along with the group's row count and first row.
+//
+// The merge walks the per-morsel tables strictly in morsel order and, within
+// a morsel, in that morsel's group-discovery order. Appending value runs in
+// that order reconstructs, for every group and every aggregate, exactly the
+// value sequence the serial scan would have collected — including the global
+// first-appearance order of the groups themselves and the first occurrence
+// kept by DISTINCT dedup. The final fold (foldAggregate) then runs over the
+// same values in the same order as the serial path, so float accumulation —
+// which is non-associative and would drift under a tree-shaped reduction —
+// produces bit-identical results at every worker count.
+//
+// Phase 2 evaluates HAVING, the select list, and ORDER BY keys per merged
+// group, fanning groups across workers; outputs assemble in group order.
+//
+// Statements containing subqueries fall back to the serial path: their
+// compiled closures memoize subquery results in unsynchronized captured
+// state (see exprPure).
+
+// parAggState is one aggregate call's partial state within one group: the
+// ordered non-null argument values, plus the dedup set for DISTINCT calls.
+type parAggState struct {
+	vals []Value
+	seen map[string]bool // non-nil only for DISTINCT calls
+}
+
+// parGroup is one group's merged partial-aggregation state.
+type parGroup struct {
+	keyVals []Value
+	first   []Value // first row of the group in scan order (nil: empty group)
+	count   int64   // total rows, serving COUNT(*)
+	slots   []parAggState
+}
+
+// aggSlot is one distinct aggregate-argument computation: several
+// textually-identical calls (e.g. the same SUM in SELECT and HAVING) share
+// a slot so each argument is evaluated once per row.
+type aggSlot struct {
+	arg      evalFn
+	distinct bool
+}
+
+// collectAggCalls gathers every aggregate function call reachable from the
+// statement's select list, HAVING, and ORDER BY (GROUP BY cannot legally
+// contain aggregates; if it does, key compilation surfaces the same error as
+// the serial path). Arguments of an aggregate are not descended into —
+// nested aggregates are rejected at evaluation time by both paths.
+func collectAggCalls(stmt *sqlparser.SelectStmt) []*sqlparser.FuncCall {
+	var calls []*sqlparser.FuncCall
+	add := func(e sqlparser.Expr) {
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			if f, ok := x.(*sqlparser.FuncCall); ok && sqlparser.IsAggregateFunc(f.Name) {
+				calls = append(calls, f)
+				return false
+			}
+			return true
+		})
+	}
+	for _, item := range stmt.Columns {
+		add(item.Expr)
+	}
+	add(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		add(o.Expr)
+	}
+	return calls
+}
+
+// aggregateParallelizable reports whether the statement can run on the
+// parallel aggregation path: every expression subquery-free (worker-safe
+// closures) and every aggregate call well-formed. Ill-formed calls (SUM(*),
+// wrong arity) are left to the serial path so their errors surface — or
+// stay latent on empty inputs — exactly as before.
+func aggregateParallelizable(stmt *sqlparser.SelectStmt, calls []*sqlparser.FuncCall) bool {
+	for _, item := range stmt.Columns {
+		if item.Star || item.TableStar != "" {
+			return false // serial path raises the star-with-aggregation error
+		}
+		if item.Expr != nil && !exprPure(item.Expr) {
+			return false
+		}
+	}
+	if stmt.Having != nil && !exprPure(stmt.Having) {
+		return false
+	}
+	for _, o := range stmt.OrderBy {
+		if !exprPure(o.Expr) {
+			return false
+		}
+	}
+	if !exprsPure(stmt.GroupBy) {
+		return false
+	}
+	for _, c := range calls {
+		if c.Star {
+			if c.Name != "COUNT" {
+				return false
+			}
+			continue
+		}
+		if len(c.Args) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// tryExecuteAggregateParallel runs the morsel-parallel aggregation when the
+// statement and configuration allow it; ok=false means the caller must use
+// the serial path. stmt has positional GROUP BY references already resolved.
+func (ctx *execContext) tryExecuteAggregateParallel(stmt *sqlparser.SelectStmt, rel *relation) (*ResultSet, [][]Value, bool, error) {
+	if ctx.workers <= 1 {
+		return nil, nil, false, nil
+	}
+	spans := morselSpans(len(rel.rows), ctx.morsel)
+	if len(spans) <= 1 {
+		return nil, nil, false, nil
+	}
+	calls := collectAggCalls(stmt)
+	if !aggregateParallelizable(stmt, calls) {
+		return nil, nil, false, nil
+	}
+	out, keys, err := ctx.executeAggregateParallel(stmt, rel, spans, calls)
+	return out, keys, true, err
+}
+
+func (ctx *execContext) executeAggregateParallel(stmt *sqlparser.SelectStmt, rel *relation, spans []span, calls []*sqlparser.FuncCall) (*ResultSet, [][]Value, error) {
+	// Assign each distinct aggregate computation a slot; calls that print
+	// identically share one (PrintExpr is injective up to parse equivalence
+	// and includes DISTINCT and the argument).
+	slotIdx := make(map[string]int)
+	slotOf := make(map[*sqlparser.FuncCall]int, len(calls))
+	var slots []aggSlot
+	for _, call := range calls {
+		if call.Star {
+			continue // COUNT(*) is served by parGroup.count
+		}
+		key := sqlparser.PrintExpr(call)
+		if i, ok := slotIdx[key]; ok {
+			slotOf[call] = i
+			continue
+		}
+		fn, err := compileExpr(rel, ctx, call.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		slotIdx[key] = len(slots)
+		slotOf[call] = len(slots)
+		slots = append(slots, aggSlot{arg: fn, distinct: call.Distinct})
+	}
+	keyFns := make([]evalFn, len(stmt.GroupBy))
+	for i, e := range stmt.GroupBy {
+		fn, err := compileExpr(rel, ctx, e)
+		if err != nil {
+			return nil, nil, err
+		}
+		keyFns[i] = fn
+	}
+
+	// Phase 1: per-morsel partial aggregation.
+	type aggShard struct {
+		order  []string
+		groups map[string]*parGroup
+	}
+	shards := make([]*aggShard, len(spans))
+	err := runSpans(spans, ctx.workers, func(_, m int, s span) error {
+		sh := &aggShard{groups: make(map[string]*parGroup)}
+		var keyScratch, valScratch []byte
+		for _, row := range rel.rows[s.lo:s.hi] {
+			var keyVals []Value
+			key := ""
+			if len(keyFns) > 0 {
+				keyVals = make([]Value, len(keyFns))
+				for i, fn := range keyFns {
+					v, err := fn(row)
+					if err != nil {
+						return err
+					}
+					keyVals[i] = v
+				}
+				keyScratch = AppendRowKey(keyScratch[:0], keyVals)
+				key = string(keyScratch)
+			}
+			g, ok := sh.groups[key]
+			if !ok {
+				g = &parGroup{keyVals: keyVals, first: row, slots: make([]parAggState, len(slots))}
+				for i := range g.slots {
+					if slots[i].distinct {
+						g.slots[i].seen = make(map[string]bool)
+					}
+				}
+				sh.groups[key] = g
+				sh.order = append(sh.order, key)
+			}
+			g.count++
+			for i := range slots {
+				v, err := slots[i].arg(row)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					continue
+				}
+				st := &g.slots[i]
+				if st.seen != nil {
+					valScratch = v.AppendKey(valScratch[:0])
+					if st.seen[string(valScratch)] {
+						continue
+					}
+					st.seen[string(valScratch)] = true
+				}
+				st.vals = append(st.vals, v)
+			}
+		}
+		shards[m] = sh
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Deterministic merge: morsel order outer, discovery order inner.
+	merged := make(map[string]*parGroup)
+	var order []string
+	for _, sh := range shards {
+		for _, key := range sh.order {
+			src := sh.groups[key]
+			dst, ok := merged[key]
+			if !ok {
+				merged[key] = src
+				order = append(order, key)
+				continue
+			}
+			dst.count += src.count
+			for i := range dst.slots {
+				d, s := &dst.slots[i], &src.slots[i]
+				if d.seen == nil {
+					d.vals = append(d.vals, s.vals...)
+					continue
+				}
+				var scratch []byte
+				for _, v := range s.vals {
+					scratch = v.AppendKey(scratch[:0])
+					if d.seen[string(scratch)] {
+						continue
+					}
+					d.seen[string(scratch)] = true
+					d.vals = append(d.vals, v)
+				}
+			}
+		}
+	}
+	groups := make([]*parGroup, 0, len(order))
+	for _, key := range order {
+		groups = append(groups, merged[key])
+	}
+	// An aggregate without GROUP BY over zero rows still yields one group.
+	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
+		groups = append(groups, &parGroup{slots: make([]parAggState, len(slots))})
+	}
+
+	var names []string
+	for i, item := range stmt.Columns {
+		if item.Star || item.TableStar != "" {
+			return nil, nil, fmt.Errorf("engine: SELECT * is not valid with aggregation")
+		}
+		names = append(names, outputName(item, i))
+	}
+	out := &ResultSet{Columns: names}
+	needSort := len(stmt.OrderBy) > 0
+	cache := newExprCache()
+
+	// Phase 2: per-group evaluation (HAVING, select list, sort keys),
+	// fanned one group per morsel; outputs assemble in group order below.
+	type groupOut struct {
+		skip bool
+		row  []Value
+		key  []Value
+	}
+	results := make([]groupOut, len(groups))
+	err = runSpans(morselSpans(len(groups), 1), ctx.workers, func(_, gi int, _ span) error {
+		g := groups[gi]
+		genv := &groupEnv{ctx: ctx, rel: rel, groupBy: stmt.GroupBy, keyVals: g.keyVals,
+			cache: cache, par: g, slotOf: slotOf}
+		if stmt.Having != nil {
+			hv, err := genv.eval(stmt.Having)
+			if err != nil {
+				return err
+			}
+			if !hv.Truthy() {
+				results[gi].skip = true
+				return nil
+			}
+		}
+		row := make([]Value, len(stmt.Columns))
+		for i, item := range stmt.Columns {
+			v, err := genv.eval(item.Expr)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		results[gi].row = row
+		if needSort {
+			key, err := genv.sortKey(stmt.OrderBy, out, row)
+			if err != nil {
+				return err
+			}
+			results[gi].key = key
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var sortKeys [][]Value
+	for i := range results {
+		if results[i].skip {
+			continue
+		}
+		out.Rows = append(out.Rows, results[i].row)
+		if needSort {
+			sortKeys = append(sortKeys, results[i].key)
+		}
+	}
+	return out, sortKeys, nil
+}

@@ -53,6 +53,44 @@ func compileExpr(rel *relation, ctx *execContext, e sqlparser.Expr) (evalFn, err
 	return fn, nil
 }
 
+// exprPure reports whether e contains no subquery at any depth. Pure
+// expressions compile to stateless closures — they capture only column
+// indices and other compiled closures — so one compiled evaluator can be
+// called concurrently from every worker of the morsel-driven executor.
+// Impure closures (EXISTS, IN (SELECT ...), scalar subqueries) memoize their
+// subquery result in unsynchronized captured variables and therefore force
+// the enclosing operator onto the serial path. This is the static form of
+// the compiler's impure flag: the flag is only known after compilation,
+// while operators must choose serial or parallel execution before compiling.
+func exprPure(e sqlparser.Expr) bool {
+	pure := true
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		switch n := x.(type) {
+		case *sqlparser.SubqueryExpr, *sqlparser.ExistsExpr:
+			pure = false
+			return false
+		case *sqlparser.InExpr:
+			if n.Subquery != nil {
+				pure = false
+				return false
+			}
+		}
+		return pure
+	})
+	return pure
+}
+
+// exprsPure reports whether every expression in the list is pure (nil
+// entries are vacuously pure).
+func exprsPure(es []sqlparser.Expr) bool {
+	for _, e := range es {
+		if e != nil && !exprPure(e) {
+			return false
+		}
+	}
+	return true
+}
+
 type compiler struct {
 	rel *relation
 	ctx *execContext

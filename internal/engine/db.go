@@ -62,6 +62,55 @@ type DB struct {
 	mu      sync.RWMutex
 	tables  map[string]*Table
 	version uint64 // bumped on every mutation (insert/create/drop)
+
+	// parallelism bounds the per-query worker count of the morsel-driven
+	// executor; 0 means one worker per CPU (GOMAXPROCS). Results are
+	// bit-identical at every setting — this is a throughput knob only.
+	parallelism int
+	// morselSize is the executor's chunk size in rows; 0 means
+	// DefaultMorselSize. Tests shrink it to exercise multi-morsel merges on
+	// small tables.
+	morselSize int
+}
+
+// SetParallelism bounds the number of worker goroutines a single query may
+// use; n <= 0 restores the default of one worker per CPU. Query results do
+// not depend on this setting (see DESIGN.md, "Parallel execution &
+// determinism"), so it may be changed at any time, including between
+// executions of a prepared query.
+func (db *DB) SetParallelism(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.parallelism = n
+}
+
+// Parallelism returns the effective per-query worker bound.
+func (db *DB) Parallelism() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.parallelism > 0 {
+		return db.parallelism
+	}
+	return defaultParallelism()
+}
+
+// SetMorselSize overrides the executor's chunk size in rows (n <= 0 restores
+// DefaultMorselSize). Like SetParallelism it never changes results; tests
+// use small sizes to force multi-morsel execution on small tables.
+func (db *DB) SetMorselSize(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.morselSize = n
+}
+
+// MorselSize returns the effective executor chunk size.
+func (db *DB) MorselSize() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.morselSize > 0 {
+		return db.morselSize
+	}
+	return DefaultMorselSize
 }
 
 // Version returns a counter that increases on every mutation; consumers
@@ -177,12 +226,51 @@ func (db *DB) Insert(name string, row []Value) error {
 	return nil
 }
 
-// InsertRows appends many rows, checking arity for each.
+// InsertRows appends many rows, checking arity and constraints for each.
+// Unlike repeated Insert calls it takes the table lock once and copies the
+// rows into morsel-aligned value slabs: each chunk of DefaultMorselSize rows
+// shares one contiguous backing array, so the parallel executor's morsels
+// scan cache-adjacent memory and n rows cost n/DefaultMorselSize allocations
+// instead of n. On error, rows preceding the offending one remain inserted
+// (matching the loop-of-Insert behavior this replaces).
 func (db *DB) InsertRows(name string, rows [][]Value) error {
-	for _, r := range rows {
-		if err := db.Insert(name, r); err != nil {
-			return err
+	if len(rows) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	width := len(t.Schema.Columns)
+	var slab []Value
+	inserted := false
+	defer func() {
+		if inserted {
+			db.version++
 		}
+	}()
+	for _, r := range rows {
+		if len(r) != width {
+			return fmt.Errorf("engine: table %q expects %d values, got %d",
+				name, width, len(r))
+		}
+		for _, c := range t.Checks {
+			ci := t.Schema.Index(c.Column)
+			if ci >= 0 {
+				if err := checkValue(c, r[ci], name, len(t.Rows)); err != nil {
+					return err
+				}
+			}
+		}
+		if len(slab)+width > cap(slab) {
+			slab = make([]Value, 0, DefaultMorselSize*width)
+		}
+		off := len(slab)
+		slab = append(slab, r...)
+		t.Rows = append(t.Rows, slab[off:len(slab):len(slab)])
+		inserted = true
 	}
 	return nil
 }

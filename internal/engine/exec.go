@@ -18,11 +18,17 @@ type execContext struct {
 	// closures across executions of the same prepared statement. It is safe
 	// for concurrent use; nil for one-shot Query/Execute calls.
 	plans *planCache
+	// workers bounds the morsel-driven executor's goroutines for this query;
+	// morsel is the chunk size in rows. Both are snapshotted from the DB at
+	// query start so one execution sees a consistent configuration.
+	workers int
+	morsel  int
 }
 
 // Execute runs a parsed SELECT statement and returns its result set.
 func (db *DB) Execute(stmt *sqlparser.SelectStmt) (*ResultSet, error) {
-	ctx := &execContext{db: db, ctes: make(map[string]*relation)}
+	ctx := &execContext{db: db, ctes: make(map[string]*relation),
+		workers: db.Parallelism(), morsel: db.MorselSize()}
 	return ctx.executeSelect(stmt)
 }
 
@@ -40,7 +46,8 @@ func (db *DB) Query(sql string) (*ResultSet, error) {
 func (ctx *execContext) executeSelect(stmt *sqlparser.SelectStmt) (*ResultSet, error) {
 	// CTEs are visible to later CTEs and the main body. Each statement gets
 	// a child context so sibling subqueries cannot see our CTEs leak out.
-	child := &execContext{db: ctx.db, ctes: make(map[string]*relation), plans: ctx.plans}
+	child := &execContext{db: ctx.db, ctes: make(map[string]*relation), plans: ctx.plans,
+		workers: ctx.workers, morsel: ctx.morsel}
 	for name, rel := range ctx.ctes {
 		child.ctes[name] = rel
 	}
@@ -108,15 +115,9 @@ func (ctx *execContext) executeCore(stmt *sqlparser.SelectStmt) (*ResultSet, [][
 		if err != nil {
 			return nil, nil, err
 		}
-		filtered := make([][]Value, 0, len(rel.rows))
-		for _, row := range rel.rows {
-			v, err := pred(row)
-			if err != nil {
-				return nil, nil, err
-			}
-			if v.Truthy() {
-				filtered = append(filtered, row)
-			}
+		filtered, err := ctx.filterRows(rel.rows, pred, exprPure(stmt.Where))
+		if err != nil {
+			return nil, nil, err
 		}
 		// cols are unchanged, so the column index built for the predicate
 		// compile carries over to the projection/aggregation passes.
@@ -148,6 +149,56 @@ func (ctx *execContext) executeCore(stmt *sqlparser.SelectStmt) (*ResultSet, [][
 		out, sortKeys = dedupeRows(out, sortKeys)
 	}
 	return out, sortKeys, nil
+}
+
+// filterRows applies a compiled predicate to every row, preserving input
+// order. With a pure predicate and more than one morsel of input, the scan
+// fans out across workers: each morsel filters into its own buffer and the
+// buffers concatenate in morsel order, so the kept-row order — and, because
+// workers stop a morsel at its first failing row and runSpans surfaces the
+// lowest failing morsel, the first error — match the serial loop exactly.
+func (ctx *execContext) filterRows(rows [][]Value, pred evalFn, pure bool) ([][]Value, error) {
+	spans := morselSpans(len(rows), ctx.morsel)
+	if !pure || ctx.workers <= 1 || len(spans) <= 1 {
+		filtered := make([][]Value, 0, len(rows))
+		for _, row := range rows {
+			v, err := pred(row)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				filtered = append(filtered, row)
+			}
+		}
+		return filtered, nil
+	}
+	kept := make([][][]Value, len(spans))
+	err := runSpans(spans, ctx.workers, func(_, m int, s span) error {
+		buf := make([][]Value, 0, s.hi-s.lo)
+		for _, row := range rows[s.lo:s.hi] {
+			v, err := pred(row)
+			if err != nil {
+				return err
+			}
+			if v.Truthy() {
+				buf = append(buf, row)
+			}
+		}
+		kept[m] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, buf := range kept {
+		total += len(buf)
+	}
+	filtered := make([][]Value, 0, total)
+	for _, buf := range kept {
+		filtered = append(filtered, buf...)
+	}
+	return filtered, nil
 }
 
 // buildFrom evaluates the FROM clause. An empty FROM yields one empty row so
@@ -294,6 +345,63 @@ func splitJoinCondition(on sqlparser.Expr, left, right *relation) (keys []equiKe
 	return keys, residual
 }
 
+// joinProbe is the probe phase of a hash join: the shared immutable state
+// (key positions, build-side index, compiled residuals) consulted by every
+// probe scan, serial or parallel.
+type joinProbe struct {
+	keys   []equiKey
+	index  map[string][]int
+	right  [][]Value
+	resFns []evalFn
+	width  int // combined output width
+}
+
+// scan probes left rows [lo, hi) against the build index and returns the
+// combined rows that pass every residual, in left-row order. matchedLeft is
+// written only at indices in [lo, hi); matchedRight may be any scratch slice
+// of build-side length (workers pass private ones). Key encoding scratch is
+// local to the call, so concurrent scans over disjoint ranges are safe.
+func (p *joinProbe) scan(leftRows [][]Value, lo, hi int, matchedLeft, matchedRight []bool) ([][]Value, error) {
+	keyBuf := make([]Value, len(p.keys))
+	var keyScratch []byte
+	var out [][]Value
+	for li := lo; li < hi; li++ {
+		lr := leftRows[li]
+		null := false
+		for i, k := range p.keys {
+			v := lr[k.leftIdx]
+			if v.IsNull() {
+				null = true
+				break
+			}
+			keyBuf[i] = v
+		}
+		if null {
+			continue
+		}
+		keyScratch = AppendRowKey(keyScratch[:0], keyBuf)
+	probeMatches:
+		for _, ri := range p.index[string(keyScratch)] {
+			row := make([]Value, 0, p.width)
+			row = append(row, lr...)
+			row = append(row, p.right[ri]...)
+			for _, fn := range p.resFns {
+				v, err := fn(row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Truthy() {
+					continue probeMatches
+				}
+			}
+			matchedLeft[li] = true
+			matchedRight[ri] = true
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
 func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*relation, error) {
 	cols := append(append([]relCol{}, left.cols...), right.cols...)
 
@@ -337,25 +445,6 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 		resFns[i] = fn
 	}
 
-	emit := func(li, ri int) error {
-		row := make([]Value, 0, len(cols))
-		row = append(row, left.rows[li]...)
-		row = append(row, right.rows[ri]...)
-		for _, fn := range resFns {
-			v, err := fn(row)
-			if err != nil {
-				return err
-			}
-			if !v.Truthy() {
-				return nil
-			}
-		}
-		matchedLeft[li] = true
-		matchedRight[ri] = true
-		combined.rows = append(combined.rows, row)
-		return nil
-	}
-
 	if len(keys) > 0 {
 		// Hash join: build on the right side, reusing one key scratch
 		// buffer across rows.
@@ -378,28 +467,77 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 			keyScratch = AppendRowKey(keyScratch[:0], keyBuf)
 			index[string(keyScratch)] = append(index[string(keyScratch)], ri)
 		}
-		for li, lr := range left.rows {
-			null := false
-			for i, k := range keys {
-				v := lr[k.leftIdx]
-				if v.IsNull() {
-					null = true
-					break
+
+		probe := joinProbe{keys: keys, index: index, right: right.rows,
+			resFns: resFns, width: len(cols)}
+		spans := morselSpans(len(left.rows), ctx.morsel)
+		if ctx.workers > 1 && len(spans) > 1 && exprsPure(residual) {
+			// Morsel-parallel probe. Each left row belongs to exactly one
+			// morsel, so matchedLeft writes never collide; matchedRight can be
+			// hit by any worker, so each worker marks a private slice that is
+			// OR-merged afterwards. Per-morsel match buffers concatenate in
+			// morsel order, reproducing the serial left-to-right emit order.
+			workers := spanWorkers(len(spans), ctx.workers)
+			bufs := make([][][]Value, len(spans))
+			workerRight := make([][]bool, workers)
+			err := runSpans(spans, workers, func(w, m int, s span) error {
+				if workerRight[w] == nil {
+					workerRight[w] = make([]bool, len(right.rows))
 				}
-				keyBuf[i] = v
+				buf, err := probe.scan(left.rows, s.lo, s.hi, matchedLeft, workerRight[w])
+				if err != nil {
+					return err
+				}
+				bufs[m] = buf
+				return nil
+			})
+			if err != nil {
+				return nil, err
 			}
-			if null {
-				continue
+			total := 0
+			for _, buf := range bufs {
+				total += len(buf)
 			}
-			keyScratch = AppendRowKey(keyScratch[:0], keyBuf)
-			for _, ri := range index[string(keyScratch)] {
-				if err := emit(li, ri); err != nil {
-					return nil, err
+			combined.rows = make([][]Value, 0, total)
+			for _, buf := range bufs {
+				combined.rows = append(combined.rows, buf...)
+			}
+			for _, mr := range workerRight {
+				for ri, hit := range mr {
+					if hit {
+						matchedRight[ri] = true
+					}
 				}
 			}
+		} else {
+			rows, err := probe.scan(left.rows, 0, len(left.rows), matchedLeft, matchedRight)
+			if err != nil {
+				return nil, err
+			}
+			combined.rows = rows
 		}
 	} else {
-		// Nested-loop join on the full predicate.
+		// Nested-loop join on the full predicate (serial: the quadratic
+		// fallback is dominated by predicate evaluation over every pair, and
+		// residuals here may embed subquery state that is not worker-safe).
+		emit := func(li, ri int) error {
+			row := make([]Value, 0, len(cols))
+			row = append(row, left.rows[li]...)
+			row = append(row, right.rows[ri]...)
+			for _, fn := range resFns {
+				v, err := fn(row)
+				if err != nil {
+					return err
+				}
+				if !v.Truthy() {
+					return nil
+				}
+			}
+			matchedLeft[li] = true
+			matchedRight[ri] = true
+			combined.rows = append(combined.rows, row)
+			return nil
+		}
 		for li := range left.rows {
 			for ri := range right.rows {
 				if err := emit(li, ri); err != nil {
@@ -525,34 +663,96 @@ func (ctx *execContext) executeProjection(stmt *sqlparser.SelectStmt, rel *relat
 		}
 		keyFns = fns
 	}
-	out.Rows = make([][]Value, 0, len(rel.rows))
-	for _, row := range rel.rows {
-		outRow := make([]Value, 0, len(names))
-		for _, spec := range specs {
-			if spec.star {
-				outRow = append(outRow, row[spec.from:spec.upto]...)
-				continue
-			}
-			v, err := spec.eval(row)
-			if err != nil {
-				return nil, nil, err
-			}
-			outRow = append(outRow, v)
-		}
-		out.Rows = append(out.Rows, outRow)
+	// project materializes output rows (and sort keys) for one input range.
+	project := func(lo, hi int) ([][]Value, [][]Value, error) {
+		rows := make([][]Value, 0, hi-lo)
+		var keys [][]Value
 		if needSort {
-			key := make([]Value, len(keyFns))
-			for i, fn := range keyFns {
-				v, err := fn(row, outRow)
+			keys = make([][]Value, 0, hi-lo)
+		}
+		for _, row := range rel.rows[lo:hi] {
+			outRow := make([]Value, 0, len(names))
+			for _, spec := range specs {
+				if spec.star {
+					outRow = append(outRow, row[spec.from:spec.upto]...)
+					continue
+				}
+				v, err := spec.eval(row)
 				if err != nil {
 					return nil, nil, err
 				}
-				key[i] = v
+				outRow = append(outRow, v)
 			}
-			sortKeys = append(sortKeys, key)
+			rows = append(rows, outRow)
+			if needSort {
+				key := make([]Value, len(keyFns))
+				for i, fn := range keyFns {
+					v, err := fn(row, outRow)
+					if err != nil {
+						return nil, nil, err
+					}
+					key[i] = v
+				}
+				keys = append(keys, key)
+			}
+		}
+		return rows, keys, nil
+	}
+
+	spans := morselSpans(len(rel.rows), ctx.morsel)
+	if ctx.workers > 1 && len(spans) > 1 && projectionPure(stmt) {
+		// Morsel-parallel projection: per-morsel output buffers concatenate
+		// in morsel order, so row order and sort keys match the serial scan.
+		rowBufs := make([][][]Value, len(spans))
+		keyBufs := make([][][]Value, len(spans))
+		err := runSpans(spans, ctx.workers, func(_, m int, s span) error {
+			rows, keys, err := project(s.lo, s.hi)
+			if err != nil {
+				return err
+			}
+			rowBufs[m], keyBufs[m] = rows, keys
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		total := 0
+		for _, buf := range rowBufs {
+			total += len(buf)
+		}
+		out.Rows = make([][]Value, 0, total)
+		for m := range rowBufs {
+			out.Rows = append(out.Rows, rowBufs[m]...)
+			if needSort {
+				sortKeys = append(sortKeys, keyBufs[m]...)
+			}
+		}
+		return out, sortKeys, nil
+	}
+
+	rows, keys, err := project(0, len(rel.rows))
+	if err != nil {
+		return nil, nil, err
+	}
+	out.Rows = rows
+	return out, keys, nil
+}
+
+// projectionPure reports whether a non-aggregated SELECT body's per-row
+// expressions (select list and ORDER BY keys) are all subquery-free, making
+// the compiled projection closures safe to share across workers.
+func projectionPure(stmt *sqlparser.SelectStmt) bool {
+	for _, item := range stmt.Columns {
+		if item.Expr != nil && !exprPure(item.Expr) {
+			return false
 		}
 	}
-	return out, sortKeys, nil
+	for _, item := range stmt.OrderBy {
+		if !exprPure(item.Expr) {
+			return false
+		}
+	}
+	return true
 }
 
 // sortKeyFn computes one ORDER BY key for a row, given both the input row

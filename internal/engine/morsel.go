@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Morsel-driven parallelism: each physical operator partitions its input
+// row range into fixed-size chunks ("morsels") and fans them across a
+// bounded worker pool. Workers produce per-morsel outputs; the driver merges
+// them strictly in morsel order, so the final result — row order, group
+// order, float accumulation order, and the first error surfaced — is
+// bit-identical to the serial path regardless of worker count or goroutine
+// schedule. See DESIGN.md, "Parallel execution & determinism".
+
+// DefaultMorselSize is the number of rows per morsel when a DB does not
+// override it. Chosen so one morsel's rows plus per-row scratch fit in L2
+// while keeping scheduling overhead (one atomic increment per morsel)
+// negligible against per-row expression evaluation.
+const DefaultMorselSize = 1024
+
+// span is one morsel: a half-open row range [lo, hi) of an operator input.
+type span struct {
+	lo, hi int
+}
+
+// morselSpans partitions [0, n) into fixed-size spans. A non-positive size
+// falls back to DefaultMorselSize; n <= size yields a single span, which
+// callers treat as the serial case.
+func morselSpans(n, size int) []span {
+	if size <= 0 {
+		size = DefaultMorselSize
+	}
+	if n <= 0 {
+		return nil
+	}
+	spans := make([]span, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, span{lo: lo, hi: hi})
+	}
+	return spans
+}
+
+// spanWorkers returns the effective worker count for a span set: the
+// requested parallelism capped by the number of morsels, at least 1.
+func spanWorkers(nSpans, workers int) int {
+	if workers > nSpans {
+		workers = nSpans
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runSpans executes fn for every span, fanning spans across workers through
+// a shared atomic cursor. fn receives the worker index (0..workers-1, for
+// per-worker scratch state), the morsel index, and the span; it must be safe
+// for concurrent invocation on distinct morsels.
+//
+// Error determinism: if any fn calls fail, runSpans returns the error of the
+// lowest-numbered failing morsel. Workers stop scanning a morsel at its
+// first error and stop claiming new morsels once any error is recorded, so
+// for operators that scan rows in order the surfaced error is the same one
+// the serial loop would have hit first.
+//
+// With workers <= 1 (or a single span) everything runs inline on the calling
+// goroutine — the serial path is the parallel path at width one.
+func runSpans(spans []span, workers int, fn func(worker, morsel int, s span) error) error {
+	workers = spanWorkers(len(spans), workers)
+	if workers <= 1 {
+		for m, s := range spans {
+			if err := fn(0, m, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(spans))
+	var failed atomic.Bool
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				m := int(cursor.Add(1)) - 1
+				if m >= len(spans) || failed.Load() {
+					return
+				}
+				if err := fn(worker, m, spans[m]); err != nil {
+					errs[m] = err
+					failed.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// defaultParallelism is the worker bound when a DB does not set one:
+// one worker per available CPU.
+func defaultParallelism() int { return runtime.GOMAXPROCS(0) }

@@ -101,9 +101,14 @@ func (p *PreparedQuery) plansFor(version uint64) *planCache {
 }
 
 // Exec runs the prepared statement against the database's current contents.
-// It is safe for concurrent use.
+// It is safe for concurrent use. The morsel-driven executor's worker bound
+// and chunk size are re-read from the database on every call, so
+// SetParallelism takes effect between executions without invalidating the
+// cached plans — compiled closures are schedule-independent, and results are
+// bit-identical at every worker count.
 func (p *PreparedQuery) Exec() (*ResultSet, error) {
 	plans := p.plansFor(p.db.Version())
-	ctx := &execContext{db: p.db, ctes: make(map[string]*relation), plans: plans}
+	ctx := &execContext{db: p.db, ctes: make(map[string]*relation), plans: plans,
+		workers: p.db.Parallelism(), morsel: p.db.MorselSize()}
 	return ctx.executeSelect(p.stmt)
 }

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestRunEngineParallel smoke-tests the "engine" flexbench section: every
+// query must report a bit-identical serial/parallel comparison and positive
+// timings.
+func TestRunEngineParallel(t *testing.T) {
+	res := RunEngineParallel(11, 5000, 1)
+	if res.Rows != 5000 || len(res.Queries) == 0 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	for _, q := range res.Queries {
+		if !q.Identical {
+			t.Fatalf("%s: parallel result differs from serial", q.Name)
+		}
+		if q.SerialMS <= 0 || q.ParallelMS <= 0 {
+			t.Fatalf("%s: non-positive timing: %+v", q.Name, q)
+		}
+	}
+	if res.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -7,7 +7,11 @@
 // through an LRU cache of prepared queries keyed by canonical SQL, so a
 // repeated query pays the static analysis and plan compilation once, and
 // privacy budgets are tracked per analyst (the X-Analyst request header)
-// with an unnamed shared pool as the fallback.
+// with an unnamed shared pool as the fallback. Query execution itself runs
+// on the engine's morsel-driven parallel executor (default: one worker per
+// CPU, see flexserver -parallelism); because parallel results are
+// bit-identical to serial ones, parallelism changes neither the noisy
+// answers for a fixed seed nor any budget accounting.
 package server
 
 import (

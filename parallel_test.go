@@ -1,0 +1,132 @@
+package flex
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// End-to-end determinism of the morsel-driven executor through the DP
+// pipeline: for a fixed seed, the noisy outputs of System.Run and
+// Prepared.Run must be bit-identical at every engine worker count, because
+// the true results are bit-identical and the noise stream depends only on
+// (seed, call counter).
+
+func parallelTestSystemDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	if err := db.CreateTable("trips",
+		Col{Name: "id", Type: TypeInt},
+		Col{Name: "driver_id", Type: TypeInt},
+		Col{Name: "city_id", Type: TypeInt},
+		Col{Name: "fare", Type: TypeFloat},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("drivers",
+		Col{Name: "id", Type: TypeInt},
+		Col{Name: "home_city", Type: TypeInt},
+	); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2026))
+	for i := 0; i < 3000; i++ {
+		if err := db.Insert("trips", i, rng.Intn(300), rng.Intn(12), rng.Float64()*40); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		if err := db.Insert("drivers", i, rng.Intn(12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestParallelismPreservesNoisyOutputs(t *testing.T) {
+	queries := []string{
+		`SELECT COUNT(*) FROM trips WHERE fare > 10.0`,
+		`SELECT city_id, COUNT(*) FROM trips GROUP BY city_id`,
+		`SELECT COUNT(*) FROM trips JOIN drivers ON trips.driver_id = drivers.id WHERE drivers.home_city = 3`,
+		`SELECT SUM(fare) FROM trips WHERE city_id < 6`,
+	}
+	db := parallelTestSystemDB(t)
+	// Shrink morsels so 3000 rows span many chunks even at low counts.
+	db.Engine().SetMorselSize(64)
+
+	type run struct {
+		rows [][]float64
+	}
+	collect := func(workers int) []run {
+		sys := NewSystem(db, Options{Seed: 41, Parallelism: workers})
+		sys.SetBinDomain("trips", "city_id", binDomain(12))
+		sys.CollectMetrics()
+		var runs []run
+		for _, q := range queries {
+			// Exercise both the one-shot and the prepared path at this
+			// worker count; both consume one call number each.
+			res, err := sys.Run(q, 0.5, 1e-6)
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, q, err)
+			}
+			runs = append(runs, run{rows: noisyMatrix(res)})
+			prep, err := sys.Prepare(q)
+			if err != nil {
+				t.Fatalf("workers=%d prepare %s: %v", workers, q, err)
+			}
+			pres, err := prep.Run(0.5, 1e-6)
+			if err != nil {
+				t.Fatalf("workers=%d prepared %s: %v", workers, q, err)
+			}
+			runs = append(runs, run{rows: noisyMatrix(pres)})
+		}
+		return runs
+	}
+
+	want := collect(1)
+	for _, workers := range []int{2, 8} {
+		got := collect(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d runs vs %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if err := matrixEqualBits(want[i].rows, got[i].rows); err != "" {
+				t.Fatalf("workers=%d run %d (%s): %s", workers, i, queries[i/2], err)
+			}
+		}
+	}
+}
+
+func binDomain(n int) []any {
+	vals := make([]any, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	return vals
+}
+
+func noisyMatrix(res *PrivateResult) [][]float64 {
+	out := make([][]float64, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = r.Values
+	}
+	return out
+}
+
+func matrixEqualBits(a, b [][]float64) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("row count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return fmt.Sprintf("row %d arity %d vs %d", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				return fmt.Sprintf("row %d col %d: %v vs %v (bit drift)", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+	return ""
+}

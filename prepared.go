@@ -32,6 +32,14 @@ import (
 //
 // A Prepared query is safe for concurrent Run calls, and its answers are
 // bit-identical to System.Run for the same seed and call sequence.
+//
+// Execution runs on the engine's morsel-driven parallel executor, governed
+// by Options.Parallelism / Database.SetParallelism and re-read on every Run,
+// so the worker count can change between runs without invalidating any
+// cached stage. Parallelism never touches the sensitivity analysis and the
+// parallel executor is bit-identical to the serial one, so the cached
+// bounds, the noise stream, and the released answers are all independent of
+// the worker count.
 type Prepared struct {
 	sys *System
 	sql string
