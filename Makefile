@@ -4,11 +4,15 @@ GO ?= go
 # worker-scaling and RunParallel benches vary with the runner's core count
 # and would make cross-run comparison meaningless).
 GATE_ENGINE_BENCH = BenchmarkWhereFilter|BenchmarkHashJoin|BenchmarkGroupByAggregate|BenchmarkProjection|BenchmarkDistinct
+# Spill benches are disk-IO-bound and run only 1-3 iterations at 200ms, so
+# they get a longer benchtime for a stable median under the same 15% gate.
+GATE_SPILL_BENCH = BenchmarkSpillJoin|BenchmarkSpillSort
+GATE_SPILL_BENCHTIME = 1s
 GATE_PREPARED_BENCH = BenchmarkSystemRunRepeated|BenchmarkPreparedRunRepeated
 GATE_COUNT = 5
 GATE_BENCHTIME = 200ms
 
-.PHONY: check build test vet race lint bench-short bench-engine bench-prepared bench-paper bench-parallel bench-current bench-baseline bench-gate flexbench-small
+.PHONY: check build test vet race lint test-lowmem bench-short bench-engine bench-prepared bench-paper bench-parallel bench-spill bench-current bench-baseline bench-gate flexbench-small
 
 # Default: the tier-1 verification plus static analysis.
 check: build vet test
@@ -53,6 +57,19 @@ bench-parallel:
 		-bench 'BenchmarkParallelScan|BenchmarkParallelAggregate|BenchmarkParallelJoin' \
 		-benchtime 1s
 
+# Out-of-core operators under a spill-forcing budget: Grace partitioned
+# join and external merge sort vs their in-memory counterparts.
+bench-spill:
+	$(GO) test ./internal/engine -run '^$$' \
+		-bench 'BenchmarkSpillJoin|BenchmarkSpillSort|BenchmarkHashJoin' \
+		-benchtime 1s
+
+# The entire engine suite with spilling forced on (the CI low-memory job):
+# every join build and ORDER BY buffer over 64 KiB goes out-of-core, and
+# the differential guarantee says nothing may change.
+test-lowmem:
+	FLEX_TEST_MEMORY_BUDGET=64KiB $(GO) test ./internal/engine/...
+
 # Formatting + static analysis exactly as CI's lint job runs them.
 lint:
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
@@ -63,6 +80,8 @@ lint:
 bench-current:
 	@$(GO) test ./internal/engine -run '^$$' -bench '$(GATE_ENGINE_BENCH)' \
 		-benchtime $(GATE_BENCHTIME) -count $(GATE_COUNT)
+	@$(GO) test ./internal/engine -run '^$$' -bench '$(GATE_SPILL_BENCH)' \
+		-benchtime $(GATE_SPILL_BENCHTIME) -count $(GATE_COUNT)
 	@$(GO) test . -run '^$$' -bench '$(GATE_PREPARED_BENCH)' \
 		-benchtime $(GATE_BENCHTIME) -count $(GATE_COUNT)
 

@@ -1,9 +1,9 @@
 // Command flexbench regenerates every table and figure of the paper's
 // evaluation. With no flags it runs the full-scale environment; -small runs
 // a fast smoke configuration. Individual experiments can be selected with
-// -only (comma-separated ids: engine, study, table1, triangle, table2,
-// successrate, fig3, fig4, fig5, fig6, table4, fig7, table5, ablations,
-// server).
+// -only (comma-separated ids: engine, spill, study, table1, triangle,
+// table2, successrate, fig3, fig4, fig5, fig6, table4, fig7, table5,
+// ablations, server).
 //
 // -json writes a machine-readable record of every experiment result
 // alongside the paper-style rows, so performance and utility trajectories
@@ -175,6 +175,13 @@ func main() {
 			rows, reps = 50000, 3
 		}
 		return experiments.RunEngineParallel(*seed, rows, reps)
+	})
+	section("spill", func() fmt.Stringer {
+		rows, reps := 200000, 3
+		if *small {
+			rows, reps = 30000, 2
+		}
+		return experiments.RunSpill(*seed, rows, reps)
 	})
 	section("study", func() fmt.Stringer {
 		n := 100000

@@ -26,6 +26,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -34,6 +35,7 @@ import (
 	flex "flexdp"
 	"flexdp/internal/server"
 	"flexdp/internal/smooth"
+	"flexdp/internal/spill"
 	"flexdp/internal/workload"
 )
 
@@ -58,6 +60,8 @@ func main() {
 	demo := flag.Bool("demo", false, "serve the synthetic rideshare dataset")
 	seed := flag.Int64("seed", 0, "noise seed (0 = nondeterministic per restart)")
 	parallelism := flag.Int("parallelism", 0, "engine worker goroutines per query (0 = one per CPU, 1 = serial)")
+	memoryBudget := flag.String("memory-budget", "0", `per-query engine memory budget (e.g. "256MiB"; joins/sorts over it spill to disk, 0 = unbounded)`)
+	tempDir := flag.String("temp-dir", "", "parent directory for spill files (default: OS temp dir)")
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for graceful shutdown")
@@ -85,13 +89,34 @@ func main() {
 		}
 	}
 
+	// A positive -memory-budget bounds each query's operator state: one
+	// analyst's pathological join or sort spills to disk instead of taking
+	// the whole proxy down with it. Spill files live in a private
+	// per-process directory so the shutdown path can sweep away anything a
+	// crashed or draining query left behind.
+	budgetBytes, err := spill.ParseBytes(*memoryBudget)
+	if err != nil {
+		log.Fatalf("bad -memory-budget: %v", err)
+	}
+	var spillDir string
+	if budgetBytes > 0 {
+		spillDir, err = os.MkdirTemp(*tempDir, "flexserver-spill-")
+		if err != nil {
+			log.Fatalf("creating spill dir: %v", err)
+		}
+		defer os.RemoveAll(spillDir)
+		log.Printf("per-query memory budget %d bytes, spilling to %s", budgetBytes, spillDir)
+	}
+
 	// The server layer owns all budget accounting (shared pool plus
 	// per-analyst budgets), so the System carries no Options.Budget.
 	// Queries execute morsel-parallel by default (one worker per CPU);
-	// results are bit-identical at any -parallelism, so the flag only trades
-	// per-query latency against cross-query throughput under load.
+	// results are bit-identical at any -parallelism and -memory-budget, so
+	// the flags only trade per-query latency against cross-query throughput
+	// and memory headroom under load.
 	budget := smooth.NewBudget(*maxEps, *maxDelta)
-	sys := flex.NewSystem(db, flex.Options{Seed: *seed, Parallelism: *parallelism})
+	sys := flex.NewSystem(db, flex.Options{Seed: *seed, Parallelism: *parallelism,
+		MemoryBudget: budgetBytes, TempDir: spillDir})
 	if *public != "" {
 		sys.MarkPublic(strings.Split(*public, ",")...)
 	}
@@ -128,6 +153,10 @@ func main() {
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// log.Fatal would skip the deferred spill-dir sweep.
+			if spillDir != "" {
+				os.RemoveAll(spillDir)
+			}
 			log.Fatal(err)
 		}
 	case <-ctx.Done():
@@ -138,6 +167,11 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
+	}
+	if budgetBytes > 0 {
+		st := sys.SpillStats()
+		log.Printf("spill totals: %d joins, %d sorts, %d files, %d bytes",
+			st.JoinSpills, st.SortSpills, st.Files, st.SpilledBytes)
 	}
 	log.Printf("bye")
 }

@@ -5,6 +5,7 @@ import (
 
 	"flexdp/internal/engine"
 	"flexdp/internal/relalg"
+	"flexdp/internal/spill"
 )
 
 // ColType is a column's declared type.
@@ -149,6 +150,22 @@ func convertResult(rs *engine.ResultSet) *Result {
 // bit-identical at every setting, so it is safe to change between queries —
 // including under Systems and Prepared queries sharing this database.
 func (db *Database) SetParallelism(n int) { db.eng.SetParallelism(n) }
+
+// SetMemoryBudget bounds each query's engine operator state to n bytes;
+// joins and sorts that would exceed it spill to disk and continue
+// out-of-core with bit-identical results (n <= 0 restores unbounded
+// memory). Safe to change between queries, including under Systems and
+// Prepared queries sharing this database.
+func (db *Database) SetMemoryBudget(n int64) { db.eng.SetMemoryBudget(n) }
+
+// SetTempDir sets the directory spill files are created in ("" restores the
+// OS temp directory).
+func (db *Database) SetTempDir(dir string) { db.eng.SetTempDir(dir) }
+
+// SpillStats returns cumulative out-of-core execution metrics (spilled
+// bytes, join partitions, sort runs, ...) across all queries run against
+// this database.
+func (db *Database) SpillStats() spill.Stats { return db.eng.SpillStats() }
 
 // TotalRows returns the number of tuples across all tables (the database
 // size n).

@@ -47,6 +47,7 @@ import (
 	"flexdp/internal/metrics"
 	"flexdp/internal/relalg"
 	"flexdp/internal/smooth"
+	"flexdp/internal/spill"
 )
 
 // NoiseMode selects how the Laplace scale is derived from elastic
@@ -96,6 +97,19 @@ type Options struct {
 	// bit-identical at every value, and the sensitivity analysis itself
 	// never executes queries, so the privacy guarantees are unaffected.
 	Parallelism int
+	// MemoryBudget bounds each query's engine operator state (hash-join
+	// build tables, ORDER BY buffers) in bytes; operators exceeding it
+	// spill to disk and continue out-of-core (Grace partitioned joins,
+	// external merge sort). 0 leaves the database's current setting
+	// (default: unbounded). Like Parallelism it is purely a resource knob:
+	// spilled and in-memory executions return bit-identical results, so
+	// sensitivities, noise draws, and privacy accounting are unaffected.
+	MemoryBudget int64
+	// TempDir is where spill files are written when MemoryBudget forces a
+	// query out-of-core; "" leaves the database's current setting (default:
+	// the OS temp directory). Spill files are removed when their query
+	// finishes, on success and on error alike.
+	TempDir string
 }
 
 // StalePolicy selects the response to metrics that predate a database
@@ -150,6 +164,12 @@ type System struct {
 func NewSystem(db *Database, opts Options) *System {
 	if opts.Parallelism > 0 {
 		db.SetParallelism(opts.Parallelism)
+	}
+	if opts.MemoryBudget > 0 {
+		db.SetMemoryBudget(opts.MemoryBudget)
+	}
+	if opts.TempDir != "" {
+		db.SetTempDir(opts.TempDir)
 	}
 	m := metrics.New()
 	return &System{
@@ -278,6 +298,11 @@ func lower(s string) string { return strings.ToLower(s) }
 
 // Database returns the wrapped database.
 func (s *System) Database() *Database { return s.db }
+
+// SpillStats reports the database's cumulative out-of-core execution
+// metrics, so serving layers can expose spill activity without reaching
+// into the engine.
+func (s *System) SpillStats() spill.Stats { return s.db.SpillStats() }
 
 // CloneWithSeed returns a System that shares this system's database,
 // collected metrics, analyzer, options, and bin domains but draws noise

@@ -2,9 +2,12 @@ package engine
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
+
+	"flexdp/internal/spill"
 )
 
 // Column describes one table column.
@@ -71,6 +74,89 @@ type DB struct {
 	// DefaultMorselSize. Tests shrink it to exercise multi-morsel merges on
 	// small tables.
 	morselSize int
+	// memoryBudget bounds per-query operator state (hash-join build tables,
+	// ORDER BY buffers) in bytes; operators exceeding it go out-of-core
+	// through the spill subsystem. 0 means unbounded (never spill). Like
+	// parallelism, it is a resource knob only: results are bit-identical at
+	// every setting.
+	memoryBudget int64
+	// tempDir is where spill files are created; "" means os.TempDir().
+	tempDir string
+
+	// spillMu guards spillTotals, the cumulative spill metrics folded in
+	// from every finished query's manager.
+	spillMu     sync.Mutex
+	spillTotals spill.Stats
+}
+
+// SetMemoryBudget bounds each query's operator state to n bytes; operators
+// that would exceed it (hash-join builds, ORDER BY buffers) spill to disk
+// and continue out-of-core. n <= 0 restores the default of unbounded
+// memory. Query results do not depend on this setting — the spill paths
+// reproduce the in-memory operators' output bit for bit (see DESIGN.md,
+// "Out-of-core execution") — so it may be changed at any time, including
+// between executions of a prepared query.
+func (db *DB) SetMemoryBudget(n int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	db.memoryBudget = n
+}
+
+// MemoryBudget returns the per-query operator-state budget in bytes
+// (0 = unbounded).
+func (db *DB) MemoryBudget() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.memoryBudget
+}
+
+// SetTempDir sets the directory spill files are created in ("" restores
+// os.TempDir()).
+func (db *DB) SetTempDir(dir string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tempDir = dir
+}
+
+// TempDir returns the spill-file directory ("" = os.TempDir()).
+func (db *DB) TempDir() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tempDir
+}
+
+// newSpillManager creates the per-query spill manager for one execution
+// (nil when no budget is configured — the nil manager disables spilling).
+func (db *DB) newSpillManager() *spill.Manager {
+	db.mu.RLock()
+	budget, dir := db.memoryBudget, db.tempDir
+	db.mu.RUnlock()
+	return spill.New(spill.Config{Budget: budget, Dir: dir})
+}
+
+// finishSpill retires a query's spill manager: its metrics fold into the
+// database totals and any temp files it still owns are removed. Safe on a
+// nil manager.
+func (db *DB) finishSpill(m *spill.Manager) {
+	if m == nil {
+		return
+	}
+	st := m.Stats()
+	m.Cleanup()
+	db.spillMu.Lock()
+	db.spillTotals.Add(st)
+	db.spillMu.Unlock()
+}
+
+// SpillStats returns cumulative out-of-core execution metrics across all
+// queries run against this database.
+func (db *DB) SpillStats() spill.Stats {
+	db.spillMu.Lock()
+	defer db.spillMu.Unlock()
+	return db.spillTotals
 }
 
 // SetParallelism bounds the number of worker goroutines a single query may
@@ -122,9 +208,21 @@ func (db *DB) Version() uint64 {
 	return db.version
 }
 
+// MemoryBudgetEnv, when set (e.g. "64KiB"), gives every new DB that byte
+// budget by default. It exists so CI can run the whole engine test suite
+// with spilling forced on — the differential guarantee says nothing may
+// change — without touching each test; unparsable values are ignored.
+const MemoryBudgetEnv = "FLEX_TEST_MEMORY_BUDGET"
+
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]*Table)}
+	db := &DB{tables: make(map[string]*Table)}
+	if env := os.Getenv(MemoryBudgetEnv); env != "" {
+		if n, err := spill.ParseBytes(env); err == nil {
+			db.memoryBudget = n
+		}
+	}
+	return db
 }
 
 // CreateTable registers a new table with the given schema. It returns an

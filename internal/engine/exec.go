@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"flexdp/internal/spill"
 	"flexdp/internal/sqlparser"
 )
 
@@ -23,12 +24,19 @@ type execContext struct {
 	// query start so one execution sees a consistent configuration.
 	workers int
 	morsel  int
+	// spill is the per-query out-of-core manager (nil when no memory budget
+	// is configured). It is shared by every child context — CTEs and
+	// subqueries charge the same budget — and retired by the DB entry point
+	// that created it.
+	spill *spill.Manager
 }
 
 // Execute runs a parsed SELECT statement and returns its result set.
 func (db *DB) Execute(stmt *sqlparser.SelectStmt) (*ResultSet, error) {
+	mgr := db.newSpillManager()
+	defer db.finishSpill(mgr)
 	ctx := &execContext{db: db, ctes: make(map[string]*relation),
-		workers: db.Parallelism(), morsel: db.MorselSize()}
+		workers: db.Parallelism(), morsel: db.MorselSize(), spill: mgr}
 	return ctx.executeSelect(stmt)
 }
 
@@ -47,7 +55,7 @@ func (ctx *execContext) executeSelect(stmt *sqlparser.SelectStmt) (*ResultSet, e
 	// CTEs are visible to later CTEs and the main body. Each statement gets
 	// a child context so sibling subqueries cannot see our CTEs leak out.
 	child := &execContext{db: ctx.db, ctes: make(map[string]*relation), plans: ctx.plans,
-		workers: ctx.workers, morsel: ctx.morsel}
+		workers: ctx.workers, morsel: ctx.morsel, spill: ctx.spill}
 	for name, rel := range ctx.ctes {
 		child.ctes[name] = rel
 	}
@@ -89,7 +97,7 @@ func (ctx *execContext) executeSelect(stmt *sqlparser.SelectStmt) (*ResultSet, e
 	}
 
 	if len(stmt.OrderBy) > 0 {
-		if err := sortResult(out, stmt.OrderBy, sortKeys); err != nil {
+		if err := sortResult(child, out, stmt.OrderBy, sortKeys); err != nil {
 			return nil, err
 		}
 	}
@@ -350,7 +358,7 @@ func splitJoinCondition(on sqlparser.Expr, left, right *relation) (keys []equiKe
 // probe scan, serial or parallel.
 type joinProbe struct {
 	keys   []equiKey
-	index  map[string][]int
+	index  *buildIndex
 	right  [][]Value
 	resFns []evalFn
 	width  int // combined output width
@@ -363,25 +371,18 @@ type joinProbe struct {
 // local to the call, so concurrent scans over disjoint ranges are safe.
 func (p *joinProbe) scan(leftRows [][]Value, lo, hi int, matchedLeft, matchedRight []bool) ([][]Value, error) {
 	keyBuf := make([]Value, len(p.keys))
+	leftCol := func(i int) int { return p.keys[i].leftIdx }
 	var keyScratch []byte
 	var out [][]Value
 	for li := lo; li < hi; li++ {
-		lr := leftRows[li]
-		null := false
-		for i, k := range p.keys {
-			v := lr[k.leftIdx]
-			if v.IsNull() {
-				null = true
-				break
-			}
-			keyBuf[i] = v
-		}
+		kb, null := encodeJoinKey(keyScratch[:0], leftRows[li], leftCol, len(p.keys), keyBuf)
+		keyScratch = kb
 		if null {
 			continue
 		}
-		keyScratch = AppendRowKey(keyScratch[:0], keyBuf)
+		lr := leftRows[li]
 	probeMatches:
-		for _, ri := range p.index[string(keyScratch)] {
+		for _, ri := range p.index.lookup(keyScratch) {
 			row := make([]Value, 0, p.width)
 			row = append(row, lr...)
 			row = append(row, p.right[ri]...)
@@ -445,31 +446,24 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 		resFns[i] = fn
 	}
 
-	if len(keys) > 0 {
-		// Hash join: build on the right side, reusing one key scratch
-		// buffer across rows.
-		index := make(map[string][]int, len(right.rows))
-		keyBuf := make([]Value, len(keys))
-		var keyScratch []byte
-		for ri, rr := range right.rows {
-			null := false
-			for i, k := range keys {
-				v := rr[k.rightIdx]
-				if v.IsNull() {
-					null = true
-					break
-				}
-				keyBuf[i] = v
-			}
-			if null {
-				continue // NULL join keys never match
-			}
-			keyScratch = AppendRowKey(keyScratch[:0], keyBuf)
-			index[string(keyScratch)] = append(index[string(keyScratch)], ri)
+	switch {
+	case len(keys) > 0 && ctx.spill.Enabled() && ctx.spill.ShouldSpill(estRowsBytes(right.rows)):
+		// Out-of-core path: the build side exceeds the memory budget, so the
+		// join hash-partitions both inputs to disk and joins partition by
+		// partition (Grace join), producing the same rows in the same order
+		// as the in-memory build/probe below.
+		rows, err := ctx.graceJoin(keys, resFns, left.rows, right.rows,
+			len(cols), matchedLeft, matchedRight)
+		if err != nil {
+			return nil, err
 		}
+		combined.rows = rows
 
-		probe := joinProbe{keys: keys, index: index, right: right.rows,
-			resFns: resFns, width: len(cols)}
+	case len(keys) > 0:
+		// Hash join: build on the right side (morsel-parallel when workers
+		// allow — see joinbuild.go), then probe with the left.
+		probe := joinProbe{keys: keys, index: ctx.buildJoinIndex(keys, right.rows),
+			right: right.rows, resFns: resFns, width: len(cols)}
 		spans := morselSpans(len(left.rows), ctx.morsel)
 		if ctx.workers > 1 && len(spans) > 1 && exprsPure(residual) {
 			// Morsel-parallel probe. Each left row belongs to exactly one
@@ -516,7 +510,8 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 			}
 			combined.rows = rows
 		}
-	} else {
+
+	default:
 		// Nested-loop join on the full predicate (serial: the quadratic
 		// fallback is dominated by predicate evaluation over every pair, and
 		// residuals here may embed subquery state that is not worker-safe).
@@ -844,7 +839,7 @@ func evalSortKey(env *rowEnv, orderBy []sqlparser.OrderItem, out *ResultSet, out
 	return key, nil
 }
 
-func sortResult(out *ResultSet, orderBy []sqlparser.OrderItem, sortKeys [][]Value) error {
+func sortResult(ctx *execContext, out *ResultSet, orderBy []sqlparser.OrderItem, sortKeys [][]Value) error {
 	if sortKeys == nil {
 		// Resolve against output columns/positions only (post-set-op case, or
 		// aggregate path fallbacks).
@@ -857,14 +852,30 @@ func sortResult(out *ResultSet, orderBy []sqlparser.OrderItem, sortKeys [][]Valu
 			sortKeys[i] = key
 		}
 	}
+	// Enabled is checked first so the disabled (default) path never pays
+	// the O(rows) size estimation.
+	if ctx != nil && ctx.spill.Enabled() &&
+		ctx.spill.ShouldSpill(estRowsBytes(out.Rows)+estRowsBytes(sortKeys)) {
+		sorted, err := ctx.externalSort(out, orderBy, sortKeys)
+		if err != nil {
+			return err
+		}
+		if sorted {
+			return nil
+		}
+	}
 	idx := make([]int, len(out.Rows))
 	for i := range idx {
 		idx[i] = i
 	}
+	// compareOrd (not Compare) keeps this comparator a total preorder even
+	// over NaN keys, which makes the stable sort's output comparator-defined
+	// rather than algorithm-defined — the property the external sort's
+	// bit-identical guarantee rests on (see extsort.go).
 	sort.SliceStable(idx, func(a, b int) bool {
 		ka, kb := sortKeys[idx[a]], sortKeys[idx[b]]
 		for i := range orderBy {
-			c := Compare(ka[i], kb[i])
+			c := compareOrd(ka[i], kb[i])
 			if orderBy[i].Desc {
 				c = -c
 			}

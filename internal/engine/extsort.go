@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"flexdp/internal/spill"
+	"flexdp/internal/sqlparser"
+)
+
+// External merge sort for ORDER BY: when the rows plus their sort keys
+// exceed the memory budget, the input is cut into fixed-size runs, each run
+// is sorted by parallel workers and written to a spill file, and the runs
+// are k-way merged (multi-pass above mergeFanIn to bound open files).
+//
+// Determinism: records are ordered by the strict total order (ORDER BY
+// keys, then original row index). Every run is sorted by it, merges
+// preserve it, and it refines the ORDER BY comparison exactly the way
+// sort.SliceStable's stability does — equal-key rows stay in input order —
+// so the merged output is bit-identical to the in-memory sort at any worker
+// count, run size, or merge shape.
+
+// mergeFanIn caps how many runs one merge pass reads concurrently, bounding
+// open file handles and reader buffers.
+const mergeFanIn = 16
+
+// extSortMinRun keeps runs from degenerating to a handful of rows under
+// tiny (test) budgets, which would explode the file count.
+const extSortMinRun = 16
+
+// compareOrd is the ordering comparison for ORDER BY keys: Compare extended
+// to a genuine total order over float NaNs (NaN equals NaN and sorts before
+// every other numeric, next to the NULLs-first convention). Compare itself
+// returns 0 for NaN against any number — three-valued comparison semantics
+// that predicates and MIN/MAX rely on, but not transitive, and a sort
+// driven by a non-transitive comparator is algorithm-dependent: one global
+// stable sort and a runs-plus-merge would disagree. Both the in-memory and
+// the external sort order by compareOrd, so their outputs coincide on every
+// input, NaN included.
+func compareOrd(a, b Value) int {
+	// The NULL and numeric arms mirror Compare (value.go) with the NaN
+	// refinement fused in, so the n·log n comparisons of a large sort don't
+	// pay a second round of kind dispatch; cross-kind and non-numeric
+	// pairs — where no NaN subtlety exists — delegate.
+	if a.Kind == KindNull || b.Kind == KindNull {
+		switch {
+		case a.Kind == KindNull && b.Kind == KindNull:
+			return 0
+		case a.Kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if isNumeric(a) && isNumeric(b) {
+		af, bf := a.AsFloat(), b.AsFloat()
+		aNaN, bNaN := math.IsNaN(af), math.IsNaN(bf)
+		switch {
+		case aNaN && bNaN:
+			return 0
+		case aNaN:
+			return -1
+		case bNaN:
+			return 1
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return Compare(a, b)
+}
+
+// sortKeyLess is the total order shared by the run sorter and the merge:
+// ORDER BY keys first, original row index as the final tiebreak.
+func sortKeyLess(orderBy []sqlparser.OrderItem, ka, kb []Value, ia, ib int) bool {
+	for i := range orderBy {
+		c := compareOrd(ka[i], kb[i])
+		if orderBy[i].Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return ia < ib
+}
+
+// externalSort sorts out.Rows by orderBy through spill runs. It returns
+// false (leaving out untouched) when the input fits a single run — the
+// caller's in-memory sort is strictly better then.
+func (ctx *execContext) externalSort(out *ResultSet, orderBy []sqlparser.OrderItem, sortKeys [][]Value) (bool, error) {
+	n := len(out.Rows)
+	if n < 2*extSortMinRun {
+		return false, nil
+	}
+	total := estRowsBytes(out.Rows) + estRowsBytes(sortKeys)
+	avg := total/int64(n) + 1
+	runRows := int(ctx.spill.Budget() / avg)
+	if runRows < extSortMinRun {
+		runRows = extSortMinRun
+	}
+	if runRows >= n {
+		return false, nil
+	}
+
+	spans := morselSpans(n, runRows)
+	ctx.spill.NoteSortSpill(len(spans))
+	runs := make([]*spill.Run, len(spans))
+	err := runSpans(spans, ctx.workers, func(_, m int, s span) error {
+		idx := make([]int, s.hi-s.lo)
+		for i := range idx {
+			idx[i] = s.lo + i
+		}
+		// The (key, index) order is strict, so the non-stable sort is
+		// deterministic.
+		sort.Slice(idx, func(a, b int) bool {
+			return sortKeyLess(orderBy, sortKeys[idx[a]], sortKeys[idx[b]], idx[a], idx[b])
+		})
+		w, err := ctx.spill.NewRun()
+		if err != nil {
+			return err
+		}
+		var rec []byte
+		for _, i := range idx {
+			rec = binary.AppendUvarint(rec[:0], uint64(i))
+			rec = AppendRow(rec, sortKeys[i])
+			rec = AppendRow(rec, out.Rows[i])
+			if err := w.Write(rec); err != nil {
+				w.Abort()
+				return err
+			}
+		}
+		run, err := w.Finish()
+		if err != nil {
+			return err
+		}
+		runs[m] = run
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+
+	// Intermediate passes: merge groups of mergeFanIn runs into single runs
+	// until one pass can take them all.
+	for len(runs) > mergeFanIn {
+		ctx.spill.NoteMergePass()
+		next := make([]*spill.Run, 0, (len(runs)+mergeFanIn-1)/mergeFanIn)
+		for lo := 0; lo < len(runs); lo += mergeFanIn {
+			hi := lo + mergeFanIn
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			merged, err := ctx.mergeRuns(runs[lo:hi], orderBy)
+			if err != nil {
+				return false, err
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+
+	// Final pass decodes payload rows in merged order.
+	h, err := newMergeHeap(runs, orderBy)
+	if err != nil {
+		return false, err
+	}
+	sorted := make([][]Value, 0, n)
+	for h.Len() > 0 {
+		c := h.cursors[0]
+		row, _, err := DecodeRow(c.buf[c.rowOff:])
+		if err != nil {
+			h.close()
+			return false, err
+		}
+		sorted = append(sorted, row)
+		if err := h.step(); err != nil {
+			h.close()
+			return false, err
+		}
+	}
+	if len(sorted) != n {
+		return false, fmt.Errorf("engine: external sort produced %d of %d rows", len(sorted), n)
+	}
+	out.Rows = sorted
+	return true, nil
+}
+
+// mergeRuns merges a group of sorted runs into one sorted run, copying raw
+// records (no payload decode needed for intermediate passes).
+func (ctx *execContext) mergeRuns(group []*spill.Run, orderBy []sqlparser.OrderItem) (*spill.Run, error) {
+	h, err := newMergeHeap(group, orderBy)
+	if err != nil {
+		return nil, err
+	}
+	w, err := ctx.spill.NewRun()
+	if err != nil {
+		h.close()
+		return nil, err
+	}
+	for h.Len() > 0 {
+		if err := w.Write(h.cursors[0].buf); err != nil {
+			w.Abort()
+			h.close()
+			return nil, err
+		}
+		if err := h.step(); err != nil {
+			w.Abort()
+			h.close()
+			return nil, err
+		}
+	}
+	return w.Finish()
+}
+
+// mergeCursor is one run's read position: the current record's raw bytes
+// (cursor-owned copy — readers reuse their buffers), decoded sort key,
+// original row index, and payload offset. Run files are unlinked at Open,
+// so closing the reader is all the cleanup a cursor owes.
+type mergeCursor struct {
+	r      *spill.RunReader
+	buf    []byte
+	idx    int
+	key    []Value
+	rowOff int
+}
+
+// advance loads the cursor's next record; done=true at end of run.
+func (c *mergeCursor) advance() (done bool, err error) {
+	rec, err := c.r.Next()
+	if err == io.EOF {
+		return true, c.r.Close()
+	}
+	if err != nil {
+		return false, err
+	}
+	c.buf = append(c.buf[:0], rec...)
+	idx, n := binary.Uvarint(c.buf)
+	if n <= 0 {
+		return false, fmt.Errorf("engine: corrupt sort run index")
+	}
+	key, kn, err := DecodeRow(c.buf[n:])
+	if err != nil {
+		return false, err
+	}
+	c.idx = int(idx)
+	c.key = key
+	c.rowOff = n + kn
+	return false, nil
+}
+
+// mergeHeap is a min-heap of run cursors ordered by (key, original index).
+type mergeHeap struct {
+	cursors []*mergeCursor
+	orderBy []sqlparser.OrderItem
+}
+
+func newMergeHeap(runs []*spill.Run, orderBy []sqlparser.OrderItem) (*mergeHeap, error) {
+	h := &mergeHeap{orderBy: orderBy}
+	for _, run := range runs {
+		r, err := run.Open()
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		c := &mergeCursor{r: r}
+		done, err := c.advance()
+		if err != nil {
+			_ = r.Close()
+			h.close()
+			return nil, err
+		}
+		if !done {
+			h.cursors = append(h.cursors, c)
+		}
+	}
+	heap.Init(h)
+	return h, nil
+}
+
+// step advances the top cursor past its current record, re-establishing
+// heap order (or dropping the cursor at end of run).
+func (h *mergeHeap) step() error {
+	c := h.cursors[0]
+	done, err := c.advance()
+	if err != nil {
+		return err
+	}
+	if done {
+		heap.Pop(h)
+		return nil
+	}
+	heap.Fix(h, 0)
+	return nil
+}
+
+// close releases remaining cursors after an error.
+func (h *mergeHeap) close() {
+	for _, c := range h.cursors {
+		_ = c.r.Close()
+	}
+	h.cursors = nil
+}
+
+func (h *mergeHeap) Len() int { return len(h.cursors) }
+func (h *mergeHeap) Less(a, b int) bool {
+	ca, cb := h.cursors[a], h.cursors[b]
+	return sortKeyLess(h.orderBy, ca.key, cb.key, ca.idx, cb.idx)
+}
+func (h *mergeHeap) Swap(a, b int) { h.cursors[a], h.cursors[b] = h.cursors[b], h.cursors[a] }
+func (h *mergeHeap) Push(x any)    { h.cursors = append(h.cursors, x.(*mergeCursor)) }
+func (h *mergeHeap) Pop() any {
+	c := h.cursors[len(h.cursors)-1]
+	h.cursors = h.cursors[:len(h.cursors)-1]
+	return c
+}

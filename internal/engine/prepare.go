@@ -108,7 +108,9 @@ func (p *PreparedQuery) plansFor(version uint64) *planCache {
 // bit-identical at every worker count.
 func (p *PreparedQuery) Exec() (*ResultSet, error) {
 	plans := p.plansFor(p.db.Version())
+	mgr := p.db.newSpillManager()
+	defer p.db.finishSpill(mgr)
 	ctx := &execContext{db: p.db, ctes: make(map[string]*relation), plans: plans,
-		workers: p.db.Parallelism(), morsel: p.db.MorselSize()}
+		workers: p.db.Parallelism(), morsel: p.db.MorselSize(), spill: mgr}
 	return ctx.executeSelect(p.stmt)
 }

@@ -1,0 +1,42 @@
+package engine
+
+import "testing"
+
+// Out-of-core micro-benchmarks, gate-covered (see Makefile): they pin the
+// cost of the Grace partitioned join and the external merge sort under a
+// budget small enough that every iteration spills. Serial execution keeps
+// the numbers comparable across runner core counts.
+
+// spillBenchDB is benchDB with a budget that forces the join build side
+// (n/10 driver rows) and ORDER BY buffers (n trip rows) out of core.
+func spillBenchDB(b *testing.B, n int, budget int64) *DB {
+	b.Helper()
+	db := benchDB(b, n)
+	db.SetParallelism(1)
+	db.SetTempDir(b.TempDir())
+	db.SetMemoryBudget(budget)
+	return db
+}
+
+// BenchmarkSpillJoin measures the Grace join end to end — partitioning both
+// sides to disk, per-partition build/probe, order restoration — at 50k x 5k
+// rows under a 64 KiB budget (the 5k-row build side estimates ~1 MiB).
+func BenchmarkSpillJoin(b *testing.B) {
+	db := spillBenchDB(b, 50000, 64<<10)
+	benchQuery(b, db,
+		`SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id
+		 WHERE t.city_id = d.home_city`)
+	if st := db.SpillStats(); st.JoinSpills == 0 {
+		b.Fatalf("benchmark never spilled: %+v", st)
+	}
+}
+
+// BenchmarkSpillSort measures the external merge sort — run generation,
+// multi-pass merge, payload decode — over 100k rows under a 256 KiB budget.
+func BenchmarkSpillSort(b *testing.B) {
+	db := spillBenchDB(b, 100000, 256<<10)
+	benchQuery(b, db, `SELECT id, fare, status FROM trips ORDER BY fare DESC, id`)
+	if st := db.SpillStats(); st.SortSpills == 0 {
+		b.Fatalf("benchmark never spilled: %+v", st)
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flexdp/internal/spill"
+)
+
+// Out-of-core execution experiment: measures the spill subsystem (Grace
+// partitioned hash join, external merge sort) against the unbounded
+// in-memory operators on the same data, and verifies the differential
+// guarantee — spilled results must be bit-identical — as part of the
+// benchmark record, so a determinism regression shows up in BENCH_<date>.json
+// and not just in tests.
+
+// SpillBenchQuery is one query's timing at both memory settings.
+type SpillBenchQuery struct {
+	Name string `json:"name"`
+	SQL  string `json:"sql"`
+	// InMemoryMS is the unbounded run; SpilledMS the budget-bounded run.
+	InMemoryMS float64 `json:"in_memory_ms"`
+	SpilledMS  float64 `json:"spilled_ms"`
+	Slowdown   float64 `json:"slowdown"`
+	// Identical reports whether the spilled result was bit-identical to the
+	// in-memory one (must always be true).
+	Identical bool `json:"identical"`
+}
+
+// SpillBenchResult is the "spill" section of the benchmark record.
+type SpillBenchResult struct {
+	Rows        int               `json:"rows"`
+	BudgetBytes int64             `json:"budget_bytes"`
+	Queries     []SpillBenchQuery `json:"queries"`
+	// Stats are the cumulative spill metrics across the budgeted runs.
+	Stats spill.Stats `json:"stats"`
+}
+
+// String renders the paper-style rows.
+func (r SpillBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Out-of-core execution (%d rows, %d-byte budget)\n", r.Rows, r.BudgetBytes)
+	fmt.Fprintf(&b, "%-22s %12s %12s %9s %5s\n", "query", "in-mem ms", "spilled ms", "slowdown", "same")
+	for _, q := range r.Queries {
+		fmt.Fprintf(&b, "%-22s %12.2f %12.2f %8.2fx %5v\n",
+			q.Name, q.InMemoryMS, q.SpilledMS, q.Slowdown, q.Identical)
+	}
+	fmt.Fprintf(&b, "spilled %d bytes across %d files; %d join spills (%d partitions), %d sort spills (%d runs)",
+		r.Stats.SpilledBytes, r.Stats.Files, r.Stats.JoinSpills, r.Stats.JoinPartitions,
+		r.Stats.SortSpills, r.Stats.SortRuns)
+	return b.String()
+}
+
+// RunSpill times the out-of-core paths against the in-memory ones. The
+// budget is sized well below the build/sort state for the given row count,
+// so every budgeted run actually spills.
+func RunSpill(seed int64, rows, reps int) SpillBenchResult {
+	db := engineBenchDB(seed, rows)
+	defer db.SetMemoryBudget(0)
+	budget := int64(64 << 10)
+	queries := []struct{ name, sql string }{
+		{"grace_join", `SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id
+			WHERE t.city_id = d.home_city`},
+		{"grace_join_wide", `SELECT t.id, t.fare, d.home_city FROM trips t
+			JOIN drivers d ON t.driver_id = d.id WHERE t.fare > 50.0`},
+		{"external_sort", `SELECT id, fare, status FROM trips ORDER BY fare DESC, id`},
+	}
+	res := SpillBenchResult{Rows: rows, BudgetBytes: budget}
+	for _, q := range queries {
+		db.SetMemoryBudget(0)
+		inMem, inMemMS := timeQuery(db, q.sql, reps)
+		db.SetMemoryBudget(budget)
+		spilled, spilledMS := timeQuery(db, q.sql, reps)
+		res.Queries = append(res.Queries, SpillBenchQuery{
+			Name:       q.name,
+			SQL:        q.sql,
+			InMemoryMS: inMemMS,
+			SpilledMS:  spilledMS,
+			Slowdown:   spilledMS / inMemMS,
+			Identical:  resultSetsIdentical(inMem, spilled),
+		})
+	}
+	res.Stats = db.SpillStats()
+	return res
+}

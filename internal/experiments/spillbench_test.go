@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestRunSpill smoke-tests the "spill" flexbench section: every budgeted
+// run must be bit-identical to the in-memory run, and the budget must be
+// small enough that the runs actually spilled.
+func TestRunSpill(t *testing.T) {
+	res := RunSpill(11, 20000, 1)
+	if res.Rows != 20000 || len(res.Queries) == 0 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	for _, q := range res.Queries {
+		if !q.Identical {
+			t.Fatalf("%s: spilled result differs from in-memory", q.Name)
+		}
+		if q.InMemoryMS <= 0 || q.SpilledMS <= 0 {
+			t.Fatalf("%s: non-positive timing: %+v", q.Name, q)
+		}
+	}
+	if res.Stats.JoinSpills == 0 || res.Stats.SortSpills == 0 {
+		t.Fatalf("benchmark did not spill: %+v", res.Stats)
+	}
+	if res.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -309,6 +309,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"prepared_cached": s.prepared.len(),
 		"cache_hits":      s.hits.Load(),
 		"cache_misses":    s.misses.Load(),
+		// Out-of-core execution activity: non-zero join_spills/sort_spills
+		// mean queries are exceeding the configured memory budget and
+		// running through the spill subsystem (a throughput signal, never a
+		// correctness one — spilled results are bit-identical).
+		"spill": s.sys.SpillStats(),
 	})
 }
 

@@ -1,0 +1,59 @@
+package spill
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseBytes parses a human-readable byte size: a plain integer is bytes,
+// and the suffixes B, KB/KiB, MB/MiB, GB/GiB (case-insensitive, binary
+// multiples for both spellings — this is a memory budget, not a disk
+// marketing figure) scale it. "0" disables the budget.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("spill: empty byte size")
+	}
+	upper := strings.ToUpper(t)
+	mult := int64(1)
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.name) {
+			mult = suf.mult
+			upper = strings.TrimSuffix(upper, suf.name)
+			break
+		}
+	}
+	num := strings.TrimSpace(upper)
+	n, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("spill: bad byte size %q", s)
+	}
+	// ParseFloat accepts "nan"/"inf"; both would truncate to garbage that
+	// silently disables or corrupts the budget, so reject them alongside
+	// negatives.
+	if math.IsNaN(n) || n < 0 {
+		return 0, fmt.Errorf("spill: bad byte size %q", s)
+	}
+	bytes := n * float64(mult)
+	// Reject sizes beyond int64 rather than letting the conversion wrap
+	// negative — a wrapped budget would silently read as "disabled" and an
+	// operator who configured one would run unbounded.
+	if bytes >= float64(1<<63) {
+		return 0, fmt.Errorf("spill: byte size %q overflows", s)
+	}
+	// A configured-but-sub-byte size ("0.5B") would likewise truncate to
+	// "disabled"; only a literal zero means that.
+	if n > 0 && bytes < 1 {
+		return 0, fmt.Errorf("spill: byte size %q is less than one byte", s)
+	}
+	return int64(bytes), nil
+}

@@ -1,0 +1,74 @@
+package flex
+
+import (
+	"testing"
+)
+
+// End-to-end determinism of out-of-core execution through the DP pipeline:
+// for a fixed seed, the noisy outputs of System.Run and Prepared.Run must
+// be bit-identical whether the engine runs in memory or spills — the true
+// results are bit-identical (Grace join / external sort reproduce the
+// in-memory operators exactly) and the noise stream depends only on
+// (seed, call counter). Composes with every worker count.
+
+func TestMemoryBudgetPreservesNoisyOutputs(t *testing.T) {
+	queries := []string{
+		`SELECT COUNT(*) FROM trips JOIN drivers ON trips.driver_id = drivers.id WHERE drivers.home_city = 3`,
+		`SELECT city_id, COUNT(*) FROM trips GROUP BY city_id`,
+		`SELECT SUM(fare) FROM trips WHERE city_id < 6`,
+	}
+	db := parallelTestSystemDB(t)
+	db.Engine().SetMorselSize(64)
+	db.SetTempDir(t.TempDir())
+
+	type cfg struct {
+		budget  int64
+		workers int
+	}
+	collect := func(c cfg) [][][]float64 {
+		sys := NewSystem(db, Options{Seed: 87, Parallelism: c.workers, MemoryBudget: c.budget})
+		sys.SetBinDomain("trips", "city_id", binDomain(12))
+		sys.CollectMetrics()
+		var out [][][]float64
+		for _, q := range queries {
+			res, err := sys.Run(q, 0.5, 1e-6)
+			if err != nil {
+				t.Fatalf("budget=%d workers=%d %s: %v", c.budget, c.workers, q, err)
+			}
+			out = append(out, noisyMatrix(res))
+			prep, err := sys.Prepare(q)
+			if err != nil {
+				t.Fatalf("budget=%d prepare %s: %v", c.budget, q, err)
+			}
+			pres, err := prep.Run(0.5, 1e-6)
+			if err != nil {
+				t.Fatalf("budget=%d prepared %s: %v", c.budget, q, err)
+			}
+			out = append(out, noisyMatrix(pres))
+		}
+		// NewSystem applied the budget to the shared database; restore the
+		// unbounded default for the next configuration's reference.
+		db.SetMemoryBudget(0)
+		return out
+	}
+
+	want := collect(cfg{budget: 0, workers: 1})
+	for _, c := range []cfg{
+		{budget: 4096, workers: 1},
+		{budget: 4096, workers: 8},
+		{budget: 256, workers: 2},
+	} {
+		got := collect(c)
+		if len(got) != len(want) {
+			t.Fatalf("%+v: %d runs vs %d", c, len(got), len(want))
+		}
+		for i := range want {
+			if err := matrixEqualBits(want[i], got[i]); err != "" {
+				t.Fatalf("%+v run %d (%s): %s", c, i, queries[i/2], err)
+			}
+		}
+	}
+	if st := db.SpillStats(); st.JoinSpills == 0 {
+		t.Fatalf("budgeted configurations never spilled: %+v", st)
+	}
+}
