@@ -6,7 +6,7 @@ GO ?= go
 GATE_ENGINE_BENCH = BenchmarkWhereFilter|BenchmarkHashJoin|BenchmarkGroupByAggregate|BenchmarkProjection|BenchmarkDistinct
 # Spill benches are disk-IO-bound and run only 1-3 iterations at 200ms, so
 # they get a longer benchtime for a stable median under the same 15% gate.
-GATE_SPILL_BENCH = BenchmarkSpillJoin|BenchmarkSpillSort
+GATE_SPILL_BENCH = BenchmarkSpillJoin|BenchmarkSpillSort|BenchmarkSpillAggregate
 GATE_SPILL_BENCHTIME = 1s
 GATE_PREPARED_BENCH = BenchmarkSystemRunRepeated|BenchmarkPreparedRunRepeated
 GATE_COUNT = 5
@@ -58,15 +58,17 @@ bench-parallel:
 		-benchtime 1s
 
 # Out-of-core operators under a spill-forcing budget: Grace partitioned
-# join and external merge sort vs their in-memory counterparts.
+# join, external merge sort, and partitioned grouped aggregation vs their
+# in-memory counterparts.
 bench-spill:
 	$(GO) test ./internal/engine -run '^$$' \
-		-bench 'BenchmarkSpillJoin|BenchmarkSpillSort|BenchmarkHashJoin' \
+		-bench 'BenchmarkSpillJoin|BenchmarkSpillSort|BenchmarkSpillAggregate|BenchmarkHashJoin|BenchmarkGroupByAggregate' \
 		-benchtime 1s
 
 # The entire engine suite with spilling forced on (the CI low-memory job):
-# every join build and ORDER BY buffer over 64 KiB goes out-of-core, and
-# the differential guarantee says nothing may change.
+# every join build, ORDER BY buffer, grouped-aggregation state, and
+# DISTINCT/set-operation key set over 64 KiB goes out-of-core, and the
+# differential guarantee says nothing may change.
 test-lowmem:
 	FLEX_TEST_MEMORY_BUDGET=64KiB $(GO) test ./internal/engine/...
 

@@ -170,8 +170,9 @@ func main() {
 	}
 	if budgetBytes > 0 {
 		st := sys.SpillStats()
-		log.Printf("spill totals: %d joins, %d sorts, %d files, %d bytes",
-			st.JoinSpills, st.SortSpills, st.Files, st.SpilledBytes)
+		log.Printf("spill totals: %d joins, %d sorts, %d aggs, %d dedups, %d files, %d bytes",
+			st.JoinSpills, st.SortSpills, st.AggSpills,
+			st.DistinctSpills+st.SetOpSpills, st.Files, st.SpilledBytes)
 	}
 	log.Printf("bye")
 }

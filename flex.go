@@ -98,9 +98,10 @@ type Options struct {
 	// never executes queries, so the privacy guarantees are unaffected.
 	Parallelism int
 	// MemoryBudget bounds each query's engine operator state (hash-join
-	// build tables, ORDER BY buffers) in bytes; operators exceeding it
+	// build tables, ORDER BY buffers, grouped-aggregation state, DISTINCT
+	// and set-operation key sets) in bytes; operators exceeding it
 	// spill to disk and continue out-of-core (Grace partitioned joins,
-	// external merge sort). 0 leaves the database's current setting
+	// external merge sort, partitioned aggregation). 0 leaves the database's current setting
 	// (default: unbounded). Like Parallelism it is purely a resource knob:
 	// spilled and in-memory executions return bit-identical results, so
 	// sensitivities, noise draws, and privacy accounting are unaffected.

@@ -24,6 +24,15 @@ func (ctx *execContext) executeAggregate(stmt *sqlparser.SelectStmt, rel *relati
 		stmt = &clone
 	}
 
+	// Out-of-core path: when the grouping state (group index plus per-group
+	// value runs) would exceed the memory budget, hash-partition the input
+	// by group key to disk and aggregate partition by partition
+	// (aggspill.go). Checked before the parallel path so the budget bounds
+	// the per-worker partial tables too.
+	if out, keys, ok, err := ctx.tryExecuteAggregateSpilled(stmt, rel); ok {
+		return out, keys, err
+	}
+
 	// Morsel-parallel path: partial aggregation per worker with a
 	// deterministic morsel-order merge (aggregate_parallel.go). Falls
 	// through to the serial path for subquery-bearing statements and

@@ -80,11 +80,13 @@ func collectAggCalls(stmt *sqlparser.SelectStmt) []*sqlparser.FuncCall {
 	return calls
 }
 
-// aggregateParallelizable reports whether the statement can run on the
-// parallel aggregation path: every expression subquery-free (worker-safe
-// closures) and every aggregate call well-formed. Ill-formed calls (SUM(*),
-// wrong arity) are left to the serial path so their errors surface — or
-// stay latent on empty inputs — exactly as before.
+// aggregateParallelizable reports whether the statement can leave the
+// serial aggregation loop — it gates both the morsel-parallel path and the
+// spilled path (aggspill.go): every expression subquery-free (closures are
+// then stateless, safe for workers and for partition-order evaluation) and
+// every aggregate call well-formed. Ill-formed calls (SUM(*), wrong arity)
+// are left to the serial path so their errors surface — or stay latent on
+// empty inputs — exactly as before.
 func aggregateParallelizable(stmt *sqlparser.SelectStmt, calls []*sqlparser.FuncCall) bool {
 	for _, item := range stmt.Columns {
 		if item.Star || item.TableStar != "" {

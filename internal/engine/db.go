@@ -75,10 +75,11 @@ type DB struct {
 	// small tables.
 	morselSize int
 	// memoryBudget bounds per-query operator state (hash-join build tables,
-	// ORDER BY buffers) in bytes; operators exceeding it go out-of-core
-	// through the spill subsystem. 0 means unbounded (never spill). Like
-	// parallelism, it is a resource knob only: results are bit-identical at
-	// every setting.
+	// ORDER BY buffers, grouped-aggregation state, DISTINCT and
+	// set-operation key sets) in bytes; operators exceeding it go
+	// out-of-core through the spill subsystem. 0 means unbounded (never
+	// spill). Like parallelism, it is a resource knob only: results are
+	// bit-identical at every setting.
 	memoryBudget int64
 	// tempDir is where spill files are created; "" means os.TempDir().
 	tempDir string
@@ -90,7 +91,8 @@ type DB struct {
 }
 
 // SetMemoryBudget bounds each query's operator state to n bytes; operators
-// that would exceed it (hash-join builds, ORDER BY buffers) spill to disk
+// that would exceed it (hash-join builds, ORDER BY buffers, grouped
+// aggregation, DISTINCT/set-operation key sets) spill to disk
 // and continue out-of-core. n <= 0 restores the default of unbounded
 // memory. Query results do not depend on this setting — the spill paths
 // reproduce the in-memory operators' output bit for bit (see DESIGN.md,

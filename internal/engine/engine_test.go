@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 )
@@ -464,6 +465,92 @@ func TestIntersectExcept(t *testing.T) {
 	if len(rs2.Rows) != 1 || rs2.Rows[0][0].Int != 3 {
 		t.Errorf("except rows = %v", rs2.Rows)
 	}
+}
+
+// TestSetOpAllSemantics pins the multiset forms: INTERSECT ALL keeps the
+// minimum multiplicity of each row across the sides, EXCEPT ALL subtracts
+// the right side's multiplicities — neither dedupes. trips carries city_id
+// multiset {1,1,1,2,2}; cities carries {1,2,3}.
+func TestSetOpAllSemantics(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		sql  string
+		want []int64
+	}{
+		// min(3,1) ones, min(2,1) twos, first occurrences in left order.
+		{"SELECT city_id FROM trips INTERSECT ALL SELECT id FROM cities", []int64{1, 2}},
+		{"SELECT id FROM cities INTERSECT ALL SELECT city_id FROM trips", []int64{1, 2}},
+		// {1,1,2,1,2} minus {1,2,3}: the earliest 1 and 2 cancel, the
+		// remaining occurrences keep left order.
+		{"SELECT city_id FROM trips EXCEPT ALL SELECT id FROM cities", []int64{1, 1, 2}},
+		// {1,2,3} minus {1,1,1,2,2}: only the 3 survives.
+		{"SELECT id FROM cities EXCEPT ALL SELECT city_id FROM trips", []int64{3}},
+		// The DISTINCT forms still dedupe.
+		{"SELECT city_id FROM trips INTERSECT SELECT id FROM cities", []int64{1, 2}},
+		{"SELECT city_id FROM trips EXCEPT SELECT id FROM cities", nil},
+	}
+	for _, c := range cases {
+		rs, err := db.Query(c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		var got []int64
+		for _, r := range rs.Rows {
+			got = append(got, r[0].Int)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.sql, got, c.want)
+		}
+	}
+}
+
+// TestEmptyGroupAggregates pins SQL's zero-row aggregate semantics — SUM,
+// AVG, MIN, MAX, MEDIAN, STDDEV over no matching rows yield NULL while the
+// COUNTs yield 0 — identically on the serial, parallel, and budgeted paths.
+func TestEmptyGroupAggregates(t *testing.T) {
+	db := testDB(t)
+	db.SetTempDir(t.TempDir())
+	db.SetMorselSize(2)
+	check := func(label string) {
+		t.Helper()
+		rs, err := db.Query(`SELECT SUM(fare), AVG(fare), MIN(fare), MAX(fare),
+			MEDIAN(fare), STDDEV(fare), COUNT(fare), COUNT(*) FROM trips WHERE fare > 1000`)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		row := rs.Rows[0]
+		for i := 0; i < 6; i++ {
+			if !row[i].IsNull() {
+				t.Errorf("%s: column %d = %v, want NULL", label, i, row[i])
+			}
+		}
+		for i := 6; i < 8; i++ {
+			if row[i].Kind != KindInt || row[i].Int != 0 {
+				t.Errorf("%s: column %d = %v, want 0", label, i, row[i])
+			}
+		}
+		// All-NULL aggregate input behaves like zero rows.
+		if v := queryScalar(t, db, `SELECT SUM(CASE WHEN fare > 1000 THEN fare END) FROM trips`); !v.IsNull() {
+			t.Errorf("%s: SUM over all-NULL input = %v, want NULL", label, v)
+		}
+		// An empty input with GROUP BY yields zero groups, not a NULL row.
+		rs, err = db.Query(`SELECT city_id, SUM(fare) FROM trips WHERE id > 100 GROUP BY city_id`)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if len(rs.Rows) != 0 {
+			t.Errorf("%s: empty grouped input produced %d rows", label, len(rs.Rows))
+		}
+	}
+	for _, workers := range []int{1, 2, 8} {
+		for _, budget := range []int64{0, 64} {
+			db.SetParallelism(workers)
+			db.SetMemoryBudget(budget)
+			check(fmt.Sprintf("workers=%d budget=%d", workers, budget))
+		}
+	}
+	db.SetParallelism(0)
+	db.SetMemoryBudget(0)
 }
 
 func TestSubqueryInFrom(t *testing.T) {

@@ -92,7 +92,10 @@ func (ctx *execContext) executeSelect(stmt *sqlparser.SelectStmt) (*ResultSet, e
 			return nil, fmt.Errorf("engine: set operation arity mismatch: %d vs %d",
 				len(out.Columns), len(right.Columns))
 		}
-		out = applySetOp(out, right, op.Kind, op.All)
+		out, err = child.applySetOp(out, right, op.Kind, op.All)
+		if err != nil {
+			return nil, err
+		}
 		sortKeys = nil // positional sort only after set ops
 	}
 
@@ -154,7 +157,10 @@ func (ctx *execContext) executeCore(stmt *sqlparser.SelectStmt) (*ResultSet, [][
 	}
 
 	if stmt.Distinct {
-		out, sortKeys = dedupeRows(out, sortKeys)
+		out, sortKeys, err = ctx.dedupeRows(out, sortKeys)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	return out, sortKeys, nil
 }
@@ -933,7 +939,15 @@ func applyLimitOffset(out *ResultSet, stmt *sqlparser.SelectStmt, ctx *execConte
 	return nil
 }
 
-func dedupeRows(out *ResultSet, sortKeys [][]Value) (*ResultSet, [][]Value) {
+// dedupeRows removes duplicate output rows, keeping each row's first
+// occurrence in input order. The seen set grows with the number of
+// distinct rows, so when the input's estimated footprint exceeds the
+// memory budget the dedup runs partitioned out-of-core (aggspill.go) —
+// bit-identical by construction.
+func (ctx *execContext) dedupeRows(out *ResultSet, sortKeys [][]Value) (*ResultSet, [][]Value, error) {
+	if ctx.spill.Enabled() && ctx.spill.ShouldSpill(estRowsBytes(out.Rows)) {
+		return ctx.dedupeRowsSpilled(out, sortKeys)
+	}
 	seen := make(map[string]bool, len(out.Rows))
 	var rows [][]Value
 	var keys [][]Value
@@ -951,55 +965,93 @@ func dedupeRows(out *ResultSet, sortKeys [][]Value) (*ResultSet, [][]Value) {
 	}
 	out.Rows = rows
 	if sortKeys == nil {
-		return out, nil
+		return out, nil, nil
 	}
-	return out, keys
+	return out, keys, nil
 }
 
-// rowKeySet builds the membership set of a row multiset, reusing one key
-// scratch buffer.
-func rowKeySet(rows [][]Value) map[string]bool {
-	set := make(map[string]bool, len(rows))
-	var scratch []byte
-	for _, r := range rows {
-		scratch = AppendRowKey(scratch[:0], r)
-		set[string(scratch)] = true
-	}
-	return set
-}
-
-func applySetOp(left, right *ResultSet, kind sqlparser.SetOpKind, all bool) *ResultSet {
-	out := &ResultSet{Columns: left.Columns}
+// setOpKeep decides whether one left row survives an INTERSECT or EXCEPT,
+// given the right side's remaining multiplicities and (for the DISTINCT
+// forms) the keys already emitted. It mutates counts/seen, so callers must
+// present a key's occurrences in left-row order:
+//
+//	INTERSECT ALL  — keep min(l, r) copies: consume one right multiplicity
+//	                 per kept row.
+//	INTERSECT      — keep the first occurrence of keys present in right.
+//	EXCEPT ALL     — keep max(l-r, 0) copies: each right multiplicity
+//	                 cancels one left occurrence, earliest first.
+//	EXCEPT         — keep the first occurrence of keys absent from right.
+//
+// Shared by the in-memory loop below and the per-partition loop of the
+// spilled path (aggspill.go), which is what keeps the two bit-identical.
+func setOpKeep(kind sqlparser.SetOpKind, all bool, key string, counts map[string]int, seen map[string]bool) bool {
 	switch kind {
-	case sqlparser.SetUnion:
-		out.Rows = append(append([][]Value{}, left.Rows...), right.Rows...)
-		if !all {
-			out, _ = dedupeRows(out, nil)
-		}
 	case sqlparser.SetIntersect:
-		inRight := rowKeySet(right.Rows)
-		seen := make(map[string]bool)
-		var scratch []byte
-		for _, r := range left.Rows {
-			scratch = AppendRowKey(scratch[:0], r)
-			k := string(scratch)
-			if inRight[k] && !seen[k] {
-				seen[k] = true
-				out.Rows = append(out.Rows, r)
+		if all {
+			if counts[key] > 0 {
+				counts[key]--
+				return true
 			}
+			return false
+		}
+		if counts[key] > 0 && !seen[key] {
+			seen[key] = true
+			return true
 		}
 	case sqlparser.SetExcept:
-		inRight := rowKeySet(right.Rows)
-		seen := make(map[string]bool)
-		var scratch []byte
-		for _, r := range left.Rows {
-			scratch = AppendRowKey(scratch[:0], r)
-			k := string(scratch)
-			if !inRight[k] && !seen[k] {
-				seen[k] = true
-				out.Rows = append(out.Rows, r)
+		if all {
+			if counts[key] > 0 {
+				counts[key]--
+				return false
 			}
+			return true
+		}
+		if counts[key] == 0 && !seen[key] {
+			seen[key] = true
+			return true
 		}
 	}
-	return out
+	return false
+}
+
+// applySetOp evaluates one set operation. UNION concatenates (deduping
+// through the budget-aware dedupeRows unless ALL); INTERSECT and EXCEPT
+// run the multiset arithmetic of setOpKeep over right-side multiplicity
+// counts, out-of-core when the two sides' key state would exceed the
+// memory budget.
+func (ctx *execContext) applySetOp(left, right *ResultSet, kind sqlparser.SetOpKind, all bool) (*ResultSet, error) {
+	if kind == sqlparser.SetUnion {
+		out := &ResultSet{Columns: left.Columns,
+			Rows: append(append([][]Value{}, left.Rows...), right.Rows...)}
+		if !all {
+			var err error
+			out, _, err = ctx.dedupeRows(out, nil)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	if ctx.spill.Enabled() &&
+		ctx.spill.ShouldSpill(estRowsBytes(left.Rows)+estRowsBytes(right.Rows)) {
+		return ctx.setOpSpilled(left, right, kind, all)
+	}
+	counts := make(map[string]int, len(right.Rows))
+	var scratch []byte
+	for _, r := range right.Rows {
+		scratch = AppendRowKey(scratch[:0], r)
+		counts[string(scratch)]++
+	}
+	var seen map[string]bool
+	if !all {
+		seen = make(map[string]bool, len(left.Rows))
+	}
+	out := &ResultSet{Columns: left.Columns}
+	for _, r := range left.Rows {
+		scratch = AppendRowKey(scratch[:0], r)
+		if setOpKeep(kind, all, string(scratch), counts, seen) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out, nil
 }

@@ -216,21 +216,9 @@ func (ctx *execContext) graceLeaf(build, probe []idxRow, st *graceState) error {
 // runs. Rows with NULL join keys are dropped — they can never match, and
 // the matched flags they would never set drive the outer-join padding.
 func (ctx *execContext) gracePartitionSide(rows []idxRow, keyCol func(int) int, nKeys, level, fanout int) ([]*spill.Run, error) {
-	writers := make([]*spill.RunWriter, fanout)
-	abort := func() {
-		for _, w := range writers {
-			if w != nil {
-				w.Abort()
-			}
-		}
-	}
-	for i := range writers {
-		w, err := ctx.spill.NewRun()
-		if err != nil {
-			abort()
-			return nil, err
-		}
-		writers[i] = w
+	writers, abort, err := ctx.newPartitionWriters(fanout)
+	if err != nil {
+		return nil, err
 	}
 	keyBuf := make([]Value, nKeys)
 	var keyScratch, recScratch []byte
@@ -248,18 +236,7 @@ func (ctx *execContext) gracePartitionSide(rows []idxRow, keyCol func(int) int, 
 			return nil, err
 		}
 	}
-	runs := make([]*spill.Run, fanout)
-	for i, w := range writers {
-		run, err := w.Finish()
-		if err != nil {
-			writers[i] = nil
-			abort()
-			return nil, err
-		}
-		writers[i] = nil
-		runs[i] = run
-	}
-	return runs, nil
+	return finishPartitionWriters(writers, abort)
 }
 
 // readIdxRows loads one partition run back into memory (Open already

@@ -30,6 +30,7 @@ var parallelQueries = []string{
 	`SELECT SUM(v) FROM t WHERE v > 1000`,
 	`SELECT k, SUM(v) + COUNT(*) * 2, CASE WHEN AVG(f) > 40.0 THEN 'hi' ELSE 'lo' END FROM t GROUP BY k`,
 	`SELECT DISTINCT k, s FROM t WHERE v < 80`,
+	`SELECT DISTINCT k, v FROM t ORDER BY v DESC, k`,
 	`SELECT t.k, COUNT(*) FROM t JOIN u ON t.k = u.k GROUP BY t.k ORDER BY t.k`,
 	`SELECT COUNT(*) FROM t JOIN u ON t.k = u.k AND t.v > u.w`,
 	`SELECT COUNT(*) FROM t LEFT JOIN u ON t.k = u.k`,
@@ -37,6 +38,17 @@ var parallelQueries = []string{
 	`SELECT u.name, SUM(t.f) FROM t JOIN u ON t.k = u.k GROUP BY u.name ORDER BY 2 DESC`,
 	`SELECT k FROM t WHERE v > 30 ORDER BY f DESC, k LIMIT 7 OFFSET 2`,
 	`SELECT v FROM t WHERE v < 20 UNION SELECT w FROM u`,
+	// Set operations, including the multiset ALL forms, DISTINCT, and
+	// HAVING: all hold hash-key state that the memory budget bounds, so the
+	// spill differential reruns of this corpus cover their spilled paths.
+	`SELECT v FROM t INTERSECT ALL SELECT w FROM u`,
+	`SELECT v FROM t EXCEPT ALL SELECT w FROM u`,
+	`SELECT v FROM t INTERSECT SELECT w FROM u`,
+	`SELECT v FROM t EXCEPT SELECT w FROM u`,
+	`SELECT k, s FROM t EXCEPT ALL SELECT k, s FROM t WHERE v > 50`,
+	`SELECT DISTINCT s FROM t UNION ALL SELECT DISTINCT name FROM u`,
+	`SELECT k, COUNT(*) FROM t GROUP BY k HAVING SUM(v) > 100 ORDER BY k`,
+	`SELECT s, COUNT(DISTINCT k) FROM t GROUP BY s HAVING COUNT(*) > 3 ORDER BY s`,
 	`WITH big AS (SELECT k, v FROM t WHERE v > 40) SELECT k, COUNT(*) FROM big GROUP BY k`,
 	// Subquery-bearing statements: must fall back to serial and still agree.
 	`SELECT COUNT(*) FROM t WHERE k IN (SELECT k FROM u WHERE w > 30)`,

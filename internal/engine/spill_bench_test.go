@@ -40,3 +40,18 @@ func BenchmarkSpillSort(b *testing.B) {
 		b.Fatalf("benchmark never spilled: %+v", st)
 	}
 }
+
+// BenchmarkSpillAggregate measures the partitioned grouped aggregation —
+// key-hash partitioning to disk, per-partition grouping and fold, group-
+// order restoration — over 50k rows in 5k groups under a 256 KiB budget
+// (single partitioning level: recursion is covered by tests, and the file
+// churn it adds makes gate medians too noisy). Compare against
+// BenchmarkGroupByAggregate for the in-memory cost of a similar shape.
+func BenchmarkSpillAggregate(b *testing.B) {
+	db := spillBenchDB(b, 50000, 256<<10)
+	benchQuery(b, db,
+		`SELECT driver_id, COUNT(*), SUM(fare), AVG(fare) FROM trips GROUP BY driver_id`)
+	if st := db.SpillStats(); st.AggSpills == 0 {
+		b.Fatalf("benchmark never spilled: %+v", st)
+	}
+}

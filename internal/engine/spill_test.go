@@ -46,6 +46,17 @@ var spillQueries = []string{
 		GROUP BY d.name ORDER BY 2 DESC, d.name`,
 	`SELECT t.id, t.fare FROM trips t JOIN drivers d ON t.driver_id = d.id
 		ORDER BY t.fare DESC, t.id`,
+	// Grouped aggregation, DISTINCT, and set operations (PR 5): their hash
+	// state goes out-of-core through the shared partitioning helper.
+	`SELECT driver_id, SUM(fare) FROM trips GROUP BY driver_id HAVING COUNT(*) > 1 ORDER BY driver_id`,
+	`SELECT city_id, COUNT(DISTINCT driver_id) FROM trips GROUP BY city_id ORDER BY city_id`,
+	`SELECT DISTINCT driver_id, city_id FROM trips`,
+	`SELECT DISTINCT city_id, fare FROM trips ORDER BY fare DESC, city_id`,
+	`SELECT driver_id FROM trips UNION SELECT id FROM drivers`,
+	`SELECT city_id FROM trips INTERSECT ALL SELECT id FROM cities`,
+	`SELECT city_id FROM trips EXCEPT ALL SELECT id FROM cities`,
+	`SELECT city_id FROM trips INTERSECT SELECT id FROM cities`,
+	`SELECT id FROM cities EXCEPT SELECT city_id FROM trips`,
 }
 
 // runSpillDifferential checks one database: every query bit-identical
@@ -187,6 +198,129 @@ func TestSpillIsObservable(t *testing.T) {
 	}
 	if diff := resultsEqualExact(wantSort, gotSort); diff != "" {
 		t.Fatalf("spilled sort differs: %s", diff)
+	}
+	db.SetMemoryBudget(0)
+}
+
+// TestAggSpillIsObservable pins the PR 5 acceptance criterion: a GROUP BY
+// whose state exceeds the budget completes by spilling — visible in the
+// metrics — with results bit-identical to the unbudgeted path at workers
+// {1, 2, 8}; DISTINCT and set-operation key state spill the same way.
+func TestAggSpillIsObservable(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	db := parallelTestDB(rng, 400)
+	db.SetTempDir(t.TempDir())
+	db.SetMorselSize(8)
+
+	aggSQL := `SELECT k, COUNT(*), SUM(v), SUM(f), MIN(f), MAX(v) FROM t GROUP BY k ORDER BY k`
+	distinctSQL := `SELECT DISTINCT k, s FROM t`
+	setOpSQL := `SELECT v FROM t INTERSECT ALL SELECT w FROM u`
+
+	db.SetMemoryBudget(0)
+	db.SetParallelism(1)
+	wants := map[string]*ResultSet{}
+	for _, sql := range []string{aggSQL, distinctSQL, setOpSQL} {
+		rs, err := db.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[sql] = rs
+	}
+	if st := db.SpillStats(); st.AggSpills != 0 || st.DistinctSpills != 0 || st.SetOpSpills != 0 {
+		t.Fatalf("unbounded run spilled: %+v", st)
+	}
+
+	db.SetMemoryBudget(1024)
+	for _, workers := range []int{1, 2, 8} {
+		db.SetParallelism(workers)
+		for sql, want := range wants {
+			got, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, sql, err)
+			}
+			if diff := resultsEqualExact(want, got); diff != "" {
+				t.Fatalf("workers=%d %s: %s", workers, sql, diff)
+			}
+		}
+	}
+	st := db.SpillStats()
+	if st.AggSpills == 0 || st.AggPartitions == 0 {
+		t.Fatalf("aggregation did not spill: %+v", st)
+	}
+	if st.DistinctSpills == 0 || st.SetOpSpills == 0 || st.DedupePartitions == 0 {
+		t.Fatalf("DISTINCT/set-op state did not spill: %+v", st)
+	}
+	if st.SpilledBytes == 0 || st.Files == 0 {
+		t.Fatalf("no spill IO recorded: %+v", st)
+	}
+	db.SetMemoryBudget(0)
+	db.SetParallelism(0)
+}
+
+// TestAggSpillSkew forces the irreducible-skew path of the partitioned
+// aggregation: every row shares one group key, so re-partitioning cannot
+// shrink the partition and it must be aggregated in memory over budget —
+// counted in the stats — while still agreeing with the unbounded run. A
+// second, high-cardinality query checks the recursive re-partitioning
+// counter on the other side of the skew spectrum.
+func TestAggSpillSkew(t *testing.T) {
+	db := NewDB()
+	db.SetTempDir(t.TempDir())
+	db.MustCreateTable("g", []Column{{Name: "k", Type: KindInt}, {Name: "v", Type: KindInt}})
+	rows := make([][]Value, 300)
+	for i := range rows {
+		rows[i] = []Value{NewInt(7), NewInt(int64(i))}
+	}
+	if err := db.InsertRows("g", rows); err != nil {
+		t.Fatal(err)
+	}
+	sql := `SELECT k, COUNT(*), SUM(v), MIN(v) FROM g GROUP BY k`
+	db.SetMemoryBudget(0)
+	want, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetMemoryBudget(64)
+	got, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := resultsEqualExact(want, got); diff != "" {
+		t.Fatalf("skewed spilled aggregation differs: %s", diff)
+	}
+	st := db.SpillStats()
+	if st.AggSpills == 0 {
+		t.Fatalf("skewed aggregation did not spill: %+v", st)
+	}
+	if st.OverBudgetAggs == 0 {
+		t.Fatalf("irreducible skew not recorded: %+v", st)
+	}
+
+	// High cardinality: every row its own group; partitions stay over
+	// budget after the first split and must re-partition.
+	db.MustCreateTable("h", []Column{{Name: "k", Type: KindInt}})
+	hrows := make([][]Value, 300)
+	for i := range hrows {
+		hrows[i] = []Value{NewInt(int64(i))}
+	}
+	if err := db.InsertRows("h", hrows); err != nil {
+		t.Fatal(err)
+	}
+	db.SetMemoryBudget(0)
+	want, err = db.Query(`SELECT k, COUNT(*) FROM h GROUP BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetMemoryBudget(64)
+	got, err = db.Query(`SELECT k, COUNT(*) FROM h GROUP BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := resultsEqualExact(want, got); diff != "" {
+		t.Fatalf("high-cardinality spilled aggregation differs: %s", diff)
+	}
+	if st := db.SpillStats(); st.AggRecursions == 0 {
+		t.Fatalf("high-cardinality aggregation never re-partitioned: %+v", st)
 	}
 	db.SetMemoryBudget(0)
 }
@@ -455,16 +589,20 @@ func TestSpillTempFileHygiene(t *testing.T) {
 	for _, sql := range []string{
 		`SELECT t.k, u.w FROM t JOIN u ON t.k = u.k`,
 		`SELECT k, v, f, s FROM t ORDER BY f DESC, v, k, s`,
+		`SELECT k, COUNT(DISTINCT v) FROM t GROUP BY k HAVING SUM(v) > 10`,
+		`SELECT DISTINCT k, s FROM t`,
+		`SELECT v FROM t INTERSECT ALL SELECT w FROM u`,
 	} {
 		if _, err := db.Query(sql); err != nil {
 			t.Fatalf("%s: %v", sql, err)
 		}
 	}
-	// Error paths: a failing residual mid-join and a failing ORDER BY key
-	// must also leave nothing behind.
+	// Error paths: a failing residual mid-join, a failing ORDER BY key, and
+	// a failing aggregate argument must also leave nothing behind.
 	for _, sql := range []string{
 		`SELECT COUNT(*) FROM t JOIN u ON t.k = u.k AND -u.name > 0`,
 		`SELECT k FROM t ORDER BY -s`,
+		`SELECT k, SUM(-s) FROM t GROUP BY k`,
 	} {
 		if _, err := db.Query(sql); err == nil {
 			t.Fatalf("%s: expected error", sql)

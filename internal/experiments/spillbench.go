@@ -45,9 +45,12 @@ func (r SpillBenchResult) String() string {
 		fmt.Fprintf(&b, "%-22s %12.2f %12.2f %8.2fx %5v\n",
 			q.Name, q.InMemoryMS, q.SpilledMS, q.Slowdown, q.Identical)
 	}
-	fmt.Fprintf(&b, "spilled %d bytes across %d files; %d join spills (%d partitions), %d sort spills (%d runs)",
+	fmt.Fprintf(&b, "spilled %d bytes across %d files; %d join spills (%d partitions), %d sort spills (%d runs)\n",
 		r.Stats.SpilledBytes, r.Stats.Files, r.Stats.JoinSpills, r.Stats.JoinPartitions,
 		r.Stats.SortSpills, r.Stats.SortRuns)
+	fmt.Fprintf(&b, "%d agg spills (%d partitions, %d recursions, %d over budget); %d distinct + %d set-op spills (%d partitions, %d recursions)",
+		r.Stats.AggSpills, r.Stats.AggPartitions, r.Stats.AggRecursions, r.Stats.OverBudgetAggs,
+		r.Stats.DistinctSpills, r.Stats.SetOpSpills, r.Stats.DedupePartitions, r.Stats.DedupeRecursions)
 	return b.String()
 }
 
@@ -64,6 +67,9 @@ func RunSpill(seed int64, rows, reps int) SpillBenchResult {
 		{"grace_join_wide", `SELECT t.id, t.fare, d.home_city FROM trips t
 			JOIN drivers d ON t.driver_id = d.id WHERE t.fare > 50.0`},
 		{"external_sort", `SELECT id, fare, status FROM trips ORDER BY fare DESC, id`},
+		{"agg_groupby", `SELECT driver_id, COUNT(*), SUM(fare), AVG(fare) FROM trips
+			GROUP BY driver_id`},
+		{"distinct", `SELECT DISTINCT driver_id, city_id, status FROM trips`},
 	}
 	res := SpillBenchResult{Rows: rows, BudgetBytes: budget}
 	for _, q := range queries {

@@ -18,8 +18,9 @@ func TestRunSpill(t *testing.T) {
 			t.Fatalf("%s: non-positive timing: %+v", q.Name, q)
 		}
 	}
-	if res.Stats.JoinSpills == 0 || res.Stats.SortSpills == 0 {
-		t.Fatalf("benchmark did not spill: %+v", res.Stats)
+	if res.Stats.JoinSpills == 0 || res.Stats.SortSpills == 0 ||
+		res.Stats.AggSpills == 0 || res.Stats.DistinctSpills == 0 {
+		t.Fatalf("benchmark did not spill every operator class: %+v", res.Stats)
 	}
 	if res.String() == "" {
 		t.Fatal("empty rendering")

@@ -56,6 +56,25 @@ type Stats struct {
 	SortSpills  int64 `json:"sort_spills"`
 	SortRuns    int64 `json:"sort_runs"`
 	MergePasses int64 `json:"merge_passes"`
+	// AggSpills counts grouped aggregations that went out-of-core;
+	// AggPartitions the partition files fanned out across all of them;
+	// AggRecursions the skewed partitions that required another
+	// partitioning level. OverBudgetAggs counts partitions aggregated in
+	// memory despite exceeding the budget (irreducible skew: every row in
+	// one group cannot be split by any group-key hash).
+	AggSpills      int64 `json:"agg_spills"`
+	AggPartitions  int64 `json:"agg_partitions"`
+	AggRecursions  int64 `json:"agg_recursions"`
+	OverBudgetAggs int64 `json:"over_budget_aggs"`
+	// DistinctSpills / SetOpSpills count DISTINCT dedups and
+	// INTERSECT/EXCEPT evaluations whose key-set state went out-of-core;
+	// DedupePartitions the partition files fanned out across both, and
+	// DedupeRecursions the skewed key partitions that required another
+	// partitioning level.
+	DistinctSpills   int64 `json:"distinct_spills"`
+	SetOpSpills      int64 `json:"setop_spills"`
+	DedupePartitions int64 `json:"dedupe_partitions"`
+	DedupeRecursions int64 `json:"dedupe_recursions"`
 }
 
 // Add folds other into s.
@@ -70,6 +89,14 @@ func (s *Stats) Add(other Stats) {
 	s.SortSpills += other.SortSpills
 	s.SortRuns += other.SortRuns
 	s.MergePasses += other.MergePasses
+	s.AggSpills += other.AggSpills
+	s.AggPartitions += other.AggPartitions
+	s.AggRecursions += other.AggRecursions
+	s.OverBudgetAggs += other.OverBudgetAggs
+	s.DistinctSpills += other.DistinctSpills
+	s.SetOpSpills += other.SetOpSpills
+	s.DedupePartitions += other.DedupePartitions
+	s.DedupeRecursions += other.DedupeRecursions
 }
 
 // Manager owns one query's spill budget, temp files, and metrics. Methods
@@ -222,4 +249,40 @@ func (m *Manager) NoteSortSpill(runs int) {
 // NoteMergePass records one intermediate merge pass of the external sort.
 func (m *Manager) NoteMergePass() {
 	m.note(func(s *Stats) { s.MergePasses++ })
+}
+
+// NoteAggSpill records one grouped aggregation going out-of-core with the
+// given partition fan-out.
+func (m *Manager) NoteAggSpill(partitions int) {
+	m.note(func(s *Stats) { s.AggSpills++; s.AggPartitions += int64(partitions) })
+}
+
+// NoteAggRecursion records a skewed aggregation partition being
+// re-partitioned, adding its new fan-out to the partition count.
+func (m *Manager) NoteAggRecursion(partitions int) {
+	m.note(func(s *Stats) { s.AggRecursions++; s.AggPartitions += int64(partitions) })
+}
+
+// NoteOverBudgetAgg records a partition aggregated in memory despite
+// exceeding the budget (irreducible skew).
+func (m *Manager) NoteOverBudgetAgg() {
+	m.note(func(s *Stats) { s.OverBudgetAggs++ })
+}
+
+// NoteDistinctSpill records one DISTINCT dedup going out-of-core with the
+// given partition fan-out.
+func (m *Manager) NoteDistinctSpill(partitions int) {
+	m.note(func(s *Stats) { s.DistinctSpills++; s.DedupePartitions += int64(partitions) })
+}
+
+// NoteSetOpSpill records one INTERSECT/EXCEPT evaluation going out-of-core
+// with the given partition fan-out (per side).
+func (m *Manager) NoteSetOpSpill(partitions int) {
+	m.note(func(s *Stats) { s.SetOpSpills++; s.DedupePartitions += int64(partitions) })
+}
+
+// NoteDedupeRecursion records a skewed dedupe/set-op partition being
+// re-partitioned, adding its new fan-out to the partition count.
+func (m *Manager) NoteDedupeRecursion(partitions int) {
+	m.note(func(s *Stats) { s.DedupeRecursions++; s.DedupePartitions += int64(partitions) })
 }

@@ -16,6 +16,10 @@ func TestMemoryBudgetPreservesNoisyOutputs(t *testing.T) {
 		`SELECT COUNT(*) FROM trips JOIN drivers ON trips.driver_id = drivers.id WHERE drivers.home_city = 3`,
 		`SELECT city_id, COUNT(*) FROM trips GROUP BY city_id`,
 		`SELECT SUM(fare) FROM trips WHERE city_id < 6`,
+		// Grouped aggregation whose per-group value runs exceed the small
+		// budgets below, pinning the PR 5 spilled-aggregation path end to
+		// end through the DP pipeline.
+		`SELECT city_id, SUM(fare) FROM trips GROUP BY city_id`,
 	}
 	db := parallelTestSystemDB(t)
 	db.Engine().SetMorselSize(64)
@@ -68,7 +72,7 @@ func TestMemoryBudgetPreservesNoisyOutputs(t *testing.T) {
 			}
 		}
 	}
-	if st := db.SpillStats(); st.JoinSpills == 0 {
-		t.Fatalf("budgeted configurations never spilled: %+v", st)
+	if st := db.SpillStats(); st.JoinSpills == 0 || st.AggSpills == 0 {
+		t.Fatalf("budgeted configurations never spilled both joins and aggregations: %+v", st)
 	}
 }
