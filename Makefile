@@ -12,7 +12,7 @@ GATE_PREPARED_BENCH = BenchmarkSystemRunRepeated|BenchmarkPreparedRunRepeated
 GATE_COUNT = 5
 GATE_BENCHTIME = 200ms
 
-.PHONY: check build test vet race lint test-lowmem bench-short bench-engine bench-prepared bench-paper bench-parallel bench-spill bench-current bench-baseline bench-gate flexbench-small
+.PHONY: check build test vet race lint test-lowmem test-faults bench-short bench-engine bench-prepared bench-paper bench-parallel bench-spill bench-current bench-baseline bench-gate flexbench-small
 
 # Default: the tier-1 verification plus static analysis.
 check: build vet test
@@ -64,6 +64,23 @@ bench-spill:
 	$(GO) test ./internal/engine -run '^$$' \
 		-bench 'BenchmarkSpillJoin|BenchmarkSpillSort|BenchmarkSpillAggregate|BenchmarkHashJoin|BenchmarkGroupByAggregate' \
 		-benchtime 1s
+
+# Query-lifecycle fault suite, all under the race detector: spill fault
+# injection (ENOSPC, failed open/create), mid-query cancellation, panic
+# isolation, budget-refund accounting, and the server's admission control.
+# The engine leg repeats with spilling forced at 64 KiB and an adversarial
+# 512 B so the fault points sit on genuinely out-of-core executions.
+FAULT_RUN_ENGINE = TestSpillFaults|TestCancellation|TestExecuteContext|TestPanicIsolation|TestRunSpansPanic
+FAULT_RUN_FLEX = TestRunContextCancellation|TestSpillFaultRefunds|TestAbortedRuns
+FAULT_RUN_SERVER = TestAdmission|TestClientDisconnect|TestQueryTimeout|TestPanicIsolated|TestBudgetExhaustion|TestHealthzReportsLifecycle
+
+test-faults:
+	$(GO) test -race ./internal/spill/
+	$(GO) test -race -run '$(FAULT_RUN_ENGINE)' ./internal/engine/
+	FLEX_TEST_MEMORY_BUDGET=64KiB $(GO) test -race -run '$(FAULT_RUN_ENGINE)' ./internal/engine/
+	FLEX_TEST_MEMORY_BUDGET=512B $(GO) test -race -run '$(FAULT_RUN_ENGINE)' ./internal/engine/
+	$(GO) test -race -run '$(FAULT_RUN_FLEX)' .
+	$(GO) test -race -run '$(FAULT_RUN_SERVER)' ./internal/server/
 
 # The entire engine suite with spilling forced on (the CI low-memory job):
 # every join build, ORDER BY buffer, grouped-aggregation state, and

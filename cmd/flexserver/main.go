@@ -65,6 +65,9 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for graceful shutdown")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing queries (0 = unbounded); excess requests queue then shed with 503")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "how long an over-admission query may wait for a slot before a 503 shed")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline (0 = none); expiry cancels the engine and answers 504")
 	flag.Parse()
 
 	var db *flex.Database
@@ -130,6 +133,9 @@ func main() {
 		CacheSize:      *cacheSize,
 		AnalystEpsilon: *analystEps,
 		AnalystDelta:   *analystDelta,
+		MaxInflight:    *maxInflight,
+		QueueTimeout:   *queueTimeout,
+		QueryTimeout:   *queryTimeout,
 	})
 
 	httpSrv := &http.Server{
@@ -161,13 +167,22 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop()
-		log.Printf("signal received; draining for up to %v", *shutdownGrace)
+		atSignal := srv.Lifecycle()
+		log.Printf("signal received; draining %d in-flight queries for up to %v",
+			atSignal.InFlight, *shutdownGrace)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
+		after := srv.Lifecycle()
+		log.Printf("drain: %d completed, %d cancelled, %d timed out during shutdown (%d still in flight)",
+			after.Completed-atSignal.Completed, after.Cancelled-atSignal.Cancelled,
+			after.TimedOut-atSignal.TimedOut, after.InFlight)
 	}
+	lc := srv.Lifecycle()
+	log.Printf("lifetime: %d queries answered, %d cancelled, %d timed out, %d shed, %d panics isolated",
+		lc.Completed, lc.Cancelled, lc.TimedOut, lc.Shed, lc.Panics)
 	if budgetBytes > 0 {
 		st := sys.SpillStats()
 		log.Printf("spill totals: %d joins, %d sorts, %d aggs, %d dedups, %d files, %d bytes",

@@ -37,6 +37,7 @@
 package flex
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -370,7 +371,16 @@ type PrivateResult struct {
 // analyze, smooth, execute, perturb. It returns an error for unsupported
 // queries (classified per Section 5.1 — see Classify).
 func (s *System) Run(sql string, epsilon, delta float64) (*PrivateResult, error) {
-	return s.run(sql, epsilon, delta, nil)
+	return s.run(context.Background(), sql, epsilon, delta, nil)
+}
+
+// RunContext is Run under a cancellation context: cancellation or deadline
+// expiry aborts query execution within one morsel of work per worker and
+// returns the context's error (errors.Is against context.Canceled /
+// context.DeadlineExceeded holds). An aborted query releases nothing, so its
+// privacy budget is refunded — only released answers cost budget.
+func (s *System) RunContext(ctx context.Context, sql string, epsilon, delta float64) (*PrivateResult, error) {
+	return s.run(ctx, sql, epsilon, delta, nil)
 }
 
 // RunWithBins answers a histogram query using analyst-supplied bin labels,
@@ -381,12 +391,21 @@ func (s *System) RunWithBins(sql string, epsilon, delta float64, bins []any) (*P
 	if len(bins) == 0 {
 		return nil, errNoBins
 	}
-	return s.run(sql, epsilon, delta, bins)
+	return s.run(context.Background(), sql, epsilon, delta, bins)
+}
+
+// RunWithBinsContext is RunWithBins under a cancellation context (see
+// RunContext).
+func (s *System) RunWithBinsContext(ctx context.Context, sql string, epsilon, delta float64, bins []any) (*PrivateResult, error) {
+	if len(bins) == 0 {
+		return nil, errNoBins
+	}
+	return s.run(ctx, sql, epsilon, delta, bins)
 }
 
 var errNoBins = fmt.Errorf("flex: RunWithBins requires at least one bin label")
 
-func (s *System) run(sql string, epsilon, delta float64, analystBins []any) (*PrivateResult, error) {
+func (s *System) run(ctx context.Context, sql string, epsilon, delta float64, analystBins []any) (*PrivateResult, error) {
 	p := smooth.PrivacyParams{Epsilon: epsilon, Delta: delta}
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -402,24 +421,34 @@ func (s *System) run(sql string, epsilon, delta float64, analystBins []any) (*Pr
 	// Budget admission and noise-stream forking happen after analysis, so a
 	// rejected query neither consumes budget nor burns a call number — and
 	// the prepared path (which fails invalid queries at Prepare) charges and
-	// forks in exactly the same order.
+	// forks in exactly the same order. Failures past this point answered
+	// nothing, so the charge is refunded: budget tracks released answers, not
+	// attempts. (The call number stays burned — the noise stream must not
+	// depend on which executions aborted.)
 	if s.opts.Budget != nil {
 		if err := s.opts.Budget.Spend(epsilon, delta); err != nil {
 			return nil, err
 		}
 	}
 	sampler := s.forkSampler()
+	refund := func() {
+		if s.opts.Budget != nil {
+			s.opts.Budget.Refund(epsilon, delta)
+		}
+	}
 	an := s.analyzer()
 	sensAt := func(k int) ([]float64, error) { return an.SensitivityAt(analysis.query, k) }
 	bounds, err := computeBounds(sensAt, analysis, s.db.TotalRows(), p, s.opts.NoiseMode)
 	if err != nil {
+		refund()
 		return nil, err
 	}
 	analysisTime := time.Since(t0)
 
 	t1 := time.Now()
-	rs, err := s.db.eng.Query(sql)
+	rs, err := s.db.eng.QueryContext(ctx, sql)
 	if err != nil {
+		refund()
 		return nil, err
 	}
 	execTime := time.Since(t1)
@@ -427,6 +456,7 @@ func (s *System) run(sql string, epsilon, delta float64, analystBins []any) (*Pr
 	t2 := time.Now()
 	out, err := s.perturb(analysis, rs, bounds, epsilon, analystBins, sampler)
 	if err != nil {
+		refund()
 		return nil, err
 	}
 	out.Analysis = analysis

@@ -63,7 +63,12 @@ func (ctx *execContext) executeAggregate(stmt *sqlparser.SelectStmt, rel *relati
 		index := make(map[string]*group)
 		var order []string
 		var scratch []byte
-		for _, row := range rel.rows {
+		for ri, row := range rel.rows {
+			if ri%ctx.morsel == 0 {
+				if err := ctx.err(); err != nil {
+					return nil, nil, err
+				}
+			}
 			keyVals := make([]Value, len(keyFns))
 			for i, fn := range keyFns {
 				v, err := fn(row)

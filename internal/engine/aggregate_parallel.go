@@ -179,7 +179,7 @@ func (ctx *execContext) executeAggregateParallel(stmt *sqlparser.SelectStmt, rel
 		groups map[string]*parGroup
 	}
 	shards := make([]*aggShard, len(spans))
-	err := runSpans(spans, ctx.workers, func(_, m int, s span) error {
+	err := ctx.runSpans(spans, ctx.workers, func(_, m int, s span) error {
 		sh := &aggShard{groups: make(map[string]*parGroup)}
 		var keyScratch, valScratch []byte
 		for _, row := range rel.rows[s.lo:s.hi] {
@@ -294,7 +294,7 @@ func (ctx *execContext) executeAggregateParallel(stmt *sqlparser.SelectStmt, rel
 		key  []Value
 	}
 	results := make([]groupOut, len(groups))
-	err = runSpans(morselSpans(len(groups), 1), ctx.workers, func(_, gi int, _ span) error {
+	err = ctx.runSpans(morselSpans(len(groups), 1), ctx.workers, func(_, gi int, _ span) error {
 		g := groups[gi]
 		genv := &groupEnv{ctx: ctx, rel: rel, groupBy: stmt.GroupBy, keyVals: g.keyVals,
 			cache: cache, par: g, slotOf: slotOf}

@@ -118,6 +118,12 @@ func (ctx *execContext) executeAggregateSpilled(stmt *sqlparser.SelectStmt, rel 
 	keyVals := make([]Value, len(keyFns))
 	var keyScratch, recScratch []byte
 	for idx, row := range rel.rows {
+		if idx%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				abort()
+				return nil, nil, err
+			}
+		}
 		for i, fn := range keyFns {
 			v, err := fn(row)
 			if err != nil {
@@ -183,6 +189,9 @@ func (ctx *execContext) executeAggregateSpilled(stmt *sqlparser.SelectStmt, rel 
 // aggSpillNode aggregates one partition: either in memory (fits budget, max
 // depth, or irreducible skew) or by re-partitioning another level.
 func (ctx *execContext) aggSpillNode(level int, recs []aggRec, parentLen int, st *aggSpillState) error {
+	if err := ctx.err(); err != nil {
+		return err
+	}
 	est := estAggRecsBytes(recs)
 	over := ctx.spill.ShouldSpill(est)
 	if !over || level >= graceMaxDepth || len(recs) >= parentLen {
@@ -404,6 +413,12 @@ func (ctx *execContext) spillRowKeys(rows [][]Value, level, fanout int, withIdx 
 	}
 	var keyScratch, recScratch []byte
 	for idx, row := range rows {
+		if idx%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				abort()
+				return nil, err
+			}
+		}
 		keyScratch = AppendRowKey(keyScratch[:0], row)
 		p := int(graceHash(keyScratch, level) % uint64(fanout))
 		recScratch = recScratch[:0]
@@ -426,7 +441,13 @@ func (ctx *execContext) spillKeyRecs(recs []keyRec, level, fanout int, withIdx b
 		return nil, err
 	}
 	var recScratch []byte
-	for _, r := range recs {
+	for i, r := range recs {
+		if i%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				abort()
+				return nil, err
+			}
+		}
 		p := int(graceHash(r.key, level) % uint64(fanout))
 		recScratch = recScratch[:0]
 		if withIdx {
@@ -528,6 +549,9 @@ func (ctx *execContext) dedupeRowsSpilled(out *ResultSet, sortKeys [][]Value) (*
 // arrive in ascending position, so the partition-local first occurrence of
 // a key is its global first occurrence.
 func (ctx *execContext) dedupeNode(level int, recs []keyRec, parentLen int, survivors []int) ([]int, error) {
+	if err := ctx.err(); err != nil {
+		return nil, err
+	}
 	est := estKeyRecsBytes(recs)
 	if !ctx.spill.ShouldSpill(est) || level >= graceMaxDepth || len(recs) >= parentLen {
 		// Irreducible skew here means duplicate-heavy input, which the seen
@@ -617,6 +641,9 @@ func (ctx *execContext) setOpSpilled(left, right *ResultSet, kind sqlparser.SetO
 // records, re-partitioning skewed ones. setOpKeep encodes the per-key
 // decision shared with the in-memory loop in exec.go.
 func (ctx *execContext) setOpNode(level int, lrecs, rrecs []keyRec, parentLen int, kind sqlparser.SetOpKind, all bool, survivors []int) ([]int, error) {
+	if err := ctx.err(); err != nil {
+		return nil, err
+	}
 	est := estKeyRecsBytes(lrecs) + estKeyRecsBytes(rrecs)
 	if !ctx.spill.ShouldSpill(est) || level >= graceMaxDepth || len(lrecs)+len(rrecs) >= parentLen {
 		counts := make(map[string]int, len(rrecs))

@@ -83,6 +83,10 @@ type DB struct {
 	memoryBudget int64
 	// tempDir is where spill files are created; "" means os.TempDir().
 	tempDir string
+	// spillFS, when non-nil, replaces the real filesystem for spill files.
+	// It exists for fault injection: tests install a spill.FaultFS to prove
+	// that disk failures surface as clean query errors (see spill/faultfs.go).
+	spillFS spill.FS
 
 	// spillMu guards spillTotals, the cumulative spill metrics folded in
 	// from every finished query's manager.
@@ -130,13 +134,23 @@ func (db *DB) TempDir() string {
 	return db.tempDir
 }
 
+// SetSpillFS substitutes the filesystem used for spill files (nil restores
+// the real one). Fault-injection tests install a spill.FaultFS here; like
+// the other execution knobs it never changes query results, only how their
+// IO can fail.
+func (db *DB) SetSpillFS(fs spill.FS) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.spillFS = fs
+}
+
 // newSpillManager creates the per-query spill manager for one execution
 // (nil when no budget is configured — the nil manager disables spilling).
 func (db *DB) newSpillManager() *spill.Manager {
 	db.mu.RLock()
-	budget, dir := db.memoryBudget, db.tempDir
+	budget, dir, fs := db.memoryBudget, db.tempDir, db.spillFS
 	db.mu.RUnlock()
-	return spill.New(spill.Config{Budget: budget, Dir: dir})
+	return spill.New(spill.Config{Budget: budget, Dir: dir, FS: fs})
 }
 
 // finishSpill retires a query's spill manager: its metrics fold into the

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,33 +30,70 @@ type execContext struct {
 	// subqueries charge the same budget — and retired by the DB entry point
 	// that created it.
 	spill *spill.Manager
+	// goctx is the query's cancellation context, polled at morsel and
+	// record-batch boundaries; nil behaves as context.Background().
+	goctx context.Context
+}
+
+// err polls the query's context. Row and record loops call it once per
+// morsel worth of work, which bounds cancellation latency to one morsel
+// without a per-row atomic load.
+func (ctx *execContext) err() error {
+	if ctx.goctx == nil {
+		return nil
+	}
+	return ctx.goctx.Err()
+}
+
+// ExecuteContext runs a parsed SELECT statement under goctx: cancellation or
+// deadline expiry aborts execution within one morsel of work per worker and
+// returns the context's error unwrapped, so errors.Is(err, context.Canceled)
+// holds. A panic during execution is recovered into a *PanicError instead of
+// killing the process. Either way the query's spill files are removed before
+// returning.
+func (db *DB) ExecuteContext(goctx context.Context, stmt *sqlparser.SelectStmt) (rs *ResultSet, err error) {
+	mgr := db.newSpillManager()
+	defer db.finishSpill(mgr)
+	defer recoverExecPanic(&err)
+	ctx := &execContext{db: db, ctes: make(map[string]*relation),
+		workers: db.Parallelism(), morsel: db.MorselSize(), spill: mgr, goctx: goctx}
+	return ctx.executeSelect(stmt)
 }
 
 // Execute runs a parsed SELECT statement and returns its result set.
 func (db *DB) Execute(stmt *sqlparser.SelectStmt) (*ResultSet, error) {
-	mgr := db.newSpillManager()
-	defer db.finishSpill(mgr)
-	ctx := &execContext{db: db, ctes: make(map[string]*relation),
-		workers: db.Parallelism(), morsel: db.MorselSize(), spill: mgr}
-	return ctx.executeSelect(stmt)
+	return db.ExecuteContext(context.Background(), stmt)
 }
 
-// Query parses and executes SQL text in one step.
-func (db *DB) Query(sql string) (*ResultSet, error) {
+// QueryContext parses and executes SQL text under goctx in one step.
+func (db *DB) QueryContext(goctx context.Context, sql string) (*ResultSet, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.Execute(stmt)
+	return db.ExecuteContext(goctx, stmt)
+}
+
+// Query parses and executes SQL text in one step.
+func (db *DB) Query(sql string) (*ResultSet, error) {
+	return db.QueryContext(context.Background(), sql)
 }
 
 // executeSelect handles WITH registration, set operations, and trailing
 // ORDER BY / LIMIT / OFFSET.
 func (ctx *execContext) executeSelect(stmt *sqlparser.SelectStmt) (*ResultSet, error) {
+	// Entry check: a statement (or CTE / subquery) never starts under a
+	// cancelled context. The cancellation points below all live in row
+	// loops, so a plan whose path has no such loop (a bare scan feeding a
+	// global aggregate, say) could otherwise complete despite arriving
+	// pre-cancelled.
+	if err := ctx.err(); err != nil {
+		return nil, err
+	}
 	// CTEs are visible to later CTEs and the main body. Each statement gets
 	// a child context so sibling subqueries cannot see our CTEs leak out.
 	child := &execContext{db: ctx.db, ctes: make(map[string]*relation), plans: ctx.plans,
-		workers: ctx.workers, morsel: ctx.morsel, spill: ctx.spill}
+		workers: ctx.workers, morsel: ctx.morsel, spill: ctx.spill, goctx: ctx.goctx}
 	for name, rel := range ctx.ctes {
 		child.ctes[name] = rel
 	}
@@ -175,7 +213,12 @@ func (ctx *execContext) filterRows(rows [][]Value, pred evalFn, pure bool) ([][]
 	spans := morselSpans(len(rows), ctx.morsel)
 	if !pure || ctx.workers <= 1 || len(spans) <= 1 {
 		filtered := make([][]Value, 0, len(rows))
-		for _, row := range rows {
+		for i, row := range rows {
+			if i%ctx.morsel == 0 {
+				if err := ctx.err(); err != nil {
+					return nil, err
+				}
+			}
 			v, err := pred(row)
 			if err != nil {
 				return nil, err
@@ -187,7 +230,7 @@ func (ctx *execContext) filterRows(rows [][]Value, pred evalFn, pure bool) ([][]
 		return filtered, nil
 	}
 	kept := make([][][]Value, len(spans))
-	err := runSpans(spans, ctx.workers, func(_, m int, s span) error {
+	err := ctx.runSpans(spans, ctx.workers, func(_, m int, s span) error {
 		buf := make([][]Value, 0, s.hi-s.lo)
 		for _, row := range rows[s.lo:s.hi] {
 			v, err := pred(row)
@@ -230,7 +273,10 @@ func (ctx *execContext) buildFrom(items []sqlparser.TableExpr) (*relation, error
 		if err != nil {
 			return nil, err
 		}
-		rel = crossJoin(rel, right)
+		rel, err = ctx.crossJoin(rel, right)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return rel, nil
 }
@@ -293,7 +339,10 @@ func resultToRelation(rs *ResultSet, alias string) *relation {
 	return &relation{cols: cols, rows: rs.Rows}
 }
 
-func crossJoin(left, right *relation) *relation {
+// crossJoin materializes the cartesian product, polling the query context
+// once per left row — the product can dwarf both inputs, so cancellation
+// must be able to interrupt the output loop, not just the input scans.
+func (ctx *execContext) crossJoin(left, right *relation) (*relation, error) {
 	cols := append(append([]relCol{}, left.cols...), right.cols...)
 	n := len(left.rows) * len(right.rows)
 	rows := make([][]Value, 0, n)
@@ -301,6 +350,9 @@ func crossJoin(left, right *relation) *relation {
 	// exactly, so a single allocation replaces n per-row allocations.
 	slab := make([]Value, 0, n*len(cols))
 	for _, lr := range left.rows {
+		if err := ctx.err(); err != nil {
+			return nil, err
+		}
 		for _, rr := range right.rows {
 			off := len(slab)
 			slab = append(slab, lr...)
@@ -308,7 +360,7 @@ func crossJoin(left, right *relation) *relation {
 			rows = append(rows, slab[off:len(slab):len(slab)])
 		}
 	}
-	return &relation{cols: cols, rows: rows}
+	return &relation{cols: cols, rows: rows}, nil
 }
 
 // equiKey is one equality conjunct usable as a hash-join key: column
@@ -413,7 +465,7 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 	cols := append(append([]relCol{}, left.cols...), right.cols...)
 
 	if t.Kind == sqlparser.JoinCross {
-		return crossJoin(left, right), nil
+		return ctx.crossJoin(left, right)
 	}
 
 	var keys []equiKey
@@ -468,7 +520,11 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 	case len(keys) > 0:
 		// Hash join: build on the right side (morsel-parallel when workers
 		// allow — see joinbuild.go), then probe with the left.
-		probe := joinProbe{keys: keys, index: ctx.buildJoinIndex(keys, right.rows),
+		index, err := ctx.buildJoinIndex(keys, right.rows)
+		if err != nil {
+			return nil, err
+		}
+		probe := joinProbe{keys: keys, index: index,
 			right: right.rows, resFns: resFns, width: len(cols)}
 		spans := morselSpans(len(left.rows), ctx.morsel)
 		if ctx.workers > 1 && len(spans) > 1 && exprsPure(residual) {
@@ -480,7 +536,7 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 			workers := spanWorkers(len(spans), ctx.workers)
 			bufs := make([][][]Value, len(spans))
 			workerRight := make([][]bool, workers)
-			err := runSpans(spans, workers, func(w, m int, s span) error {
+			err := ctx.runSpans(spans, workers, func(w, m int, s span) error {
 				if workerRight[w] == nil {
 					workerRight[w] = make([]bool, len(right.rows))
 				}
@@ -540,6 +596,9 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 			return nil
 		}
 		for li := range left.rows {
+			if err := ctx.err(); err != nil {
+				return nil, err
+			}
 			for ri := range right.rows {
 				if err := emit(li, ri); err != nil {
 					return nil, err
@@ -671,7 +730,12 @@ func (ctx *execContext) executeProjection(stmt *sqlparser.SelectStmt, rel *relat
 		if needSort {
 			keys = make([][]Value, 0, hi-lo)
 		}
-		for _, row := range rel.rows[lo:hi] {
+		for i, row := range rel.rows[lo:hi] {
+			if i%ctx.morsel == 0 {
+				if err := ctx.err(); err != nil {
+					return nil, nil, err
+				}
+			}
 			outRow := make([]Value, 0, len(names))
 			for _, spec := range specs {
 				if spec.star {
@@ -706,7 +770,7 @@ func (ctx *execContext) executeProjection(stmt *sqlparser.SelectStmt, rel *relat
 		// in morsel order, so row order and sort keys match the serial scan.
 		rowBufs := make([][][]Value, len(spans))
 		keyBufs := make([][][]Value, len(spans))
-		err := runSpans(spans, ctx.workers, func(_, m int, s span) error {
+		err := ctx.runSpans(spans, ctx.workers, func(_, m int, s span) error {
 			rows, keys, err := project(s.lo, s.hi)
 			if err != nil {
 				return err
@@ -851,6 +915,11 @@ func sortResult(ctx *execContext, out *ResultSet, orderBy []sqlparser.OrderItem,
 		// aggregate path fallbacks).
 		sortKeys = make([][]Value, len(out.Rows))
 		for i, row := range out.Rows {
+			if ctx != nil && i%ctx.morsel == 0 {
+				if err := ctx.err(); err != nil {
+					return err
+				}
+			}
 			key, err := evalSortKey(nil, orderBy, out, row)
 			if err != nil {
 				return err
@@ -953,6 +1022,11 @@ func (ctx *execContext) dedupeRows(out *ResultSet, sortKeys [][]Value) (*ResultS
 	var keys [][]Value
 	var scratch []byte
 	for i, row := range out.Rows {
+		if i%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		scratch = AppendRowKey(scratch[:0], row)
 		if seen[string(scratch)] {
 			continue
@@ -1038,7 +1112,12 @@ func (ctx *execContext) applySetOp(left, right *ResultSet, kind sqlparser.SetOpK
 	}
 	counts := make(map[string]int, len(right.Rows))
 	var scratch []byte
-	for _, r := range right.Rows {
+	for i, r := range right.Rows {
+		if i%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				return nil, err
+			}
+		}
 		scratch = AppendRowKey(scratch[:0], r)
 		counts[string(scratch)]++
 	}
@@ -1047,7 +1126,12 @@ func (ctx *execContext) applySetOp(left, right *ResultSet, kind sqlparser.SetOpK
 		seen = make(map[string]bool, len(left.Rows))
 	}
 	out := &ResultSet{Columns: left.Columns}
-	for _, r := range left.Rows {
+	for i, r := range left.Rows {
+		if i%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				return nil, err
+			}
+		}
 		scratch = AppendRowKey(scratch[:0], r)
 		if setOpKeep(kind, all, string(scratch), counts, seen) {
 			out.Rows = append(out.Rows, r)

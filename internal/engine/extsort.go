@@ -113,7 +113,7 @@ func (ctx *execContext) externalSort(out *ResultSet, orderBy []sqlparser.OrderIt
 	spans := morselSpans(n, runRows)
 	ctx.spill.NoteSortSpill(len(spans))
 	runs := make([]*spill.Run, len(spans))
-	err := runSpans(spans, ctx.workers, func(_, m int, s span) error {
+	err := ctx.runSpans(spans, ctx.workers, func(_, m int, s span) error {
 		idx := make([]int, s.hi-s.lo)
 		for i := range idx {
 			idx[i] = s.lo + i
@@ -174,6 +174,12 @@ func (ctx *execContext) externalSort(out *ResultSet, orderBy []sqlparser.OrderIt
 	}
 	sorted := make([][]Value, 0, n)
 	for h.Len() > 0 {
+		if len(sorted)%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				h.close()
+				return false, err
+			}
+		}
 		c := h.cursors[0]
 		row, _, err := DecodeRow(c.buf[c.rowOff:])
 		if err != nil {
@@ -205,7 +211,14 @@ func (ctx *execContext) mergeRuns(group []*spill.Run, orderBy []sqlparser.OrderI
 		h.close()
 		return nil, err
 	}
-	for h.Len() > 0 {
+	for rec := 0; h.Len() > 0; rec++ {
+		if rec%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				w.Abort()
+				h.close()
+				return nil, err
+			}
+		}
 		if err := w.Write(h.cursors[0].buf); err != nil {
 			w.Abort()
 			h.close()

@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"flexdp/internal/spill"
+)
+
+// Fault-injection and cancellation tests for the query lifecycle: every
+// injected spill fault, context cancellation, and execution panic must
+// surface as a clean error from a single query — no leaked temp files, no
+// crashed process, and a database that keeps answering correctly afterwards.
+
+// faultQueries covers each spill consumer: Grace join, external merge sort,
+// spilled grouped aggregation, DISTINCT, and set operations. All of them go
+// out-of-core on a parallelTestDB of 300 rows at a 512-byte budget (the
+// TestSpillTempFileHygiene corpus proves each one spills there).
+var faultQueries = []string{
+	`SELECT t.k, u.w FROM t JOIN u ON t.k = u.k`,
+	`SELECT k, v, f, s FROM t ORDER BY f DESC, v, k, s`,
+	`SELECT k, COUNT(DISTINCT v) FROM t GROUP BY k HAVING SUM(v) > 10`,
+	`SELECT DISTINCT k, s FROM t`,
+	`SELECT v FROM t INTERSECT ALL SELECT w FROM u`,
+}
+
+// faultTestDB builds the randomized two-table database tuned so every
+// faultQueries entry spills: 300 rows, 512-byte budget, 8-row morsels.
+func faultTestDB(t *testing.T, workers int) (*DB, string) {
+	t.Helper()
+	db := parallelTestDB(rand.New(rand.NewSource(41)), 300)
+	dir := t.TempDir()
+	db.SetTempDir(dir)
+	db.SetMorselSize(8)
+	db.SetParallelism(workers)
+	db.SetMemoryBudget(512)
+	return db, dir
+}
+
+// requireNoTempFiles fails if dir is not empty: the per-query spill manager
+// must sweep everything it created, fault or no fault.
+func requireNoTempFiles(t *testing.T, dir, when string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("%s: %d leftover spill files: %v", when, len(entries), names)
+	}
+}
+
+// TestSpillFaultsSurfaceCleanly is the differential fault suite: for every
+// spill consumer, fault kind, and worker count, an injected filesystem
+// failure must produce a clean query error carrying the injected cause
+// (ENOSPC), leave zero temp files behind, and leave the database able to
+// answer the same query bit-identically once the fault clears.
+func TestSpillFaultsSurfaceCleanly(t *testing.T) {
+	faults := []struct {
+		name string
+		make func() *spill.FaultFS
+	}{
+		{"create@1", func() *spill.FaultFS { return &spill.FaultFS{FailCreateAt: 1} }},
+		{"create@3", func() *spill.FaultFS { return &spill.FaultFS{FailCreateAt: 3} }},
+		{"open@1", func() *spill.FaultFS { return &spill.FaultFS{FailOpenAt: 1} }},
+		{"write@1", func() *spill.FaultFS { return &spill.FaultFS{FailWriteAt: 1} }},
+		{"write@5", func() *spill.FaultFS { return &spill.FaultFS{FailWriteAt: 5} }},
+	}
+	for _, workers := range []int{1, 2, 8} {
+		db, dir := faultTestDB(t, workers)
+		for _, sql := range faultQueries {
+			db.SetSpillFS(nil)
+			want, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("workers=%d baseline %s: %v", workers, sql, err)
+			}
+			for _, f := range faults {
+				ffs := f.make()
+				db.SetSpillFS(ffs)
+				got, err := db.Query(sql)
+				label := fmt.Sprintf("workers=%d fault=%s %s", workers, f.name, sql)
+				creates, opens, writes := ffs.Counts()
+				fired := (ffs.FailCreateAt > 0 && creates >= ffs.FailCreateAt) ||
+					(ffs.FailOpenAt > 0 && opens >= ffs.FailOpenAt) ||
+					(ffs.FailWriteAt > 0 && writes >= ffs.FailWriteAt)
+				if f.name == "create@1" && !fired {
+					t.Fatalf("%s: query never spilled; suite exercised nothing", label)
+				}
+				if fired {
+					if err == nil {
+						t.Fatalf("%s: fault fired but query succeeded", label)
+					}
+					if !strings.Contains(err.Error(), "faultfs: injected") {
+						t.Fatalf("%s: error does not carry the injection: %v", label, err)
+					}
+					if !errors.Is(err, syscall.ENOSPC) {
+						t.Fatalf("%s: injected ENOSPC lost from the chain: %v", label, err)
+					}
+				} else {
+					// The fault threshold was never reached (e.g. a query
+					// that reopens fewer files than the open threshold);
+					// the run must then be indistinguishable from baseline.
+					if err != nil {
+						t.Fatalf("%s: fault never fired but query failed: %v", label, err)
+					}
+					if diff := resultsEqualExact(want, got); diff != "" {
+						t.Fatalf("%s: unfired fault changed results: %s", label, diff)
+					}
+				}
+				requireNoTempFiles(t, dir, label)
+			}
+			// The database must keep serving: clear the fault and the same
+			// query answers bit-identically to the pre-fault baseline.
+			db.SetSpillFS(nil)
+			got, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("workers=%d post-fault %s: %v", workers, sql, err)
+			}
+			if diff := resultsEqualExact(want, got); diff != "" {
+				t.Fatalf("workers=%d post-fault %s: %s", workers, sql, diff)
+			}
+		}
+		db.SetMemoryBudget(0)
+		db.SetParallelism(0)
+	}
+}
+
+// TestExecuteContextPreCancelled pins the fast path: an already-cancelled
+// context aborts before any real work, for plain and prepared execution.
+func TestExecuteContextPreCancelled(t *testing.T) {
+	db := testDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, `SELECT COUNT(*) FROM trips`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryContext on cancelled ctx: %v", err)
+	}
+	pq, err := db.Prepare(`SELECT COUNT(*) FROM trips`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.ExecContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecContext on cancelled ctx: %v", err)
+	}
+	// The same statement still runs under a live context.
+	if _, err := pq.ExecContext(context.Background()); err != nil {
+		t.Fatalf("prepared query poisoned by cancelled run: %v", err)
+	}
+}
+
+// TestExecuteContextExpiredDeadline checks deadline expiry surfaces as
+// context.DeadlineExceeded, distinguishable from cancellation.
+func TestExecuteContextExpiredDeadline(t *testing.T) {
+	db := testDB(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := db.QueryContext(ctx, `SELECT COUNT(*) FROM trips`); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("QueryContext past deadline: %v", err)
+	}
+}
+
+// TestCancellationMidSpill cancels the context from inside query execution —
+// the FaultFS OnOp hook fires once spilling has started — and requires the
+// run to abort with context.Canceled, sweep its temp files, and leave the
+// database serving. Worker counts {1, 2, 8} cover the serial path, the
+// morsel workers, and the partition drains.
+func TestCancellationMidSpill(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, sql := range faultQueries {
+			db, dir := faultTestDB(t, workers)
+
+			ctx, cancel := context.WithCancel(context.Background())
+			var fired atomic.Bool
+			db.SetSpillFS(&spill.FaultFS{OnOp: func(string) {
+				if fired.CompareAndSwap(false, true) {
+					cancel()
+				}
+			}})
+			_, err := db.QueryContext(ctx, sql)
+			label := fmt.Sprintf("workers=%d %s", workers, sql)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s: cancelled mid-spill, got %v", label, err)
+			}
+			if !fired.Load() {
+				t.Fatalf("%s: query never spilled; test exercised nothing", label)
+			}
+			requireNoTempFiles(t, dir, label)
+			cancel()
+
+			// Recovery: the same database answers the query normally.
+			db.SetSpillFS(nil)
+			if _, err := db.Query(sql); err != nil {
+				t.Fatalf("%s: database wedged after cancellation: %v", label, err)
+			}
+		}
+	}
+}
+
+// panicFS wraps the real filesystem with files whose Write panics — a stand-in
+// for any bug inside operator code running on worker goroutines.
+type panicFS struct{ base spill.FS }
+
+func (p panicFS) CreateTemp(dir, pattern string) (spill.File, error) {
+	f, err := p.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return panicFile{f}, nil
+}
+func (p panicFS) Open(name string) (spill.File, error) { return p.base.Open(name) }
+func (p panicFS) Remove(name string) error             { return p.base.Remove(name) }
+
+type panicFile struct{ spill.File }
+
+func (panicFile) Write([]byte) (int, error) { panic("injected spill panic") }
+
+// TestPanicIsolation injects a panic into execution at workers {1, 2, 8}:
+// the query must fail with a *PanicError carrying the panic value and a
+// stack, the process must survive (the test itself is proof), no temp files
+// may leak, and the database must keep serving bit-identical answers.
+func TestPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		db, dir := faultTestDB(t, workers)
+
+		sql := faultQueries[0]
+		db.SetSpillFS(nil)
+		want, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("workers=%d baseline: %v", workers, err)
+		}
+
+		db.SetSpillFS(panicFS{base: spill.OSFS})
+		_, err = db.Query(sql)
+		if err == nil {
+			t.Fatalf("workers=%d: panicking query succeeded", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %T: %v", workers, err, err)
+		}
+		if got := fmt.Sprint(pe.Value); !strings.Contains(got, "injected spill panic") {
+			t.Fatalf("workers=%d: panic value %q lost", workers, got)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic stack not captured", workers)
+		}
+		requireNoTempFiles(t, dir, fmt.Sprintf("workers=%d panic", workers))
+
+		// Prepared execution recovers the same way, and the plan cache
+		// survives the panicked run.
+		pq, err := db.Prepare(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pq.Exec(); !errors.As(err, &pe) {
+			t.Fatalf("workers=%d prepared: want *PanicError, got %v", workers, err)
+		}
+
+		db.SetSpillFS(nil)
+		got, err := pq.Exec()
+		if err != nil {
+			t.Fatalf("workers=%d post-panic: %v", workers, err)
+		}
+		if diff := resultsEqualExact(want, got); diff != "" {
+			t.Fatalf("workers=%d post-panic results drifted: %s", workers, diff)
+		}
+		db.SetMemoryBudget(0)
+		db.SetParallelism(0)
+	}
+}
+
+// TestRunSpansPanicDeterminism pins the error-ordering rule for panics: with
+// several morsels panicking, the surfaced error is the lowest-numbered
+// morsel's at every worker count — the same serial-equivalence rule ordinary
+// errors follow.
+func TestRunSpansPanicDeterminism(t *testing.T) {
+	spans := make([]span, 10)
+	for i := range spans {
+		spans[i] = span{lo: i, hi: i + 1}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		ctx := &execContext{workers: workers, morsel: 1}
+		err := ctx.runSpans(spans, workers, func(_, m int, _ span) error {
+			if m >= 3 {
+				panic(fmt.Sprintf("boom-%d", m))
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", workers, err)
+		}
+		if got := fmt.Sprint(pe.Value); got != "boom-3" {
+			t.Fatalf("workers=%d: surfaced panic %q, want boom-3 (lowest morsel)", workers, got)
+		}
+	}
+}
+
+// TestCancellationWithoutSpill covers the in-memory paths: a pre-cancelled
+// context must abort scans, joins, sorts, and aggregation even when no
+// spill manager is involved.
+func TestCancellationWithoutSpill(t *testing.T) {
+	db := testDB(t)
+	db.SetMorselSize(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, sql := range faultQueries {
+		if _, err := db.QueryContext(ctx, sql); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: in-memory cancellation: %v", sql, err)
+		}
+	}
+}

@@ -117,6 +117,9 @@ func (ctx *execContext) graceJoin(keys []equiKey, resFns []evalFn, leftRows, rig
 // or irreducible skew) or by re-partitioning to disk. parentBuildLen < 0
 // marks the root.
 func (ctx *execContext) graceNode(level int, build, probe []idxRow, parentBuildLen int, st *graceState) error {
+	if err := ctx.err(); err != nil {
+		return err
+	}
 	est := estIdxRowsBytes(build)
 	over := ctx.spill.ShouldSpill(est)
 	if !over || level >= graceMaxDepth || (parentBuildLen >= 0 && len(build) >= parentBuildLen) {
@@ -179,7 +182,12 @@ func (ctx *execContext) graceLeaf(build, probe []idxRow, st *graceState) error {
 		}
 		index[string(kb)] = append(index[string(kb)], bi)
 	}
-	for _, pr := range probe {
+	for pi, pr := range probe {
+		if pi%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				return err
+			}
+		}
 		kb, null := encodeJoinKey(scratch[:0], pr.row, st.leftCol, len(st.keys), keyBuf)
 		scratch = kb
 		if null {
@@ -222,7 +230,13 @@ func (ctx *execContext) gracePartitionSide(rows []idxRow, keyCol func(int) int, 
 	}
 	keyBuf := make([]Value, nKeys)
 	var keyScratch, recScratch []byte
-	for _, r := range rows {
+	for i, r := range rows {
+		if i%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				abort()
+				return nil, err
+			}
+		}
 		kb, null := encodeJoinKey(keyScratch[:0], r.row, keyCol, nKeys, keyBuf)
 		keyScratch = kb
 		if null {

@@ -59,8 +59,10 @@ func encodeJoinKey(scratch []byte, row []Value, idxs func(int) int, n int, keyBu
 
 // buildJoinIndex builds the hash index over the build (right) side. With
 // multiple workers and morsels the build fans out in two phases; otherwise
-// it is the plain serial loop.
-func (ctx *execContext) buildJoinIndex(keys []equiKey, rows [][]Value) *buildIndex {
+// it is the plain serial loop. The error return carries cancellation (the
+// build can dominate a join's cost, so it must be interruptible) and
+// recovered worker panics.
+func (ctx *execContext) buildJoinIndex(keys []equiKey, rows [][]Value) (*buildIndex, error) {
 	spans := morselSpans(len(rows), ctx.morsel)
 	workers := spanWorkers(len(spans), ctx.workers)
 	rightIdx := func(i int) int { return keys[i].rightIdx }
@@ -69,6 +71,11 @@ func (ctx *execContext) buildJoinIndex(keys []equiKey, rows [][]Value) *buildInd
 		keyBuf := make([]Value, len(keys))
 		var scratch []byte
 		for ri, rr := range rows {
+			if ri%ctx.morsel == 0 {
+				if err := ctx.err(); err != nil {
+					return nil, err
+				}
+			}
 			kb, null := encodeJoinKey(scratch[:0], rr, rightIdx, len(keys), keyBuf)
 			scratch = kb
 			if null {
@@ -76,7 +83,7 @@ func (ctx *execContext) buildJoinIndex(keys []equiKey, rows [][]Value) *buildInd
 			}
 			index[string(kb)] = append(index[string(kb)], ri)
 		}
-		return &buildIndex{shards: []map[string][]int{index}}
+		return &buildIndex{shards: []map[string][]int{index}}, nil
 	}
 
 	shardCount := workers
@@ -91,7 +98,7 @@ func (ctx *execContext) buildJoinIndex(keys []equiKey, rows [][]Value) *buildInd
 		entries [][]entry
 	}
 	buckets := make([]bucketSet, len(spans))
-	_ = runSpans(spans, workers, func(_, m int, s span) error {
+	if err := ctx.runSpans(spans, workers, func(_, m int, s span) error {
 		bs := bucketSet{entries: make([][]entry, shardCount)}
 		keyBuf := make([]Value, len(keys))
 		for ri := s.lo; ri < s.hi; ri++ {
@@ -107,16 +114,27 @@ func (ctx *execContext) buildJoinIndex(keys []equiKey, rows [][]Value) *buildInd
 		}
 		buckets[m] = bs
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: shard workers own disjoint key ranges, so the merge needs no
 	// locks; scanning morsels in index order keeps posting lists ascending.
+	// Each shard goroutine recovers its own panics (lowest shard index wins,
+	// mirroring runSpans' lowest-morsel rule) so a poisoned bucket fails the
+	// query, not the process.
 	shards := make([]map[string][]int, shardCount)
+	errs := make([]error, shardCount)
 	var wg sync.WaitGroup
 	wg.Add(shardCount)
 	for sh := 0; sh < shardCount; sh++ {
 		go func(sh int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[sh] = toPanicError(r)
+				}
+			}()
 			mp := make(map[string][]int)
 			for m := range buckets {
 				arena := buckets[m].arena
@@ -129,5 +147,10 @@ func (ctx *execContext) buildJoinIndex(keys []equiKey, rows [][]Value) *buildInd
 		}(sh)
 	}
 	wg.Wait()
-	return &buildIndex{shards: shards}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &buildIndex{shards: shards}, nil
 }

@@ -67,15 +67,33 @@ func spanWorkers(nSpans, workers int) int {
 // lowest-numbered failing morsel. Workers stop scanning a morsel at its
 // first error and stop claiming new morsels once any error is recorded, so
 // for operators that scan rows in order the surfaced error is the same one
-// the serial loop would have hit first.
+// the serial loop would have hit first. A panic inside fn is recovered into
+// that morsel's error slot (as a *PanicError) and competes under the same
+// rule, so a panicking worker never kills the process and the surfaced
+// failure is schedule-independent.
+//
+// Cancellation: the query context is polled before every morsel claim, so a
+// cancelled query stops within one morsel of work per worker; the context's
+// error is returned when no morsel error precedes it.
 //
 // With workers <= 1 (or a single span) everything runs inline on the calling
 // goroutine — the serial path is the parallel path at width one.
-func runSpans(spans []span, workers int, fn func(worker, morsel int, s span) error) error {
+func (ctx *execContext) runSpans(spans []span, workers int, fn func(worker, morsel int, s span) error) error {
 	workers = spanWorkers(len(spans), workers)
+	call := func(worker, morsel int, s span) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = toPanicError(r)
+			}
+		}()
+		return fn(worker, morsel, s)
+	}
 	if workers <= 1 {
 		for m, s := range spans {
-			if err := fn(0, m, s); err != nil {
+			if err := ctx.err(); err != nil {
+				return err
+			}
+			if err := call(0, m, s); err != nil {
 				return err
 			}
 		}
@@ -90,11 +108,14 @@ func runSpans(spans []span, workers int, fn func(worker, morsel int, s span) err
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				if ctx.err() != nil {
+					return
+				}
 				m := int(cursor.Add(1)) - 1
 				if m >= len(spans) || failed.Load() {
 					return
 				}
-				if err := fn(worker, m, spans[m]); err != nil {
+				if err := call(worker, m, spans[m]); err != nil {
 					errs[m] = err
 					failed.Store(true)
 				}
@@ -107,7 +128,7 @@ func runSpans(spans []span, workers int, fn func(worker, morsel int, s span) err
 			return err
 		}
 	}
-	return nil
+	return ctx.err()
 }
 
 // defaultParallelism is the worker bound when a DB does not set one:

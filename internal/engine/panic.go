@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic recovered during query execution, surfaced as an
+// ordinary query error. Execution entry points and morsel workers install
+// recover boundaries so a panicking expression, operator, or injected fault
+// fails only its own query — the process, sibling queries, and the serving
+// layer keep running. The boundary sits inside the spill-cleanup defer, so a
+// panicking query still releases every temp file it owns.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack captured at the recover point, which
+	// includes the panicking frames (recover runs on the panicking
+	// goroutine's stack).
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: query panicked: %v", e.Value)
+}
+
+// toPanicError converts a recovered value into a *PanicError, passing
+// through one that already crossed an inner boundary (a worker panic
+// surfaces once, with the stack of the original panic site).
+func toPanicError(r any) *PanicError {
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: r, Stack: debug.Stack()}
+}
+
+// recoverExecPanic is the deferred recover boundary for execution entry
+// points: it converts a panic on the calling goroutine into the entry
+// point's error return. Worker-goroutine panics never reach it — runSpans
+// recovers those into per-morsel errors so the surfaced one is
+// deterministic (lowest morsel wins, matching the error rule).
+func recoverExecPanic(err *error) {
+	if r := recover(); r != nil {
+		*err = toPanicError(r)
+	}
+}

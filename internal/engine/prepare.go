@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 
 	"flexdp/internal/sqlparser"
@@ -107,10 +108,21 @@ func (p *PreparedQuery) plansFor(version uint64) *planCache {
 // cached plans — compiled closures are schedule-independent, and results are
 // bit-identical at every worker count.
 func (p *PreparedQuery) Exec() (*ResultSet, error) {
+	return p.ExecContext(context.Background())
+}
+
+// ExecContext is Exec under a cancellation context: cancellation or deadline
+// expiry aborts execution within one morsel of work per worker and returns
+// the context's error unwrapped; a panic during execution is recovered into
+// a *PanicError. The cached plans survive both — closures carry no
+// per-execution state, so a cancelled or panicked run never poisons the
+// cache for later executions.
+func (p *PreparedQuery) ExecContext(goctx context.Context) (rs *ResultSet, err error) {
 	plans := p.plansFor(p.db.Version())
 	mgr := p.db.newSpillManager()
 	defer p.db.finishSpill(mgr)
+	defer recoverExecPanic(&err)
 	ctx := &execContext{db: p.db, ctes: make(map[string]*relation), plans: plans,
-		workers: p.db.Parallelism(), morsel: p.db.MorselSize(), spill: mgr}
+		workers: p.db.Parallelism(), morsel: p.db.MorselSize(), spill: mgr, goctx: goctx}
 	return ctx.executeSelect(p.stmt)
 }

@@ -641,13 +641,19 @@ func TestBuildJoinIndexParallelMatchesSerial(t *testing.T) {
 	keys := []equiKey{{leftIdx: 0, rightIdx: 0}, {leftIdx: 1, rightIdx: 1}}
 
 	serialCtx := &execContext{workers: 1, morsel: 16}
-	serial := serialCtx.buildJoinIndex(keys, rows)
+	serial, err := serialCtx.buildJoinIndex(keys, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(serial.shards) != 1 {
 		t.Fatalf("serial build produced %d shards", len(serial.shards))
 	}
 	for _, workers := range []int{2, 4, 8} {
 		parCtx := &execContext{workers: workers, morsel: 16}
-		par := parCtx.buildJoinIndex(keys, rows)
+		par, err := parCtx.buildJoinIndex(keys, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if par.size() != serial.size() {
 			t.Fatalf("workers=%d: %d keys vs %d", workers, par.size(), serial.size())
 		}

@@ -12,17 +12,28 @@
 // CPU, see flexserver -parallelism); because parallel results are
 // bit-identical to serial ones, parallelism changes neither the noisy
 // answers for a fixed seed nor any budget accounting.
+//
+// The service layer is also the resilience boundary: admission control
+// (Config.MaxInflight) bounds concurrent query execution with a bounded
+// queue wait, shedding overload as 503 + Retry-After; client disconnects
+// and the optional Config.QueryTimeout cancel the engine mid-morsel; and
+// engine panics are isolated to the offending query's 500 response, never
+// the process. None of these paths charge privacy budget — privacy loss is
+// only ever recorded when a noisy answer is actually released.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	flex "flexdp"
+	"flexdp/internal/engine"
 	"flexdp/internal/relalg"
 	"flexdp/internal/smooth"
 	"flexdp/internal/sqlparser"
@@ -47,6 +58,18 @@ type Config struct {
 	// without the header draw from the shared pool budget.
 	AnalystEpsilon float64
 	AnalystDelta   float64
+	// MaxInflight bounds the number of /query requests executing at once;
+	// 0 means unbounded. Requests beyond the bound wait up to QueueTimeout
+	// for a slot and are then shed with 503 + Retry-After — a transient
+	// overload signal, deliberately distinct from 429 budget exhaustion,
+	// which retrying cannot fix.
+	MaxInflight int
+	// QueueTimeout is how long an over-admission request may wait for a
+	// slot before being shed. Zero sheds immediately when full.
+	QueueTimeout time.Duration
+	// QueryTimeout caps each /query execution (0 = none). Expiry cancels
+	// the engine mid-morsel and answers 504; nothing is charged.
+	QueryTimeout time.Duration
 }
 
 // DefaultCacheSize is the prepared-query cache capacity when Config leaves
@@ -62,6 +85,19 @@ type Server struct {
 
 	prepared     *lruCache
 	hits, misses atomic.Uint64
+
+	// sem is the admission semaphore (nil when MaxInflight is 0): a slot
+	// is held for the full execution of one /query, bounding concurrent
+	// engine work no matter how many connections the HTTP layer accepts.
+	sem chan struct{}
+
+	// Query lifecycle counters (see Lifecycle).
+	inFlight  atomic.Int64
+	completed atomic.Uint64
+	cancelled atomic.Uint64
+	timedOut  atomic.Uint64
+	shed      atomic.Uint64
+	panics    atomic.Uint64
 
 	mu       sync.Mutex
 	analysts map[string]*smooth.Budget
@@ -82,12 +118,89 @@ func NewWithConfig(sys *flex.System, budget *smooth.Budget, cfg Config) *Server 
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = DefaultCacheSize
 	}
-	return &Server{
+	s := &Server{
 		sys:      sys,
 		budget:   budget,
 		cfg:      cfg,
 		prepared: newLRU(cfg.CacheSize),
 		analysts: make(map[string]*smooth.Budget),
+	}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s
+}
+
+// Lifecycle is a snapshot of the server's query lifecycle counters, exposed
+// on /healthz and used by flexserver's shutdown report. Completed counts
+// queries whose noisy answer was released; Cancelled counts client
+// disconnects (499), TimedOut server-side deadline expiries (504), Shed
+// admission-control rejections (503), and Panics recovered engine panics
+// answered as 500. InFlight is the instantaneous gauge of admitted /query
+// requests still executing.
+type Lifecycle struct {
+	InFlight  int64  `json:"in_flight"`
+	Completed uint64 `json:"completed"`
+	Cancelled uint64 `json:"cancelled"`
+	TimedOut  uint64 `json:"timed_out"`
+	Shed      uint64 `json:"shed"`
+	Panics    uint64 `json:"panics"`
+}
+
+// Lifecycle returns the current lifecycle counter snapshot.
+func (s *Server) Lifecycle() Lifecycle {
+	return Lifecycle{
+		InFlight:  s.inFlight.Load(),
+		Completed: s.completed.Load(),
+		Cancelled: s.cancelled.Load(),
+		TimedOut:  s.timedOut.Load(),
+		Shed:      s.shed.Load(),
+		Panics:    s.panics.Load(),
+	}
+}
+
+// errOverloaded is the body of a 503 shed response.
+var errOverloaded = errors.New("server overloaded: too many queries in flight, retry shortly")
+
+// admit acquires an execution slot, waiting up to QueueTimeout. It returns
+// false after writing the response itself: 503 + Retry-After when the wait
+// expires, nothing when the client has already gone away (there is nobody
+// left to answer). With no MaxInflight configured it always admits.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if s.sem == nil {
+		return true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	var timeout <-chan time.Time
+	if s.cfg.QueueTimeout > 0 {
+		t := time.NewTimer(s.cfg.QueueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	} else {
+		closed := make(chan time.Time)
+		close(closed)
+		timeout = closed
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-timeout:
+		s.shed.Add(1)
+		writeError(w, http.StatusServiceUnavailable, errOverloaded)
+		return false
+	case <-r.Context().Done():
+		s.cancelled.Add(1)
+		return false
+	}
+}
+
+func (s *Server) release() {
+	if s.sem != nil {
+		<-s.sem
 	}
 }
 
@@ -208,30 +321,55 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Admission control: hold an execution slot for the whole prepare+run,
+	// shedding with 503 when the bounded queue wait expires. Validation
+	// above runs un-admitted — rejecting malformed requests must not queue
+	// behind running queries.
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.release()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
 	prep, key, err := s.preparedFor(req.SQL)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	res, err := prep.Run(req.Epsilon, delta)
+	// Execution is bounded by the client's connection (disconnect cancels
+	// within one morsel per worker) and, when configured, the server-side
+	// query timeout.
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	res, err := prep.RunContext(ctx, req.Epsilon, delta)
 	if err != nil {
-		// Entries that can no longer run (e.g. their table was dropped) are
-		// evicted so the next request re-prepares instead of replaying the
-		// failure. Nothing was released, so nothing is charged.
-		s.prepared.remove(key)
+		if !s.noteRunError(err) {
+			// Entries that can no longer run (e.g. their table was dropped)
+			// are evicted so the next request re-prepares instead of
+			// replaying the failure. Cancellation and timeouts skip the
+			// eviction — the plan is fine, the run was just abandoned.
+			s.prepared.remove(key)
+		}
 		writeError(w, statusFor(err), err)
 		return
 	}
 	// Budget admission happens after the query ran but before its result
 	// leaves the server: privacy loss occurs on release, so a refused spend
 	// discards the computed answer uncharged, and no failure mode — parse,
-	// analysis, staleness, execution — ever drains budget without a release.
+	// analysis, staleness, cancellation, panic, execution — ever drains
+	// budget without a release.
 	if b := s.budgetFor(r, true); b != nil {
 		if err := b.Spend(req.Epsilon, delta); err != nil {
 			writeError(w, statusFor(err), err)
 			return
 		}
 	}
+	s.completed.Add(1)
 	resp := QueryResponse{
 		Columns:        res.Columns,
 		BinsEnumerated: res.BinsEnumerated,
@@ -246,6 +384,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Rows = append(resp.Rows, out)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// noteRunError bumps the lifecycle counter matching a RunContext failure and
+// reports whether the error is a cancellation or deadline expiry — the cases
+// where the prepared-cache entry must be kept (the plan did not fail, the
+// run was abandoned).
+func (s *Server) noteRunError(err error) (ctxErr bool) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.cancelled.Add(1)
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timedOut.Add(1)
+		return true
+	}
+	var pe *engine.PanicError
+	if errors.As(err, &pe) {
+		s.panics.Add(1)
+	}
+	return false
 }
 
 // AnalyzeRequest is the body of POST /analyze.
@@ -314,6 +472,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		// running through the spill subsystem (a throughput signal, never a
 		// correctness one — spilled results are bit-identical).
 		"spill": s.sys.SpillStats(),
+		// Query lifecycle: admission, cancellation and fault counters.
+		// Rising shed means the -max-inflight bound is turning clients
+		// away; rising panics means engine bugs are being isolated rather
+		// than crashing the proxy — both are operator signals.
+		"lifecycle": s.Lifecycle(),
 	})
 }
 
@@ -326,12 +489,33 @@ func analysisDTO(a *flex.Analysis) AnalysisDTO {
 	}
 }
 
-// statusFor maps error categories to HTTP statuses: client errors for
-// unsupported/unparseable queries, 429 for budget exhaustion, 500 otherwise.
+// statusClientClosedRequest is nginx's nonstandard 499 for a client that
+// disconnected before the response was written. Nobody receives the body,
+// but the status keeps access logs honest about why the query was abandoned.
+const statusClientClosedRequest = 499
+
+// statusFor maps failures to HTTP statuses:
+//
+//   - 422 for unsupported or unparseable queries (Section 5.1 taxonomy) —
+//     the request itself is wrong, retrying is pointless;
+//   - 429 + Retry-After for privacy-budget exhaustion — the analyst is out
+//     of budget, not the server out of capacity;
+//   - 499 when the client disconnected mid-query (cancellation);
+//   - 503 + Retry-After when admission control sheds under overload — the
+//     one failure where an immediate retry is the right move;
+//   - 504 when the server-side query timeout expired;
+//   - 500 for everything else, including engine panics isolated to the
+//     offending query.
 func statusFor(err error) int {
 	var be *smooth.BudgetExhaustedError
 	if errors.As(err, &be) {
 		return http.StatusTooManyRequests
+	}
+	if errors.Is(err, context.Canceled) {
+		return statusClientClosedRequest
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
 	}
 	switch flex.Classify(err) {
 	case flex.CategoryUnsupported, flex.CategoryParseError:
@@ -351,6 +535,16 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	var ue *relalg.UnsupportedError
 	if errors.As(err, &ue) {
 		resp.Reason = ue.Reason.String()
+	}
+	// Retry-After separates the two throttles: a shed query (503) should be
+	// retried almost immediately — load is transient — while an exhausted
+	// budget (429) only recovers if an operator raises it, so the hint is
+	// deliberately long.
+	switch status {
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "1")
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "60")
 	}
 	writeJSON(w, status, resp)
 }

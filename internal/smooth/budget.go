@@ -54,6 +54,27 @@ func (b *Budget) Spend(eps, delta float64) error {
 	return nil
 }
 
+// Refund returns (ε, δ) to the budget, undoing one Spend. It exists for
+// queries admitted but never answered — cancelled, failed, or panicked after
+// admission — so privacy loss is only ever charged for released answers
+// (nothing about the data leaves the system when execution aborts). Clamped
+// at zero so a stray refund can never mint budget.
+func (b *Budget) Refund(eps, delta float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.spentEps -= eps
+	b.spentDelta -= delta
+	if b.spentEps < 0 {
+		b.spentEps = 0
+	}
+	if b.spentDelta < 0 {
+		b.spentDelta = 0
+	}
+	if b.queries > 0 {
+		b.queries--
+	}
+}
+
 // Spent returns the consumed (ε, δ) so far.
 func (b *Budget) Spent() (eps, delta float64) {
 	b.mu.Lock()

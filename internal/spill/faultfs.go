@@ -1,0 +1,109 @@
+package spill
+
+import (
+	"fmt"
+	"sync/atomic"
+	"syscall"
+)
+
+// FaultFS wraps an FS and injects deterministic failures, the test substrate
+// for the fault-injection suite: the Nth CreateTemp, the Nth Open, or the
+// Nth underlying Write (counted across all files, so buffered writers fail
+// on whichever flush crosses the threshold) returns Err instead of
+// succeeding. Thresholds are 1-based; zero disables that fault. The zero
+// value with a Base behaves exactly as the Base.
+//
+// Counters are global across files and goroutines (parallel sort workers
+// write runs concurrently), so *which* operation fails under parallelism is
+// schedule-dependent — the suite's assertions are about the outcome (a clean
+// query error, no leaked files, no budget charge), which must hold for every
+// schedule.
+type FaultFS struct {
+	// Base is the wrapped FS; nil means OSFS.
+	Base FS
+	// FailCreateAt / FailOpenAt / FailWriteAt fail the Nth call (1-based);
+	// 0 never fails.
+	FailCreateAt int64
+	FailOpenAt   int64
+	FailWriteAt  int64
+	// Err is the injected error; nil means ENOSPC (the canonical disk-full
+	// failure a spilling system must survive).
+	Err error
+	// OnOp, when non-nil, runs before every CreateTemp/Open/Write with the
+	// operation name — a hook for tests that need to act at a known point
+	// inside query execution (e.g. cancel a context once spilling started).
+	OnOp func(op string)
+
+	creates atomic.Int64
+	opens   atomic.Int64
+	writes  atomic.Int64
+}
+
+// base returns the wrapped FS.
+func (f *FaultFS) base() FS {
+	if f.Base == nil {
+		return OSFS
+	}
+	return f.Base
+}
+
+// Counts reports how many CreateTemp/Open/Write calls have been observed.
+func (f *FaultFS) Counts() (creates, opens, writes int64) {
+	return f.creates.Load(), f.opens.Load(), f.writes.Load()
+}
+
+// injected returns the error presented for a tripped fault.
+func (f *FaultFS) injected(op string) error {
+	err := f.Err
+	if err == nil {
+		err = syscall.ENOSPC
+	}
+	return fmt.Errorf("faultfs: injected %s failure: %w", op, err)
+}
+
+// CreateTemp counts the call and fails at the configured threshold. Created
+// files are wrapped so their writes count against FailWriteAt.
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if f.OnOp != nil {
+		f.OnOp("create")
+	}
+	if n := f.creates.Add(1); f.FailCreateAt > 0 && n >= f.FailCreateAt {
+		return nil, f.injected("create")
+	}
+	file, err := f.base().CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+// Open counts the call and fails at the configured threshold.
+func (f *FaultFS) Open(name string) (File, error) {
+	if f.OnOp != nil {
+		f.OnOp("open")
+	}
+	if n := f.opens.Add(1); f.FailOpenAt > 0 && n >= f.FailOpenAt {
+		return nil, f.injected("open")
+	}
+	return f.base().Open(name)
+}
+
+// Remove always delegates: cleanup must keep working under injected faults,
+// or every fault would also be a leak.
+func (f *FaultFS) Remove(name string) error { return f.base().Remove(name) }
+
+// faultFile wraps a file so writes count against the shared threshold.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	if w.fs.OnOp != nil {
+		w.fs.OnOp("write")
+	}
+	if n := w.fs.writes.Add(1); w.fs.FailWriteAt > 0 && n >= w.fs.FailWriteAt {
+		return 0, w.fs.injected("write")
+	}
+	return w.File.Write(p)
+}

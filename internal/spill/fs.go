@@ -1,0 +1,40 @@
+package spill
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem surface the spill subsystem touches: temp-file
+// creation, reopening a finished run, and unlinking. The production
+// implementation is the OS (OSFS); tests substitute fault-injecting
+// implementations to prove that every spill error path — ENOSPC mid-run, a
+// failed open during merge, a failed CreateTemp — surfaces as a clean query
+// error with no leaked files and no privacy budget charged.
+type FS interface {
+	// CreateTemp creates a new temp file in dir, named after pattern (the
+	// os.CreateTemp contract).
+	CreateTemp(dir, pattern string) (File, error)
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Remove unlinks a file.
+	Remove(name string) error
+}
+
+// File is the per-file surface: sequential reads and writes plus the name
+// the Manager tracks for cleanup.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+}
+
+// OSFS is the production FS: plain os calls.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) Open(name string) (File, error)               { return os.Open(name) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }

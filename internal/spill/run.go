@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
 )
 
 // A run is a sequence of length-prefixed records in a temp file: each record
@@ -23,7 +22,7 @@ const runBufSize = 64 * 1024
 // parallel workers each write their own run.
 type RunWriter struct {
 	m       *Manager
-	f       *os.File
+	f       File
 	bw      *bufio.Writer
 	lenBuf  [binary.MaxVarintLen64]byte
 	records int64
@@ -31,7 +30,7 @@ type RunWriter struct {
 	done    bool
 }
 
-func newRunWriter(m *Manager, f *os.File) *RunWriter {
+func newRunWriter(m *Manager, f File) *RunWriter {
 	return &RunWriter{m: m, f: f, bw: bufio.NewWriterSize(f, runBufSize)}
 }
 
@@ -102,8 +101,12 @@ type Run struct {
 // only runs being written or finished but not yet opened. A run cannot be
 // reopened after Open.
 func (r *Run) Open() (*RunReader, error) {
-	f, err := os.Open(r.path)
+	f, err := r.m.fs.Open(r.path)
 	if err != nil {
+		// A run that cannot be reopened is still the manager's to unlink:
+		// releasing here keeps a failed merge from leaking the file until
+		// Cleanup, mirroring the success path below.
+		r.m.release(r.path)
 		return nil, fmt.Errorf("spill: open run: %w", err)
 	}
 	r.m.release(r.path)
@@ -119,9 +122,10 @@ func (r *Run) Release() {
 
 // RunReader iterates a run's records in write order.
 type RunReader struct {
-	f   *os.File
-	br  *bufio.Reader
-	buf []byte
+	f      File
+	br     *bufio.Reader
+	buf    []byte
+	closed bool
 }
 
 // Next returns the next record, or io.EOF after the last one. The returned
@@ -144,5 +148,12 @@ func (r *RunReader) Next() ([]byte, error) {
 	return r.buf, nil
 }
 
-// Close closes the underlying file (the run itself stays until Release).
-func (r *RunReader) Close() error { return r.f.Close() }
+// Close closes the underlying file; idempotent, because error-path unwinding
+// can close a reader that a racing Cleanup already tore down.
+func (r *RunReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.f.Close()
+}

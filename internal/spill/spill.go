@@ -31,6 +31,9 @@ type Config struct {
 	Budget int64
 	// Dir is the directory for spill files; empty means os.TempDir().
 	Dir string
+	// FS is the filesystem implementation; nil means OSFS. Tests substitute
+	// fault-injecting implementations (see FaultFS).
+	FS FS
 }
 
 // Stats are cumulative spill metrics. Counters are additive so per-query
@@ -105,6 +108,7 @@ func (s *Stats) Add(other Stats) {
 type Manager struct {
 	budget int64
 	dir    string
+	fs     FS
 
 	mu    sync.Mutex
 	live  map[string]struct{} // paths of run files not yet released
@@ -122,7 +126,11 @@ func New(cfg Config) *Manager {
 	if dir == "" {
 		dir = os.TempDir()
 	}
-	return &Manager{budget: cfg.Budget, dir: dir, live: make(map[string]struct{})}
+	fs := cfg.FS
+	if fs == nil {
+		fs = OSFS
+	}
+	return &Manager{budget: cfg.Budget, dir: dir, fs: fs, live: make(map[string]struct{})}
 }
 
 // Enabled reports whether spilling is configured.
@@ -148,7 +156,7 @@ func (m *Manager) NewRun() (*RunWriter, error) {
 	if m == nil {
 		return nil, fmt.Errorf("spill: no manager (budget disabled)")
 	}
-	f, err := os.CreateTemp(m.dir, "flexspill-*.run")
+	f, err := m.fs.CreateTemp(m.dir, "flexspill-*.run")
 	if err != nil {
 		return nil, fmt.Errorf("spill: create run: %w", err)
 	}
@@ -169,7 +177,7 @@ func (m *Manager) release(path string) {
 	delete(m.live, path)
 	m.mu.Unlock()
 	if ok {
-		_ = os.Remove(path)
+		_ = m.fs.Remove(path)
 	}
 }
 
@@ -187,7 +195,7 @@ func (m *Manager) Cleanup() {
 	m.live = make(map[string]struct{})
 	m.mu.Unlock()
 	for _, p := range paths {
-		_ = os.Remove(p)
+		_ = m.fs.Remove(p)
 	}
 }
 

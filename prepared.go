@@ -1,6 +1,7 @@
 package flex
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -176,7 +177,16 @@ func (st *preparedState) boundsFor(p smooth.PrivacyParams, mode NoiseMode) ([]sm
 // admission, noise-stream forking, smoothing, execution, perturbation — with
 // every query-dependent stage served from the prepared caches.
 func (p *Prepared) Run(epsilon, delta float64) (*PrivateResult, error) {
-	return p.run(epsilon, delta, nil)
+	return p.run(context.Background(), epsilon, delta, nil)
+}
+
+// RunContext is Run under a cancellation context: cancellation or deadline
+// expiry aborts execution within one morsel of work per worker and returns
+// the context's error. An aborted run releases nothing, so its budget charge
+// is refunded; the prepared caches are unaffected and the next Run proceeds
+// normally.
+func (p *Prepared) RunContext(ctx context.Context, epsilon, delta float64) (*PrivateResult, error) {
+	return p.run(ctx, epsilon, delta, nil)
 }
 
 // RunWithBins answers the prepared histogram query with analyst-supplied bin
@@ -185,10 +195,19 @@ func (p *Prepared) RunWithBins(epsilon, delta float64, bins []any) (*PrivateResu
 	if len(bins) == 0 {
 		return nil, errNoBins
 	}
-	return p.run(epsilon, delta, bins)
+	return p.run(context.Background(), epsilon, delta, bins)
 }
 
-func (p *Prepared) run(epsilon, delta float64, analystBins []any) (*PrivateResult, error) {
+// RunWithBinsContext is RunWithBins under a cancellation context (see
+// RunContext).
+func (p *Prepared) RunWithBinsContext(ctx context.Context, epsilon, delta float64, bins []any) (*PrivateResult, error) {
+	if len(bins) == 0 {
+		return nil, errNoBins
+	}
+	return p.run(ctx, epsilon, delta, bins)
+}
+
+func (p *Prepared) run(ctx context.Context, epsilon, delta float64, analystBins []any) (*PrivateResult, error) {
 	s := p.sys
 	pp := smooth.PrivacyParams{Epsilon: epsilon, Delta: delta}
 	if err := pp.Validate(); err != nil {
@@ -207,17 +226,24 @@ func (p *Prepared) run(epsilon, delta float64, analystBins []any) (*PrivateResul
 		}
 	}
 	sampler := s.forkSampler()
+	refund := func() {
+		if s.opts.Budget != nil {
+			s.opts.Budget.Refund(epsilon, delta)
+		}
+	}
 
 	t0 := time.Now()
 	bounds, err := st.boundsFor(pp, s.opts.NoiseMode)
 	if err != nil {
+		refund()
 		return nil, err
 	}
 	analysisTime := time.Since(t0)
 
 	t1 := time.Now()
-	rs, err := st.pq.Exec()
+	rs, err := st.pq.ExecContext(ctx)
 	if err != nil {
+		refund()
 		return nil, err
 	}
 	execTime := time.Since(t1)
@@ -225,6 +251,7 @@ func (p *Prepared) run(epsilon, delta float64, analystBins []any) (*PrivateResul
 	t2 := time.Now()
 	out, err := s.perturb(st.analysis, rs, bounds, epsilon, analystBins, sampler)
 	if err != nil {
+		refund()
 		return nil, err
 	}
 	out.Analysis = st.analysis
