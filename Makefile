@@ -3,7 +3,7 @@ GO ?= go
 # Benchmarks covered by the CI regression gate (serial hot paths only:
 # worker-scaling and RunParallel benches vary with the runner's core count
 # and would make cross-run comparison meaningless).
-GATE_ENGINE_BENCH = BenchmarkWhereFilter|BenchmarkHashJoin|BenchmarkGroupByAggregate|BenchmarkProjection|BenchmarkDistinct
+GATE_ENGINE_BENCH = BenchmarkWhereFilter|BenchmarkHashJoin|BenchmarkGroupByAggregate|BenchmarkProjection|BenchmarkDistinct|BenchmarkVectorFilter|BenchmarkVectorProject
 # Spill benches are disk-IO-bound and run only 1-3 iterations at 200ms, so
 # they get a longer benchtime for a stable median under the same 15% gate.
 GATE_SPILL_BENCH = BenchmarkSpillJoin|BenchmarkSpillSort|BenchmarkSpillAggregate
@@ -12,7 +12,7 @@ GATE_PREPARED_BENCH = BenchmarkSystemRunRepeated|BenchmarkPreparedRunRepeated
 GATE_COUNT = 5
 GATE_BENCHTIME = 200ms
 
-.PHONY: check build test vet race lint test-lowmem test-faults bench-short bench-engine bench-prepared bench-paper bench-parallel bench-spill bench-current bench-baseline bench-gate flexbench-small
+.PHONY: check build test vet race lint test-lowmem test-faults bench-short bench-engine bench-prepared bench-paper bench-parallel bench-spill bench-vector bench-current bench-baseline bench-gate flexbench-small
 
 # Default: the tier-1 verification plus static analysis.
 check: build vet test
@@ -65,6 +65,14 @@ bench-spill:
 		-bench 'BenchmarkSpillJoin|BenchmarkSpillSort|BenchmarkSpillAggregate|BenchmarkHashJoin|BenchmarkGroupByAggregate' \
 		-benchtime 1s
 
+# Vectorized kernels vs the row-at-a-time closures, one worker: the
+# scalar/vector sub-benchmark pairs isolate the batching speedup itself
+# from parallel scaling.
+bench-vector:
+	$(GO) test ./internal/engine -run '^$$' \
+		-bench 'BenchmarkVectorFilter|BenchmarkVectorProject' \
+		-benchtime 1s
+
 # Query-lifecycle fault suite, all under the race detector: spill fault
 # injection (ENOSPC, failed open/create), mid-query cancellation, panic
 # isolation, budget-refund accounting, and the server's admission control.
@@ -85,9 +93,12 @@ test-faults:
 # The entire engine suite with spilling forced on (the CI low-memory job):
 # every join build, ORDER BY buffer, grouped-aggregation state, and
 # DISTINCT/set-operation key set over 64 KiB goes out-of-core, and the
-# differential guarantee says nothing may change.
+# differential guarantee says nothing may change. The adversarial 512 B leg
+# drives maximum partitioning depth under the same guarantee — including
+# the vectorized-vs-scalar differential suite.
 test-lowmem:
 	FLEX_TEST_MEMORY_BUDGET=64KiB $(GO) test ./internal/engine/...
+	FLEX_TEST_MEMORY_BUDGET=512B $(GO) test ./internal/engine/...
 
 # Formatting + static analysis exactly as CI's lint job runs them.
 lint:

@@ -12,8 +12,11 @@ import (
 
 // executeAggregate is the grouped-aggregation select path: it handles
 // GROUP BY, aggregate functions in the select list and HAVING, and the
-// implicit single group for aggregates without GROUP BY.
-func (ctx *execContext) executeAggregate(stmt *sqlparser.SelectStmt, rel *relation) (*ResultSet, [][]Value, error) {
+// implicit single group for aggregates without GROUP BY. sel, when non-nil,
+// selects the input rows (from the vectorized WHERE); the batch-capable
+// parallel path consumes it directly, the spilled and serial paths
+// materialize it.
+func (ctx *execContext) executeAggregate(stmt *sqlparser.SelectStmt, rel *relation, sel []int) (*ResultSet, [][]Value, error) {
 	// Resolve positional GROUP BY references (GROUP BY 1) to the
 	// corresponding select-list expressions.
 	if resolved, err := resolvePositionalGroupBy(stmt); err != nil {
@@ -22,6 +25,14 @@ func (ctx *execContext) executeAggregate(stmt *sqlparser.SelectStmt, rel *relati
 		clone := *stmt
 		clone.GroupBy = resolved
 		stmt = &clone
+	}
+
+	// The spilled path estimates its budget from rel.rows, so a pending
+	// selection must be materialized first for the estimate (and the spill
+	// partitioning loop) to see only the surviving rows. Costs one index
+	// copy, and only when a memory budget is configured.
+	if sel != nil && ctx.spill.Enabled() {
+		rel, sel = applySel(rel, sel), nil
 	}
 
 	// Out-of-core path: when the grouping state (group index plus per-group
@@ -33,13 +44,16 @@ func (ctx *execContext) executeAggregate(stmt *sqlparser.SelectStmt, rel *relati
 		return out, keys, err
 	}
 
-	// Morsel-parallel path: partial aggregation per worker with a
-	// deterministic morsel-order merge (aggregate_parallel.go). Falls
-	// through to the serial path for subquery-bearing statements and
-	// single-morsel inputs.
-	if out, keys, ok, err := ctx.tryExecuteAggregateParallel(stmt, rel); ok {
+	// Morsel-parallel / vectorized path: partial aggregation per morsel with
+	// a deterministic morsel-order merge (aggregate_parallel.go). Falls
+	// through to the serial path for subquery-bearing statements and, in
+	// scalar mode, single-morsel inputs.
+	if out, keys, ok, err := ctx.tryExecuteAggregateParallel(stmt, rel, sel); ok {
 		return out, keys, err
 	}
+
+	// Serial path: consumes materialized rows.
+	rel = applySel(rel, sel)
 
 	// Partition rows into groups keyed by the GROUP BY expressions.
 	type group struct {

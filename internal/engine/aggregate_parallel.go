@@ -124,34 +124,54 @@ func aggregateParallelizable(stmt *sqlparser.SelectStmt, calls []*sqlparser.Func
 // tryExecuteAggregateParallel runs the morsel-parallel aggregation when the
 // statement and configuration allow it; ok=false means the caller must use
 // the serial path. stmt has positional GROUP BY references already resolved.
-func (ctx *execContext) tryExecuteAggregateParallel(stmt *sqlparser.SelectStmt, rel *relation) (*ResultSet, [][]Value, bool, error) {
-	if ctx.workers <= 1 {
-		return nil, nil, false, nil
-	}
-	spans := morselSpans(len(rel.rows), ctx.morsel)
-	if len(spans) <= 1 {
-		return nil, nil, false, nil
+// sel, when non-nil, is the WHERE filter's selection vector over rel.rows.
+//
+// In vectorized mode the path engages at every worker count — the win is
+// batch evaluation itself, and at one worker runSpans runs the morsels
+// inline in order — while scalar mode still requires real parallelism to be
+// worth leaving the serial loop.
+func (ctx *execContext) tryExecuteAggregateParallel(stmt *sqlparser.SelectStmt, rel *relation, sel []int) (*ResultSet, [][]Value, bool, error) {
+	if !ctx.vector {
+		if ctx.workers <= 1 {
+			return nil, nil, false, nil
+		}
+		n := len(rel.rows)
+		if sel != nil {
+			n = len(sel)
+		}
+		if len(morselSpans(n, ctx.morsel)) <= 1 {
+			return nil, nil, false, nil
+		}
 	}
 	calls := collectAggCalls(stmt)
 	if !aggregateParallelizable(stmt, calls) {
 		return nil, nil, false, nil
 	}
-	out, keys, err := ctx.executeAggregateParallel(stmt, rel, spans, calls)
+	out, keys, err := ctx.executeAggregateParallel(stmt, rel, sel, calls)
 	return out, keys, true, err
 }
 
-func (ctx *execContext) executeAggregateParallel(stmt *sqlparser.SelectStmt, rel *relation, spans []span, calls []*sqlparser.FuncCall) (*ResultSet, [][]Value, error) {
-	// Assign each distinct aggregate computation a slot; calls that print
-	// identically share one (PrintExpr is injective up to parse equivalence
-	// and includes DISTINCT and the argument).
+func (ctx *execContext) executeAggregateParallel(stmt *sqlparser.SelectStmt, rel *relation, sel []int, calls []*sqlparser.FuncCall) (*ResultSet, [][]Value, error) {
+	ids := sel
+	if ids == nil {
+		ids = identitySel(len(rel.rows))
+	}
+	spans := morselSpans(len(ids), ctx.spanSize(len(rel.cols)))
+
+	// Assign each distinct (argument, DISTINCT) pair a slot — a slot holds
+	// the argument's per-group value list, which every aggregate over that
+	// same input shares (SUM(x) and AVG(x) read one list; the fold function
+	// is the caller's, not the slot's). PrintExpr is injective up to parse
+	// equivalence, making the dedup key sound.
 	slotIdx := make(map[string]int)
 	slotOf := make(map[*sqlparser.FuncCall]int, len(calls))
 	var slots []aggSlot
+	var slotArgs []sqlparser.Expr
 	for _, call := range calls {
 		if call.Star {
 			continue // COUNT(*) is served by parGroup.count
 		}
-		key := sqlparser.PrintExpr(call)
+		key := fmt.Sprintf("%t|%s", call.Distinct, sqlparser.PrintExpr(call.Args[0]))
 		if i, ok := slotIdx[key]; ok {
 			slotOf[call] = i
 			continue
@@ -163,6 +183,7 @@ func (ctx *execContext) executeAggregateParallel(stmt *sqlparser.SelectStmt, rel
 		slotIdx[key] = len(slots)
 		slotOf[call] = len(slots)
 		slots = append(slots, aggSlot{arg: fn, distinct: call.Distinct})
+		slotArgs = append(slotArgs, call.Args[0])
 	}
 	keyFns := make([]evalFn, len(stmt.GroupBy))
 	for i, e := range stmt.GroupBy {
@@ -172,17 +193,136 @@ func (ctx *execContext) executeAggregateParallel(stmt *sqlparser.SelectStmt, rel
 		}
 		keyFns[i] = fn
 	}
+	// Batch kernels for the per-row phase-1 expressions (vectorized mode).
+	var keyBatch, slotBatch []batchExpr
+	if ctx.vector {
+		keyBatch = make([]batchExpr, len(stmt.GroupBy))
+		for i, e := range stmt.GroupBy {
+			keyBatch[i] = compileBatchExpr(rel, ctx, e)
+		}
+		slotBatch = make([]batchExpr, len(slots))
+		for i, e := range slotArgs {
+			slotBatch[i] = compileBatchExpr(rel, ctx, e)
+		}
+	}
 
 	// Phase 1: per-morsel partial aggregation.
 	type aggShard struct {
 		order  []string
 		groups map[string]*parGroup
 	}
+	type aggWorker struct {
+		bc       *batchCtx
+		keyVecs  []*vector
+		slotVecs []*vector
+	}
+	workers := spanWorkers(len(spans), ctx.workers)
+	// With one worker runSpans processes morsels inline in order, so a single
+	// shared table accumulates exactly what the per-morsel shards would merge
+	// to — same group discovery order, same per-slot value order, same
+	// DISTINCT first occurrences — without the per-morsel maps or the merge
+	// pass. (Only the vectorized path routes here at one worker; the scalar
+	// gate keeps single-worker scalar aggregation on the serial loop.)
+	single := workers <= 1
+	var global *aggShard
+	if single {
+		global = &aggShard{groups: make(map[string]*parGroup)}
+	}
+	aws := make([]*aggWorker, workers)
 	shards := make([]*aggShard, len(spans))
-	err := ctx.runSpans(spans, ctx.workers, func(_, m int, s span) error {
-		sh := &aggShard{groups: make(map[string]*parGroup)}
+	err := ctx.runSpans(spans, workers, func(w, m int, s span) error {
+		sh := global
+		if sh == nil {
+			sh = &aggShard{groups: make(map[string]*parGroup)}
+		}
 		var keyScratch, valScratch []byte
-		for _, row := range rel.rows[s.lo:s.hi] {
+		newGroup := func(keyVals []Value, first []Value) *parGroup {
+			g := &parGroup{keyVals: keyVals, first: first, slots: make([]parAggState, len(slots))}
+			for i := range g.slots {
+				if slots[i].distinct {
+					g.slots[i].seen = make(map[string]bool)
+				}
+			}
+			return g
+		}
+
+		if ctx.vector {
+			aw := aws[w]
+			if aw == nil {
+				aw = &aggWorker{bc: &batchCtx{rows: rel.rows}}
+				aw.keyVecs = make([]*vector, len(keyBatch))
+				for i := range aw.keyVecs {
+					aw.keyVecs[i] = &vector{}
+				}
+				aw.slotVecs = make([]*vector, len(slotBatch))
+				for i := range aw.slotVecs {
+					aw.slotVecs[i] = &vector{}
+				}
+				aws[w] = aw
+			}
+			msel := ids[s.lo:s.hi]
+			// Chained prefix evaluation (keys, then slot arguments) lands
+			// nOK/evalErr on the row-major-first failure, matching the scalar
+			// loop's key-then-slots per-row order.
+			nOK := len(msel)
+			var evalErr error
+			for i, kb := range keyBatch {
+				n, err := kb(aw.bc, msel[:nOK], aw.keyVecs[i])
+				if err != nil {
+					nOK, evalErr = n, err
+				}
+			}
+			for i, sb := range slotBatch {
+				n, err := sb(aw.bc, msel[:nOK], aw.slotVecs[i])
+				if err != nil {
+					nOK, evalErr = n, err
+				}
+			}
+			if evalErr != nil {
+				return evalErr
+			}
+			for i := range msel {
+				key := ""
+				if len(keyBatch) > 0 {
+					keyScratch = appendRowKeyVecs(keyScratch[:0], aw.keyVecs, i)
+					key = string(keyScratch)
+				}
+				g, ok := sh.groups[key]
+				if !ok {
+					var keyVals []Value
+					if len(keyBatch) > 0 {
+						keyVals = make([]Value, len(keyBatch))
+						for k := range keyBatch {
+							keyVals[k] = aw.keyVecs[k].value(i)
+						}
+					}
+					g = newGroup(keyVals, rel.rows[msel[i]])
+					sh.groups[key] = g
+					sh.order = append(sh.order, key)
+				}
+				g.count++
+				for si := range slots {
+					sv := aw.slotVecs[si]
+					if sv.null[i] {
+						continue
+					}
+					st := &g.slots[si]
+					if st.seen != nil {
+						valScratch = sv.appendKey(valScratch[:0], i)
+						if st.seen[string(valScratch)] {
+							continue
+						}
+						st.seen[string(valScratch)] = true
+					}
+					st.vals = append(st.vals, sv.value(i))
+				}
+			}
+			shards[m] = sh
+			return nil
+		}
+
+		for _, ri := range ids[s.lo:s.hi] {
+			row := rel.rows[ri]
 			var keyVals []Value
 			key := ""
 			if len(keyFns) > 0 {
@@ -199,12 +339,7 @@ func (ctx *execContext) executeAggregateParallel(stmt *sqlparser.SelectStmt, rel
 			}
 			g, ok := sh.groups[key]
 			if !ok {
-				g = &parGroup{keyVals: keyVals, first: row, slots: make([]parAggState, len(slots))}
-				for i := range g.slots {
-					if slots[i].distinct {
-						g.slots[i].seen = make(map[string]bool)
-					}
-				}
+				g = newGroup(keyVals, row)
 				sh.groups[key] = g
 				sh.order = append(sh.order, key)
 			}
@@ -235,9 +370,15 @@ func (ctx *execContext) executeAggregateParallel(stmt *sqlparser.SelectStmt, rel
 		return nil, nil, err
 	}
 
-	// Deterministic merge: morsel order outer, discovery order inner.
+	// Deterministic merge: morsel order outer, discovery order inner. The
+	// single-worker path already accumulated into one table in that exact
+	// order, so its table is the merge result.
 	merged := make(map[string]*parGroup)
 	var order []string
+	if single {
+		merged, order = global.groups, global.order
+		shards = nil
+	}
 	for _, sh := range shards {
 		for _, key := range sh.order {
 			src := sh.groups[key]

@@ -153,17 +153,44 @@ func (ctx *execContext) executeAggregateSpilled(stmt *sqlparser.SelectStmt, rel 
 	}
 	st := &aggSpillState{stmt: stmt, rel: rel, cache: newExprCache(),
 		outCols: names, needSort: len(stmt.OrderBy) > 0}
-	for p := 0; p < fanout; p++ {
+	// Level-0 partitions are disjoint by construction (every group lives in
+	// exactly one), so they drain in parallel: each partition aggregates into
+	// a private state and the states merge in partition order. The merge
+	// order is irrelevant to results — the final firstIdx sort restores the
+	// global group order, and evalErr keeps the minimum first-appearance
+	// group across partitions either way. IO errors surface with runSpans'
+	// lowest-partition rule, which is the partition the serial loop would
+	// have failed on first; as in the serial loop, an IO error wins over
+	// evaluation errors noted in other partitions because those are only
+	// consulted after every partition drains cleanly. The spill manager and
+	// exprCache are mutex-guarded, so workers share them safely.
+	states := make([]*aggSpillState, fanout)
+	if err := ctx.runSpans(morselSpans(fanout, 1), ctx.workers, func(_, p int, _ span) error {
 		if runs[p].Records == 0 {
 			runs[p].Release()
-			continue
+			return nil
 		}
 		recs, err := readAggRecs(runs[p])
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		if err := ctx.aggSpillNode(1, recs, len(rel.rows), st); err != nil {
-			return nil, nil, err
+		ps := &aggSpillState{stmt: stmt, rel: rel, cache: st.cache,
+			outCols: names, needSort: st.needSort}
+		if err := ctx.aggSpillNode(1, recs, len(rel.rows), ps); err != nil {
+			return err
+		}
+		states[p] = ps
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, ps := range states {
+		if ps == nil {
+			continue
+		}
+		st.out = append(st.out, ps.out...)
+		if ps.evalErr != nil {
+			st.noteEvalErr(ps.evalErrIdx, ps.evalErr)
 		}
 	}
 	if st.evalErr != nil {

@@ -74,6 +74,11 @@ type DB struct {
 	// DefaultMorselSize. Tests shrink it to exercise multi-morsel merges on
 	// small tables.
 	morselSize int
+	// vectorOff disables the vectorized batch-expression kernels, forcing
+	// every operator onto the row-at-a-time closure path. Zero value =
+	// vectorization on. Results are bit-identical either way — this exists
+	// for differential tests and A/B benchmarking.
+	vectorOff bool
 	// memoryBudget bounds per-query operator state (hash-join build tables,
 	// ORDER BY buffers, grouped-aggregation state, DISTINCT and
 	// set-operation key sets) in bytes; operators exceeding it go
@@ -213,6 +218,45 @@ func (db *DB) MorselSize() int {
 		return db.morselSize
 	}
 	return DefaultMorselSize
+}
+
+// morselPinned reports whether SetMorselSize pinned an explicit chunk size,
+// which disables adaptive per-operator sizing.
+func (db *DB) morselPinned() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.morselSize > 0
+}
+
+// MorselSizeFor returns the morsel size the executor will use for inputs of
+// the given column width: the pinned size when SetMorselSize set one, the
+// adaptive bytes-per-morsel-derived size otherwise. Exposed so benchmarking
+// and instrumentation can report the granularity actually in effect.
+func (db *DB) MorselSizeFor(width int) int {
+	db.mu.RLock()
+	pinned := db.morselSize
+	db.mu.RUnlock()
+	if pinned > 0 {
+		return pinned
+	}
+	return adaptiveMorselSize(width)
+}
+
+// SetVectorized toggles the vectorized batch-expression kernels (on by
+// default). Vectorization never changes results — the differential test
+// suite pins the two paths bit-identical — so this is an A/B and debugging
+// knob, safe to flip at any time.
+func (db *DB) SetVectorized(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.vectorOff = !on
+}
+
+// Vectorized reports whether the batch kernels are enabled.
+func (db *DB) Vectorized() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return !db.vectorOff
 }
 
 // Version returns a counter that increases on every mutation; consumers

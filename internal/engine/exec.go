@@ -25,6 +25,12 @@ type execContext struct {
 	// query start so one execution sees a consistent configuration.
 	workers int
 	morsel  int
+	// pinned records whether morsel came from an explicit SetMorselSize;
+	// when false, width-aware operators size their morsels adaptively via
+	// spanSize. vector enables the batch-expression kernels (kernels.go) on
+	// the operators that support them; both are snapshotted at query start.
+	pinned bool
+	vector bool
 	// spill is the per-query out-of-core manager (nil when no memory budget
 	// is configured). It is shared by every child context — CTEs and
 	// subqueries charge the same budget — and retired by the DB entry point
@@ -33,6 +39,18 @@ type execContext struct {
 	// goctx is the query's cancellation context, polled at morsel and
 	// record-batch boundaries; nil behaves as context.Background().
 	goctx context.Context
+}
+
+// spanSize returns the morsel size for an operator over rows of the given
+// column width: the pinned size when SetMorselSize fixed one, otherwise the
+// adaptive bytes-per-morsel-derived size (see morsel.go). Either way the
+// size affects scheduling only — per-morsel outputs merge in morsel order,
+// so results are identical at every granularity.
+func (ctx *execContext) spanSize(width int) int {
+	if ctx.pinned {
+		return ctx.morsel
+	}
+	return adaptiveMorselSize(width)
 }
 
 // err polls the query's context. Row and record loops call it once per
@@ -56,7 +74,8 @@ func (db *DB) ExecuteContext(goctx context.Context, stmt *sqlparser.SelectStmt) 
 	defer db.finishSpill(mgr)
 	defer recoverExecPanic(&err)
 	ctx := &execContext{db: db, ctes: make(map[string]*relation),
-		workers: db.Parallelism(), morsel: db.MorselSize(), spill: mgr, goctx: goctx}
+		workers: db.Parallelism(), morsel: db.MorselSize(),
+		pinned: db.morselPinned(), vector: db.Vectorized(), spill: mgr, goctx: goctx}
 	return ctx.executeSelect(stmt)
 }
 
@@ -93,7 +112,8 @@ func (ctx *execContext) executeSelect(stmt *sqlparser.SelectStmt) (*ResultSet, e
 	// CTEs are visible to later CTEs and the main body. Each statement gets
 	// a child context so sibling subqueries cannot see our CTEs leak out.
 	child := &execContext{db: ctx.db, ctes: make(map[string]*relation), plans: ctx.plans,
-		workers: ctx.workers, morsel: ctx.morsel, spill: ctx.spill, goctx: ctx.goctx}
+		workers: ctx.workers, morsel: ctx.morsel, pinned: ctx.pinned, vector: ctx.vector,
+		spill: ctx.spill, goctx: ctx.goctx}
 	for name, rel := range ctx.ctes {
 		child.ctes[name] = rel
 	}
@@ -159,18 +179,33 @@ func (ctx *execContext) executeCore(stmt *sqlparser.SelectStmt) (*ResultSet, [][
 		return nil, nil, err
 	}
 
+	// sel, when non-nil, is the selection vector the WHERE filter produced:
+	// indices into rel.rows in input order. The batch path hands it to the
+	// downstream operators instead of copying the kept rows; nil means "all
+	// rows". Operators that cannot consume a selection materialize it via
+	// applySel, which reproduces the copied-slice relation exactly.
+	var sel []int
 	if stmt.Where != nil {
-		pred, err := compileExpr(rel, ctx, stmt.Where)
-		if err != nil {
-			return nil, nil, err
+		if ctx.vector && exprPure(stmt.Where) {
+			pred := compileBatchExpr(rel, ctx, stmt.Where)
+			s, err := ctx.filterSel(rel, pred)
+			if err != nil {
+				return nil, nil, err
+			}
+			sel = s
+		} else {
+			pred, err := compileExpr(rel, ctx, stmt.Where)
+			if err != nil {
+				return nil, nil, err
+			}
+			filtered, err := ctx.filterRows(rel.rows, pred, exprPure(stmt.Where))
+			if err != nil {
+				return nil, nil, err
+			}
+			// cols are unchanged, so the column index built for the predicate
+			// compile carries over to the projection/aggregation passes.
+			rel = &relation{cols: rel.cols, rows: filtered, idx: rel.idx, sig: rel.sig}
 		}
-		filtered, err := ctx.filterRows(rel.rows, pred, exprPure(stmt.Where))
-		if err != nil {
-			return nil, nil, err
-		}
-		// cols are unchanged, so the column index built for the predicate
-		// compile carries over to the projection/aggregation passes.
-		rel = &relation{cols: rel.cols, rows: filtered, idx: rel.idx, sig: rel.sig}
 	}
 
 	aggregated := len(stmt.GroupBy) > 0 || stmt.Having != nil
@@ -186,9 +221,9 @@ func (ctx *execContext) executeCore(stmt *sqlparser.SelectStmt) (*ResultSet, [][
 	var out *ResultSet
 	var sortKeys [][]Value
 	if aggregated {
-		out, sortKeys, err = ctx.executeAggregate(stmt, rel)
+		out, sortKeys, err = ctx.executeAggregate(stmt, rel, sel)
 	} else {
-		out, sortKeys, err = ctx.executeProjection(stmt, rel)
+		out, sortKeys, err = ctx.executeProjection(stmt, rel, sel)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -256,6 +291,57 @@ func (ctx *execContext) filterRows(rows [][]Value, pred evalFn, pure bool) ([][]
 		filtered = append(filtered, buf...)
 	}
 	return filtered, nil
+}
+
+// filterSel is the vectorized WHERE filter: the compiled batch predicate
+// runs once per morsel and the truthy positions collect into a selection
+// vector of row indices instead of a copied row slice. Per-morsel selections
+// concatenate in morsel order and runSpans surfaces the lowest failing
+// morsel's error, so kept-row order and the surfaced error match filterRows
+// (and the serial row loop) exactly — at one worker the morsels simply run
+// inline in order.
+func (ctx *execContext) filterSel(rel *relation, pred batchExpr) ([]int, error) {
+	rows := rel.rows
+	spans := morselSpans(len(rows), ctx.spanSize(len(rel.cols)))
+	if len(spans) == 0 {
+		return []int{}, nil
+	}
+	ids := identitySel(len(rows))
+	workers := spanWorkers(len(spans), ctx.workers)
+	bcs := make([]*batchCtx, workers)
+	outs := make([]*vector, workers)
+	kept := make([][]int, len(spans))
+	err := ctx.runSpans(spans, workers, func(w, m int, s span) error {
+		if bcs[w] == nil {
+			bcs[w] = &batchCtx{rows: rows}
+			outs[w] = &vector{}
+		}
+		bc, out := bcs[w], outs[w]
+		msel := ids[s.lo:s.hi]
+		if _, err := pred(bc, msel, out); err != nil {
+			return err
+		}
+		buf := make([]int, 0, len(msel))
+		for i := range msel {
+			if out.isTrue(i) {
+				buf = append(buf, msel[i])
+			}
+		}
+		kept[m] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, buf := range kept {
+		total += len(buf)
+	}
+	sel := make([]int, 0, total)
+	for _, buf := range kept {
+		sel = append(sel, buf...)
+	}
+	return sel, nil
 }
 
 // buildFrom evaluates the FROM clause. An empty FROM yields one empty row so
@@ -419,7 +505,8 @@ type joinProbe struct {
 	index  *buildIndex
 	right  [][]Value
 	resFns []evalFn
-	width  int // combined output width
+	width  int  // combined output width
+	vector bool // batch the probe-key encoding per morsel
 }
 
 // scan probes left rows [lo, hi) against the build index and returns the
@@ -428,6 +515,9 @@ type joinProbe struct {
 // of build-side length (workers pass private ones). Key encoding scratch is
 // local to the call, so concurrent scans over disjoint ranges are safe.
 func (p *joinProbe) scan(leftRows [][]Value, lo, hi int, matchedLeft, matchedRight []bool) ([][]Value, error) {
+	if p.vector {
+		return p.scanBatch(leftRows, lo, hi, matchedLeft, matchedRight)
+	}
 	keyBuf := make([]Value, len(p.keys))
 	leftCol := func(i int) int { return p.keys[i].leftIdx }
 	var keyScratch []byte
@@ -438,6 +528,57 @@ func (p *joinProbe) scan(leftRows [][]Value, lo, hi int, matchedLeft, matchedRig
 		if null {
 			continue
 		}
+		lr := leftRows[li]
+	probeMatches:
+		for _, ri := range p.index.lookup(keyScratch) {
+			row := make([]Value, 0, p.width)
+			row = append(row, lr...)
+			row = append(row, p.right[ri]...)
+			for _, fn := range p.resFns {
+				v, err := fn(row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Truthy() {
+					continue probeMatches
+				}
+			}
+			matchedLeft[li] = true
+			matchedRight[ri] = true
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// scanBatch is scan with the probe-key encoding done columnarly: each key
+// column is gathered into a typed vector once for the whole range, and the
+// per-row encoding reads the slabs instead of re-dispatching on Value kinds.
+// appendRowKeyVecs emits exactly the bytes AppendRowKey would, so the lookup
+// keys — and therefore the matches, their order, and every residual
+// evaluation — are identical to the row-at-a-time scan.
+func (p *joinProbe) scanBatch(leftRows [][]Value, lo, hi int, matchedLeft, matchedRight []bool) ([][]Value, error) {
+	n := hi - lo
+	sel := make([]int, n)
+	for i := range sel {
+		sel[i] = lo + i
+	}
+	kvecs := make([]*vector, len(p.keys))
+	for k := range p.keys {
+		kvecs[k] = &vector{}
+		loadColumn(leftRows, sel, p.keys[k].leftIdx, kvecs[k])
+	}
+	var keyScratch []byte
+	var out [][]Value
+rowLoop:
+	for i := 0; i < n; i++ {
+		for _, kv := range kvecs {
+			if kv.null[i] {
+				continue rowLoop // NULL join keys never match
+			}
+		}
+		keyScratch = appendRowKeyVecs(keyScratch[:0], kvecs, i)
+		li := lo + i
 		lr := leftRows[li]
 	probeMatches:
 		for _, ri := range p.index.lookup(keyScratch) {
@@ -525,7 +666,7 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 			return nil, err
 		}
 		probe := joinProbe{keys: keys, index: index,
-			right: right.rows, resFns: resFns, width: len(cols)}
+			right: right.rows, resFns: resFns, width: len(cols), vector: ctx.vector}
 		spans := morselSpans(len(left.rows), ctx.morsel)
 		if ctx.workers > 1 && len(spans) > 1 && exprsPure(residual) {
 			// Morsel-parallel probe. Each left row belongs to exactly one
@@ -667,49 +808,35 @@ func outputName(item sqlparser.SelectItem, pos int) string {
 
 // executeProjection is the non-aggregated select path. Select-list
 // expressions and ORDER BY keys are compiled once against the input
-// relation before the row loop.
-func (ctx *execContext) executeProjection(stmt *sqlparser.SelectStmt, rel *relation) (*ResultSet, [][]Value, error) {
-	var names []string
+// relation before the row loop. sel, when non-nil, selects the input rows
+// (from the vectorized WHERE); the batch path consumes it directly, the
+// scalar path materializes it.
+func (ctx *execContext) executeProjection(stmt *sqlparser.SelectStmt, rel *relation, sel []int) (*ResultSet, [][]Value, error) {
+	if ctx.vector && projectionPure(stmt) && projectionBatchWorthwhile(stmt) {
+		return ctx.executeProjectionBatch(stmt, rel, sel)
+	}
+	rel = applySel(rel, sel)
+	names, pspecs, err := buildProjSpecs(stmt, rel)
+	if err != nil {
+		return nil, nil, err
+	}
 	type colSpec struct {
 		eval evalFn
 		star bool
 		from int // starting col index for stars
 		upto int
 	}
-	var specs []colSpec
-	for i, item := range stmt.Columns {
-		switch {
-		case item.Star:
-			for _, c := range rel.cols {
-				names = append(names, c.name)
-			}
-			specs = append(specs, colSpec{star: true, from: 0, upto: len(rel.cols)})
-		case item.TableStar != "":
-			qual := strings.ToLower(item.TableStar)
-			start := -1
-			end := -1
-			for ci, c := range rel.cols {
-				if c.qual == qual {
-					if start < 0 {
-						start = ci
-					}
-					end = ci + 1
-					names = append(names, c.name)
-				}
-			}
-			if start < 0 {
-				return nil, nil, fmt.Errorf("engine: unknown table alias %q in %s.*",
-					item.TableStar, item.TableStar)
-			}
-			specs = append(specs, colSpec{star: true, from: start, upto: end})
-		default:
-			fn, err := compileExpr(rel, ctx, item.Expr)
-			if err != nil {
-				return nil, nil, err
-			}
-			names = append(names, outputName(item, i))
-			specs = append(specs, colSpec{eval: fn})
+	specs := make([]colSpec, len(pspecs))
+	for i, ps := range pspecs {
+		if ps.star {
+			specs[i] = colSpec{star: true, from: ps.from, upto: ps.upto}
+			continue
 		}
+		fn, err := compileExpr(rel, ctx, ps.expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		specs[i] = colSpec{eval: fn}
 	}
 
 	out := &ResultSet{Columns: names}
@@ -803,6 +930,244 @@ func (ctx *execContext) executeProjection(stmt *sqlparser.SelectStmt, rel *relat
 	return out, keys, nil
 }
 
+// projSpec is one select item resolved against the input relation: either a
+// star copying the column range [from, upto) or an expression to evaluate.
+// Shared by the scalar and batch projection paths so output names and star
+// expansion cannot diverge between them.
+type projSpec struct {
+	expr sqlparser.Expr
+	star bool
+	from int
+	upto int
+}
+
+// buildProjSpecs expands the select list against rel's columns, producing
+// the output column names and per-item specs.
+func buildProjSpecs(stmt *sqlparser.SelectStmt, rel *relation) ([]string, []projSpec, error) {
+	var names []string
+	var specs []projSpec
+	for i, item := range stmt.Columns {
+		switch {
+		case item.Star:
+			for _, c := range rel.cols {
+				names = append(names, c.name)
+			}
+			specs = append(specs, projSpec{star: true, from: 0, upto: len(rel.cols)})
+		case item.TableStar != "":
+			qual := strings.ToLower(item.TableStar)
+			start := -1
+			end := -1
+			for ci, c := range rel.cols {
+				if c.qual == qual {
+					if start < 0 {
+						start = ci
+					}
+					end = ci + 1
+					names = append(names, c.name)
+				}
+			}
+			if start < 0 {
+				return nil, nil, fmt.Errorf("engine: unknown table alias %q in %s.*",
+					item.TableStar, item.TableStar)
+			}
+			specs = append(specs, projSpec{star: true, from: start, upto: end})
+		default:
+			names = append(names, outputName(item, i))
+			specs = append(specs, projSpec{expr: item.Expr})
+		}
+	}
+	return names, specs, nil
+}
+
+// batchSortKey is one compiled ORDER BY key for the batch projection:
+// positional and output-alias references become output-row index lookups
+// (checked positionals keep the row path's out-of-range error), everything
+// else a batch kernel over the input relation.
+type batchSortKey struct {
+	pos   int   // output-row index when eval is nil
+	want  int64 // 1-based positional literal, for the error message
+	check bool  // positional literal: range-check against the output width
+	eval  batchExpr
+}
+
+// compileBatchSortKeys mirrors compileSortKeys for the batch path.
+func compileBatchSortKeys(rel *relation, ctx *execContext, orderBy []sqlparser.OrderItem, outCols []string) []batchSortKey {
+	keys := make([]batchSortKey, len(orderBy))
+	for i, item := range orderBy {
+		if lit, ok := item.Expr.(*sqlparser.IntLit); ok {
+			keys[i] = batchSortKey{pos: int(lit.Value) - 1, want: lit.Value, check: true}
+			continue
+		}
+		if ref, ok := item.Expr.(*sqlparser.ColumnRef); ok && ref.Table == "" {
+			found := -1
+			for ci, name := range outCols {
+				if strings.EqualFold(name, ref.Name) {
+					found = ci
+					break
+				}
+			}
+			if found >= 0 {
+				keys[i] = batchSortKey{pos: found}
+				continue
+			}
+		}
+		keys[i] = batchSortKey{eval: compileBatchExpr(rel, ctx, item.Expr)}
+	}
+	return keys
+}
+
+// executeProjectionBatch is the vectorized projection: every select-list
+// expression and computed ORDER BY key evaluates as a batch kernel over each
+// morsel's selection, and output rows materialize from the result vectors
+// into one slab per morsel. Per-morsel outputs concatenate in morsel order.
+//
+// Error determinism: within one morsel, each expression evaluates over the
+// prefix the previous expressions completed (the batchExpr contract), so the
+// surviving (row, expression) error is the first one the scalar row loop —
+// which evaluates select items then sort keys left to right for each row —
+// would hit; across morsels, runSpans keeps the lowest failing morsel.
+// Positional ORDER BY references out of range fail at the first row of the
+// current prefix, matching the row path's error-on-first-evaluated-row.
+func (ctx *execContext) executeProjectionBatch(stmt *sqlparser.SelectStmt, rel *relation, sel []int) (*ResultSet, [][]Value, error) {
+	names, specs, err := buildProjSpecs(stmt, rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Map each expression spec to its result-vector slot.
+	vecSlot := make([]int, len(specs))
+	nEval := 0
+	for i, ps := range specs {
+		vecSlot[i] = nEval
+		if !ps.star {
+			nEval++
+		}
+	}
+	evals := make([]batchExpr, 0, nEval)
+	for _, ps := range specs {
+		if !ps.star {
+			evals = append(evals, compileBatchExpr(rel, ctx, ps.expr))
+		}
+	}
+	needSort := len(stmt.OrderBy) > 0
+	var keySpecs []batchSortKey
+	if needSort {
+		keySpecs = compileBatchSortKeys(rel, ctx, stmt.OrderBy, names)
+	}
+
+	ids := sel
+	if ids == nil {
+		ids = identitySel(len(rel.rows))
+	}
+	out := &ResultSet{Columns: names}
+	spans := morselSpans(len(ids), ctx.spanSize(len(rel.cols)))
+	if len(spans) == 0 {
+		out.Rows = [][]Value{}
+		return out, nil, nil
+	}
+	workers := spanWorkers(len(spans), ctx.workers)
+	type projWorker struct {
+		bc      *batchCtx
+		vecs    []*vector // select-list result vectors
+		keyVecs []*vector // computed ORDER BY key vectors
+	}
+	pws := make([]*projWorker, workers)
+	rowBufs := make([][][]Value, len(spans))
+	keyBufs := make([][][]Value, len(spans))
+	width := len(names)
+	err = ctx.runSpans(spans, workers, func(w, m int, s span) error {
+		pw := pws[w]
+		if pw == nil {
+			pw = &projWorker{bc: &batchCtx{rows: rel.rows}}
+			pw.vecs = make([]*vector, nEval)
+			for i := range pw.vecs {
+				pw.vecs[i] = &vector{}
+			}
+			pw.keyVecs = make([]*vector, len(keySpecs))
+			for i := range pw.keyVecs {
+				pw.keyVecs[i] = &vector{}
+			}
+			pws[w] = pw
+		}
+		msel := ids[s.lo:s.hi]
+
+		// Chained prefix evaluation: each expression sees only the rows every
+		// earlier expression completed, so nOK/evalErr end up at the
+		// row-major-first failure.
+		nOK := len(msel)
+		var evalErr error
+		for vi, fn := range evals {
+			n, err := fn(pw.bc, msel[:nOK], pw.vecs[vi])
+			if err != nil {
+				nOK, evalErr = n, err
+			}
+		}
+		for ki, ks := range keySpecs {
+			if ks.eval != nil {
+				n, err := ks.eval(pw.bc, msel[:nOK], pw.keyVecs[ki])
+				if err != nil {
+					nOK, evalErr = n, err
+				}
+				continue
+			}
+			if ks.check && (ks.pos < 0 || ks.pos >= width) && nOK > 0 {
+				nOK, evalErr = 0, fmt.Errorf("engine: ORDER BY position %d out of range", ks.want)
+			}
+		}
+
+		// Materialize output rows from the result vectors, one slab per morsel.
+		slab := make([]Value, 0, nOK*width)
+		rows := make([][]Value, 0, nOK)
+		for i := 0; i < nOK; i++ {
+			off := len(slab)
+			for si, ps := range specs {
+				if ps.star {
+					slab = append(slab, rel.rows[msel[i]][ps.from:ps.upto]...)
+					continue
+				}
+				slab = append(slab, pw.vecs[vecSlot[si]].value(i))
+			}
+			rows = append(rows, slab[off:len(slab):len(slab)])
+		}
+		rowBufs[m] = rows
+		if needSort {
+			keys := make([][]Value, nOK)
+			keySlab := make([]Value, nOK*len(keySpecs))
+			for i := 0; i < nOK; i++ {
+				key := keySlab[i*len(keySpecs) : (i+1)*len(keySpecs) : (i+1)*len(keySpecs)]
+				for ki, ks := range keySpecs {
+					if ks.eval != nil {
+						key[ki] = pw.keyVecs[ki].value(i)
+					} else {
+						key[ki] = rows[i][ks.pos]
+					}
+				}
+				keys[i] = key
+			}
+			keyBufs[m] = keys
+		}
+		return evalErr
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	total := 0
+	for _, buf := range rowBufs {
+		total += len(buf)
+	}
+	out.Rows = make([][]Value, 0, total)
+	var sortKeys [][]Value
+	if needSort {
+		sortKeys = make([][]Value, 0, total)
+	}
+	for m := range rowBufs {
+		out.Rows = append(out.Rows, rowBufs[m]...)
+		if needSort {
+			sortKeys = append(sortKeys, keyBufs[m]...)
+		}
+	}
+	return out, sortKeys, nil
+}
+
 // projectionPure reports whether a non-aggregated SELECT body's per-row
 // expressions (select list and ORDER BY keys) are all subquery-free, making
 // the compiled projection closures safe to share across workers.
@@ -818,6 +1183,33 @@ func projectionPure(stmt *sqlparser.SelectStmt) bool {
 		}
 	}
 	return true
+}
+
+// projectionBatchWorthwhile reports whether the select list or sort keys
+// contain computed expressions that batch kernels can actually accelerate.
+// A projection of bare columns (SELECT a, b, *) only copies values; routing
+// it through vectors would gather row-major data into slabs and immediately
+// materialize rows back out — pure overhead — so those stay on the scalar
+// path.
+func projectionBatchWorthwhile(stmt *sqlparser.SelectStmt) bool {
+	computed := func(e sqlparser.Expr) bool {
+		switch e.(type) {
+		case *sqlparser.ColumnRef, *sqlparser.IntLit:
+			return false
+		}
+		return true
+	}
+	for _, item := range stmt.Columns {
+		if item.Expr != nil && computed(item.Expr) {
+			return true
+		}
+	}
+	for _, item := range stmt.OrderBy {
+		if computed(item.Expr) {
+			return true
+		}
+	}
+	return false
 }
 
 // sortKeyFn computes one ORDER BY key for a row, given both the input row
@@ -938,6 +1330,12 @@ func sortResult(ctx *execContext, out *ResultSet, orderBy []sqlparser.OrderItem,
 		if sorted {
 			return nil
 		}
+	}
+	// Large inputs with real parallelism available sort as parallel runs plus
+	// a fan-in merge — bit-identical to the stable sort below because the
+	// run/merge order carries the original index as a tiebreak (extsort.go).
+	if ctx != nil && ctx.workers > 1 && len(out.Rows) >= parallelSortMin {
+		return ctx.sortRowsParallel(out, orderBy, sortKeys)
 	}
 	idx := make([]int, len(out.Rows))
 	for i := range idx {

@@ -92,6 +92,69 @@ func sortKeyLess(orderBy []sqlparser.OrderItem, ka, kb []Value, ia, ib int) bool
 	return ia < ib
 }
 
+// parallelSortMin is the minimum row count for the parallel in-memory sort;
+// below it the segment-sort/merge bookkeeping outweighs the fan-out.
+const parallelSortMin = 4096
+
+// sortRowsParallel is the in-memory analogue of externalSort: the index
+// space is cut into one contiguous segment per worker, each segment is
+// sorted in parallel by the (ORDER BY keys, original index) total order, and
+// a fan-in merge picks the least head until every segment drains. Because
+// that order is strict — the index tiebreak means no two rows compare equal
+// — the merged output is exactly what sort.SliceStable produces serially,
+// bit for bit, at any worker count.
+func (ctx *execContext) sortRowsParallel(out *ResultSet, orderBy []sqlparser.OrderItem, sortKeys [][]Value) error {
+	n := len(out.Rows)
+	segSize := (n + ctx.workers - 1) / ctx.workers
+	if segSize < extSortMinRun {
+		segSize = extSortMinRun
+	}
+	spans := morselSpans(n, segSize)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if err := ctx.runSpans(spans, ctx.workers, func(_, _ int, s span) error {
+		seg := idx[s.lo:s.hi]
+		sort.Slice(seg, func(a, b int) bool {
+			return sortKeyLess(orderBy, sortKeys[seg[a]], sortKeys[seg[b]], seg[a], seg[b])
+		})
+		return nil
+	}); err != nil {
+		return err
+	}
+	heads := make([]int, len(spans))
+	for m, s := range spans {
+		heads[m] = s.lo
+	}
+	sorted := make([][]Value, 0, n)
+	for len(sorted) < n {
+		if len(sorted)%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				return err
+			}
+		}
+		best := -1
+		for m, s := range spans {
+			if heads[m] >= s.hi {
+				continue
+			}
+			if best < 0 {
+				best = m
+				continue
+			}
+			a, b := idx[heads[m]], idx[heads[best]]
+			if sortKeyLess(orderBy, sortKeys[a], sortKeys[b], a, b) {
+				best = m
+			}
+		}
+		sorted = append(sorted, out.Rows[idx[heads[best]]])
+		heads[best]++
+	}
+	out.Rows = sorted
+	return nil
+}
+
 // externalSort sorts out.Rows by orderBy through spill runs. It returns
 // false (leaving out untouched) when the input fits a single run — the
 // caller's in-memory sort is strictly better then.

@@ -68,6 +68,41 @@ func (ctx *execContext) buildJoinIndex(keys []equiKey, rows [][]Value) (*buildIn
 	rightIdx := func(i int) int { return keys[i].rightIdx }
 	if workers <= 1 || len(spans) <= 1 {
 		index := make(map[string][]int, len(rows))
+		if ctx.vector && len(keys) > 0 {
+			// Columnar build: gather the key columns into typed vectors one
+			// morsel at a time and encode from the slabs. appendRowKeyVecs
+			// matches AppendRowKey byte-for-byte, so the index is identical
+			// to the row-at-a-time build below.
+			kvecs := make([]*vector, len(keys))
+			for k := range kvecs {
+				kvecs[k] = &vector{}
+			}
+			var scratch []byte
+			var sel []int
+			for _, s := range spans {
+				if err := ctx.err(); err != nil {
+					return nil, err
+				}
+				sel = sel[:0]
+				for ri := s.lo; ri < s.hi; ri++ {
+					sel = append(sel, ri)
+				}
+				for k := range keys {
+					loadColumn(rows, sel, keys[k].rightIdx, kvecs[k])
+				}
+			rowLoop:
+				for i, ri := range sel {
+					for _, kv := range kvecs {
+						if kv.null[i] {
+							continue rowLoop
+						}
+					}
+					scratch = appendRowKeyVecs(scratch[:0], kvecs, i)
+					index[string(scratch)] = append(index[string(scratch)], ri)
+				}
+			}
+			return &buildIndex{shards: []map[string][]int{index}}, nil
+		}
 		keyBuf := make([]Value, len(keys))
 		var scratch []byte
 		for ri, rr := range rows {

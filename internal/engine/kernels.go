@@ -1,0 +1,587 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"flexdp/internal/sqlparser"
+)
+
+// Vectorized expression kernels: the batch counterpart of compile.go. Where
+// compileExpr emits a closure called once per row, compileBatchExpr emits a
+// kernel called once per morsel, evaluating the expression for every row a
+// selection vector picks out before moving to the next operator. Typed
+// kernels (comparison, arithmetic, logic, NOT/negate/IS NULL) run tight
+// loops over int64/float64/string/bool slices with NULL in validity masks;
+// every other node compiles its row-at-a-time closure and wraps it
+// per-element, so the batch path supports the full expression language and
+// typing is purely an optimization.
+//
+// Semantics are the row path's, bit for bit. Comparisons reproduce
+// Compare/Equal including their quirks (all numeric comparison goes through
+// float64, NaN compares "equal" under ordering but unequal under =),
+// arithmetic reproduces evalArith (int ops wrap, / keeps integer division
+// for int operands, division and modulo by zero yield NULL), and AND/OR
+// keep three-valued logic with the right operand evaluated only where the
+// left does not short-circuit — exactly the rows the row path would have
+// evaluated it on, which is what keeps memoization-free error behavior
+// identical.
+//
+// Error positions follow a prefix contract, defined on batchExpr below: a
+// kernel reports how many leading elements of the selection it completed and
+// the error the row path would have raised at the first incomplete element.
+// Binary kernels evaluate the right operand only over the left's completed
+// prefix, so the earliest failing (row, operand) in row-evaluation order
+// wins — composed with runSpans's lowest-failing-morsel rule, a vectorized
+// query surfaces the identical error the serial row loop would.
+
+// batchExpr evaluates an expression for the rows sel selects out of bc.rows,
+// writing results into out. It returns the number n of leading elements of
+// sel it completed: n == len(sel) means success (err may only be nil), and
+// n < len(sel) means err is the error the row-at-a-time evaluator would
+// raise at row sel[n]. out's elements [0, n) are always valid.
+type batchExpr func(bc *batchCtx, sel []int, out *vector) (int, error)
+
+// compileBatchExpr binds e to rel's column layout and returns its batch
+// kernel. The expression must be pure (exprPure): kernels are stateless and
+// may be cached in the prepared-plan cache and shared across workers, which
+// a memoized subquery closure would break. Callers gate on exprPure before
+// choosing the batch path.
+func compileBatchExpr(rel *relation, ctx *execContext, e sqlparser.Expr) batchExpr {
+	var plans *planCache
+	if ctx != nil {
+		plans = ctx.plans
+	}
+	sig := ""
+	if plans != nil {
+		sig = rel.layoutSig()
+		if fn, ok := plans.getBatch(e, sig); ok {
+			return fn
+		}
+	}
+	c := &batchCompiler{rel: rel, ctx: ctx}
+	fn := c.compile(e)
+	if plans != nil {
+		plans.putBatch(e, sig, fn)
+	}
+	return fn
+}
+
+type batchCompiler struct {
+	rel *relation
+	ctx *execContext
+}
+
+func constBatch(v Value) batchExpr {
+	return func(_ *batchCtx, sel []int, out *vector) (int, error) {
+		out.fillConst(v, len(sel))
+		return len(sel), nil
+	}
+}
+
+// errBatch defers a resolution failure to evaluation, like errFn: the error
+// surfaces at the first evaluated row and not at all over an empty batch.
+func errBatch(err error) batchExpr {
+	return func(_ *batchCtx, sel []int, out *vector) (int, error) {
+		out.reset(vecBool, 0)
+		if len(sel) == 0 {
+			return 0, nil
+		}
+		return 0, err
+	}
+}
+
+// rowFallback wraps an expression's compiled row closure per element. This
+// is how CASE, LIKE, IN-lists, BETWEEN, CAST, functions, and string
+// concatenation participate in batch plans; the closure is pure (see
+// compileBatchExpr's gate), so sharing it across workers is safe.
+func (c *batchCompiler) rowFallback(e sqlparser.Expr) batchExpr {
+	fn, err := compileExpr(c.rel, c.ctx, e)
+	if err != nil {
+		return errBatch(err)
+	}
+	return func(bc *batchCtx, sel []int, out *vector) (int, error) {
+		out.reset(vecGeneric, len(sel))
+		for i, ri := range sel {
+			v, err := fn(bc.rows[ri])
+			if err != nil {
+				return i, err
+			}
+			out.setVal(i, v)
+		}
+		return len(sel), nil
+	}
+}
+
+func (c *batchCompiler) compile(e sqlparser.Expr) batchExpr {
+	switch x := e.(type) {
+	case *sqlparser.IntLit:
+		return constBatch(NewInt(x.Value))
+	case *sqlparser.FloatLit:
+		return constBatch(NewFloat(x.Value))
+	case *sqlparser.StringLit:
+		return constBatch(NewString(x.Value))
+	case *sqlparser.BoolLit:
+		return constBatch(NewBool(x.Value))
+	case *sqlparser.NullLit:
+		return constBatch(Null)
+	case *sqlparser.ColumnRef:
+		i, err := c.rel.findCol(x.Table, x.Name)
+		if err != nil {
+			return errBatch(err)
+		}
+		return func(bc *batchCtx, sel []int, out *vector) (int, error) {
+			loadColumn(bc.rows, sel, i, out)
+			return len(sel), nil
+		}
+	case *sqlparser.BinaryExpr:
+		switch x.Op {
+		case "AND":
+			return c.logicalKernel(x, true)
+		case "OR":
+			return c.logicalKernel(x, false)
+		case "=":
+			return cmpKernel(c.compile(x.Left), c.compile(x.Right), opEq)
+		case "<>":
+			return cmpKernel(c.compile(x.Left), c.compile(x.Right), opNe)
+		case "<":
+			return cmpKernel(c.compile(x.Left), c.compile(x.Right), opLt)
+		case "<=":
+			return cmpKernel(c.compile(x.Left), c.compile(x.Right), opLe)
+		case ">":
+			return cmpKernel(c.compile(x.Left), c.compile(x.Right), opGt)
+		case ">=":
+			return cmpKernel(c.compile(x.Left), c.compile(x.Right), opGe)
+		case "+", "-", "*", "/", "%":
+			return arithKernel(c.compile(x.Left), c.compile(x.Right), x.Op)
+		}
+		// "||" and unknown operators take the row closure (errFn for the
+		// latter, preserving the error-at-first-row semantics).
+		return c.rowFallback(e)
+	case *sqlparser.UnaryExpr:
+		switch x.Op {
+		case "NOT":
+			return notKernel(c.compile(x.Expr))
+		case "-":
+			return negateKernel(c.compile(x.Expr))
+		}
+		return c.rowFallback(e)
+	case *sqlparser.IsNullExpr:
+		return isNullKernel(c.compile(x.Expr), x.Not)
+	}
+	return c.rowFallback(e)
+}
+
+// evalBinaryOperands evaluates l over sel and r over l's completed prefix,
+// merging the prefix contract: with rerr non-nil nr < nl, so r's error is at
+// an earlier row than l's (the row loop evaluates both operands of a row
+// before moving on); with rerr nil, nr == nl and l's error (if any) stands.
+// Both lv and rv are valid on [0, n) for the returned n.
+func evalBinaryOperands(bc *batchCtx, l, r batchExpr, sel []int, lv, rv *vector) (int, error) {
+	nl, lerr := l(bc, sel, lv)
+	nr, rerr := r(bc, sel[:nl], rv)
+	if rerr != nil {
+		return nr, rerr
+	}
+	return nl, lerr
+}
+
+// cmpOp selects the comparison predicate at compile time.
+type cmpOp int
+
+const (
+	opEq cmpOp = iota
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+)
+
+// cmpFloat reproduces Equal/Compare over numeric values: everything through
+// float64, with ordering predicates phrased so NaN behaves exactly as
+// Compare's "neither less nor greater" (opLe is !(a>b), not a<=b — for NaN
+// the two differ, and Compare(NaN, x) == 0 makes <= and >= true).
+func cmpFloat(op cmpOp, a, b float64) bool {
+	switch op {
+	case opEq:
+		return a == b
+	case opNe:
+		return a != b
+	case opLt:
+		return a < b
+	case opLe:
+		return !(a > b)
+	case opGt:
+		return a > b
+	}
+	return !(a < b)
+}
+
+func cmpString(op cmpOp, a, b string) bool {
+	switch op {
+	case opEq:
+		return a == b
+	case opNe:
+		return a != b
+	case opLt:
+		return a < b
+	case opLe:
+		return a <= b
+	case opGt:
+		return a > b
+	}
+	return a >= b
+}
+
+// cmpBool orders false before true, matching Compare.
+func cmpBool(op cmpOp, a, b bool) bool {
+	switch op {
+	case opEq:
+		return a == b
+	case opNe:
+		return a != b
+	case opLt:
+		return !a && b
+	case opLe:
+		return !a || b
+	case opGt:
+		return a && !b
+	}
+	return a || !b
+}
+
+// cmpValues is the generic element comparison, deferring to Equal/Compare
+// for mixed-kind pairs (cross-kind ordering by kind rank, = always false
+// across kinds).
+func cmpValues(op cmpOp, a, b Value) bool {
+	switch op {
+	case opEq:
+		return Equal(a, b)
+	case opNe:
+		return !Equal(a, b)
+	case opLt:
+		return Compare(a, b) < 0
+	case opLe:
+		return Compare(a, b) <= 0
+	case opGt:
+		return Compare(a, b) > 0
+	}
+	return Compare(a, b) >= 0
+}
+
+// cmpKernel emits the NULL-propagating comparison kernel: typed loops when
+// both operand vectors share a comparable representation, the generic
+// Equal/Compare element loop otherwise.
+func cmpKernel(l, r batchExpr, op cmpOp) batchExpr {
+	return func(bc *batchCtx, sel []int, out *vector) (int, error) {
+		lv, rv := bc.get(), bc.get()
+		defer func() { bc.put(lv); bc.put(rv) }()
+		n, err := evalBinaryOperands(bc, l, r, sel, lv, rv)
+		out.reset(vecBool, len(sel))
+		switch {
+		case lv.numeric() && rv.numeric():
+			for i := 0; i < n; i++ {
+				if lv.null[i] || rv.null[i] {
+					out.null[i] = true
+					continue
+				}
+				out.bools[i] = cmpFloat(op, lv.float(i), rv.float(i))
+			}
+		case lv.kind == vecString && rv.kind == vecString:
+			for i := 0; i < n; i++ {
+				if lv.null[i] || rv.null[i] {
+					out.null[i] = true
+					continue
+				}
+				out.bools[i] = cmpString(op, lv.strs[i], rv.strs[i])
+			}
+		case lv.kind == vecBool && rv.kind == vecBool:
+			for i := 0; i < n; i++ {
+				if lv.null[i] || rv.null[i] {
+					out.null[i] = true
+					continue
+				}
+				out.bools[i] = cmpBool(op, lv.bools[i], rv.bools[i])
+			}
+		default:
+			for i := 0; i < n; i++ {
+				a, b := lv.value(i), rv.value(i)
+				if a.IsNull() || b.IsNull() {
+					out.null[i] = true
+					continue
+				}
+				out.bools[i] = cmpValues(op, a, b)
+			}
+		}
+		return n, err
+	}
+}
+
+// arithKernel emits the arithmetic kernel for +, -, *, /, %. Int-int stays
+// in int64 (wrapping, integer division, % by zero → NULL) exactly like
+// evalArith's int path; any other numeric pairing runs the float path
+// (division/modulo by zero → NULL, % via math.Mod); non-numeric elements go
+// through evalArith itself so the "arithmetic on non-numeric" error carries
+// the row path's message and position.
+func arithKernel(l, r batchExpr, op string) batchExpr {
+	return func(bc *batchCtx, sel []int, out *vector) (int, error) {
+		lv, rv := bc.get(), bc.get()
+		defer func() { bc.put(lv); bc.put(rv) }()
+		n, err := evalBinaryOperands(bc, l, r, sel, lv, rv)
+		bothInt := lv.kind == vecInt && rv.kind == vecInt
+		switch {
+		case bothInt:
+			out.reset(vecInt, len(sel))
+			switch op {
+			case "+":
+				for i := 0; i < n; i++ {
+					if lv.null[i] || rv.null[i] {
+						out.null[i] = true
+						continue
+					}
+					out.ints[i] = lv.ints[i] + rv.ints[i]
+				}
+			case "-":
+				for i := 0; i < n; i++ {
+					if lv.null[i] || rv.null[i] {
+						out.null[i] = true
+						continue
+					}
+					out.ints[i] = lv.ints[i] - rv.ints[i]
+				}
+			case "*":
+				for i := 0; i < n; i++ {
+					if lv.null[i] || rv.null[i] {
+						out.null[i] = true
+						continue
+					}
+					out.ints[i] = lv.ints[i] * rv.ints[i]
+				}
+			case "/", "%":
+				mod := op == "%"
+				for i := 0; i < n; i++ {
+					if lv.null[i] || rv.null[i] || rv.ints[i] == 0 {
+						out.null[i] = true
+						continue
+					}
+					if mod {
+						out.ints[i] = lv.ints[i] % rv.ints[i]
+					} else {
+						out.ints[i] = lv.ints[i] / rv.ints[i]
+					}
+				}
+			}
+		case lv.numeric() && rv.numeric():
+			out.reset(vecFloat, len(sel))
+			switch op {
+			case "+":
+				for i := 0; i < n; i++ {
+					if lv.null[i] || rv.null[i] {
+						out.null[i] = true
+						continue
+					}
+					out.floats[i] = lv.float(i) + rv.float(i)
+				}
+			case "-":
+				for i := 0; i < n; i++ {
+					if lv.null[i] || rv.null[i] {
+						out.null[i] = true
+						continue
+					}
+					out.floats[i] = lv.float(i) - rv.float(i)
+				}
+			case "*":
+				for i := 0; i < n; i++ {
+					if lv.null[i] || rv.null[i] {
+						out.null[i] = true
+						continue
+					}
+					out.floats[i] = lv.float(i) * rv.float(i)
+				}
+			case "/":
+				for i := 0; i < n; i++ {
+					if lv.null[i] || rv.null[i] || rv.float(i) == 0 {
+						out.null[i] = true
+						continue
+					}
+					out.floats[i] = lv.float(i) / rv.float(i)
+				}
+			case "%":
+				for i := 0; i < n; i++ {
+					if lv.null[i] || rv.null[i] || rv.float(i) == 0 {
+						out.null[i] = true
+						continue
+					}
+					out.floats[i] = math.Mod(lv.float(i), rv.float(i))
+				}
+			}
+		default:
+			out.reset(vecGeneric, len(sel))
+			for i := 0; i < n; i++ {
+				a, b := lv.value(i), rv.value(i)
+				if a.IsNull() || b.IsNull() {
+					out.setVal(i, Null)
+					continue
+				}
+				v, aerr := evalArith(op, a, b)
+				if aerr != nil {
+					return i, aerr
+				}
+				out.setVal(i, v)
+			}
+		}
+		return n, err
+	}
+}
+
+// logicalKernel emits AND/OR with three-valued logic. The right operand is
+// evaluated over the sub-selection of rows the left does not short-circuit —
+// the same rows the row loop would evaluate it on — so side conditions like
+// error positions and (for fallback-wrapped operands) evaluation counts stay
+// identical to serial execution.
+func (c *batchCompiler) logicalKernel(x *sqlparser.BinaryExpr, isAnd bool) batchExpr {
+	l := c.compile(x.Left)
+	r := c.compile(x.Right)
+	return func(bc *batchCtx, sel []int, out *vector) (int, error) {
+		lv, rv := bc.get(), bc.get()
+		defer func() { bc.put(lv); bc.put(rv) }()
+		nl, lerr := l(bc, sel, lv)
+
+		// Rows where the left operand decides the result skip the right
+		// operand; pos maps sub-selection index back to prefix position.
+		sub, pos := bc.getSel(), bc.getSel()
+		defer func() { bc.putSel(sub); bc.putSel(pos) }()
+		for i := 0; i < nl; i++ {
+			if isAnd {
+				if lv.isFalse(i) {
+					continue
+				}
+			} else if lv.isTrue(i) {
+				continue
+			}
+			sub = append(sub, sel[i])
+			pos = append(pos, i)
+		}
+		nr, rerr := r(bc, sub, rv)
+
+		n, err := nl, lerr
+		if rerr != nil {
+			// pos[nr] < nl always, so a right-operand error is at a strictly
+			// earlier row than the left's and wins.
+			n, err = pos[nr], rerr
+		}
+
+		out.reset(vecBool, len(sel))
+		j := 0 // walks sub/rv in lockstep with the non-short-circuited rows
+		for i := 0; i < n; i++ {
+			if isAnd {
+				if lv.isFalse(i) {
+					out.bools[i] = false
+					continue
+				}
+				switch {
+				case rv.isFalse(j):
+					out.bools[i] = false
+				case lv.null[i] || rv.null[j]:
+					out.null[i] = true
+				default:
+					out.bools[i] = true
+				}
+			} else {
+				if lv.isTrue(i) {
+					out.bools[i] = true
+					continue
+				}
+				switch {
+				case rv.isTrue(j):
+					out.bools[i] = true
+				case lv.null[i] || rv.null[j]:
+					out.null[i] = true
+				default:
+					out.bools[i] = false
+				}
+			}
+			j++
+		}
+		return n, err
+	}
+}
+
+// notKernel: NULL stays NULL, anything else becomes !Truthy.
+func notKernel(inner batchExpr) batchExpr {
+	return func(bc *batchCtx, sel []int, out *vector) (int, error) {
+		iv := bc.get()
+		defer bc.put(iv)
+		n, err := inner(bc, sel, iv)
+		out.reset(vecBool, len(sel))
+		for i := 0; i < n; i++ {
+			if iv.null[i] {
+				out.null[i] = true
+				continue
+			}
+			out.bools[i] = !iv.isTrue(i)
+		}
+		return n, err
+	}
+}
+
+// negateKernel: typed loops for int/float vectors; the generic loop raises
+// the row path's "cannot negate" error at the first offending element.
+func negateKernel(inner batchExpr) batchExpr {
+	return func(bc *batchCtx, sel []int, out *vector) (int, error) {
+		iv := bc.get()
+		defer bc.put(iv)
+		n, err := inner(bc, sel, iv)
+		switch iv.kind {
+		case vecInt:
+			out.reset(vecInt, len(sel))
+			for i := 0; i < n; i++ {
+				if iv.null[i] {
+					out.null[i] = true
+					continue
+				}
+				out.ints[i] = -iv.ints[i]
+			}
+		case vecFloat:
+			out.reset(vecFloat, len(sel))
+			for i := 0; i < n; i++ {
+				if iv.null[i] {
+					out.null[i] = true
+					continue
+				}
+				out.floats[i] = -iv.floats[i]
+			}
+		default:
+			out.reset(vecGeneric, len(sel))
+			for i := 0; i < n; i++ {
+				v := iv.value(i)
+				switch v.Kind {
+				case KindInt:
+					out.setVal(i, NewInt(-v.Int))
+				case KindFloat:
+					out.setVal(i, NewFloat(-v.Float))
+				case KindNull:
+					out.setVal(i, Null)
+				default:
+					return i, fmt.Errorf("engine: cannot negate %s", v.Kind)
+				}
+			}
+		}
+		return n, err
+	}
+}
+
+// isNullKernel: IS [NOT] NULL never yields NULL itself.
+func isNullKernel(inner batchExpr, not bool) batchExpr {
+	return func(bc *batchCtx, sel []int, out *vector) (int, error) {
+		iv := bc.get()
+		defer bc.put(iv)
+		n, err := inner(bc, sel, iv)
+		out.reset(vecBool, len(sel))
+		for i := 0; i < n; i++ {
+			out.bools[i] = iv.null[i] != not
+		}
+		return n, err
+	}
+}

@@ -14,11 +14,48 @@ import (
 // bit-identical to the serial path regardless of worker count or goroutine
 // schedule. See DESIGN.md, "Parallel execution & determinism".
 
-// DefaultMorselSize is the number of rows per morsel when a DB does not
-// override it. Chosen so one morsel's rows plus per-row scratch fit in L2
-// while keeping scheduling overhead (one atomic increment per morsel)
-// negligible against per-row expression evaluation.
+// DefaultMorselSize is the fallback number of rows per morsel: what
+// DB.MorselSize reports when nothing is pinned, and what morselSpans uses
+// when handed a non-positive size. Chosen so one morsel's rows plus per-row
+// scratch fit in L2 while keeping scheduling overhead (one atomic increment
+// per morsel) negligible against per-row expression evaluation. Operators
+// that know their input width use adaptiveMorselSize instead.
 const DefaultMorselSize = 1024
+
+// Adaptive morsel sizing: with vectorized kernels the useful morsel
+// granularity is a cache-footprint target, not a fixed row count — wide rows
+// want fewer rows per morsel (so a morsel's column slabs still fit in L2),
+// narrow rows want more (so per-morsel scheduling and kernel-dispatch
+// overhead amortizes). The executor derives the size from the input row
+// width, targeting adaptiveMorselBytes per morsel, rounded to a power of two
+// and clamped to [minMorselSize, maxMorselSize]. SetMorselSize still pins an
+// exact size — tests rely on that — and either way the size only changes
+// scheduling, never results.
+const (
+	adaptiveMorselBytes = 256 << 10 // target bytes of row data per morsel
+	minMorselSize       = 256
+	maxMorselSize       = 8192
+)
+
+// adaptiveMorselSize returns the morsel size (in rows) for inputs of the
+// given column width: the smallest power of two whose estimated byte
+// footprint reaches adaptiveMorselBytes, clamped. Width 5 lands on 1024 —
+// the historical DefaultMorselSize — so typical analytic schemas keep their
+// tuned granularity.
+func adaptiveMorselSize(width int) int {
+	if width < 1 {
+		width = 1
+	}
+	// Estimated slab footprint per row: each Value is ~48 bytes (kind +
+	// int64/float64/string header) plus ~24 bytes of row-slice overhead.
+	rowBytes := width*48 + 24
+	target := adaptiveMorselBytes / rowBytes
+	size := minMorselSize
+	for size < target && size < maxMorselSize {
+		size <<= 1
+	}
+	return size
+}
 
 // span is one morsel: a half-open row range [lo, hi) of an operator input.
 type span struct {

@@ -32,10 +32,11 @@ type planKey struct {
 type planCache struct {
 	mu sync.RWMutex
 	m  map[planKey]evalFn
+	mb map[planKey]batchExpr
 }
 
 func newPlanCache() *planCache {
-	return &planCache{m: make(map[planKey]evalFn)}
+	return &planCache{m: make(map[planKey]evalFn), mb: make(map[planKey]batchExpr)}
 }
 
 func (p *planCache) get(e sqlparser.Expr, sig string) (evalFn, bool) {
@@ -48,6 +49,23 @@ func (p *planCache) get(e sqlparser.Expr, sig string) (evalFn, bool) {
 func (p *planCache) put(e sqlparser.Expr, sig string, fn evalFn) {
 	p.mu.Lock()
 	p.m[planKey{expr: e, sig: sig}] = fn
+	p.mu.Unlock()
+}
+
+// getBatch/putBatch memoize vectorized kernels alongside the row closures,
+// under the same (expression identity, layout signature) key. Only pure
+// expressions reach the batch compiler, so every cached kernel is stateless
+// and shareable across executions and workers.
+func (p *planCache) getBatch(e sqlparser.Expr, sig string) (batchExpr, bool) {
+	p.mu.RLock()
+	fn, ok := p.mb[planKey{expr: e, sig: sig}]
+	p.mu.RUnlock()
+	return fn, ok
+}
+
+func (p *planCache) putBatch(e sqlparser.Expr, sig string, fn batchExpr) {
+	p.mu.Lock()
+	p.mb[planKey{expr: e, sig: sig}] = fn
 	p.mu.Unlock()
 }
 
@@ -123,6 +141,7 @@ func (p *PreparedQuery) ExecContext(goctx context.Context) (rs *ResultSet, err e
 	defer p.db.finishSpill(mgr)
 	defer recoverExecPanic(&err)
 	ctx := &execContext{db: p.db, ctes: make(map[string]*relation), plans: plans,
-		workers: p.db.Parallelism(), morsel: p.db.MorselSize(), spill: mgr, goctx: goctx}
+		workers: p.db.Parallelism(), morsel: p.db.MorselSize(),
+		pinned: p.db.morselPinned(), vector: p.db.Vectorized(), spill: mgr, goctx: goctx}
 	return ctx.executeSelect(p.stmt)
 }

@@ -16,34 +16,45 @@ import (
 // alongside the paper-figure experiments, and doubles as a determinism
 // check: serial and parallel results are compared row by row.
 
-// EngineBenchQuery is one query's timing at both worker settings.
+// EngineBenchQuery is one query's timing across evaluation settings:
+// scalar (row-at-a-time closures, one worker), serial (vectorized kernels,
+// one worker), and parallel (vectorized, one worker per CPU).
 type EngineBenchQuery struct {
 	Name       string  `json:"name"`
 	SQL        string  `json:"sql"`
+	ScalarMS   float64 `json:"scalar_ms"`
 	SerialMS   float64 `json:"serial_ms"`
 	ParallelMS float64 `json:"parallel_ms"`
 	Speedup    float64 `json:"speedup"`
-	// Identical reports whether the parallel result was bit-identical to
-	// the serial one (it must always be true; recorded so a regression is
-	// visible in the benchmark artifact, not just in tests).
+	// VectorSpeedup is scalar over serial: the batching win by itself,
+	// isolated from parallel scaling.
+	VectorSpeedup float64 `json:"vector_speedup"`
+	// Identical reports whether the scalar, serial, and parallel results
+	// were all bit-identical (it must always be true; recorded so a
+	// regression is visible in the benchmark artifact, not just in tests).
 	Identical bool `json:"identical"`
 }
 
 // EngineBenchResult is the "engine" section of the benchmark record.
 type EngineBenchResult struct {
-	Rows    int                `json:"rows"`
-	Workers int                `json:"workers"`
-	Queries []EngineBenchQuery `json:"queries"`
+	Rows    int `json:"rows"`
+	Workers int `json:"workers"`
+	// MorselSize is the adaptive morsel granularity in effect for the
+	// five-column trips table (the executor derives it from row width
+	// unless a size is pinned).
+	MorselSize int                `json:"morsel_size"`
+	Queries    []EngineBenchQuery `json:"queries"`
 }
 
 // String renders the paper-style rows.
 func (r EngineBenchResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Engine parallel executor (%d rows, %d workers)\n", r.Rows, r.Workers)
-	fmt.Fprintf(&b, "%-28s %12s %12s %8s %5s\n", "query", "serial ms", "parallel ms", "speedup", "same")
+	fmt.Fprintf(&b, "Engine executor (%d rows, %d workers, morsel %d)\n", r.Rows, r.Workers, r.MorselSize)
+	fmt.Fprintf(&b, "%-28s %10s %10s %12s %7s %7s %5s\n",
+		"query", "scalar ms", "serial ms", "parallel ms", "vec", "par", "same")
 	for _, q := range r.Queries {
-		fmt.Fprintf(&b, "%-28s %12.2f %12.2f %7.2fx %5v\n",
-			q.Name, q.SerialMS, q.ParallelMS, q.Speedup, q.Identical)
+		fmt.Fprintf(&b, "%-28s %10.2f %10.2f %12.2f %6.2fx %6.2fx %5v\n",
+			q.Name, q.ScalarMS, q.SerialMS, q.ParallelMS, q.VectorSpeedup, q.Speedup, q.Identical)
 	}
 	return strings.TrimRight(b.String(), "\n")
 }
@@ -92,11 +103,14 @@ func engineBenchDB(seed int64, n int) *engine.DB {
 	return db
 }
 
-// RunEngineParallel times the engine's hot paths serially and with one
-// worker per CPU, taking the best of reps runs for each setting.
+// RunEngineParallel times the engine's hot paths in three settings —
+// row-at-a-time scalar closures (one worker), vectorized kernels (one
+// worker), and vectorized with one worker per CPU — taking the best of reps
+// runs for each.
 func RunEngineParallel(seed int64, rows, reps int) EngineBenchResult {
 	db := engineBenchDB(seed, rows)
 	defer db.SetParallelism(0)
+	defer db.SetVectorized(true)
 	queries := []struct{ name, sql string }{
 		{"scan_filter", `SELECT id, fare * 1.1 FROM trips
 			WHERE status = 'completed' AND fare > 10.0 AND city_id < 15`},
@@ -105,19 +119,29 @@ func RunEngineParallel(seed int64, rows, reps int) EngineBenchResult {
 		{"hash_join", `SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id
 			WHERE t.city_id = d.home_city`},
 	}
-	res := EngineBenchResult{Rows: rows, Workers: db.Parallelism()}
+	res := EngineBenchResult{
+		Rows:       rows,
+		Workers:    db.Parallelism(),
+		MorselSize: db.MorselSizeFor(5), // trips is five columns wide
+	}
 	for _, q := range queries {
 		db.SetParallelism(1)
+		db.SetVectorized(false)
+		scalar, scalarMS := timeQuery(db, q.sql, reps)
+		db.SetVectorized(true)
 		serial, serialMS := timeQuery(db, q.sql, reps)
 		db.SetParallelism(0)
 		parallel, parallelMS := timeQuery(db, q.sql, reps)
 		res.Queries = append(res.Queries, EngineBenchQuery{
-			Name:       q.name,
-			SQL:        q.sql,
-			SerialMS:   serialMS,
-			ParallelMS: parallelMS,
-			Speedup:    serialMS / parallelMS,
-			Identical:  resultSetsIdentical(serial, parallel),
+			Name:          q.name,
+			SQL:           q.sql,
+			ScalarMS:      scalarMS,
+			SerialMS:      serialMS,
+			ParallelMS:    parallelMS,
+			Speedup:       serialMS / parallelMS,
+			VectorSpeedup: scalarMS / serialMS,
+			Identical: resultSetsIdentical(serial, parallel) &&
+				resultSetsIdentical(scalar, serial),
 		})
 	}
 	return res
