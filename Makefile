@@ -3,7 +3,7 @@ GO ?= go
 # Benchmarks covered by the CI regression gate (serial hot paths only:
 # worker-scaling and RunParallel benches vary with the runner's core count
 # and would make cross-run comparison meaningless).
-GATE_ENGINE_BENCH = BenchmarkWhereFilter|BenchmarkHashJoin|BenchmarkGroupByAggregate|BenchmarkProjection|BenchmarkDistinct|BenchmarkVectorFilter|BenchmarkVectorProject
+GATE_ENGINE_BENCH = BenchmarkWhereFilter|BenchmarkHashJoin|BenchmarkGroupByAggregate|BenchmarkProjection|BenchmarkDistinct|BenchmarkVectorFilter|BenchmarkVectorProject|BenchmarkStreamingPipeline
 # Spill benches are disk-IO-bound and run only 1-3 iterations at 200ms, so
 # they get a longer benchtime for a stable median under the same 15% gate.
 GATE_SPILL_BENCH = BenchmarkSpillJoin|BenchmarkSpillSort|BenchmarkSpillAggregate
@@ -12,7 +12,7 @@ GATE_PREPARED_BENCH = BenchmarkSystemRunRepeated|BenchmarkPreparedRunRepeated
 GATE_COUNT = 5
 GATE_BENCHTIME = 200ms
 
-.PHONY: check build test vet race lint test-lowmem test-faults bench-short bench-engine bench-prepared bench-paper bench-parallel bench-spill bench-vector bench-current bench-baseline bench-gate flexbench-small
+.PHONY: check build test vet race lint test-lowmem test-faults bench-short bench-engine bench-prepared bench-paper bench-parallel bench-spill bench-vector bench-streaming bench-current bench-baseline bench-gate flexbench-small
 
 # Default: the tier-1 verification plus static analysis.
 check: build vet test
@@ -63,6 +63,13 @@ bench-parallel:
 bench-spill:
 	$(GO) test ./internal/engine -run '^$$' \
 		-bench 'BenchmarkSpillJoin|BenchmarkSpillSort|BenchmarkSpillAggregate|BenchmarkHashJoin|BenchmarkGroupByAggregate' \
+		-benchtime 1s
+
+# Streamed executor vs the materialized one on the same scan → filter →
+# group-by plan: the streamed run must be no slower (it is the default).
+bench-streaming:
+	$(GO) test ./internal/engine -run '^$$' \
+		-bench 'BenchmarkStreamingPipeline' \
 		-benchtime 1s
 
 # Vectorized kernels vs the row-at-a-time closures, one worker: the

@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -90,7 +92,11 @@ func main() {
 		return
 	}
 
-	res, err := sys.Run(*query, *eps, d)
+	// Interrupt (Ctrl-C) cancels the running query: execution aborts within
+	// one morsel of work per worker and no privacy budget is spent.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := sys.RunContext(ctx, *query, *eps, d)
 	if err != nil {
 		fatal("run: %v", err)
 	}

@@ -17,6 +17,10 @@ import (
 // parallel path consumes it directly, the spilled and serial paths
 // materialize it.
 func (ctx *execContext) executeAggregate(stmt *sqlparser.SelectStmt, rel *relation, sel []int) (*ResultSet, [][]Value, error) {
+	// Every materialized aggregation is a pipeline breaker: the full grouping
+	// state (or spill partitioning of it) stands between input and output.
+	ctx.pstats.breaker(0)
+
 	// Resolve positional GROUP BY references (GROUP BY 1) to the
 	// corresponding select-list expressions.
 	if resolved, err := resolvePositionalGroupBy(stmt); err != nil {
@@ -444,7 +448,13 @@ func (g *groupEnv) evalAggregate(x *sqlparser.FuncCall) (Value, error) {
 			return Null, fmt.Errorf("engine: internal: aggregate %s(%s) missing from parallel plan",
 				x.Name, sqlparser.PrintExpr(x.Args[0]))
 		}
-		return foldAggregate(x.Name, g.par.slots[slot].vals)
+		st := &g.par.slots[slot]
+		if st.fold != nil {
+			// Streaming fold path: the slot holds incrementally-folded state
+			// instead of the value list (aggstream.go).
+			return st.fold.result(x.Name)
+		}
+		return foldAggregate(x.Name, st.vals)
 	}
 	arg, err := g.compiled(x.Args[0])
 	if err != nil {

@@ -33,9 +33,13 @@ import (
 
 // parAggState is one aggregate call's partial state within one group: the
 // ordered non-null argument values, plus the dedup set for DISTINCT calls.
+// The streaming sink (aggstream.go) replaces the value list with an
+// incremental fold for the aggregates that admit one; fold and vals are
+// mutually exclusive.
 type parAggState struct {
 	vals []Value
 	seen map[string]bool // non-nil only for DISTINCT calls
+	fold *slotFold       // non-nil only on the streaming fold path
 }
 
 // parGroup is one group's merged partial-aggregation state.
@@ -416,6 +420,15 @@ func (ctx *execContext) executeAggregateParallel(stmt *sqlparser.SelectStmt, rel
 		groups = append(groups, &parGroup{slots: make([]parAggState, len(slots))})
 	}
 
+	return ctx.aggFinalize(stmt, rel, groups, slotOf)
+}
+
+// aggFinalize is the grouped-aggregation output phase shared by the parallel
+// and streaming paths: per merged group it evaluates HAVING, the select list,
+// and ORDER BY keys, fanning one group per morsel across workers; outputs
+// assemble in group order.
+func (ctx *execContext) aggFinalize(stmt *sqlparser.SelectStmt, rel *relation,
+	groups []*parGroup, slotOf map[*sqlparser.FuncCall]int) (*ResultSet, [][]Value, error) {
 	var names []string
 	for i, item := range stmt.Columns {
 		if item.Star || item.TableStar != "" {
@@ -427,15 +440,15 @@ func (ctx *execContext) executeAggregateParallel(stmt *sqlparser.SelectStmt, rel
 	needSort := len(stmt.OrderBy) > 0
 	cache := newExprCache()
 
-	// Phase 2: per-group evaluation (HAVING, select list, sort keys),
-	// fanned one group per morsel; outputs assemble in group order below.
+	// Per-group evaluation (HAVING, select list, sort keys), fanned one group
+	// per morsel; outputs assemble in group order below.
 	type groupOut struct {
 		skip bool
 		row  []Value
 		key  []Value
 	}
 	results := make([]groupOut, len(groups))
-	err = ctx.runSpans(morselSpans(len(groups), 1), ctx.workers, func(_, gi int, _ span) error {
+	err := ctx.runSpans(morselSpans(len(groups), 1), ctx.workers, func(_, gi int, _ span) error {
 		g := groups[gi]
 		genv := &groupEnv{ctx: ctx, rel: rel, groupBy: stmt.GroupBy, keyVals: g.keyVals,
 			cache: cache, par: g, slotOf: slotOf}

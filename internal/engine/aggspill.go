@@ -146,7 +146,17 @@ func (ctx *execContext) executeAggregateSpilled(stmt *sqlparser.SelectStmt, rel 
 	if err != nil {
 		return nil, nil, err
 	}
+	return ctx.drainAggSpill(stmt, rel, runs, len(rel.rows))
+}
 
+// drainAggSpill aggregates the level-0 partition runs and assembles the
+// final result; totalRows is the number of input rows partitioned (the
+// parentLen bound for skew detection). Shared by the materialized spilled
+// aggregation above and the streaming spill sink (aggstream.go), which both
+// write identical partition records.
+func (ctx *execContext) drainAggSpill(stmt *sqlparser.SelectStmt, rel *relation,
+	runs []*spill.Run, totalRows int) (*ResultSet, [][]Value, error) {
+	fanout := len(runs)
 	var names []string
 	for i, item := range stmt.Columns {
 		names = append(names, outputName(item, i))
@@ -176,7 +186,7 @@ func (ctx *execContext) executeAggregateSpilled(stmt *sqlparser.SelectStmt, rel 
 		}
 		ps := &aggSpillState{stmt: stmt, rel: rel, cache: st.cache,
 			outCols: names, needSort: st.needSort}
-		if err := ctx.aggSpillNode(1, recs, len(rel.rows), ps); err != nil {
+		if err := ctx.aggSpillNode(1, recs, totalRows, ps); err != nil {
 			return err
 		}
 		states[p] = ps

@@ -66,32 +66,13 @@ type DB struct {
 	tables  map[string]*Table
 	version uint64 // bumped on every mutation (insert/create/drop)
 
-	// parallelism bounds the per-query worker count of the morsel-driven
-	// executor; 0 means one worker per CPU (GOMAXPROCS). Results are
-	// bit-identical at every setting — this is a throughput knob only.
-	parallelism int
-	// morselSize is the executor's chunk size in rows; 0 means
-	// DefaultMorselSize. Tests shrink it to exercise multi-morsel merges on
-	// small tables.
-	morselSize int
-	// vectorOff disables the vectorized batch-expression kernels, forcing
-	// every operator onto the row-at-a-time closure path. Zero value =
-	// vectorization on. Results are bit-identical either way — this exists
-	// for differential tests and A/B benchmarking.
-	vectorOff bool
-	// memoryBudget bounds per-query operator state (hash-join build tables,
-	// ORDER BY buffers, grouped-aggregation state, DISTINCT and
-	// set-operation key sets) in bytes; operators exceeding it go
-	// out-of-core through the spill subsystem. 0 means unbounded (never
-	// spill). Like parallelism, it is a resource knob only: results are
-	// bit-identical at every setting.
-	memoryBudget int64
-	// tempDir is where spill files are created; "" means os.TempDir().
-	tempDir string
-	// spillFS, when non-nil, replaces the real filesystem for spill files.
-	// It exists for fault injection: tests install a spill.FaultFS to prove
-	// that disk failures surface as clean query errors (see spill/faultfs.go).
-	spillFS spill.FS
+	// cfg holds the execution defaults (worker count, morsel size,
+	// vectorization, memory budget, spill placement). Every execution
+	// snapshots it once at entry, so a knob changed mid-query applies to the
+	// next execution, never a running one. The legacy Set* methods below are
+	// thin wrappers mutating individual fields; SetExecConfig replaces it
+	// wholesale.
+	cfg ExecConfig
 
 	// spillMu guards spillTotals, the cumulative spill metrics folded in
 	// from every finished query's manager.
@@ -106,14 +87,14 @@ type DB struct {
 // memory. Query results do not depend on this setting — the spill paths
 // reproduce the in-memory operators' output bit for bit (see DESIGN.md,
 // "Out-of-core execution") — so it may be changed at any time, including
-// between executions of a prepared query.
+// between executions of a prepared query. Thin wrapper over SetExecConfig.
 func (db *DB) SetMemoryBudget(n int64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if n < 0 {
 		n = 0
 	}
-	db.memoryBudget = n
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.cfg.MemoryBudget = n
 }
 
 // MemoryBudget returns the per-query operator-state budget in bytes
@@ -121,41 +102,32 @@ func (db *DB) SetMemoryBudget(n int64) {
 func (db *DB) MemoryBudget() int64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.memoryBudget
+	return db.cfg.MemoryBudget
 }
 
 // SetTempDir sets the directory spill files are created in ("" restores
-// os.TempDir()).
+// os.TempDir()). Thin wrapper over SetExecConfig.
 func (db *DB) SetTempDir(dir string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.tempDir = dir
+	db.cfg.TempDir = dir
 }
 
 // TempDir returns the spill-file directory ("" = os.TempDir()).
 func (db *DB) TempDir() string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.tempDir
+	return db.cfg.TempDir
 }
 
 // SetSpillFS substitutes the filesystem used for spill files (nil restores
 // the real one). Fault-injection tests install a spill.FaultFS here; like
 // the other execution knobs it never changes query results, only how their
-// IO can fail.
+// IO can fail. Thin wrapper over SetExecConfig.
 func (db *DB) SetSpillFS(fs spill.FS) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.spillFS = fs
-}
-
-// newSpillManager creates the per-query spill manager for one execution
-// (nil when no budget is configured — the nil manager disables spilling).
-func (db *DB) newSpillManager() *spill.Manager {
-	db.mu.RLock()
-	budget, dir, fs := db.memoryBudget, db.tempDir, db.spillFS
-	db.mu.RUnlock()
-	return spill.New(spill.Config{Budget: budget, Dir: dir, FS: fs})
+	db.cfg.SpillFS = fs
 }
 
 // finishSpill retires a query's spill manager: its metrics fold into the
@@ -167,6 +139,24 @@ func (db *DB) finishSpill(m *spill.Manager) {
 	}
 	st := m.Stats()
 	m.Cleanup()
+	db.spillMu.Lock()
+	db.spillTotals.Add(st)
+	db.spillMu.Unlock()
+}
+
+// notePipeline folds one execution's streaming-dataflow metrics (peak
+// in-flight morsel bytes, pipeline-breaker materializations) into the
+// database totals. The pipeline stats live outside the spill manager — they
+// are meaningful with no budget configured, when the manager is nil — but
+// they surface through the same SpillStats aggregate.
+func (db *DB) notePipeline(ps *pipeStats) {
+	if ps == nil {
+		return
+	}
+	st := spill.Stats{
+		PeakMorselBytes:         ps.peak.Load(),
+		BreakerMaterializations: ps.breakers.Load(),
+	}
 	db.spillMu.Lock()
 	db.spillTotals.Add(st)
 	db.spillMu.Unlock()
@@ -184,48 +174,35 @@ func (db *DB) SpillStats() spill.Stats {
 // use; n <= 0 restores the default of one worker per CPU. Query results do
 // not depend on this setting (see DESIGN.md, "Parallel execution &
 // determinism"), so it may be changed at any time, including between
-// executions of a prepared query.
+// executions of a prepared query. Thin wrapper over SetExecConfig.
 func (db *DB) SetParallelism(n int) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.parallelism = n
+	db.cfg.Parallelism = n
 }
 
 // Parallelism returns the effective per-query worker bound.
 func (db *DB) Parallelism() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	if db.parallelism > 0 {
-		return db.parallelism
-	}
-	return defaultParallelism()
+	return db.cfg.workers()
 }
 
 // SetMorselSize overrides the executor's chunk size in rows (n <= 0 restores
 // DefaultMorselSize). Like SetParallelism it never changes results; tests
-// use small sizes to force multi-morsel execution on small tables.
+// use small sizes to force multi-morsel execution on small tables. Thin
+// wrapper over SetExecConfig.
 func (db *DB) SetMorselSize(n int) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.morselSize = n
+	db.cfg.MorselSize = n
 }
 
 // MorselSize returns the effective executor chunk size.
 func (db *DB) MorselSize() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	if db.morselSize > 0 {
-		return db.morselSize
-	}
-	return DefaultMorselSize
-}
-
-// morselPinned reports whether SetMorselSize pinned an explicit chunk size,
-// which disables adaptive per-operator sizing.
-func (db *DB) morselPinned() bool {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.morselSize > 0
+	return db.cfg.morsel()
 }
 
 // MorselSizeFor returns the morsel size the executor will use for inputs of
@@ -234,29 +211,25 @@ func (db *DB) morselPinned() bool {
 // and instrumentation can report the granularity actually in effect.
 func (db *DB) MorselSizeFor(width int) int {
 	db.mu.RLock()
-	pinned := db.morselSize
-	db.mu.RUnlock()
-	if pinned > 0 {
-		return pinned
-	}
-	return adaptiveMorselSize(width)
+	defer db.mu.RUnlock()
+	return db.cfg.morselFor(width)
 }
 
 // SetVectorized toggles the vectorized batch-expression kernels (on by
 // default). Vectorization never changes results — the differential test
 // suite pins the two paths bit-identical — so this is an A/B and debugging
-// knob, safe to flip at any time.
+// knob, safe to flip at any time. Thin wrapper over SetExecConfig.
 func (db *DB) SetVectorized(on bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.vectorOff = !on
+	db.cfg.DisableVectorized = !on
 }
 
 // Vectorized reports whether the batch kernels are enabled.
 func (db *DB) Vectorized() bool {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return !db.vectorOff
+	return !db.cfg.DisableVectorized
 }
 
 // Version returns a counter that increases on every mutation; consumers
@@ -279,7 +252,7 @@ func NewDB() *DB {
 	db := &DB{tables: make(map[string]*Table)}
 	if env := os.Getenv(MemoryBudgetEnv); env != "" {
 		if n, err := spill.ParseBytes(env); err == nil {
-			db.memoryBudget = n
+			db.cfg.MemoryBudget = n
 		}
 	}
 	return db

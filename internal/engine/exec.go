@@ -20,6 +20,13 @@ type execContext struct {
 	// closures across executions of the same prepared statement. It is safe
 	// for concurrent use; nil for one-shot Query/Execute calls.
 	plans *planCache
+	// cfg is the immutable execution-config snapshot this query runs under;
+	// the scalar fields below cache its derived values. Contexts built
+	// directly by tests may leave it zero (zero value = defaults).
+	cfg ExecConfig
+	// pstats gauges the streaming dataflow (peak in-flight morsel bytes,
+	// pipeline-breaker count); nil-safe, folded into spill stats at query end.
+	pstats *pipeStats
 	// workers bounds the morsel-driven executor's goroutines for this query;
 	// morsel is the chunk size in rows. Both are snapshotted from the DB at
 	// query start so one execution sees a consistent configuration.
@@ -63,28 +70,36 @@ func (ctx *execContext) err() error {
 	return ctx.goctx.Err()
 }
 
-// ExecuteContext runs a parsed SELECT statement under goctx: cancellation or
-// deadline expiry aborts execution within one morsel of work per worker and
-// returns the context's error unwrapped, so errors.Is(err, context.Canceled)
-// holds. A panic during execution is recovered into a *PanicError instead of
-// killing the process. Either way the query's spill files are removed before
-// returning.
+// ExecuteContext runs a parsed SELECT statement under goctx. It is the
+// primary execution entry point: cancellation or deadline expiry aborts
+// execution within one morsel of work per worker and returns the context's
+// error unwrapped, so errors.Is(err, context.Canceled) holds. A panic during
+// execution is recovered into a *PanicError instead of killing the process.
+// Either way the query's spill files are removed before returning. The
+// execution runs against an immutable ExecConfig snapshot taken here, so
+// configuration changes mid-query apply only to later executions.
 func (db *DB) ExecuteContext(goctx context.Context, stmt *sqlparser.SelectStmt) (rs *ResultSet, err error) {
-	mgr := db.newSpillManager()
+	cfg := db.ExecConfig()
+	mgr := cfg.newSpillManager()
 	defer db.finishSpill(mgr)
+	ps := &pipeStats{}
+	defer db.notePipeline(ps)
 	defer recoverExecPanic(&err)
-	ctx := &execContext{db: db, ctes: make(map[string]*relation),
-		workers: db.Parallelism(), morsel: db.MorselSize(),
-		pinned: db.morselPinned(), vector: db.Vectorized(), spill: mgr, goctx: goctx}
+	ctx := &execContext{db: db, ctes: make(map[string]*relation), cfg: cfg, pstats: ps,
+		workers: cfg.workers(), morsel: cfg.morsel(),
+		pinned: cfg.morselPinned(), vector: cfg.vectorized(), spill: mgr, goctx: goctx}
 	return ctx.executeSelect(stmt)
 }
 
-// Execute runs a parsed SELECT statement and returns its result set.
+// Execute runs a parsed SELECT statement and returns its result set. It is a
+// thin wrapper over ExecuteContext with context.Background(); prefer the
+// context-first form in code that has a real context to pass.
 func (db *DB) Execute(stmt *sqlparser.SelectStmt) (*ResultSet, error) {
 	return db.ExecuteContext(context.Background(), stmt)
 }
 
-// QueryContext parses and executes SQL text under goctx in one step.
+// QueryContext parses and executes SQL text under goctx in one step. Like
+// ExecuteContext, it is the primary form of the parse-and-run entry point.
 func (db *DB) QueryContext(goctx context.Context, sql string) (*ResultSet, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
@@ -93,7 +108,9 @@ func (db *DB) QueryContext(goctx context.Context, sql string) (*ResultSet, error
 	return db.ExecuteContext(goctx, stmt)
 }
 
-// Query parses and executes SQL text in one step.
+// Query parses and executes SQL text in one step: a thin wrapper over
+// QueryContext with context.Background(). Prefer QueryContext when a real
+// context is available.
 func (db *DB) Query(sql string) (*ResultSet, error) {
 	return db.QueryContext(context.Background(), sql)
 }
@@ -112,6 +129,7 @@ func (ctx *execContext) executeSelect(stmt *sqlparser.SelectStmt) (*ResultSet, e
 	// CTEs are visible to later CTEs and the main body. Each statement gets
 	// a child context so sibling subqueries cannot see our CTEs leak out.
 	child := &execContext{db: ctx.db, ctes: make(map[string]*relation), plans: ctx.plans,
+		cfg: ctx.cfg, pstats: ctx.pstats,
 		workers: ctx.workers, morsel: ctx.morsel, pinned: ctx.pinned, vector: ctx.vector,
 		spill: ctx.spill, goctx: ctx.goctx}
 	for name, rel := range ctx.ctes {
@@ -172,8 +190,75 @@ func (ctx *execContext) executeSelect(stmt *sqlparser.SelectStmt) (*ResultSet, e
 
 // executeCore runs a single SELECT body (no set ops, no ORDER BY/LIMIT) and
 // additionally returns per-output-row sort keys for the statement's ORDER BY
-// expressions evaluated in the projection environment.
+// expressions evaluated in the projection environment. The streaming dataflow
+// (stream.go) is the default; ExecConfig.MaterializeStages selects the
+// materialize-between-operators executor, kept as the differential reference.
 func (ctx *execContext) executeCore(stmt *sqlparser.SelectStmt) (*ResultSet, [][]Value, error) {
+	if ctx.cfg.MaterializeStages {
+		return ctx.executeCoreMaterialized(stmt)
+	}
+	return ctx.executeCoreStreaming(stmt)
+}
+
+// executeCoreStreaming evaluates the SELECT body as one morsel pipeline:
+// FROM (with streaming join probes) → WHERE (selection vectors) → the
+// aggregation or projection sink. Only pipeline breakers materialize rows.
+func (ctx *execContext) executeCoreStreaming(stmt *sqlparser.SelectStmt) (rs *ResultSet, sortKeys [][]Value, err error) {
+	p, err := ctx.buildFromPipeline(stmt.From)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Operators may hold spill writers before the drive starts (Grace join
+	// probe partitions); a compile error in a later stage must release them.
+	defer func() {
+		if err != nil {
+			p.abort()
+		}
+	}()
+
+	if stmt.Where != nil {
+		f, ferr := ctx.newFilterOp(p.rel, stmt.Where)
+		if ferr != nil {
+			err = ferr
+			return nil, nil, err
+		}
+		p.push(f, p.rel)
+	}
+
+	aggregated := len(stmt.GroupBy) > 0 || stmt.Having != nil
+	if !aggregated {
+		for _, item := range stmt.Columns {
+			if item.Expr != nil && sqlparser.ContainsAggregate(item.Expr) {
+				aggregated = true
+				break
+			}
+		}
+	}
+
+	var out *ResultSet
+	if aggregated {
+		out, sortKeys, err = ctx.executeAggregateStream(stmt, p)
+	} else {
+		out, sortKeys, err = ctx.executeProjectionStream(stmt, p)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if stmt.Distinct {
+		out, sortKeys, err = ctx.dedupeRows(out, sortKeys)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, sortKeys, nil
+}
+
+// executeCoreMaterialized is the pre-streaming executor: every stage fully
+// materializes its output relation before the next runs. Retained verbatim
+// behind ExecConfig.MaterializeStages as the reference for the
+// streamed-vs-materialized differential suite and benchmarks.
+func (ctx *execContext) executeCoreMaterialized(stmt *sqlparser.SelectStmt) (*ResultSet, [][]Value, error) {
 	rel, err := ctx.buildFrom(stmt.From)
 	if err != nil {
 		return nil, nil, err
@@ -431,6 +516,7 @@ func resultToRelation(rs *ResultSet, alias string) *relation {
 func (ctx *execContext) crossJoin(left, right *relation) (*relation, error) {
 	cols := append(append([]relCol{}, left.cols...), right.cols...)
 	n := len(left.rows) * len(right.rows)
+	ctx.pstats.breaker(estRowsBytes(left.rows) + estRowsBytes(right.rows))
 	rows := make([][]Value, 0, n)
 	// One backing slab for every output row: the result size is known
 	// exactly, so a single allocation replaces n per-row allocations.
@@ -651,6 +737,7 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 		// join hash-partitions both inputs to disk and joins partition by
 		// partition (Grace join), producing the same rows in the same order
 		// as the in-memory build/probe below.
+		ctx.pstats.breaker(0) // partitioned build state lives on disk
 		rows, err := ctx.graceJoin(keys, resFns, left.rows, right.rows,
 			len(cols), matchedLeft, matchedRight)
 		if err != nil {
@@ -661,6 +748,7 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 	case len(keys) > 0:
 		// Hash join: build on the right side (morsel-parallel when workers
 		// allow — see joinbuild.go), then probe with the left.
+		ctx.pstats.breaker(estRowsBytes(right.rows))
 		index, err := ctx.buildJoinIndex(keys, right.rows)
 		if err != nil {
 			return nil, err
@@ -1412,6 +1500,7 @@ func applyLimitOffset(out *ResultSet, stmt *sqlparser.SelectStmt, ctx *execConte
 // memory budget the dedup runs partitioned out-of-core (aggspill.go) —
 // bit-identical by construction.
 func (ctx *execContext) dedupeRows(out *ResultSet, sortKeys [][]Value) (*ResultSet, [][]Value, error) {
+	ctx.pstats.breaker(0) // key-set state over the full output
 	if ctx.spill.Enabled() && ctx.spill.ShouldSpill(estRowsBytes(out.Rows)) {
 		return ctx.dedupeRowsSpilled(out, sortKeys)
 	}
@@ -1504,6 +1593,7 @@ func (ctx *execContext) applySetOp(left, right *ResultSet, kind sqlparser.SetOpK
 		}
 		return out, nil
 	}
+	ctx.pstats.breaker(0) // right-side multiplicity state
 	if ctx.spill.Enabled() &&
 		ctx.spill.ShouldSpill(estRowsBytes(left.Rows)+estRowsBytes(right.Rows)) {
 		return ctx.setOpSpilled(left, right, kind, all)

@@ -119,29 +119,34 @@ func (p *PreparedQuery) plansFor(version uint64) *planCache {
 	return p.plans
 }
 
-// Exec runs the prepared statement against the database's current contents.
-// It is safe for concurrent use. The morsel-driven executor's worker bound
-// and chunk size are re-read from the database on every call, so
-// SetParallelism takes effect between executions without invalidating the
-// cached plans — compiled closures are schedule-independent, and results are
-// bit-identical at every worker count.
+// Exec runs the prepared statement against the database's current contents:
+// a thin wrapper over ExecContext with context.Background(). Prefer the
+// context-first form in code that has a real context to pass. It is safe for
+// concurrent use.
 func (p *PreparedQuery) Exec() (*ResultSet, error) {
 	return p.ExecContext(context.Background())
 }
 
-// ExecContext is Exec under a cancellation context: cancellation or deadline
-// expiry aborts execution within one morsel of work per worker and returns
-// the context's error unwrapped; a panic during execution is recovered into
-// a *PanicError. The cached plans survive both — closures carry no
-// per-execution state, so a cancelled or panicked run never poisons the
-// cache for later executions.
+// ExecContext is the primary execution form of a prepared statement:
+// cancellation or deadline expiry aborts execution within one morsel of work
+// per worker and returns the context's error unwrapped; a panic during
+// execution is recovered into a *PanicError. The cached plans survive both —
+// closures carry no per-execution state, so a cancelled or panicked run never
+// poisons the cache for later executions. Each call snapshots the database's
+// ExecConfig, so SetParallelism and friends take effect between executions
+// without invalidating the cached plans — compiled closures are
+// schedule-independent, and results are bit-identical at every worker count.
 func (p *PreparedQuery) ExecContext(goctx context.Context) (rs *ResultSet, err error) {
 	plans := p.plansFor(p.db.Version())
-	mgr := p.db.newSpillManager()
+	cfg := p.db.ExecConfig()
+	mgr := cfg.newSpillManager()
 	defer p.db.finishSpill(mgr)
+	ps := &pipeStats{}
+	defer p.db.notePipeline(ps)
 	defer recoverExecPanic(&err)
 	ctx := &execContext{db: p.db, ctes: make(map[string]*relation), plans: plans,
-		workers: p.db.Parallelism(), morsel: p.db.MorselSize(),
-		pinned: p.db.morselPinned(), vector: p.db.Vectorized(), spill: mgr, goctx: goctx}
+		cfg: cfg, pstats: ps,
+		workers: cfg.workers(), morsel: cfg.morsel(),
+		pinned: cfg.morselPinned(), vector: cfg.vectorized(), spill: mgr, goctx: goctx}
 	return ctx.executeSelect(p.stmt)
 }

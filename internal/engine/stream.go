@@ -1,0 +1,1339 @@
+package engine
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flexdp/internal/spill"
+	"flexdp/internal/sqlparser"
+)
+
+// Streaming morsel dataflow: instead of materializing a full relation between
+// every pair of operators, the executor builds a pipeline — a base scan plus a
+// chain of streamOps (filters, join probes) — and drives morsels through the
+// whole chain producer→consumer. Pipeline breakers (join builds, grouped
+// aggregation state, sorts) keep their existing spill-backed state as the
+// back-pressure valve, so whole-query peak memory is bounded by the memory
+// budget plus a window of in-flight morsels.
+//
+// Determinism contract (DESIGN.md, "Streaming dataflow"): per-morsel outputs
+// are consumed strictly in morsel order by a single ordered consumer, the
+// surfaced error is the lowest-numbered failing morsel's (matching runSpans),
+// and every operator's per-morsel work is element-wise identical to its
+// materialized counterpart — so results, including noisy DP outputs at a
+// fixed seed, are bit-identical at any worker count, morsel size, budget, and
+// vectorized toggle.
+
+// morsel is one chunk of rows flowing through a pipeline. sel, when non-nil,
+// is a selection vector of indices into rows (morsel-relative, ascending);
+// nil means every row is selected.
+type morsel struct {
+	seq  int
+	rows [][]Value
+	sel  []int
+}
+
+// n returns the number of selected rows.
+func (m morsel) n() int {
+	if m.sel != nil {
+		return len(m.sel)
+	}
+	return len(m.rows)
+}
+
+// dense returns the selected rows as a contiguous slice. With no selection it
+// aliases rows (no copy); with one it gathers the selected row references.
+func (m morsel) dense() [][]Value {
+	if m.sel == nil {
+		return m.rows
+	}
+	out := make([][]Value, len(m.sel))
+	for i, ri := range m.sel {
+		out[i] = m.rows[ri]
+	}
+	return out
+}
+
+// estMorselBytes estimates a morsel's in-flight footprint in O(1): the first
+// selected row's estimated size times the selected count. Sampling keeps the
+// hot path free of a per-row walk; the peak stat is an observability gauge,
+// not an enforcement input.
+func estMorselBytes(m morsel) int64 {
+	n := m.n()
+	if n == 0 {
+		return 0
+	}
+	first := m.rows[0]
+	if m.sel != nil {
+		first = m.rows[m.sel[0]]
+	}
+	return estRowBytes(first) * int64(n)
+}
+
+// pipeStats gauges one execution's streaming dataflow: bytes held by
+// in-flight morsels (with a CAS-maintained high-water mark) and the number of
+// pipeline-breaker materializations. All methods are nil-receiver-safe so
+// execContexts constructed directly by tests need no stats plumbing.
+type pipeStats struct {
+	inflight atomic.Int64
+	peak     atomic.Int64
+	breakers atomic.Int64
+}
+
+// add charges n bytes of in-flight state and advances the peak.
+func (ps *pipeStats) add(n int64) {
+	if ps == nil || n <= 0 {
+		return
+	}
+	v := ps.inflight.Add(n)
+	for {
+		p := ps.peak.Load()
+		if v <= p || ps.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// sub releases n bytes of in-flight state.
+func (ps *pipeStats) sub(n int64) {
+	if ps == nil || n <= 0 {
+		return
+	}
+	ps.inflight.Add(-n)
+}
+
+// breaker records one pipeline-breaker materialization holding ~est bytes
+// until the query ends (breaker state is only released wholesale when the
+// execution finishes, so there is no matching sub).
+func (ps *pipeStats) breaker(est int64) {
+	if ps == nil {
+		return
+	}
+	ps.breakers.Add(1)
+	ps.add(est)
+}
+
+// streamOp is one streaming pipeline stage between the base scan and the
+// consuming sink.
+type streamOp interface {
+	// bind sizes per-worker scratch state before the drive starts.
+	bind(workers int)
+	// pure reports whether apply may run on parallel workers. Impure ops
+	// force the whole pipeline serial (order-dependent state, subqueries,
+	// spill writers).
+	pure() bool
+	// apply transforms one morsel on worker w. It must be element-wise: the
+	// output for a row depends only on that row (plus immutable op state), so
+	// morsel boundaries never change results.
+	apply(ctx *execContext, w int, m morsel) (morsel, error)
+	// flush runs serially after every input morsel has been applied and
+	// consumed. Emitted morsels flow through the downstream ops and then the
+	// sink, in emission order (outer-join padding uses this).
+	flush(ctx *execContext, emit func(morsel) error) error
+	// abort releases any resources the op still holds (spill writers) after
+	// a failed drive. Idempotent; a no-op after a successful flush.
+	abort()
+}
+
+// pipeline is a base scan plus a chain of streaming operators. rel describes
+// the schema of the morsels leaving the last operator (its rows are only
+// meaningful when ops is empty, in which case rel == src).
+type pipeline struct {
+	src *relation
+	rel *relation
+	ops []streamOp
+}
+
+// scanPipeline starts a pipeline at a materialized relation.
+func (ctx *execContext) scanPipeline(rel *relation) *pipeline {
+	return &pipeline{src: rel, rel: rel}
+}
+
+// push appends op, whose output schema is out.
+func (p *pipeline) push(op streamOp, out *relation) {
+	p.ops = append(p.ops, op)
+	p.rel = out
+}
+
+func (p *pipeline) pure() bool {
+	for _, op := range p.ops {
+		if !op.pure() {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *pipeline) abort() {
+	for _, op := range p.ops {
+		op.abort()
+	}
+}
+
+// spans partitions the base scan into morsels sized for its row width.
+func (p *pipeline) spans(ctx *execContext) []span {
+	return morselSpans(len(p.src.rows), ctx.spanSize(len(p.src.cols)))
+}
+
+// planWorkers returns the worker count run will use for this pipeline given
+// whether the sink's produce stage is itself pure. Sinks size per-worker
+// scratch from it.
+func (p *pipeline) planWorkers(ctx *execContext, producePure bool) int {
+	workers := spanWorkers(len(p.spans(ctx)), ctx.workers)
+	if !producePure || !p.pure() {
+		workers = 1
+	}
+	return workers
+}
+
+// streamWindowPerWorker bounds how many morsels may sit between the ordered
+// consumer and the fastest producer, per worker: the back-pressure window
+// that keeps whole-query in-flight memory proportional to workers, not input.
+const streamWindowPerWorker = 4
+
+// run drives every source morsel through the op chain, then produce (on a
+// worker), then consume (on the single ordered consumer), strictly in morsel
+// order. After the scan is exhausted the op flushes cascade: each op's flush
+// emissions flow through the downstream ops and the same produce/consume.
+//
+// Error determinism matches runSpans: workers claim morsels from a monotonic
+// cursor and stop claiming once any morsel fails, and the ordered consumer
+// returns at the first failed slot it reaches — which, because claims are
+// monotonic, is exactly the lowest-numbered failing morsel. Panics inside the
+// chain are recovered into the claiming morsel's slot as *PanicError.
+// Cancellation is polled before every claim. On any error the pipeline's ops
+// are aborted before returning.
+func (p *pipeline) run(ctx *execContext, producePure bool,
+	produce func(w int, m morsel) (any, error), consume func(any) error) (err error) {
+	defer func() {
+		if err != nil {
+			p.abort()
+		}
+	}()
+	spans := p.spans(ctx)
+	workers := spanWorkers(len(spans), ctx.workers)
+	if !producePure || !p.pure() {
+		workers = 1
+	}
+	for _, op := range p.ops {
+		op.bind(workers)
+	}
+
+	// chain applies the op suffix starting at opIdx, then produce, charging
+	// the produced morsel's footprint to the in-flight gauge.
+	chain := func(w, opIdx int, m morsel) (any, int64, error) {
+		var err error
+		for _, op := range p.ops[opIdx:] {
+			m, err = op.apply(ctx, w, m)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		est := estMorselBytes(m)
+		ctx.pstats.add(est)
+		payload, err := produce(w, m)
+		if err != nil {
+			ctx.pstats.sub(est)
+			return nil, 0, err
+		}
+		return payload, est, nil
+	}
+	deliver := func(payload any, est int64) error {
+		err := consume(payload)
+		ctx.pstats.sub(est)
+		return err
+	}
+	// Flush-emitted morsels continue the sequence numbering after the scan.
+	seq := len(spans)
+	flushCascade := func() error {
+		for i, op := range p.ops {
+			opIdx := i + 1
+			err := op.flush(ctx, func(m morsel) error {
+				if err := ctx.err(); err != nil {
+					return err
+				}
+				m.seq = seq
+				seq++
+				payload, est, err := chain(0, opIdx, m)
+				if err != nil {
+					return err
+				}
+				return deliver(payload, est)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if workers <= 1 {
+		for mi, s := range spans {
+			if err := ctx.err(); err != nil {
+				return err
+			}
+			payload, est, err := chain(0, 0, morsel{seq: mi, rows: p.src.rows[s.lo:s.hi]})
+			if err != nil {
+				return err
+			}
+			if err := deliver(payload, est); err != nil {
+				return err
+			}
+		}
+		return flushCascade()
+	}
+
+	// Parallel ordered drive: workers claim morsels from next, bounded to a
+	// window ahead of the consumer cursor base; the consumer drains slots in
+	// seq order. Invariant: the claimed set is always [0, next), so a failing
+	// morsel m implies every slot <= m was claimed and will complete — the
+	// consumer always reaches the lowest failed slot without deadlock.
+	type slot struct {
+		payload any
+		est     int64
+		err     error
+		done    bool
+	}
+	slots := make([]slot, len(spans))
+	var (
+		mu     sync.Mutex
+		cond   = sync.NewCond(&mu)
+		next   int
+		base   int
+		failed bool
+	)
+	window := workers * streamWindowPerWorker
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for !failed && next < len(spans) && next >= base+window {
+					cond.Wait()
+				}
+				if failed || next >= len(spans) {
+					mu.Unlock()
+					return
+				}
+				mi := next
+				next++
+				mu.Unlock()
+
+				var payload any
+				var est int64
+				err := ctx.err()
+				if err == nil {
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								err = toPanicError(r)
+							}
+						}()
+						s := spans[mi]
+						payload, est, err = chain(w, 0, morsel{seq: mi, rows: p.src.rows[s.lo:s.hi]})
+					}()
+				}
+				mu.Lock()
+				slots[mi] = slot{payload: payload, est: est, err: err, done: true}
+				if err != nil {
+					failed = true
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	var driveErr error
+	mu.Lock()
+	for base < len(spans) {
+		for !slots[base].done {
+			cond.Wait()
+		}
+		s := slots[base]
+		slots[base] = slot{}
+		base++
+		cond.Broadcast()
+		if s.err != nil {
+			driveErr = s.err
+			failed = true
+			cond.Broadcast()
+			break
+		}
+		mu.Unlock()
+		err := deliver(s.payload, s.est)
+		mu.Lock()
+		if err != nil {
+			driveErr = err
+			failed = true
+			cond.Broadcast()
+			break
+		}
+	}
+	mu.Unlock()
+	wg.Wait()
+	// Release in-flight charges of slots produced but never consumed.
+	for i := range slots {
+		if slots[i].done && slots[i].err == nil {
+			ctx.pstats.sub(slots[i].est)
+		}
+	}
+	if driveErr != nil {
+		return driveErr
+	}
+	if err := ctx.err(); err != nil {
+		return err
+	}
+	return flushCascade()
+}
+
+// morselSource is the pull face of the streaming dataflow: the operator
+// interface later subsystems (optimizer, paged storage) plug into. Open
+// snapshots the execution configuration, Next returns morsels until ok=false,
+// Close releases whatever the source still holds.
+type morselSource interface {
+	Open(goctx context.Context, cfg ExecConfig) error
+	Next() (morsel, bool, error)
+	Close() error
+}
+
+// pipelineSource adapts a pipeline to morselSource, driving it serially on
+// the caller's goroutine: spans pull through the op chain in order, then the
+// op flushes cascade through their downstream ops into a pending queue.
+type pipelineSource struct {
+	ctx     *execContext
+	p       *pipeline
+	spans   []span
+	next    int // next span to pull
+	seq     int // next sequence number for flush-emitted morsels
+	flushed int // ops whose flush has run
+	queue   []morsel
+	done    bool
+}
+
+func (p *pipeline) source(ctx *execContext) *pipelineSource {
+	return &pipelineSource{ctx: ctx, p: p}
+}
+
+func (s *pipelineSource) Open(goctx context.Context, cfg ExecConfig) error {
+	sub := *s.ctx
+	sub.goctx = goctx
+	sub.cfg = cfg
+	sub.workers = 1
+	sub.morsel = cfg.morsel()
+	sub.pinned = cfg.morselPinned()
+	sub.vector = cfg.vectorized()
+	s.ctx = &sub
+	s.spans = s.p.spans(s.ctx)
+	s.seq = len(s.spans)
+	for _, op := range s.p.ops {
+		op.bind(1)
+	}
+	return nil
+}
+
+func (s *pipelineSource) Next() (morsel, bool, error) {
+	fail := func(err error) (morsel, bool, error) {
+		s.p.abort()
+		s.done = true
+		return morsel{}, false, err
+	}
+	for {
+		if len(s.queue) > 0 {
+			m := s.queue[0]
+			s.queue = s.queue[1:]
+			return m, true, nil
+		}
+		if s.done {
+			return morsel{}, false, nil
+		}
+		if err := s.ctx.err(); err != nil {
+			return fail(err)
+		}
+		if s.next < len(s.spans) {
+			sp := s.spans[s.next]
+			m := morsel{seq: s.next, rows: s.p.src.rows[sp.lo:sp.hi]}
+			s.next++
+			var err error
+			for _, op := range s.p.ops {
+				m, err = op.apply(s.ctx, 0, m)
+				if err != nil {
+					return fail(err)
+				}
+			}
+			return m, true, nil
+		}
+		if s.flushed < len(s.p.ops) {
+			i := s.flushed
+			s.flushed++
+			err := s.p.ops[i].flush(s.ctx, func(m morsel) error {
+				m.seq = s.seq
+				s.seq++
+				out := m
+				var err error
+				for _, op := range s.p.ops[i+1:] {
+					out, err = op.apply(s.ctx, 0, out)
+					if err != nil {
+						return err
+					}
+				}
+				s.queue = append(s.queue, out)
+				return nil
+			})
+			if err != nil {
+				return fail(err)
+			}
+			continue
+		}
+		s.done = true
+		return morsel{}, false, nil
+	}
+}
+
+func (s *pipelineSource) Close() error {
+	// Abort covers early close: ops that already flushed make it a no-op.
+	s.p.abort()
+	s.done = true
+	return nil
+}
+
+// materializeStream runs the pipeline to completion and materializes its full
+// output relation — a pipeline breaker, counted as such. It is the fallback
+// for sinks and shapes the streaming dataflow does not cover; with no ops the
+// base relation is returned as-is (a scan is already materialized).
+func (ctx *execContext) materializeStream(p *pipeline) (*relation, error) {
+	if len(p.ops) == 0 {
+		return p.src, nil
+	}
+	rows := make([][]Value, 0, len(p.src.rows))
+	if p.pure() && ctx.workers > 1 {
+		err := p.run(ctx, true,
+			func(_ int, m morsel) (any, error) { return m, nil },
+			func(payload any) error {
+				rows = append(rows, payload.(morsel).dense()...)
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		src := p.source(ctx)
+		if err := src.Open(ctx.goctx, ctx.cfg); err != nil {
+			return nil, err
+		}
+		for {
+			m, ok, err := src.Next()
+			if err != nil {
+				src.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			rows = append(rows, m.dense()...)
+		}
+		src.Close()
+	}
+	ctx.pstats.breaker(estRowsBytes(rows))
+	return &relation{cols: p.rel.cols, rows: rows}, nil
+}
+
+// ---- Filter operator ----
+
+// filterOp applies the WHERE predicate per morsel, emitting a selection
+// vector over the input rows (no row copying). The batch path runs the
+// compiled kernel over each morsel; the scalar path evaluates row by row.
+// Both stop a morsel at its first failing row, so with ordered consumption
+// the surfaced error matches the serial loop.
+type filterOp struct {
+	scalar evalFn
+	batch  batchExpr
+	isPure bool
+	bcs    []*batchCtx
+	outs   []*vector
+	ids    [][]int
+}
+
+// newFilterOp compiles where against rel, choosing the batch kernel exactly
+// when the materialized executor would (vectorized mode, pure predicate).
+func (ctx *execContext) newFilterOp(rel *relation, where sqlparser.Expr) (*filterOp, error) {
+	f := &filterOp{isPure: exprPure(where)}
+	if ctx.vector && f.isPure {
+		f.batch = compileBatchExpr(rel, ctx, where)
+		return f, nil
+	}
+	fn, err := compileExpr(rel, ctx, where)
+	if err != nil {
+		return nil, err
+	}
+	f.scalar = fn
+	return f, nil
+}
+
+func (f *filterOp) bind(n int) {
+	f.bcs = make([]*batchCtx, n)
+	f.outs = make([]*vector, n)
+	f.ids = make([][]int, n)
+}
+
+func (f *filterOp) pure() bool                                   { return f.isPure }
+func (f *filterOp) abort()                                       {}
+func (f *filterOp) flush(*execContext, func(morsel) error) error { return nil }
+
+func (f *filterOp) apply(ctx *execContext, w int, m morsel) (morsel, error) {
+	if f.batch != nil {
+		bc := f.bcs[w]
+		if bc == nil {
+			bc = &batchCtx{}
+			f.bcs[w] = bc
+			f.outs[w] = &vector{}
+		}
+		bc.rows = m.rows
+		msel := m.sel
+		if msel == nil {
+			if len(f.ids[w]) < len(m.rows) {
+				f.ids[w] = identitySel(len(m.rows))
+			}
+			msel = f.ids[w][:len(m.rows)]
+		}
+		out := f.outs[w]
+		if _, err := f.batch(bc, msel, out); err != nil {
+			return morsel{}, err
+		}
+		kept := make([]int, 0, len(msel))
+		for i := range msel {
+			if out.isTrue(i) {
+				kept = append(kept, msel[i])
+			}
+		}
+		return morsel{seq: m.seq, rows: m.rows, sel: kept}, nil
+	}
+	keep := func(ri int, row []Value, kept []int) ([]int, error) {
+		v, err := f.scalar(row)
+		if err != nil {
+			return nil, err
+		}
+		if v.Truthy() {
+			kept = append(kept, ri)
+		}
+		return kept, nil
+	}
+	kept := make([]int, 0, m.n())
+	var err error
+	if m.sel != nil {
+		for _, ri := range m.sel {
+			if kept, err = keep(ri, m.rows[ri], kept); err != nil {
+				return morsel{}, err
+			}
+		}
+	} else {
+		for ri, row := range m.rows {
+			if kept, err = keep(ri, row, kept); err != nil {
+				return morsel{}, err
+			}
+		}
+	}
+	return morsel{seq: m.seq, rows: m.rows, sel: kept}, nil
+}
+
+// ---- Join operators ----
+
+// hashJoinOp streams the probe side of an in-memory hash join: the build
+// index over the (materialized) right side is constructed up front — the
+// join's pipeline breaker — and each left morsel probes it, emitting combined
+// rows. Outer-join padding is deferred to flush: unmatched left rows buffer
+// per morsel and emit in morsel order, then unmatched right rows, exactly the
+// [matches..., left pads..., right pads...] order of the materialized join.
+type hashJoinOp struct {
+	kind       sqlparser.JoinKind
+	probe      joinProbe
+	rightRows  [][]Value
+	nLeftCols  int
+	nRightCols int
+	resPure    bool
+
+	workerRight [][]bool
+	padMu       sync.Mutex
+	padBufs     map[int][][]Value
+}
+
+func (o *hashJoinOp) bind(n int) {
+	o.workerRight = make([][]bool, n)
+	o.padBufs = make(map[int][][]Value)
+}
+
+// pure mirrors the materialized join's parallel-probe gate: residuals may
+// embed subquery state that is not worker-safe.
+func (o *hashJoinOp) pure() bool { return o.resPure }
+func (o *hashJoinOp) abort()     {}
+
+func (o *hashJoinOp) apply(ctx *execContext, w int, m morsel) (morsel, error) {
+	rows := m.dense()
+	mr := o.workerRight[w]
+	if mr == nil {
+		mr = make([]bool, len(o.rightRows))
+		o.workerRight[w] = mr
+	}
+	ml := make([]bool, len(rows))
+	out, err := o.probe.scan(rows, 0, len(rows), ml, mr)
+	if err != nil {
+		return morsel{}, err
+	}
+	if o.kind == sqlparser.JoinLeft || o.kind == sqlparser.JoinFull {
+		var unmatched [][]Value
+		for i, hit := range ml {
+			if !hit {
+				unmatched = append(unmatched, rows[i])
+			}
+		}
+		if len(unmatched) > 0 {
+			o.padMu.Lock()
+			o.padBufs[m.seq] = unmatched
+			o.padMu.Unlock()
+		}
+	}
+	return morsel{seq: m.seq, rows: out}, nil
+}
+
+func (o *hashJoinOp) flush(ctx *execContext, emit func(morsel) error) error {
+	width := o.nLeftCols + o.nRightCols
+	if o.kind == sqlparser.JoinLeft || o.kind == sqlparser.JoinFull {
+		seqs := make([]int, 0, len(o.padBufs))
+		for s := range o.padBufs {
+			seqs = append(seqs, s)
+		}
+		sort.Ints(seqs)
+		for _, s := range seqs {
+			src := o.padBufs[s]
+			rows := make([][]Value, 0, len(src))
+			for _, lr := range src {
+				row := make([]Value, 0, width)
+				row = append(row, lr...)
+				for i := 0; i < o.nRightCols; i++ {
+					row = append(row, Null)
+				}
+				rows = append(rows, row)
+			}
+			if err := emit(morsel{rows: rows}); err != nil {
+				return err
+			}
+		}
+	}
+	if o.kind == sqlparser.JoinRight || o.kind == sqlparser.JoinFull {
+		matchedRight := make([]bool, len(o.rightRows))
+		for _, mr := range o.workerRight {
+			for ri, hit := range mr {
+				if hit {
+					matchedRight[ri] = true
+				}
+			}
+		}
+		var rows [][]Value
+		for ri, hit := range matchedRight {
+			if hit {
+				continue
+			}
+			row := make([]Value, 0, width)
+			for i := 0; i < o.nLeftCols; i++ {
+				row = append(row, Null)
+			}
+			row = append(row, o.rightRows[ri]...)
+			rows = append(rows, row)
+		}
+		if len(rows) > 0 {
+			if err := emit(morsel{rows: rows}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// graceJoinOp streams the probe side of an out-of-core Grace join. The build
+// side is partitioned to disk at construction (level 0, as the materialized
+// grace root does); apply streams probe rows straight into the probe
+// partition writers, so the probe side never materializes in memory — the
+// spill budget is the back-pressure valve. flush joins partition pairs with
+// the shared graceNode recursion and emits matches (restored to serial probe
+// order) then outer pads.
+type graceJoinOp struct {
+	kind       sqlparser.JoinKind
+	keys       []equiKey
+	resFns     []evalFn
+	rightRows  [][]Value
+	nLeftCols  int
+	nRightCols int
+
+	fanout    int
+	buildRuns []*spill.Run
+	writers   []*spill.RunWriter
+	abortW    func()
+	finished  bool
+
+	keepLeft bool      // Left/Full: retain probe rows for padding
+	padRows  [][]Value // retained probe rows (keepLeft only)
+	nLeft    int       // probe rows seen (absolute left index counter)
+
+	keyBuf     []Value
+	keyScratch []byte
+	recScratch []byte
+}
+
+// newGraceJoinOp partitions the build side and opens the probe partition
+// writers, mirroring the materialized grace root's level-0 work and stats.
+func (ctx *execContext) newGraceJoinOp(kind sqlparser.JoinKind, keys []equiKey,
+	resFns []evalFn, right *relation, nLeftCols int) (*graceJoinOp, error) {
+	o := &graceJoinOp{kind: kind, keys: keys, resFns: resFns, rightRows: right.rows,
+		nLeftCols: nLeftCols, nRightCols: len(right.cols),
+		keepLeft: kind == sqlparser.JoinLeft || kind == sqlparser.JoinFull,
+		keyBuf:   make([]Value, len(keys))}
+	build := make([]idxRow, len(right.rows))
+	for i, r := range right.rows {
+		build[i] = idxRow{idx: i, row: r}
+	}
+	o.fanout = graceFanout(estIdxRowsBytes(build), ctx.spill.Budget())
+	ctx.spill.NoteJoinSpill(o.fanout)
+	ctx.pstats.breaker(0) // partitioned build state lives on disk
+	buildRuns, err := ctx.gracePartitionSide(build, o.rightCol, len(keys), 0, o.fanout)
+	if err != nil {
+		return nil, err
+	}
+	o.buildRuns = buildRuns
+	writers, abortW, err := ctx.newPartitionWriters(o.fanout)
+	if err != nil {
+		for _, r := range buildRuns {
+			r.Release()
+		}
+		return nil, err
+	}
+	o.writers, o.abortW = writers, abortW
+	return o, nil
+}
+
+func (o *graceJoinOp) leftCol(i int) int  { return o.keys[i].leftIdx }
+func (o *graceJoinOp) rightCol(i int) int { return o.keys[i].rightIdx }
+
+func (o *graceJoinOp) bind(int) {}
+
+// pure is false: apply appends to shared partition writers in left-row order.
+func (o *graceJoinOp) pure() bool { return false }
+
+func (o *graceJoinOp) abort() {
+	if o.finished {
+		return
+	}
+	o.finished = true
+	o.abortW()
+	for _, r := range o.buildRuns {
+		if r != nil {
+			r.Release()
+		}
+	}
+}
+
+func (o *graceJoinOp) apply(ctx *execContext, _ int, m morsel) (morsel, error) {
+	rows := m.dense()
+	for _, lr := range rows {
+		idx := o.nLeft
+		o.nLeft++
+		if o.keepLeft {
+			o.padRows = append(o.padRows, lr)
+		}
+		kb, null := encodeJoinKey(o.keyScratch[:0], lr, o.leftCol, len(o.keys), o.keyBuf)
+		o.keyScratch = kb
+		if null {
+			continue // NULL keys never match; the unset flag drives padding
+		}
+		p := int(graceHash(kb, 0) % uint64(o.fanout))
+		o.recScratch = binary.AppendUvarint(o.recScratch[:0], uint64(idx))
+		o.recScratch = AppendRow(o.recScratch, lr)
+		if err := o.writers[p].Write(o.recScratch); err != nil {
+			return morsel{}, err
+		}
+	}
+	// Matches are emitted at flush; mid-stream this op produces nothing.
+	return morsel{seq: m.seq}, nil
+}
+
+func (o *graceJoinOp) flush(ctx *execContext, emit func(morsel) error) error {
+	o.finished = true
+	probeRuns, err := finishPartitionWriters(o.writers, o.abortW)
+	if err != nil {
+		for _, r := range o.buildRuns {
+			if r != nil {
+				r.Release()
+			}
+		}
+		return err
+	}
+	width := o.nLeftCols + o.nRightCols
+	st := &graceState{keys: o.keys, resFns: o.resFns, width: width,
+		matchedLeft:  make([]bool, o.nLeft),
+		matchedRight: make([]bool, len(o.rightRows))}
+	for p := 0; p < o.fanout; p++ {
+		if o.buildRuns[p].Records == 0 || probeRuns[p].Records == 0 {
+			o.buildRuns[p].Release()
+			probeRuns[p].Release()
+			continue
+		}
+		bPart, err := readIdxRows(o.buildRuns[p])
+		if err != nil {
+			return err
+		}
+		pPart, err := readIdxRows(probeRuns[p])
+		if err != nil {
+			return err
+		}
+		if err := ctx.graceNode(1, bPart, pPart, len(o.rightRows), st); err != nil {
+			return err
+		}
+	}
+	if st.resErr != nil {
+		return st.resErr
+	}
+	// Each left row's matches live in one partition in ascending build order,
+	// so the stable sort on left index restores the serial probe emit order.
+	sort.SliceStable(st.out, func(a, b int) bool { return st.out[a].li < st.out[b].li })
+	ctx.pstats.breaker(0) // sorted match buffer materialized before emission
+	chunk := ctx.spanSize(width)
+	for lo := 0; lo < len(st.out); lo += chunk {
+		hi := lo + chunk
+		if hi > len(st.out) {
+			hi = len(st.out)
+		}
+		rows := make([][]Value, hi-lo)
+		for i := lo; i < hi; i++ {
+			rows[i-lo] = st.out[i].row
+		}
+		if err := emit(morsel{rows: rows}); err != nil {
+			return err
+		}
+	}
+	if o.keepLeft {
+		var rows [][]Value
+		for li, lr := range o.padRows {
+			if st.matchedLeft[li] {
+				continue
+			}
+			row := make([]Value, 0, width)
+			row = append(row, lr...)
+			for i := 0; i < o.nRightCols; i++ {
+				row = append(row, Null)
+			}
+			rows = append(rows, row)
+		}
+		if len(rows) > 0 {
+			if err := emit(morsel{rows: rows}); err != nil {
+				return err
+			}
+		}
+	}
+	if o.kind == sqlparser.JoinRight || o.kind == sqlparser.JoinFull {
+		var rows [][]Value
+		for ri, hit := range st.matchedRight {
+			if hit {
+				continue
+			}
+			row := make([]Value, 0, width)
+			for i := 0; i < o.nLeftCols; i++ {
+				row = append(row, Null)
+			}
+			row = append(row, o.rightRows[ri]...)
+			rows = append(rows, row)
+		}
+		if len(rows) > 0 {
+			if err := emit(morsel{rows: rows}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ---- FROM-clause pipeline construction ----
+
+// buildFromPipeline evaluates the FROM clause into a streaming pipeline. The
+// common single-item forms stream; the cross-join chain of a multi-item FROM
+// materializes pairwise exactly as the materialized executor does.
+func (ctx *execContext) buildFromPipeline(items []sqlparser.TableExpr) (*pipeline, error) {
+	if len(items) == 0 {
+		return ctx.scanPipeline(&relation{rows: [][]Value{{}}}), nil
+	}
+	p, err := ctx.buildTablePipeline(items[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range items[1:] {
+		left, err := ctx.materializeStream(p)
+		if err != nil {
+			return nil, err
+		}
+		right, err := ctx.buildTableExpr(item)
+		if err != nil {
+			return nil, err
+		}
+		crossed, err := ctx.crossJoin(left, right)
+		if err != nil {
+			return nil, err
+		}
+		p = ctx.scanPipeline(crossed)
+	}
+	return p, nil
+}
+
+// buildTablePipeline turns one table expression into a pipeline: joins become
+// streaming probe operators over the left side's pipeline (the right side —
+// the build side — materializes, as the hash join requires), everything else
+// is a materialized scan (tables already are; CTEs and subqueries evaluate
+// eagerly, exactly as before).
+func (ctx *execContext) buildTablePipeline(te sqlparser.TableExpr) (*pipeline, error) {
+	t, ok := te.(*sqlparser.JoinExpr)
+	if !ok {
+		rel, err := ctx.buildTableExpr(te)
+		if err != nil {
+			return nil, err
+		}
+		return ctx.scanPipeline(rel), nil
+	}
+	p, err := ctx.buildTablePipeline(t.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ctx.buildTableExpr(t.Right)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.pushJoin(p, t, right)
+}
+
+// pushJoin appends the streaming operator for one join, or falls back to the
+// materialized join for shapes the streaming probe does not cover (cross
+// joins, conditions with no equality keys).
+func (ctx *execContext) pushJoin(p *pipeline, t *sqlparser.JoinExpr, right *relation) (*pipeline, error) {
+	left := p.rel
+	cols := append(append([]relCol{}, left.cols...), right.cols...)
+
+	materialized := func() (*pipeline, error) {
+		rel, err := ctx.materializeStream(p)
+		if err != nil {
+			return nil, err
+		}
+		joined, err := ctx.join(t, rel, right)
+		if err != nil {
+			return nil, err
+		}
+		return ctx.scanPipeline(joined), nil
+	}
+	if t.Kind == sqlparser.JoinCross {
+		return materialized()
+	}
+
+	var keys []equiKey
+	var residual []sqlparser.Expr
+	switch {
+	case len(t.Using) > 0:
+		for _, name := range t.Using {
+			li, err := left.findCol("", name)
+			if err != nil {
+				return nil, fmt.Errorf("engine: USING column %q: %w", name, err)
+			}
+			ri, err := right.findCol("", name)
+			if err != nil {
+				return nil, fmt.Errorf("engine: USING column %q: %w", name, err)
+			}
+			keys = append(keys, equiKey{leftIdx: li, rightIdx: ri})
+		}
+	case t.On != nil:
+		keys, residual = splitJoinCondition(t.On, left, right)
+	default:
+		return nil, fmt.Errorf("engine: join without condition")
+	}
+	if len(keys) == 0 {
+		// Nested-loop fallback: quadratic and possibly subquery-bearing.
+		return materialized()
+	}
+
+	combined := &relation{cols: cols}
+	resFns := make([]evalFn, len(residual))
+	for i, res := range residual {
+		fn, err := compileExpr(combined, ctx, res)
+		if err != nil {
+			return nil, err
+		}
+		resFns[i] = fn
+	}
+
+	if ctx.spill.Enabled() && ctx.spill.ShouldSpill(estRowsBytes(right.rows)) {
+		op, err := ctx.newGraceJoinOp(t.Kind, keys, resFns, right, len(left.cols))
+		if err != nil {
+			return nil, err
+		}
+		p.push(op, combined)
+		return p, nil
+	}
+
+	index, err := ctx.buildJoinIndex(keys, right.rows)
+	if err != nil {
+		return nil, err
+	}
+	ctx.pstats.breaker(estRowsBytes(right.rows))
+	op := &hashJoinOp{kind: t.Kind,
+		probe: joinProbe{keys: keys, index: index, right: right.rows,
+			resFns: resFns, width: len(cols), vector: ctx.vector},
+		rightRows: right.rows, nLeftCols: len(left.cols), nRightCols: len(right.cols),
+		resPure: exprsPure(residual)}
+	p.push(op, combined)
+	return p, nil
+}
+
+// ---- Projection sinks ----
+
+// executeProjectionStream is the non-aggregated sink: each morsel leaving the
+// pipeline projects to output rows (and ORDER BY keys) on a worker, and the
+// ordered consumer appends them — per-row work and output order are exactly
+// the materialized projection's. A pipeline with no operators is already a
+// materialized scan, so it takes the original path unchanged.
+func (ctx *execContext) executeProjectionStream(stmt *sqlparser.SelectStmt, p *pipeline) (*ResultSet, [][]Value, error) {
+	if len(p.ops) == 0 {
+		return ctx.executeProjection(stmt, p.src, nil)
+	}
+	if ctx.vector && projectionPure(stmt) && projectionBatchWorthwhile(stmt) {
+		return ctx.executeProjectionBatchStream(stmt, p)
+	}
+	rel := p.rel
+	names, pspecs, err := buildProjSpecs(stmt, rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	type colSpec struct {
+		eval evalFn
+		star bool
+		from int
+		upto int
+	}
+	specs := make([]colSpec, len(pspecs))
+	for i, ps := range pspecs {
+		if ps.star {
+			specs[i] = colSpec{star: true, from: ps.from, upto: ps.upto}
+			continue
+		}
+		fn, err := compileExpr(rel, ctx, ps.expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		specs[i] = colSpec{eval: fn}
+	}
+	needSort := len(stmt.OrderBy) > 0
+	var keyFns []sortKeyFn
+	if needSort {
+		fns, err := compileSortKeys(rel, ctx, stmt.OrderBy, names)
+		if err != nil {
+			return nil, nil, err
+		}
+		keyFns = fns
+	}
+
+	out := &ResultSet{Columns: names, Rows: [][]Value{}}
+	var sortKeys [][]Value
+	type projOut struct {
+		rows [][]Value
+		keys [][]Value
+	}
+	produce := func(_ int, m morsel) (any, error) {
+		in := m.dense()
+		rows := make([][]Value, 0, len(in))
+		var keys [][]Value
+		if needSort {
+			keys = make([][]Value, 0, len(in))
+		}
+		for i, row := range in {
+			if i%ctx.morsel == 0 {
+				if err := ctx.err(); err != nil {
+					return nil, err
+				}
+			}
+			outRow := make([]Value, 0, len(names))
+			for _, spec := range specs {
+				if spec.star {
+					outRow = append(outRow, row[spec.from:spec.upto]...)
+					continue
+				}
+				v, err := spec.eval(row)
+				if err != nil {
+					return nil, err
+				}
+				outRow = append(outRow, v)
+			}
+			rows = append(rows, outRow)
+			if needSort {
+				key := make([]Value, len(keyFns))
+				for k, fn := range keyFns {
+					v, err := fn(row, outRow)
+					if err != nil {
+						return nil, err
+					}
+					key[k] = v
+				}
+				keys = append(keys, key)
+			}
+		}
+		return projOut{rows: rows, keys: keys}, nil
+	}
+	err = p.run(ctx, projectionPure(stmt), produce, func(payload any) error {
+		po := payload.(projOut)
+		out.Rows = append(out.Rows, po.rows...)
+		if needSort {
+			sortKeys = append(sortKeys, po.keys...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, sortKeys, nil
+}
+
+// executeProjectionBatchStream is the vectorized projection sink: per worker,
+// every select-list expression and computed ORDER BY key evaluates as a batch
+// kernel over the morsel's selection, with the same chained-prefix error
+// semantics as the materialized batch projection (the surfaced error is the
+// row-major-first failure regardless of morsel boundaries).
+func (ctx *execContext) executeProjectionBatchStream(stmt *sqlparser.SelectStmt, p *pipeline) (*ResultSet, [][]Value, error) {
+	rel := p.rel
+	names, specs, err := buildProjSpecs(stmt, rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	vecSlot := make([]int, len(specs))
+	nEval := 0
+	for i, ps := range specs {
+		vecSlot[i] = nEval
+		if !ps.star {
+			nEval++
+		}
+	}
+	evals := make([]batchExpr, 0, nEval)
+	for _, ps := range specs {
+		if !ps.star {
+			evals = append(evals, compileBatchExpr(rel, ctx, ps.expr))
+		}
+	}
+	needSort := len(stmt.OrderBy) > 0
+	var keySpecs []batchSortKey
+	if needSort {
+		keySpecs = compileBatchSortKeys(rel, ctx, stmt.OrderBy, names)
+	}
+
+	type projWorker struct {
+		bc      *batchCtx
+		vecs    []*vector
+		keyVecs []*vector
+		ids     []int
+	}
+	var pws []*projWorker
+	width := len(names)
+	out := &ResultSet{Columns: names, Rows: [][]Value{}}
+	var sortKeys [][]Value
+	type projOut struct {
+		rows [][]Value
+		keys [][]Value
+	}
+	produce := func(w int, m morsel) (any, error) {
+		pw := pws[w]
+		if pw == nil {
+			pw = &projWorker{bc: &batchCtx{}}
+			pw.vecs = make([]*vector, nEval)
+			for i := range pw.vecs {
+				pw.vecs[i] = &vector{}
+			}
+			pw.keyVecs = make([]*vector, len(keySpecs))
+			for i := range pw.keyVecs {
+				pw.keyVecs[i] = &vector{}
+			}
+			pws[w] = pw
+		}
+		pw.bc.rows = m.rows
+		msel := m.sel
+		if msel == nil {
+			if len(pw.ids) < len(m.rows) {
+				pw.ids = identitySel(len(m.rows))
+			}
+			msel = pw.ids[:len(m.rows)]
+		}
+
+		nOK := len(msel)
+		var evalErr error
+		for vi, fn := range evals {
+			n, err := fn(pw.bc, msel[:nOK], pw.vecs[vi])
+			if err != nil {
+				nOK, evalErr = n, err
+			}
+		}
+		for ki, ks := range keySpecs {
+			if ks.eval != nil {
+				n, err := ks.eval(pw.bc, msel[:nOK], pw.keyVecs[ki])
+				if err != nil {
+					nOK, evalErr = n, err
+				}
+				continue
+			}
+			if ks.check && (ks.pos < 0 || ks.pos >= width) && nOK > 0 {
+				nOK, evalErr = 0, fmt.Errorf("engine: ORDER BY position %d out of range", ks.want)
+			}
+		}
+
+		slab := make([]Value, 0, nOK*width)
+		rows := make([][]Value, 0, nOK)
+		for i := 0; i < nOK; i++ {
+			off := len(slab)
+			for si, ps := range specs {
+				if ps.star {
+					slab = append(slab, m.rows[msel[i]][ps.from:ps.upto]...)
+					continue
+				}
+				slab = append(slab, pw.vecs[vecSlot[si]].value(i))
+			}
+			rows = append(rows, slab[off:len(slab):len(slab)])
+		}
+		po := projOut{rows: rows}
+		if needSort {
+			keys := make([][]Value, nOK)
+			keySlab := make([]Value, nOK*len(keySpecs))
+			for i := 0; i < nOK; i++ {
+				key := keySlab[i*len(keySpecs) : (i+1)*len(keySpecs) : (i+1)*len(keySpecs)]
+				for ki, ks := range keySpecs {
+					if ks.eval != nil {
+						key[ki] = pw.keyVecs[ki].value(i)
+					} else {
+						key[ki] = rows[i][ks.pos]
+					}
+				}
+				keys[i] = key
+			}
+			po.keys = keys
+		}
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		return po, nil
+	}
+	pws = make([]*projWorker, p.planWorkers(ctx, true))
+	err = p.run(ctx, true, produce, func(payload any) error {
+		po := payload.(projOut)
+		out.Rows = append(out.Rows, po.rows...)
+		if needSort {
+			sortKeys = append(sortKeys, po.keys...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, sortKeys, nil
+}

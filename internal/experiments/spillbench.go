@@ -48,9 +48,11 @@ func (r SpillBenchResult) String() string {
 	fmt.Fprintf(&b, "spilled %d bytes across %d files; %d join spills (%d partitions), %d sort spills (%d runs)\n",
 		r.Stats.SpilledBytes, r.Stats.Files, r.Stats.JoinSpills, r.Stats.JoinPartitions,
 		r.Stats.SortSpills, r.Stats.SortRuns)
-	fmt.Fprintf(&b, "%d agg spills (%d partitions, %d recursions, %d over budget); %d distinct + %d set-op spills (%d partitions, %d recursions)",
+	fmt.Fprintf(&b, "%d agg spills (%d partitions, %d recursions, %d over budget); %d distinct + %d set-op spills (%d partitions, %d recursions)\n",
 		r.Stats.AggSpills, r.Stats.AggPartitions, r.Stats.AggRecursions, r.Stats.OverBudgetAggs,
 		r.Stats.DistinctSpills, r.Stats.SetOpSpills, r.Stats.DedupePartitions, r.Stats.DedupeRecursions)
+	fmt.Fprintf(&b, "streaming: peak %d morsel bytes in flight, %d pipeline-breaker materializations",
+		r.Stats.PeakMorselBytes, r.Stats.BreakerMaterializations)
 	return b.String()
 }
 

@@ -78,6 +78,18 @@ type Stats struct {
 	SetOpSpills      int64 `json:"setop_spills"`
 	DedupePartitions int64 `json:"dedupe_partitions"`
 	DedupeRecursions int64 `json:"dedupe_recursions"`
+	// PeakMorselBytes is the high-water mark of bytes held in in-flight
+	// morsels by the streaming executor — the whole-query transient memory
+	// the dataflow keeps live between producers and the ordered consumer.
+	// Unlike the other counters it folds by maximum, not by sum: the
+	// process-wide value is the worst single query seen.
+	PeakMorselBytes int64 `json:"peak_morsel_bytes"`
+	// BreakerMaterializations counts pipeline breakers: points where the
+	// executor buffered a full intermediate relation instead of streaming
+	// through it (hash-join builds, grouped-aggregation state, sort buffers,
+	// DISTINCT/set-operation key state, and fallback materializations for
+	// shapes the streaming dataflow does not cover).
+	BreakerMaterializations int64 `json:"breaker_materializations"`
 }
 
 // Add folds other into s.
@@ -100,6 +112,10 @@ func (s *Stats) Add(other Stats) {
 	s.SetOpSpills += other.SetOpSpills
 	s.DedupePartitions += other.DedupePartitions
 	s.DedupeRecursions += other.DedupeRecursions
+	if other.PeakMorselBytes > s.PeakMorselBytes {
+		s.PeakMorselBytes = other.PeakMorselBytes
+	}
+	s.BreakerMaterializations += other.BreakerMaterializations
 }
 
 // Manager owns one query's spill budget, temp files, and metrics. Methods
