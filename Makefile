@@ -12,7 +12,7 @@ GATE_PREPARED_BENCH = BenchmarkSystemRunRepeated|BenchmarkPreparedRunRepeated
 GATE_COUNT = 5
 GATE_BENCHTIME = 200ms
 
-.PHONY: check build test vet race lint test-lowmem test-faults bench-short bench-engine bench-prepared bench-paper bench-parallel bench-spill bench-vector bench-streaming bench-current bench-baseline bench-gate flexbench-small
+.PHONY: check build test vet race lint test-lowmem test-faults test-telemetry bench-short bench-engine bench-prepared bench-paper bench-parallel bench-spill bench-vector bench-streaming bench-telemetry bench-current bench-baseline bench-gate flexbench-small
 
 # Default: the tier-1 verification plus static analysis.
 check: build vet test
@@ -72,6 +72,26 @@ bench-streaming:
 		-bench 'BenchmarkStreamingPipeline' \
 		-benchtime 1s
 
+# Telemetry overhead gate: profiled vs streamed on the same pipeline, both
+# measured in the same run, so no hardware-specific baseline is involved.
+# Profiling must cost at most 2% — it is a per-request opt-in, but the
+# tracing hooks sit on the hot path for every query. Samples come from
+# GATE_COUNT separate -count=1 invocations (not one -count=N run) so the
+# sides interleave in time: benchgate judges the pair by the median of
+# per-index deltas, which cancels slow machine drift that would otherwise
+# dwarf a 2% bound.
+bench-telemetry:
+	@: > /tmp/bench-telemetry.txt
+	@for i in $$(seq $(GATE_COUNT)); do \
+		$(GO) test ./internal/engine -run '^$$' -bench 'BenchmarkStreamingPipeline' \
+			-benchtime 1s -count 1 >> /tmp/bench-telemetry.txt \
+			|| { cat /tmp/bench-telemetry.txt; exit 1; }; \
+	done
+	@cat /tmp/bench-telemetry.txt
+	$(GO) run ./cmd/benchgate -old "" -new /tmp/bench-telemetry.txt \
+		-pair 'BenchmarkStreamingPipeline/profiled=BenchmarkStreamingPipeline/streamed' \
+		-pair-threshold 0.02
+
 # Vectorized kernels vs the row-at-a-time closures, one worker: the
 # scalar/vector sub-benchmark pairs isolate the batching speedup itself
 # from parallel scaling.
@@ -96,6 +116,21 @@ test-faults:
 	FLEX_TEST_MEMORY_BUDGET=512B $(GO) test -race -run '$(FAULT_RUN_ENGINE)' ./internal/engine/
 	$(GO) test -race -run '$(FAULT_RUN_FLEX)' .
 	$(GO) test -race -run '$(FAULT_RUN_SERVER)' ./internal/server/
+
+# Telemetry suite, all under the race detector: the metrics/histogram/audit
+# substrate, execution-trace and EXPLAIN ANALYZE tests (including the
+# profiling-is-bit-identical differential), spill-stats delta accounting,
+# budget observer reentrancy, and the server's /metrics, ?profile=1, and
+# audit-log surface.
+TELEMETRY_RUN_ENGINE = TestQueryProfile|TestExplainAnalyze|TestProfilingPreservesResults|TestPreparedProfile
+TELEMETRY_RUN_SERVER = TestMetrics|TestHealthzSpillShape|TestQueryProfileOption|TestAuditLog|TestLifecycleFieldsDelta
+
+test-telemetry:
+	$(GO) test -race ./internal/telemetry/
+	$(GO) test -race -run '$(TELEMETRY_RUN_ENGINE)' ./internal/engine/
+	$(GO) test -race -run 'TestStats' ./internal/spill/
+	$(GO) test -race -run 'TestBudgetObserver' ./internal/smooth/
+	$(GO) test -race -run '$(TELEMETRY_RUN_SERVER)' ./internal/server/
 
 # The entire engine suite with spilling forced on (the CI low-memory job):
 # every join build, ORDER BY buffer, grouped-aggregation state, and

@@ -10,6 +10,24 @@
 // a benchmark does not require regenerating the baseline in the same commit
 // (refresh with `make bench-baseline`). Baselines are hardware-specific:
 // regenerate after a CI runner change, not to paper over a regression.
+//
+// -pair compares two benchmarks within the *current* run instead of against
+// the baseline: `-pair candidate=reference` fails when candidate's ns/op
+// exceeds reference's by more than -pair-threshold, judged by the median of
+// per-index sample deltas when the sides have equal sample counts (feed it
+// interleaved samples — several -count=1 runs appended — so each pair
+// shares the machine's instantaneous load and drift cancels). Because both
+// sides ran on the same machine in the same invocation, pair gates need no
+// checked-in baseline — this is how CI bounds telemetry overhead (see the
+// bench-telemetry make target):
+//
+//	for i in 1 2 3 4 5; do
+//	  go test ./internal/engine -bench StreamingPipeline -count 1
+//	done | go run ./cmd/benchgate -old "" \
+//	  -pair 'BenchmarkStreamingPipeline/profiled=BenchmarkStreamingPipeline/streamed' \
+//	  -pair-threshold 0.02
+//
+// -old "" skips the baseline comparison entirely (pair-only runs).
 package main
 
 import (
@@ -19,6 +37,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -135,22 +154,87 @@ func render(w io.Writer, comps []comparison, threshold float64) (failed bool) {
 	return failed
 }
 
+// pairFlags collects repeatable -pair candidate=reference specs.
+type pairFlags []string
+
+func (p *pairFlags) String() string { return strings.Join(*p, ",") }
+func (p *pairFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want candidate=reference, got %q", v)
+	}
+	*p = append(*p, v)
+	return nil
+}
+
+// comparePairs evaluates same-run pair gates: for each candidate=reference
+// spec, candidate's ns/op may exceed reference's by at most threshold.
+// With equal sample counts the two sides are treated as interleaved
+// (sample i of each came from the same run of the suite — how the
+// bench-telemetry target produces them) and the verdict is the MEDIAN OF
+// PER-INDEX DELTAS: each pair shares the machine's instantaneous load, so
+// slow drift across a multi-minute run cancels instead of appearing as
+// overhead. Whole-run aggregates (medians or minima of each side) jitter
+// more than a tight 2% bound on a shared VM precisely because one side's
+// block runs minutes after the other's. Unequal counts fall back to
+// comparing per-side minima. A missing side is fatal — a pair gate that
+// silently stops measuring is a lost regression bound, exactly like a
+// baseline benchmark disappearing.
+func comparePairs(w io.Writer, current map[string][]float64, pairs []string, threshold float64) (failed bool) {
+	for _, spec := range pairs {
+		cand, ref, _ := strings.Cut(spec, "=")
+		cs, okC := current[cand]
+		rs, okR := current[ref]
+		if !okC || !okR {
+			fmt.Fprintf(w, "pair %s: MISSING %s from current run\n", spec,
+				map[bool]string{true: ref, false: cand}[okC])
+			failed = true
+			continue
+		}
+		var delta float64
+		how := "paired-median"
+		if len(cs) == len(rs) {
+			deltas := make([]float64, len(cs))
+			for i := range cs {
+				deltas[i] = (cs[i] - rs[i]) / rs[i]
+			}
+			delta = median(deltas)
+		} else {
+			how = "min"
+			minC, minR := slices.Min(cs), slices.Min(rs)
+			delta = (minC - minR) / minR
+		}
+		mark := ""
+		if delta > threshold {
+			mark = fmt.Sprintf("  REGRESSION (> %+.1f%%)", threshold*100)
+			failed = true
+		}
+		fmt.Fprintf(w, "pair %-60s %+8.1f%% (%s of %d samples)%s\n",
+			cand+" = "+ref, delta*100, how, len(cs), mark)
+	}
+	return failed
+}
+
 func main() {
-	oldPath := flag.String("old", "bench/baseline.txt", "baseline go test -bench output")
+	oldPath := flag.String("old", "bench/baseline.txt", `baseline go test -bench output ("" = skip the baseline comparison)`)
 	newPath := flag.String("new", "", "current go test -bench output (default: stdin)")
 	threshold := flag.Float64("threshold", 0.15, "fractional ns/op regression that fails the gate")
+	var pairs pairFlags
+	flag.Var(&pairs, "pair", "candidate=reference benchmarks compared within the current run (repeatable)")
+	pairThreshold := flag.Float64("pair-threshold", 0.02, "fractional candidate-over-reference overhead that fails a -pair gate")
 	flag.Parse()
 
-	oldFile, err := os.Open(*oldPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
-	}
-	defer oldFile.Close()
-	baseline, err := parseBench(oldFile)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
+	baseline := map[string][]float64{}
+	if *oldPath != "" {
+		oldFile, err := os.Open(*oldPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		defer oldFile.Close()
+		if baseline, err = parseBench(oldFile); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	var newReader io.Reader = os.Stdin
@@ -173,8 +257,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	if render(os.Stdout, compare(baseline, current, *threshold), *threshold) {
-		fmt.Fprintf(os.Stderr, "benchgate: benchmark regression beyond %.0f%% threshold\n", *threshold*100)
+	failed := false
+	if *oldPath != "" {
+		failed = render(os.Stdout, compare(baseline, current, *threshold), *threshold)
+	}
+	if comparePairs(os.Stdout, current, pairs, *pairThreshold) {
+		failed = true
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchgate: benchmark regression beyond threshold")
 		os.Exit(1)
 	}
 	fmt.Println(strings.TrimSpace("benchgate: OK"))

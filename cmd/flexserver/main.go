@@ -6,14 +6,27 @@
 //
 //	flexserver -addr :8080 -table trips=trips.csv -public cities \
 //	           -max-eps 5 -max-delta 1e-5 -cache-size 256 \
-//	           -analyst-budget 1.0 -analyst-delta 1e-6
+//	           -analyst-budget 1.0 -analyst-delta 1e-6 \
+//	           -ops-addr 127.0.0.1:6060 -slow-query-ms 500 -audit-log audit.jsonl
 //
 // Endpoints:
 //
 //	POST /query    {"sql": "...", "epsilon": 0.1}        → noisy rows
+//	POST /query?profile=1                                → + execution trace
 //	POST /analyze  {"sql": "..."}                        → sensitivity info
 //	GET  /budget                                         → budget status
 //	GET  /healthz                                        → liveness + cache stats
+//	GET  /metrics                                        → Prometheus text format
+//
+// -ops-addr starts a second listener for operators only, serving /metrics
+// and net/http/pprof. Profiles, metrics, and execution traces expose true
+// (noise-free) execution detail, so the ops listener must never be reachable
+// by analysts; bind it to localhost or an internal interface.
+//
+// Logs are structured JSON on stderr (log/slog). -audit-log appends one JSON
+// line per budget spend/refund and per released answer ("-" = stderr); audit
+// lines identify queries by canonical hash and never contain SQL text or
+// result values.
 //
 // With -demo (no -table flags) the server loads the synthetic rideshare
 // dataset so the API can be exercised immediately. The server shuts down
@@ -24,8 +37,9 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,6 +50,7 @@ import (
 	"flexdp/internal/server"
 	"flexdp/internal/smooth"
 	"flexdp/internal/spill"
+	"flexdp/internal/telemetry"
 	"flexdp/internal/workload"
 )
 
@@ -45,6 +60,25 @@ func (t *tableFlags) String() string { return strings.Join(*t, ",") }
 func (t *tableFlags) Set(v string) error {
 	*t = append(*t, v)
 	return nil
+}
+
+// fatal logs the error and exits without skipping deferred cleanup in main —
+// callers run any cleanup themselves before calling it.
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
+// lifecycleArgs renders a lifecycle snapshot (or delta) as slog attributes,
+// one per counter, enumerated from the same Fields() the /metrics collectors
+// use — the drain and lifetime reports cannot drift from the scrape surface.
+func lifecycleArgs(lc server.Lifecycle) []any {
+	fields := lc.Fields()
+	args := make([]any, 0, 2*len(fields))
+	for _, f := range fields {
+		args = append(args, f.Name, f.Value)
+	}
+	return args
 }
 
 func main() {
@@ -68,12 +102,18 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing queries (0 = unbounded); excess requests queue then shed with 503")
 	queueTimeout := flag.Duration("queue-timeout", time.Second, "how long an over-admission query may wait for a slot before a 503 shed")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline (0 = none); expiry cancels the engine and answers 504")
+	opsAddr := flag.String("ops-addr", "", "operator listener for /metrics and /debug/pprof (empty = disabled); bind to an internal interface, never analyst-reachable")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "warn-log queries slower than this many milliseconds (0 = disabled)")
+	auditLog := flag.String("audit-log", "", `budget audit log file, appended as JSON lines ("-" = stderr, empty = disabled)`)
 	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
 
 	var db *flex.Database
 	switch {
 	case *demo || len(tables) == 0:
-		log.Printf("loading demo rideshare dataset")
+		logger.Info("loading demo rideshare dataset")
 		db = flex.WrapEngine(workload.GenerateRideshare(workload.DefaultRideshare()))
 		if *public == "" {
 			*public = "cities"
@@ -83,12 +123,12 @@ func main() {
 		for _, spec := range tables {
 			name, file, ok := strings.Cut(spec, "=")
 			if !ok {
-				log.Fatalf("bad -table %q: want name=file.csv", spec)
+				fatal(logger, "bad -table flag: want name=file.csv", "flag", spec)
 			}
 			if err := flex.LoadCSV(db, name, file); err != nil {
-				log.Fatalf("loading %s: %v", file, err)
+				fatal(logger, "loading table", "file", file, "error", err)
 			}
-			log.Printf("loaded table %s from %s", name, file)
+			logger.Info("loaded table", "table", name, "file", file)
 		}
 	}
 
@@ -99,16 +139,33 @@ func main() {
 	// crashed or draining query left behind.
 	budgetBytes, err := spill.ParseBytes(*memoryBudget)
 	if err != nil {
-		log.Fatalf("bad -memory-budget: %v", err)
+		fatal(logger, "bad -memory-budget", "error", err)
 	}
 	var spillDir string
 	if budgetBytes > 0 {
 		spillDir, err = os.MkdirTemp(*tempDir, "flexserver-spill-")
 		if err != nil {
-			log.Fatalf("creating spill dir: %v", err)
+			fatal(logger, "creating spill dir", "error", err)
 		}
 		defer os.RemoveAll(spillDir)
-		log.Printf("per-query memory budget %d bytes, spilling to %s", budgetBytes, spillDir)
+		logger.Info("per-query memory budget active", "bytes", budgetBytes, "spill_dir", spillDir)
+	}
+
+	var audit *telemetry.AuditLogger
+	switch *auditLog {
+	case "":
+	case "-":
+		audit = telemetry.NewAuditLogger(os.Stderr)
+	default:
+		f, err := os.OpenFile(*auditLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+		if err != nil {
+			if spillDir != "" {
+				os.RemoveAll(spillDir)
+			}
+			fatal(logger, "opening audit log", "file", *auditLog, "error", err)
+		}
+		defer f.Close()
+		audit = telemetry.NewAuditLogger(f)
 	}
 
 	// The server layer owns all budget accounting (shared pool plus
@@ -129,13 +186,16 @@ func main() {
 		*analystDelta = *maxDelta
 	}
 	srv := server.NewWithConfig(sys, budget, server.Config{
-		DefaultDelta:   smooth.DeltaForSize(db.TotalRows()),
-		CacheSize:      *cacheSize,
-		AnalystEpsilon: *analystEps,
-		AnalystDelta:   *analystDelta,
-		MaxInflight:    *maxInflight,
-		QueueTimeout:   *queueTimeout,
-		QueryTimeout:   *queryTimeout,
+		DefaultDelta:       smooth.DeltaForSize(db.TotalRows()),
+		CacheSize:          *cacheSize,
+		AnalystEpsilon:     *analystEps,
+		AnalystDelta:       *analystDelta,
+		MaxInflight:        *maxInflight,
+		QueueTimeout:       *queueTimeout,
+		QueryTimeout:       *queryTimeout,
+		Logger:             logger,
+		Audit:              audit,
+		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
 	})
 
 	httpSrv := &http.Server{
@@ -153,41 +213,69 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
-	log.Printf("FLEX proxy listening on %s (%d rows across %v; pool ε=%g δ=%g, analyst ε=%g, cache=%d)",
-		*addr, db.TotalRows(), db.TableNames(), *maxEps, *maxDelta, *analystEps, *cacheSize)
+	// The ops listener carries the operator-only surface: Prometheus metrics
+	// and pprof. It shares the metric registry with the public /metrics
+	// route, so both render identical snapshots.
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsMux := http.NewServeMux()
+		opsMux.Handle("GET /metrics", srv.Registry())
+		opsMux.HandleFunc("/debug/pprof/", pprof.Index)
+		opsMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		opsMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		opsMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		opsMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		opsSrv = &http.Server{Addr: *opsAddr, Handler: opsMux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("ops listener failed", "addr", *opsAddr, "error", err)
+			}
+		}()
+		logger.Info("ops listener started", "addr", *opsAddr)
+	}
+
+	logger.Info("FLEX proxy listening",
+		"addr", *addr, "rows", db.TotalRows(), "tables", db.TableNames(),
+		"pool_epsilon", *maxEps, "pool_delta", *maxDelta,
+		"analyst_epsilon", *analystEps, "cache_size", *cacheSize)
 
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			// log.Fatal would skip the deferred spill-dir sweep.
+			// os.Exit would skip the deferred spill-dir sweep; clean up first.
 			if spillDir != "" {
 				os.RemoveAll(spillDir)
 			}
-			log.Fatal(err)
+			fatal(logger, "listen failed", "error", err)
 		}
 	case <-ctx.Done():
 		stop()
+		// Both shutdown reports derive from Lifecycle snapshots — the same
+		// source /healthz and the flex_lifecycle_* collectors read — so logs,
+		// health checks, and metrics can never disagree about the counters.
 		atSignal := srv.Lifecycle()
-		log.Printf("signal received; draining %d in-flight queries for up to %v",
-			atSignal.InFlight, *shutdownGrace)
+		logger.Info("signal received; draining",
+			"in_flight", atSignal.InFlight, "grace", shutdownGrace.String())
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Warn("shutdown incomplete", "error", err)
 		}
-		after := srv.Lifecycle()
-		log.Printf("drain: %d completed, %d cancelled, %d timed out during shutdown (%d still in flight)",
-			after.Completed-atSignal.Completed, after.Cancelled-atSignal.Cancelled,
-			after.TimedOut-atSignal.TimedOut, after.InFlight)
+		logger.Info("drain report", lifecycleArgs(srv.Lifecycle().Delta(atSignal))...)
 	}
-	lc := srv.Lifecycle()
-	log.Printf("lifetime: %d queries answered, %d cancelled, %d timed out, %d shed, %d panics isolated",
-		lc.Completed, lc.Cancelled, lc.TimedOut, lc.Shed, lc.Panics)
+	if opsSrv != nil {
+		opsCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = opsSrv.Shutdown(opsCtx)
+		cancel()
+	}
+	logger.Info("lifetime totals", lifecycleArgs(srv.Lifecycle())...)
 	if budgetBytes > 0 {
 		st := sys.SpillStats()
-		log.Printf("spill totals: %d joins, %d sorts, %d aggs, %d dedups, %d files, %d bytes",
-			st.JoinSpills, st.SortSpills, st.AggSpills,
-			st.DistinctSpills+st.SetOpSpills, st.Files, st.SpilledBytes)
+		args := make([]any, 0, 2*len(st.Fields()))
+		for _, f := range st.Fields() {
+			args = append(args, f.Name, f.Value)
+		}
+		logger.Info("spill totals", args...)
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 }

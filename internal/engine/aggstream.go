@@ -436,6 +436,7 @@ func (ctx *execContext) executeAggregateStream(stmt *sqlparser.SelectStmt, p *pi
 		return nil
 	}
 	aws = make([]*aggWorker, p.planWorkers(ctx, true))
+	produce, atrace := ctx.prof.sink("aggregate", produce)
 	if err := p.run(ctx, true, produce, consume); err != nil {
 		return nil, nil, err
 	}
@@ -459,7 +460,11 @@ func (ctx *execContext) executeAggregateStream(stmt *sqlparser.SelectStmt, p *pi
 	if len(stmt.GroupBy) > 0 || !allFoldable {
 		ctx.pstats.breaker(0)
 	}
-	return ctx.aggFinalize(stmt, rel, groups, slotOf)
+	res, keys, err := ctx.aggFinalize(stmt, rel, groups, slotOf)
+	if err == nil {
+		atrace.setRowsOut(len(res.Rows))
+	}
+	return res, keys, err
 }
 
 // executeAggSpillStream streams morsels into the spilled aggregation's
@@ -526,6 +531,7 @@ func (ctx *execContext) executeAggSpillStream(stmt *sqlparser.SelectStmt, p *pip
 		}
 		return nil
 	}
+	produce, atrace := ctx.prof.sink("aggregate_spill", produce)
 	if err := p.run(ctx, true, produce, consume); err != nil {
 		abortW()
 		return nil, nil, err
@@ -534,5 +540,9 @@ func (ctx *execContext) executeAggSpillStream(stmt *sqlparser.SelectStmt, p *pip
 	if err != nil {
 		return nil, nil, err
 	}
-	return ctx.drainAggSpill(stmt, rel, runs, nRows)
+	res, keys, err := ctx.drainAggSpill(stmt, rel, runs, nRows)
+	if err == nil {
+		atrace.setRowsOut(len(res.Rows))
+	}
+	return res, keys, err
 }

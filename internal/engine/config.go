@@ -42,6 +42,12 @@ type ExecConfig struct {
 	// exists for the streamed-vs-materialized differential suite and the
 	// BenchmarkStreamingPipeline A/B comparison.
 	MaterializeStages bool
+	// Profile, when non-nil, receives this execution's per-operator trace
+	// and spill attribution (see QueryProfile). nil — the default — keeps
+	// profiling entirely off the hot path: no traces are allocated and the
+	// pipeline runs undecorated. Profiling never changes results; the
+	// differential suites run with it on.
+	Profile *QueryProfile
 }
 
 // workers returns the effective worker count.
@@ -94,10 +100,15 @@ func (db *DB) ExecConfig() ExecConfig {
 
 // SetExecConfig replaces the database's execution defaults wholesale.
 // Executions already in flight keep the snapshot they started with.
+// The Profile destination is per-execution state, not a default: it is
+// dropped here so concurrent queries can never race on one profile struct.
+// Pass a config with Profile set to ExecuteContextConfig (or
+// PreparedQuery.ExecContextConfig) instead.
 func (db *DB) SetExecConfig(cfg ExecConfig) {
 	if cfg.MemoryBudget < 0 {
 		cfg.MemoryBudget = 0
 	}
+	cfg.Profile = nil
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.cfg = cfg

@@ -46,6 +46,9 @@ type execContext struct {
 	// goctx is the query's cancellation context, polled at morsel and
 	// record-batch boundaries; nil behaves as context.Background().
 	goctx context.Context
+	// prof collects the per-operator execution trace when ExecConfig.Profile
+	// requested one; nil (the default) disables all trace collection.
+	prof *queryProfiler
 }
 
 // spanSize returns the morsel size for an operator over rows of the given
@@ -79,16 +82,58 @@ func (ctx *execContext) err() error {
 // execution runs against an immutable ExecConfig snapshot taken here, so
 // configuration changes mid-query apply only to later executions.
 func (db *DB) ExecuteContext(goctx context.Context, stmt *sqlparser.SelectStmt) (rs *ResultSet, err error) {
-	cfg := db.ExecConfig()
+	return db.ExecuteContextConfig(goctx, stmt, db.ExecConfig())
+}
+
+// ExecuteContextConfig runs a parsed SELECT statement under goctx against an
+// explicit execution config instead of the database's defaults. It is how a
+// caller requests a per-query override — most importantly cfg.Profile, which
+// receives the execution's per-operator trace (see QueryProfile). An
+// EXPLAIN ANALYZE statement executes fully and returns the rendered profile
+// as its result set instead of the query's rows.
+func (db *DB) ExecuteContextConfig(goctx context.Context, stmt *sqlparser.SelectStmt, cfg ExecConfig) (rs *ResultSet, err error) {
+	if stmt.Explain {
+		return db.explainAnalyze(goctx, stmt, cfg)
+	}
 	mgr := cfg.newSpillManager()
 	defer db.finishSpill(mgr)
 	ps := &pipeStats{}
 	defer db.notePipeline(ps)
+	var prof *queryProfiler
+	if cfg.Profile != nil {
+		prof = newQueryProfiler()
+		// Registered between the stats defers and the panic recovery, so it
+		// runs after recoverExecPanic (seeing the recovered outcome) and
+		// before finishSpill retires the manager: the profile snapshots the
+		// query's own spill stats exactly as they are folded into the DB.
+		defer prof.fill(cfg.Profile, cfg, mgr, ps)
+	}
 	defer recoverExecPanic(&err)
 	ctx := &execContext{db: db, ctes: make(map[string]*relation), cfg: cfg, pstats: ps,
 		workers: cfg.workers(), morsel: cfg.morsel(),
-		pinned: cfg.morselPinned(), vector: cfg.vectorized(), spill: mgr, goctx: goctx}
+		pinned: cfg.morselPinned(), vector: cfg.vectorized(), spill: mgr, goctx: goctx,
+		prof: prof}
 	return ctx.executeSelect(stmt)
+}
+
+// explainAnalyze executes the statement with profiling forced on and returns
+// the rendered trace as a one-column result set (Postgres-style
+// "QUERY PLAN"), discarding the query's own rows. The query still runs end
+// to end — rows scanned, joined, aggregated, spilled — so the numbers are
+// measurements, not estimates.
+func (db *DB) explainAnalyze(goctx context.Context, stmt *sqlparser.SelectStmt, cfg ExecConfig) (*ResultSet, error) {
+	inner := *stmt
+	inner.Explain = false
+	var prof QueryProfile
+	cfg.Profile = &prof
+	if _, err := db.ExecuteContextConfig(goctx, &inner, cfg); err != nil {
+		return nil, err
+	}
+	out := &ResultSet{Columns: []string{"QUERY PLAN"}}
+	for _, line := range prof.Render() {
+		out.Rows = append(out.Rows, []Value{NewString(line)})
+	}
+	return out, nil
 }
 
 // Execute runs a parsed SELECT statement and returns its result set. It is a
@@ -131,7 +176,7 @@ func (ctx *execContext) executeSelect(stmt *sqlparser.SelectStmt) (*ResultSet, e
 	child := &execContext{db: ctx.db, ctes: make(map[string]*relation), plans: ctx.plans,
 		cfg: ctx.cfg, pstats: ctx.pstats,
 		workers: ctx.workers, morsel: ctx.morsel, pinned: ctx.pinned, vector: ctx.vector,
-		spill: ctx.spill, goctx: ctx.goctx}
+		spill: ctx.spill, goctx: ctx.goctx, prof: ctx.prof}
 	for name, rel := range ctx.ctes {
 		child.ctes[name] = rel
 	}
@@ -222,7 +267,7 @@ func (ctx *execContext) executeCoreStreaming(stmt *sqlparser.SelectStmt) (rs *Re
 			err = ferr
 			return nil, nil, err
 		}
-		p.push(f, p.rel)
+		p.push(ctx.traceOp("filter", "", f), p.rel)
 	}
 
 	aggregated := len(stmt.GroupBy) > 0 || stmt.Having != nil

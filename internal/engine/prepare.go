@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"flexdp/internal/sqlparser"
@@ -98,6 +99,11 @@ func (db *DB) Prepare(sql string) (*PreparedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
+	if stmt.Explain {
+		// A prepared statement is a reusable query; EXPLAIN ANALYZE is a
+		// one-shot diagnostic. Run it through Query/QueryContext instead.
+		return nil, fmt.Errorf("engine: cannot prepare an EXPLAIN ANALYZE statement")
+	}
 	return &PreparedQuery{db: db, sql: sql, stmt: stmt}, nil
 }
 
@@ -137,16 +143,32 @@ func (p *PreparedQuery) Exec() (*ResultSet, error) {
 // without invalidating the cached plans — compiled closures are
 // schedule-independent, and results are bit-identical at every worker count.
 func (p *PreparedQuery) ExecContext(goctx context.Context) (rs *ResultSet, err error) {
+	return p.ExecContextConfig(goctx, p.db.ExecConfig())
+}
+
+// ExecContextConfig runs the prepared statement against an explicit
+// execution config instead of the database's defaults — the per-query
+// override surface, most importantly cfg.Profile for requesting an
+// execution trace. The cached plans are shared with every other execution
+// of this statement; profiling decorates the pipeline, never the plans.
+func (p *PreparedQuery) ExecContextConfig(goctx context.Context, cfg ExecConfig) (rs *ResultSet, err error) {
 	plans := p.plansFor(p.db.Version())
-	cfg := p.db.ExecConfig()
 	mgr := cfg.newSpillManager()
 	defer p.db.finishSpill(mgr)
 	ps := &pipeStats{}
 	defer p.db.notePipeline(ps)
+	var prof *queryProfiler
+	if cfg.Profile != nil {
+		prof = newQueryProfiler()
+		// Same defer ordering as ExecuteContextConfig: the profile is
+		// filled after panic recovery and before the spill manager retires.
+		defer prof.fill(cfg.Profile, cfg, mgr, ps)
+	}
 	defer recoverExecPanic(&err)
 	ctx := &execContext{db: p.db, ctes: make(map[string]*relation), plans: plans,
 		cfg: cfg, pstats: ps,
 		workers: cfg.workers(), morsel: cfg.morsel(),
-		pinned: cfg.morselPinned(), vector: cfg.vectorized(), spill: mgr, goctx: goctx}
+		pinned: cfg.morselPinned(), vector: cfg.vectorized(), spill: mgr, goctx: goctx,
+		prof: prof}
 	return ctx.executeSelect(p.stmt)
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flexdp/internal/spill"
 	"flexdp/internal/sqlparser"
@@ -146,11 +147,21 @@ type pipeline struct {
 	src *relation
 	rel *relation
 	ops []streamOp
+	// trace, when profiling is on, is the base scan's profile entry; the
+	// drive (run / pipelineSource.Open) stores its morsel count there.
+	trace *opTrace
 }
 
 // scanPipeline starts a pipeline at a materialized relation.
 func (ctx *execContext) scanPipeline(rel *relation) *pipeline {
-	return &pipeline{src: rel, rel: rel}
+	p := &pipeline{src: rel, rel: rel}
+	if ctx.prof != nil {
+		p.trace = ctx.prof.op("scan", scanDetail(rel))
+		if p.trace != nil {
+			p.trace.rowsOut.Store(int64(len(rel.rows)))
+		}
+	}
+	return p
 }
 
 // push appends op, whose output schema is out.
@@ -215,6 +226,7 @@ func (p *pipeline) run(ctx *execContext, producePure bool,
 		}
 	}()
 	spans := p.spans(ctx)
+	p.trace.setMorsels(len(spans))
 	workers := spanWorkers(len(spans), ctx.workers)
 	if !producePure || !p.pure() {
 		workers = 1
@@ -431,6 +443,7 @@ func (s *pipelineSource) Open(goctx context.Context, cfg ExecConfig) error {
 	sub.vector = cfg.vectorized()
 	s.ctx = &sub
 	s.spans = s.p.spans(s.ctx)
+	s.p.trace.setMorsels(len(s.spans))
 	s.seq = len(s.spans)
 	for _, op := range s.p.ops {
 		op.bind(1)
@@ -511,6 +524,11 @@ func (ctx *execContext) materializeStream(p *pipeline) (*relation, error) {
 	if len(p.ops) == 0 {
 		return p.src, nil
 	}
+	st := ctx.prof.op("materialize", "")
+	var stStart time.Time
+	if st != nil {
+		stStart = time.Now()
+	}
 	rows := make([][]Value, 0, len(p.src.rows))
 	if p.pure() && ctx.workers > 1 {
 		err := p.run(ctx, true,
@@ -541,6 +559,11 @@ func (ctx *execContext) materializeStream(p *pipeline) (*relation, error) {
 		src.Close()
 	}
 	ctx.pstats.breaker(estRowsBytes(rows))
+	if st != nil {
+		st.rowsIn.Store(int64(len(p.src.rows)))
+		st.rowsOut.Store(int64(len(rows)))
+		st.wall.Add(int64(time.Since(stStart)))
+	}
 	return &relation{cols: p.rel.cols, rows: rows}, nil
 }
 
@@ -1074,7 +1097,11 @@ func (ctx *execContext) pushJoin(p *pipeline, t *sqlparser.JoinExpr, right *rela
 		if err != nil {
 			return nil, err
 		}
-		p.push(op, combined)
+		var detail string
+		if ctx.prof != nil {
+			detail = fmt.Sprintf("build_rows=%d", len(right.rows))
+		}
+		p.push(ctx.traceOp("grace_join", detail, op), combined)
 		return p, nil
 	}
 
@@ -1088,7 +1115,11 @@ func (ctx *execContext) pushJoin(p *pipeline, t *sqlparser.JoinExpr, right *rela
 			resFns: resFns, width: len(cols), vector: ctx.vector},
 		rightRows: right.rows, nLeftCols: len(left.cols), nRightCols: len(right.cols),
 		resPure: exprsPure(residual)}
-	p.push(op, combined)
+	var detail string
+	if ctx.prof != nil {
+		detail = fmt.Sprintf("build_rows=%d", len(right.rows))
+	}
+	p.push(ctx.traceOp("hash_join", detail, op), combined)
 	return p, nil
 }
 
@@ -1185,6 +1216,7 @@ func (ctx *execContext) executeProjectionStream(stmt *sqlparser.SelectStmt, p *p
 		}
 		return projOut{rows: rows, keys: keys}, nil
 	}
+	produce, ptrace := ctx.prof.sink("project", produce)
 	err = p.run(ctx, projectionPure(stmt), produce, func(payload any) error {
 		po := payload.(projOut)
 		out.Rows = append(out.Rows, po.rows...)
@@ -1196,6 +1228,7 @@ func (ctx *execContext) executeProjectionStream(stmt *sqlparser.SelectStmt, p *p
 	if err != nil {
 		return nil, nil, err
 	}
+	ptrace.setRowsOut(len(out.Rows))
 	return out, sortKeys, nil
 }
 
@@ -1324,6 +1357,7 @@ func (ctx *execContext) executeProjectionBatchStream(stmt *sqlparser.SelectStmt,
 		return po, nil
 	}
 	pws = make([]*projWorker, p.planWorkers(ctx, true))
+	produce, ptrace := ctx.prof.sink("project_vec", produce)
 	err = p.run(ctx, true, produce, func(payload any) error {
 		po := payload.(projOut)
 		out.Rows = append(out.Rows, po.rows...)
@@ -1335,5 +1369,6 @@ func (ctx *execContext) executeProjectionBatchStream(stmt *sqlparser.SelectStmt,
 	if err != nil {
 		return nil, nil, err
 	}
+	ptrace.setRowsOut(len(out.Rows))
 	return out, sortKeys, nil
 }

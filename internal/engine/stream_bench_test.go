@@ -1,6 +1,11 @@
 package engine
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"flexdp/internal/sqlparser"
+)
 
 // BenchmarkStreamingPipeline pits the streamed executor against the
 // materialized one on the same scan → filter → grouped-aggregate plan. The
@@ -26,4 +31,21 @@ func BenchmarkStreamingPipeline(b *testing.B) {
 			benchQuery(b, db, sql)
 		})
 	}
+	// profiled = streamed + an execution trace per run: the telemetry
+	// overhead bar (benchgate compares it against streamed at a 2% budget).
+	b.Run("profiled", func(b *testing.B) {
+		db.SetExecConfig(base)
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.Profile = new(QueryProfile)
+			if _, err := db.ExecuteContextConfig(context.Background(), stmt, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 	"time"
 
 	"flexdp/internal/engine"
+	"flexdp/internal/sqlparser"
 )
 
 // Engine throughput experiment: measures the morsel-driven parallel
@@ -29,10 +31,15 @@ type EngineBenchQuery struct {
 	// VectorSpeedup is scalar over serial: the batching win by itself,
 	// isolated from parallel scaling.
 	VectorSpeedup float64 `json:"vector_speedup"`
-	// Identical reports whether the scalar, serial, and parallel results
-	// were all bit-identical (it must always be true; recorded so a
+	// Identical reports whether the scalar, serial, parallel, and profiled
+	// results were all bit-identical (it must always be true; recorded so a
 	// regression is visible in the benchmark artifact, not just in tests).
 	Identical bool `json:"identical"`
+	// Profile is the execution trace of one profiled parallel run — per
+	// operator rows/morsels/wall time and the query's spill activity — so
+	// BENCH_<date>.json records where each benchmark query spent its time,
+	// not just the total.
+	Profile *engine.QueryProfile `json:"profile,omitempty"`
 }
 
 // EngineBenchResult is the "engine" section of the benchmark record.
@@ -132,6 +139,7 @@ func RunEngineParallel(seed int64, rows, reps int) EngineBenchResult {
 		serial, serialMS := timeQuery(db, q.sql, reps)
 		db.SetParallelism(0)
 		parallel, parallelMS := timeQuery(db, q.sql, reps)
+		profiled, prof := profileQuery(db, q.sql)
 		res.Queries = append(res.Queries, EngineBenchQuery{
 			Name:          q.name,
 			SQL:           q.sql,
@@ -141,7 +149,9 @@ func RunEngineParallel(seed int64, rows, reps int) EngineBenchResult {
 			Speedup:       serialMS / parallelMS,
 			VectorSpeedup: scalarMS / serialMS,
 			Identical: resultSetsIdentical(serial, parallel) &&
-				resultSetsIdentical(scalar, serial),
+				resultSetsIdentical(scalar, serial) &&
+				resultSetsIdentical(parallel, profiled),
+			Profile: prof,
 		})
 	}
 	return res
@@ -168,6 +178,24 @@ func timeQuery(db *engine.DB, sql string, reps int) (*engine.ResultSet, float64)
 		rs = out
 	}
 	return rs, float64(best.Microseconds()) / 1000
+}
+
+// profileQuery runs sql once with an execution trace attached, under the
+// database's current settings, and returns both the result (for the
+// determinism cross-check) and the profile for the benchmark artifact.
+func profileQuery(db *engine.DB, sql string) (*engine.ResultSet, *engine.QueryProfile) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		panic(fmt.Sprintf("engine bench %q: %v", sql, err))
+	}
+	cfg := db.ExecConfig()
+	prof := new(engine.QueryProfile)
+	cfg.Profile = prof
+	rs, err := db.ExecuteContextConfig(context.Background(), stmt, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("engine bench %q: %v", sql, err))
+	}
+	return rs, prof
 }
 
 // resultSetsIdentical compares two result sets via the injective row-key

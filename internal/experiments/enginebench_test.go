@@ -17,6 +17,9 @@ func TestRunEngineParallel(t *testing.T) {
 		if q.SerialMS <= 0 || q.ParallelMS <= 0 {
 			t.Fatalf("%s: non-positive timing: %+v", q.Name, q)
 		}
+		if q.Profile == nil || len(q.Profile.Operators) == 0 || q.Profile.WallNanos <= 0 {
+			t.Fatalf("%s: missing execution profile: %+v", q.Name, q.Profile)
+		}
 	}
 	if res.String() == "" {
 		t.Fatal("empty rendering")

@@ -22,6 +22,12 @@ type Catalog interface {
 // resolving attribute provenance. It returns an *UnsupportedError for query
 // shapes outside the supported class.
 func Build(stmt *sqlparser.SelectStmt, catalog Catalog) (*Query, error) {
+	if stmt.Explain {
+		// EXPLAIN ANALYZE is an engine diagnostic, not an analyzable query:
+		// admitting it here would let a per-operator trace of true
+		// intermediate cardinalities flow through the DP answer path.
+		return nil, unsupported(ReasonOther, "EXPLAIN ANALYZE is not a private query")
+	}
 	b := &builder{catalog: catalog, ctes: make(map[string]*boundRel)}
 	return b.buildQuery(stmt)
 }

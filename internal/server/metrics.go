@@ -1,0 +1,223 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"strings"
+
+	"flexdp/internal/smooth"
+	"flexdp/internal/spill"
+	"flexdp/internal/telemetry"
+)
+
+// This file wires the server into the telemetry substrate: the /metrics
+// registry (latency histogram, outcome counters, lifecycle/spill/budget
+// gauges) and the budget audit observers. Metric values that already exist
+// as server state (lifecycle counters, spill totals, budgets, cache
+// counters) are read at scrape time through collector funcs, so there is
+// exactly one source of truth per counter — /healthz, /metrics, and
+// flexserver's logs all render the same snapshots.
+
+// initTelemetry builds the registry. Called once from NewWithConfig.
+func (s *Server) initTelemetry() {
+	reg := telemetry.NewRegistry()
+	s.reg = reg
+
+	s.queryDur = reg.NewHistogram("flex_query_duration_seconds",
+		"Admitted /query latency from admission to response decision.")
+	s.outcomes = reg.NewCounterVec("flex_queries_total",
+		"Queries by terminal outcome.", "outcome")
+
+	// Lifecycle: in_flight is the gauge; the rest are counters, enumerated
+	// from the same Lifecycle struct /healthz serves so a new counter there
+	// appears here without a second listing.
+	reg.NewGaugeFunc("flex_queries_in_flight",
+		"Admitted /query requests currently executing.",
+		func() float64 { return float64(s.inFlight.Load()) })
+	for _, f := range (Lifecycle{}).Fields() {
+		if f.Name == "in_flight" {
+			continue
+		}
+		name := f.Name
+		reg.NewCounterFunc("flex_lifecycle_"+name+"_total",
+			"Lifecycle counter "+name+" (see /healthz).",
+			func() float64 {
+				for _, cur := range s.Lifecycle().Fields() {
+					if cur.Name == name {
+						return float64(cur.Value)
+					}
+				}
+				return 0
+			})
+	}
+
+	// Prepared-query cache.
+	reg.NewCounterFunc("flex_prepared_cache_hits_total",
+		"Prepared-query cache hits.", func() float64 { return float64(s.hits.Load()) })
+	reg.NewCounterFunc("flex_prepared_cache_misses_total",
+		"Prepared-query cache misses.", func() float64 { return float64(s.misses.Load()) })
+	reg.NewGaugeFunc("flex_prepared_cache_entries",
+		"Prepared queries currently cached.", func() float64 { return float64(s.prepared.len()) })
+	reg.NewGaugeFunc("flex_prepared_cache_hit_ratio",
+		"Cache hits / lookups since start (0 before any lookup).",
+		func() float64 {
+			h, m := float64(s.hits.Load()), float64(s.misses.Load())
+			if h+m == 0 {
+				return 0
+			}
+			return h / (h + m)
+		})
+
+	// Spill totals: one metric per spill.Stats field, enumerated from its
+	// JSON tags. peak_morsel_bytes is a high-water gauge; everything else is
+	// an additive counter.
+	for _, f := range (spill.Stats{}).Fields() {
+		name := f.Name
+		read := func() float64 {
+			for _, cur := range s.sys.SpillStats().Fields() {
+				if cur.Name == name {
+					return float64(cur.Value)
+				}
+			}
+			return 0
+		}
+		if name == "peak_morsel_bytes" {
+			reg.NewGaugeFunc("flex_spill_peak_morsel_bytes",
+				"High-water mark of in-flight morsel bytes (worst query seen).", read)
+			continue
+		}
+		reg.NewCounterFunc("flex_spill_"+name+"_total",
+			"Process-wide spill counter "+name+" (see DB.SpillStats).", read)
+	}
+
+	// Privacy budgets, read at scrape time.
+	if s.budget != nil {
+		reg.NewGaugeFunc("flex_pool_remaining_epsilon",
+			"Remaining ε in the shared budget pool.",
+			func() float64 { e, _ := s.budget.Remaining(); return e })
+		reg.NewGaugeFunc("flex_pool_remaining_delta",
+			"Remaining δ in the shared budget pool.",
+			func() float64 { _, d := s.budget.Remaining(); return d })
+		reg.NewGaugeFunc("flex_pool_spent_epsilon",
+			"Cumulative ε charged to the shared pool.",
+			func() float64 { e, _ := s.budget.Spent(); return e })
+	}
+	if s.cfg.AnalystEpsilon > 0 {
+		reg.NewGaugeVecFunc("flex_analyst_remaining_epsilon",
+			"Remaining ε per analyst budget.", "analyst",
+			func() map[string]float64 {
+				return s.analystGauge(func(b *smooth.Budget) float64 { e, _ := b.Remaining(); return e })
+			})
+		reg.NewGaugeVecFunc("flex_analyst_remaining_delta",
+			"Remaining δ per analyst budget.", "analyst",
+			func() map[string]float64 {
+				return s.analystGauge(func(b *smooth.Budget) float64 { _, d := b.Remaining(); return d })
+			})
+		reg.NewGaugeVecFunc("flex_analyst_spent_epsilon",
+			"Cumulative ε charged per analyst.", "analyst",
+			func() map[string]float64 {
+				return s.analystGauge(func(b *smooth.Budget) float64 { e, _ := b.Spent(); return e })
+			})
+	}
+}
+
+// analystGauge snapshots one per-analyst value across the analyst table.
+func (s *Server) analystGauge(read func(*smooth.Budget) float64) map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.analysts))
+	for name, b := range s.analysts {
+		out[name] = read(b)
+	}
+	return out
+}
+
+// Registry exposes the server's metric registry: Handler mounts it on
+// /metrics, flexserver additionally serves it on the ops listener, and the
+// metric-name lint test walks its families.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// budgetObserver forwards smooth.Budget accounting events for one budget to
+// the audit log: every Spend (granted or refused) and Refund becomes a JSON
+// line attributed to the analyst ("" = the shared pool).
+func (s *Server) budgetObserver(analyst string) func(smooth.BudgetEvent) {
+	return func(ev smooth.BudgetEvent) {
+		outcome := ""
+		if ev.Op == "spend" {
+			outcome = "granted"
+			if !ev.Granted {
+				outcome = "refused"
+			}
+		}
+		s.audit.Event(telemetry.AuditEvent{
+			Analyst: analyst,
+			Op:      ev.Op,
+			Epsilon: ev.Epsilon,
+			Delta:   ev.Delta,
+			Outcome: outcome,
+		})
+	}
+}
+
+// outcomeFor labels a /query run's terminal state for flex_queries_total.
+// The label set is closed (fixed strings only) to keep cardinality bounded.
+func outcomeFor(err error) string {
+	if err == nil {
+		return "completed"
+	}
+	switch statusFor(err) {
+	case http.StatusTooManyRequests:
+		return "budget_exhausted"
+	case statusClientClosedRequest:
+		return "cancelled"
+	case http.StatusGatewayTimeout:
+		return "timed_out"
+	case http.StatusUnprocessableEntity:
+		return "rejected"
+	}
+	return "error"
+}
+
+// LifecycleField is one named counter from a Lifecycle snapshot.
+type LifecycleField struct {
+	Name  string
+	Value int64
+}
+
+// Fields enumerates the lifecycle counters as (json tag, value) pairs in
+// declaration order. flexserver's drain/lifetime reports and the /metrics
+// collectors iterate this instead of hand-listing fields, so a counter added
+// to Lifecycle cannot drift out of any of its consumers.
+func (l Lifecycle) Fields() []LifecycleField {
+	lv := reflect.ValueOf(l)
+	lt := lv.Type()
+	out := make([]LifecycleField, 0, lt.NumField())
+	for i := 0; i < lt.NumField(); i++ {
+		tag := strings.Split(lt.Field(i).Tag.Get("json"), ",")[0]
+		if tag == "" || tag == "-" {
+			continue
+		}
+		var v int64
+		switch f := lv.Field(i); f.Kind() {
+		case reflect.Uint, reflect.Uint64:
+			v = int64(f.Uint())
+		default:
+			v = f.Int()
+		}
+		out = append(out, LifecycleField{Name: tag, Value: v})
+	}
+	return out
+}
+
+// Delta returns the counter changes from prev to l. InFlight is an
+// instantaneous gauge, not a counter: the delta carries l's current value.
+func (l Lifecycle) Delta(prev Lifecycle) Lifecycle {
+	return Lifecycle{
+		InFlight:  l.InFlight,
+		Completed: l.Completed - prev.Completed,
+		Cancelled: l.Cancelled - prev.Cancelled,
+		TimedOut:  l.TimedOut - prev.TimedOut,
+		Shed:      l.Shed - prev.Shed,
+		Panics:    l.Panics - prev.Panics,
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -37,6 +39,7 @@ import (
 	"flexdp/internal/relalg"
 	"flexdp/internal/smooth"
 	"flexdp/internal/sqlparser"
+	"flexdp/internal/telemetry"
 )
 
 // AnalystHeader names the request header that selects a per-analyst budget.
@@ -70,6 +73,17 @@ type Config struct {
 	// QueryTimeout caps each /query execution (0 = none). Expiry cancels
 	// the engine mid-morsel and answers 504; nothing is charged.
 	QueryTimeout time.Duration
+	// Logger receives structured operational logs (slow-query warnings).
+	// nil discards them.
+	Logger *slog.Logger
+	// Audit receives the budget audit log: one JSON line per Spend and
+	// Refund on every budget the server manages, plus one per released
+	// answer carrying the canonical-query hash. Lines never include query
+	// text, bins, or result values. nil disables auditing.
+	Audit *telemetry.AuditLogger
+	// SlowQueryThreshold warn-logs any /query whose admitted wall time
+	// (prepare + execute + release decision) exceeds it. 0 disables.
+	SlowQueryThreshold time.Duration
 }
 
 // DefaultCacheSize is the prepared-query cache capacity when Config leaves
@@ -101,6 +115,15 @@ type Server struct {
 
 	mu       sync.Mutex
 	analysts map[string]*smooth.Budget
+
+	// Telemetry (see metrics.go): reg is the /metrics registry; queryDur
+	// and outcomes are the only metrics written on the request path — all
+	// other families are scrape-time collectors over existing state.
+	reg      *telemetry.Registry
+	queryDur *telemetry.Histogram
+	outcomes *telemetry.CounterVec
+	logger   *slog.Logger
+	audit    *telemetry.AuditLogger
 }
 
 // New returns a server over the system with default cache size and no
@@ -124,9 +147,20 @@ func NewWithConfig(sys *flex.System, budget *smooth.Budget, cfg Config) *Server 
 		cfg:      cfg,
 		prepared: newLRU(cfg.CacheSize),
 		analysts: make(map[string]*smooth.Budget),
+		logger:   cfg.Logger,
+		audit:    cfg.Audit,
+	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	s.initTelemetry()
+	if s.audit != nil && s.budget != nil {
+		// Shared-pool accounting feeds the audit log; per-analyst budgets
+		// attach their observers on creation in budgetFor.
+		s.budget.SetObserver(s.budgetObserver(""))
 	}
 	return s
 }
@@ -190,10 +224,12 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 		return true
 	case <-timeout:
 		s.shed.Add(1)
+		s.outcomes.With("shed").Inc()
 		writeError(w, http.StatusServiceUnavailable, errOverloaded)
 		return false
 	case <-r.Context().Done():
 		s.cancelled.Add(1)
+		s.outcomes.With("cancelled").Inc()
 		return false
 	}
 }
@@ -211,6 +247,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /budget", s.handleBudget)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Prometheus text exposition. The same registry is available via
+	// Registry() for a separate ops listener (see flexserver -ops-addr).
+	mux.Handle("GET /metrics", s.reg)
 	return mux
 }
 
@@ -265,6 +304,9 @@ func (s *Server) budgetFor(r *http.Request, create bool) *smooth.Budget {
 	b, ok := s.analysts[analyst]
 	if !ok && create {
 		b = smooth.NewBudget(s.cfg.AnalystEpsilon, s.cfg.AnalystDelta)
+		if s.audit != nil {
+			b.SetObserver(s.budgetObserver(analyst))
+		}
 		s.analysts[analyst] = b
 	}
 	return b
@@ -277,12 +319,17 @@ type QueryRequest struct {
 	Delta   float64 `json:"delta,omitempty"`
 }
 
-// QueryResponse is the body of a successful POST /query.
+// QueryResponse is the body of a successful POST /query. Profile is present
+// only when the request asked for ?profile=1: the operator-facing execution
+// trace with true (noise-free) intermediate cardinalities — the same trust
+// surface as /metrics and pprof, so deployments serving untrusted analysts
+// should strip or deny the parameter at the authenticating frontend.
 type QueryResponse struct {
-	Columns        []string    `json:"columns"`
-	Rows           [][]any     `json:"rows"`
-	BinsEnumerated bool        `json:"bins_enumerated"`
-	Analysis       AnalysisDTO `json:"analysis"`
+	Columns        []string           `json:"columns"`
+	Rows           [][]any            `json:"rows"`
+	BinsEnumerated bool               `json:"bins_enumerated"`
+	Analysis       AnalysisDTO        `json:"analysis"`
+	Profile        *flex.QueryProfile `json:"profile,omitempty"`
 }
 
 // AnalysisDTO summarizes the sensitivity analysis for API consumers.
@@ -303,10 +350,12 @@ type ErrorResponse struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.outcomes.With("bad_request").Inc()
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if req.SQL == "" {
+		s.outcomes.With("bad_request").Inc()
 		writeError(w, http.StatusBadRequest, errors.New("missing sql"))
 		return
 	}
@@ -318,6 +367,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// guards the upper limit, so an unvalidated negative ε would *refund*
 	// budget and a zero ε would drain δ with no release.
 	if err := (smooth.PrivacyParams{Epsilon: req.Epsilon, Delta: delta}).Validate(); err != nil {
+		s.outcomes.With("bad_request").Inc()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -332,11 +382,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
+	// Admitted wall clock: feeds the latency histogram, the slow-query log,
+	// and the audit line's elapsed_ms. Starts after queueing so the
+	// histogram measures the server's own work, not admission backpressure.
+	start := time.Now()
+	defer func() { s.queryDur.Observe(time.Since(start)) }()
+
 	prep, key, err := s.preparedFor(req.SQL)
 	if err != nil {
+		s.outcomes.With(outcomeFor(err)).Inc()
 		writeError(w, statusFor(err), err)
 		return
 	}
+	defer s.noteSlowQuery(r, key, req.Epsilon, start)
 	// Execution is bounded by the client's connection (disconnect cancels
 	// within one morsel per worker) and, when configured, the server-side
 	// query timeout.
@@ -346,7 +404,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		defer cancel()
 	}
-	res, err := prep.RunContext(ctx, req.Epsilon, delta)
+	// ?profile=1 requests an execution trace alongside the noisy answer.
+	// Profiling decorates the run; the released result is bit-identical.
+	var prof *flex.QueryProfile
+	if r.URL.Query().Get("profile") == "1" {
+		prof = new(flex.QueryProfile)
+	}
+	res, err := prep.RunProfiledContext(ctx, req.Epsilon, delta, prof)
 	if err != nil {
 		if !s.noteRunError(err) {
 			// Entries that can no longer run (e.g. their table was dropped)
@@ -355,6 +419,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// eviction — the plan is fine, the run was just abandoned.
 			s.prepared.remove(key)
 		}
+		s.outcomes.With(outcomeFor(err)).Inc()
 		writeError(w, statusFor(err), err)
 		return
 	}
@@ -365,15 +430,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// budget without a release.
 	if b := s.budgetFor(r, true); b != nil {
 		if err := b.Spend(req.Epsilon, delta); err != nil {
+			s.outcomes.With(outcomeFor(err)).Inc()
 			writeError(w, statusFor(err), err)
 			return
 		}
 	}
 	s.completed.Add(1)
+	s.outcomes.With("completed").Inc()
+	s.audit.Event(telemetry.AuditEvent{
+		Analyst:   r.Header.Get(AnalystHeader),
+		Op:        "release",
+		Epsilon:   req.Epsilon,
+		Delta:     delta,
+		QueryHash: telemetry.QueryHash(key),
+		Outcome:   "released",
+		ElapsedMS: telemetry.SinceMS(start),
+	})
 	resp := QueryResponse{
 		Columns:        res.Columns,
 		BinsEnumerated: res.BinsEnumerated,
 		Analysis:       analysisDTO(res.Analysis),
+		Profile:        prof,
 	}
 	for _, row := range res.Rows {
 		out := make([]any, 0, len(row.Bins)+len(row.Values))
@@ -384,6 +461,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Rows = append(resp.Rows, out)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// noteSlowQuery warn-logs a /query whose admitted wall time exceeded the
+// configured threshold. Like the audit log it identifies the query by
+// canonical hash, never text, so the log is safe to ship off-box.
+func (s *Server) noteSlowQuery(r *http.Request, key string, epsilon float64, start time.Time) {
+	if s.cfg.SlowQueryThreshold <= 0 {
+		return
+	}
+	elapsed := time.Since(start)
+	if elapsed < s.cfg.SlowQueryThreshold {
+		return
+	}
+	s.logger.Warn("slow query",
+		"query_hash", telemetry.QueryHash(key),
+		"analyst", r.Header.Get(AnalystHeader),
+		"epsilon", epsilon,
+		"elapsed_ms", elapsed.Milliseconds(),
+		"threshold_ms", s.cfg.SlowQueryThreshold.Milliseconds())
 }
 
 // noteRunError bumps the lifecycle counter matching a RunContext failure and

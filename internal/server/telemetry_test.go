@@ -1,0 +1,473 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"flexdp/internal/smooth"
+	"flexdp/internal/spill"
+	"flexdp/internal/telemetry"
+)
+
+// scrape fetches /metrics and returns the body after checking the content
+// type and that the exposition parses as Prometheus text format.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	checkPrometheusText(t, body)
+	return body
+}
+
+var promSampleRE = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"\})? (-?[0-9.eE+-]+|\+Inf|NaN)$`)
+
+// checkPrometheusText validates the exposition line by line: every non-blank
+// line is a comment or a well-formed sample, every sample's metric has a
+// preceding HELP/TYPE pair, and histogram bucket counts are cumulative.
+func checkPrometheusText(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]string{}
+	var lastBucket float64
+	var lastBucketMetric string
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Fatalf("malformed comment: %q", line)
+			}
+			if parts[1] == "TYPE" {
+				typed[parts[2]] = parts[3]
+			}
+			continue
+		}
+		m := promSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		base := m[1]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b := strings.TrimSuffix(base, suffix); b != base && typed[b] == "histogram" {
+				base = b
+				break
+			}
+		}
+		if typed[base] == "" {
+			t.Fatalf("sample %q has no TYPE comment", line)
+		}
+		if strings.HasSuffix(m[1], "_bucket") {
+			v, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", m[3], err)
+			}
+			if m[1] != lastBucketMetric {
+				lastBucketMetric, lastBucket = m[1], 0
+			}
+			if v < lastBucket {
+				t.Fatalf("non-cumulative bucket: %q after %v", line, lastBucket)
+			}
+			lastBucket = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// metricValue extracts a single sample value (0 if the line is absent).
+func metricValue(body, sample string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, sample+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// TestMetricsAfterSpilledQueries is the satellite acceptance test: scrape
+// /metrics after spill-forcing queries and assert the latency histogram,
+// outcome counters, and spill counters all moved, in valid Prometheus text.
+func TestMetricsAfterSpilledQueries(t *testing.T) {
+	srv, sys := spillTestServer(t, 2048, t.TempDir())
+
+	const n = 3
+	for i := 0; i < n; i++ {
+		resp, body := postJSON(t, srv.URL+"/query", QueryRequest{
+			SQL:     `SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id WHERE d.city = 'sf'`,
+			Epsilon: 0.1,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	body := scrape(t, srv.URL)
+
+	if got := metricValue(body, `flex_queries_total{outcome="completed"}`); got != n {
+		t.Errorf("completed outcome counter = %v, want %d", got, n)
+	}
+	if got := metricValue(body, "flex_query_duration_seconds_count"); got != n {
+		t.Errorf("latency histogram count = %v, want %d", got, n)
+	}
+	if !strings.Contains(body, `flex_query_duration_seconds_bucket{le="+Inf"} `+strconv.Itoa(n)) {
+		t.Errorf("missing +Inf bucket with full count:\n%s", body)
+	}
+	if metricValue(body, "flex_query_duration_seconds_sum") <= 0 {
+		t.Errorf("latency histogram sum not positive")
+	}
+	// The histogram must expose finite log-spaced buckets, not just +Inf.
+	if c := strings.Count(body, "flex_query_duration_seconds_bucket{le="); c < 10 {
+		t.Errorf("only %d latency buckets exposed", c)
+	}
+
+	// Spill counters mirror the additive SpillStats totals exactly.
+	st := sys.SpillStats()
+	if st.JoinSpills == 0 {
+		t.Fatalf("test setup failed to force spills: %+v", st)
+	}
+	for sample, want := range map[string]int64{
+		"flex_spill_join_spills_total":   st.JoinSpills,
+		"flex_spill_spilled_bytes_total": st.SpilledBytes,
+		"flex_spill_peak_morsel_bytes":   st.PeakMorselBytes,
+	} {
+		if got := metricValue(body, sample); got != float64(want) {
+			t.Errorf("%s = %v, want %d", sample, got, want)
+		}
+	}
+
+	// Cache metrics: 1 miss then n-1 hits for the repeated query.
+	if got := metricValue(body, "flex_prepared_cache_misses_total"); got != 1 {
+		t.Errorf("cache misses = %v, want 1", got)
+	}
+	if got := metricValue(body, "flex_prepared_cache_hits_total"); got != n-1 {
+		t.Errorf("cache hits = %v, want %d", got, n-1)
+	}
+
+	// Lifecycle collectors agree with the /healthz snapshot source.
+	if got := metricValue(body, "flex_lifecycle_completed_total"); got != n {
+		t.Errorf("lifecycle completed = %v, want %d", got, n)
+	}
+	if got := metricValue(body, "flex_queries_in_flight"); got != 0 {
+		t.Errorf("in flight = %v, want 0", got)
+	}
+}
+
+// TestMetricsBudgetGauges checks per-analyst and pool budget gauges are
+// scrape-time reads of the live budgets.
+func TestMetricsBudgetGauges(t *testing.T) {
+	sys, _ := testSystem(t)
+	pool := smooth.NewBudget(10, 1e-3)
+	srv := httptest.NewServer(NewWithConfig(sys, pool, Config{
+		DefaultDelta:   1e-8,
+		AnalystEpsilon: 0.5,
+		AnalystDelta:   1e-5,
+	}).Handler())
+	t.Cleanup(srv.Close)
+
+	q := QueryRequest{SQL: "SELECT COUNT(*) FROM trips", Epsilon: 0.1}
+	if resp, body := postQuery(t, srv.URL, "alice", q); resp.StatusCode != http.StatusOK {
+		t.Fatalf("alice query: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postQuery(t, srv.URL, "", q); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pool query: %d %s", resp.StatusCode, body)
+	}
+
+	body := scrape(t, srv.URL)
+	if got := metricValue(body, `flex_analyst_spent_epsilon{analyst="alice"}`); got != 0.1 {
+		t.Errorf("alice spent ε = %v, want 0.1", got)
+	}
+	if got := metricValue(body, `flex_analyst_remaining_epsilon{analyst="alice"}`); got != 0.4 {
+		t.Errorf("alice remaining ε = %v, want 0.4", got)
+	}
+	if got := metricValue(body, "flex_pool_spent_epsilon"); got != 0.1 {
+		t.Errorf("pool spent ε = %v, want 0.1", got)
+	}
+	if got := metricValue(body, "flex_pool_remaining_epsilon"); got != 9.9 {
+		t.Errorf("pool remaining ε = %v, want 9.9", got)
+	}
+}
+
+// TestMetricNameLint walks every registered family: flex_ prefix, snake_case
+// names, counters end in _total, and label keys come from a closed set —
+// label *values* are bounded too (outcome strings and analyst IDs, which are
+// already budget-table keys, so /metrics adds no new unbounded cardinality).
+func TestMetricNameLint(t *testing.T) {
+	sys, _ := testSystem(t)
+	s := NewWithConfig(sys, smooth.NewBudget(1, 1e-3), Config{DefaultDelta: 1e-8, AnalystEpsilon: 0.5})
+	nameRE := regexp.MustCompile(`^flex_[a-z][a-z0-9_]*$`)
+	labelKeys := map[string]bool{"": true, "outcome": true, "analyst": true}
+	for _, f := range s.Registry().Families() {
+		if !nameRE.MatchString(f.Name) {
+			t.Errorf("metric %q is not snake_case flex_*", f.Name)
+		}
+		if strings.Contains(f.Name, "__") {
+			t.Errorf("metric %q has empty name segment", f.Name)
+		}
+		if f.Type == "counter" && !strings.HasSuffix(f.Name, "_total") {
+			t.Errorf("counter %q must end in _total", f.Name)
+		}
+		if f.Type != "counter" && strings.HasSuffix(f.Name, "_total") {
+			t.Errorf("%s %q must not end in _total", f.Type, f.Name)
+		}
+		if !labelKeys[f.LabelKey] {
+			t.Errorf("metric %q uses unexpected label key %q", f.Name, f.LabelKey)
+		}
+		if f.Help == "" {
+			t.Errorf("metric %q has no help text", f.Name)
+		}
+	}
+}
+
+// TestHealthzSpillShape pins the /healthz spill object to the spill.Stats
+// field list: every JSON key in the health payload's spill block must be a
+// declared Stats field, and the headline counters must be present.
+func TestHealthzSpillShape(t *testing.T) {
+	srv, _ := spillTestServer(t, 2048, t.TempDir())
+	if resp, body := postJSON(t, srv.URL+"/query", QueryRequest{
+		SQL:     `SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id`,
+		Epsilon: 0.1,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Spill     map[string]int64 `json:"spill"`
+		Lifecycle map[string]int64 `json:"lifecycle"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+
+	declared := map[string]bool{}
+	for _, f := range (spill.Stats{}).Fields() {
+		declared[f.Name] = true
+	}
+	for key := range health.Spill {
+		if !declared[key] {
+			t.Errorf("healthz spill key %q is not a spill.Stats field", key)
+		}
+	}
+	if len(health.Spill) != len(declared) {
+		t.Errorf("healthz spill has %d keys, Stats declares %d", len(health.Spill), len(declared))
+	}
+	if health.Spill["join_spills"] == 0 || health.Spill["spilled_bytes"] == 0 {
+		t.Errorf("expected spill activity, got %v", health.Spill)
+	}
+
+	lifecycleDeclared := map[string]bool{}
+	for _, f := range (Lifecycle{}).Fields() {
+		lifecycleDeclared[f.Name] = true
+	}
+	for key := range health.Lifecycle {
+		if !lifecycleDeclared[key] {
+			t.Errorf("healthz lifecycle key %q is not a Lifecycle field", key)
+		}
+	}
+	if health.Lifecycle["completed"] != 1 {
+		t.Errorf("lifecycle completed = %d, want 1", health.Lifecycle["completed"])
+	}
+}
+
+// TestQueryProfileOption checks ?profile=1: the response carries a filled
+// execution trace, the noisy answer is bit-identical to an unprofiled run on
+// a same-seed twin, and omitting the parameter omits the field entirely.
+func TestQueryProfileOption(t *testing.T) {
+	srvA, _ := spillTestServer(t, 2048, t.TempDir())
+	srvB, _ := spillTestServer(t, 2048, t.TempDir())
+
+	req := QueryRequest{
+		SQL:     `SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id WHERE d.city = 'sf'`,
+		Epsilon: 0.5,
+	}
+	respA, bodyA := postJSON(t, srvA.URL+"/query?profile=1", req)
+	respB, bodyB := postJSON(t, srvB.URL+"/query", req)
+	if respA.StatusCode != http.StatusOK || respB.StatusCode != http.StatusOK {
+		t.Fatalf("status %d / %d: %s %s", respA.StatusCode, respB.StatusCode, bodyA, bodyB)
+	}
+	var outA, outB QueryResponse
+	if err := json.Unmarshal(bodyA, &outA); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyB, &outB); err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := json.Marshal(outA.Rows)
+	b, _ := json.Marshal(outB.Rows)
+	if string(a) != string(b) {
+		t.Fatalf("profiled answer %s != unprofiled %s", a, b)
+	}
+	if outB.Profile != nil {
+		t.Errorf("unprofiled response carries a profile")
+	}
+	if !strings.Contains(string(bodyA), `"profile"`) || strings.Contains(string(bodyB), `"profile"`) {
+		t.Errorf("profile field presence wrong:\nA=%s\nB=%s", bodyA, bodyA)
+	}
+	prof := outA.Profile
+	if prof == nil || len(prof.Operators) == 0 || prof.WallNanos <= 0 {
+		t.Fatalf("profile not filled: %+v", prof)
+	}
+	var scanRows int64
+	for _, op := range prof.Operators {
+		if op.Name == "scan" {
+			scanRows = op.RowsOut
+		}
+	}
+	if scanRows != 600 {
+		t.Errorf("scan rows_out = %d, want 600 (true cardinality)", scanRows)
+	}
+	if prof.Spill.JoinSpills == 0 {
+		t.Errorf("profiled spilling query reports no join spills: %+v", prof.Spill)
+	}
+}
+
+// TestAuditLog drives granted, refused, and released events through a real
+// server and checks the JSON lines: correct ops and outcomes, query
+// identified by hash only, and no SQL text or result values anywhere.
+func TestAuditLog(t *testing.T) {
+	sys, _ := testSystem(t)
+	var buf syncBuffer
+	srv := httptest.NewServer(NewWithConfig(sys, nil, Config{
+		DefaultDelta:   1e-8,
+		AnalystEpsilon: 0.15,
+		AnalystDelta:   1e-5,
+		Audit:          telemetry.NewAuditLogger(&buf),
+	}).Handler())
+	t.Cleanup(srv.Close)
+
+	q := QueryRequest{SQL: "SELECT COUNT(*) FROM trips", Epsilon: 0.1}
+	if resp, body := postQuery(t, srv.URL, "alice", q); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first query: %d %s", resp.StatusCode, body)
+	}
+	// Second query exceeds alice's 0.15 budget: audited as a refused spend.
+	if resp, _ := postQuery(t, srv.URL, "alice", q); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second query status %d, want 429", resp.StatusCode)
+	}
+
+	type line struct {
+		Msg       string  `json:"msg"`
+		Analyst   string  `json:"analyst"`
+		Op        string  `json:"op"`
+		Epsilon   float64 `json:"epsilon"`
+		QueryHash string  `json:"query_hash"`
+		Outcome   string  `json:"outcome"`
+	}
+	var events []line
+	raw := buf.String()
+	for _, l := range strings.Split(strings.TrimSpace(raw), "\n") {
+		var ev line
+		if err := json.Unmarshal([]byte(l), &ev); err != nil {
+			t.Fatalf("audit line is not JSON: %q: %v", l, err)
+		}
+		if ev.Msg != "budget_audit" {
+			continue
+		}
+		events = append(events, ev)
+	}
+	// Expected: spend(granted) + release for query 1, spend(refused) for 2.
+	want := []struct{ op, outcome string }{
+		{"spend", "granted"}, {"release", "released"}, {"spend", "refused"},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d audit events, want %d: %s", len(events), len(want), raw)
+	}
+	for i, w := range want {
+		if events[i].Op != w.op || events[i].Outcome != w.outcome || events[i].Analyst != "alice" {
+			t.Errorf("event %d = %+v, want op=%s outcome=%s analyst=alice", i, events[i], w.op, w.outcome)
+		}
+		if events[i].Epsilon != 0.1 {
+			t.Errorf("event %d ε = %v, want 0.1", i, events[i].Epsilon)
+		}
+	}
+	if events[1].QueryHash == "" {
+		t.Errorf("release event has no query hash")
+	}
+	// Privacy: the audit log must never contain query text, table names, or
+	// released values — only parameters, hashes, and outcomes.
+	for _, leak := range []string{"SELECT", "trips", "rows", "columns"} {
+		if strings.Contains(raw, leak) {
+			t.Errorf("audit log leaks %q:\n%s", leak, raw)
+		}
+	}
+}
+
+// TestLifecycleFieldsDelta pins the reflective helpers flexserver's drain and
+// lifetime reports are built on.
+func TestLifecycleFieldsDelta(t *testing.T) {
+	a := Lifecycle{InFlight: 2, Completed: 10, Cancelled: 3, TimedOut: 1, Shed: 4, Panics: 1}
+	b := Lifecycle{InFlight: 1, Completed: 25, Cancelled: 3, TimedOut: 2, Shed: 9, Panics: 1}
+	d := b.Delta(a)
+	want := Lifecycle{InFlight: 1, Completed: 15, Cancelled: 0, TimedOut: 1, Shed: 5, Panics: 0}
+	if d != want {
+		t.Errorf("Delta = %+v, want %+v", d, want)
+	}
+	fields := b.Fields()
+	if len(fields) != 6 {
+		t.Fatalf("Fields() returned %d entries, want 6", len(fields))
+	}
+	got := map[string]int64{}
+	for _, f := range fields {
+		got[f.Name] = f.Value
+	}
+	for name, v := range map[string]int64{
+		"in_flight": 1, "completed": 25, "cancelled": 3,
+		"timed_out": 2, "shed": 9, "panics": 1,
+	} {
+		if got[name] != v {
+			t.Errorf("Fields()[%s] = %d, want %d", name, got[name], v)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing log output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -17,11 +17,46 @@ type Budget struct {
 	spentEps   float64
 	spentDelta float64
 	queries    int
+	observer   func(BudgetEvent)
 }
 
 // NewBudget returns a budget with the given maxima.
 func NewBudget(maxEpsilon, maxDelta float64) *Budget {
 	return &Budget{maxEps: maxEpsilon, maxDelta: maxDelta}
+}
+
+// BudgetEvent describes one accounting operation on a Budget, delivered to
+// the observer installed with SetObserver. Spent* are the cumulative totals
+// after the operation, so an audit trail can reconstruct the budget's state
+// without querying it.
+type BudgetEvent struct {
+	Op         string  // "spend" or "refund"
+	Epsilon    float64 // ε requested (spend) or returned (refund)
+	Delta      float64 // δ requested (spend) or returned (refund)
+	Granted    bool    // false when a spend was refused
+	SpentEps   float64 // cumulative ε after the operation
+	SpentDelta float64 // cumulative δ after the operation
+}
+
+// SetObserver installs fn to be called once per Spend and Refund — the hook
+// the serving layer uses to drive the budget audit log and metrics. The
+// observer runs outside the budget's lock (it may call back into the
+// Budget) but on the accounting goroutine, so it should be fast. A nil fn
+// removes the observer.
+func (b *Budget) SetObserver(fn func(BudgetEvent)) {
+	b.mu.Lock()
+	b.observer = fn
+	b.mu.Unlock()
+}
+
+// notify invokes the observer, if any, outside the lock.
+func (b *Budget) notify(ev BudgetEvent) {
+	b.mu.Lock()
+	fn := b.observer
+	b.mu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
 }
 
 // BudgetExhaustedError reports a refused spend.
@@ -39,18 +74,26 @@ func (e *BudgetExhaustedError) Error() string {
 // without consuming anything.
 func (b *Budget) Spend(eps, delta float64) error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	const tol = 1e-12
 	if b.spentEps+eps > b.maxEps+tol || b.spentDelta+delta > b.maxDelta+tol {
-		return &BudgetExhaustedError{
+		err := &BudgetExhaustedError{
 			RequestedEps: eps, RequestedDelta: delta,
 			RemainingEps:   b.maxEps - b.spentEps,
 			RemainingDelta: b.maxDelta - b.spentDelta,
 		}
+		ev := BudgetEvent{Op: "spend", Epsilon: eps, Delta: delta,
+			SpentEps: b.spentEps, SpentDelta: b.spentDelta}
+		b.mu.Unlock()
+		b.notify(ev)
+		return err
 	}
 	b.spentEps += eps
 	b.spentDelta += delta
 	b.queries++
+	ev := BudgetEvent{Op: "spend", Epsilon: eps, Delta: delta, Granted: true,
+		SpentEps: b.spentEps, SpentDelta: b.spentDelta}
+	b.mu.Unlock()
+	b.notify(ev)
 	return nil
 }
 
@@ -61,7 +104,6 @@ func (b *Budget) Spend(eps, delta float64) error {
 // at zero so a stray refund can never mint budget.
 func (b *Budget) Refund(eps, delta float64) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.spentEps -= eps
 	b.spentDelta -= delta
 	if b.spentEps < 0 {
@@ -73,6 +115,10 @@ func (b *Budget) Refund(eps, delta float64) {
 	if b.queries > 0 {
 		b.queries--
 	}
+	ev := BudgetEvent{Op: "refund", Epsilon: eps, Delta: delta, Granted: true,
+		SpentEps: b.spentEps, SpentDelta: b.spentDelta}
+	b.mu.Unlock()
+	b.notify(ev)
 }
 
 // Spent returns the consumed (ε, δ) so far.

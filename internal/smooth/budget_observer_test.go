@@ -1,0 +1,45 @@
+package smooth
+
+import "testing"
+
+func TestBudgetObserver(t *testing.T) {
+	b := NewBudget(1.0, 1e-6)
+	var events []BudgetEvent
+	b.SetObserver(func(ev BudgetEvent) { events = append(events, ev) })
+
+	if err := b.Spend(0.6, 0); err != nil {
+		t.Fatalf("spend: %v", err)
+	}
+	if err := b.Spend(0.6, 0); err == nil {
+		t.Fatalf("second spend should be refused")
+	}
+	b.Refund(0.6, 0)
+
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(events), events)
+	}
+	if ev := events[0]; ev.Op != "spend" || !ev.Granted || ev.Epsilon != 0.6 || ev.SpentEps != 0.6 {
+		t.Errorf("granted spend event wrong: %+v", ev)
+	}
+	if ev := events[1]; ev.Op != "spend" || ev.Granted || ev.SpentEps != 0.6 {
+		t.Errorf("refused spend event wrong: %+v", ev)
+	}
+	if ev := events[2]; ev.Op != "refund" || ev.SpentEps != 0 {
+		t.Errorf("refund event wrong: %+v", ev)
+	}
+
+	// The observer runs outside the lock: calling back into the budget
+	// must not deadlock.
+	b.SetObserver(func(BudgetEvent) { b.Remaining() })
+	if err := b.Spend(0.1, 0); err != nil {
+		t.Fatalf("reentrant observer spend: %v", err)
+	}
+
+	// Removing the observer stops delivery.
+	b.SetObserver(nil)
+	n := len(events)
+	b.Refund(0.1, 0)
+	if len(events) != n {
+		t.Errorf("events after removal: %d, want %d", len(events), n)
+	}
+}

@@ -20,6 +20,8 @@ package spill
 import (
 	"fmt"
 	"os"
+	"reflect"
+	"strings"
 	"sync"
 )
 
@@ -116,6 +118,52 @@ func (s *Stats) Add(other Stats) {
 		s.PeakMorselBytes = other.PeakMorselBytes
 	}
 	s.BreakerMaterializations += other.BreakerMaterializations
+}
+
+// Delta returns the change from prev to s, for attributing a window of
+// activity (one query, one scrape interval) without double-counting what
+// concurrent queries folded into the same totals. Additive counters
+// subtract field-by-field. PeakMorselBytes is a high-water mark, not a
+// counter: the delta carries s.PeakMorselBytes when the window raised the
+// high water (s > prev) and 0 otherwise.
+func (s Stats) Delta(prev Stats) Stats {
+	var d Stats
+	dv := reflect.ValueOf(&d).Elem()
+	sv := reflect.ValueOf(s)
+	pv := reflect.ValueOf(prev)
+	for i := 0; i < sv.NumField(); i++ {
+		dv.Field(i).SetInt(sv.Field(i).Int() - pv.Field(i).Int())
+	}
+	if s.PeakMorselBytes > prev.PeakMorselBytes {
+		d.PeakMorselBytes = s.PeakMorselBytes
+	} else {
+		d.PeakMorselBytes = 0
+	}
+	return d
+}
+
+// StatField is one named counter from a Stats snapshot.
+type StatField struct {
+	Name  string
+	Value int64
+}
+
+// Fields enumerates the stats as (json tag, value) pairs in declaration
+// order. Telemetry consumers (the /metrics exporter, profile rendering,
+// operational logs) iterate this instead of hand-listing fields, so a new
+// counter added here shows up everywhere automatically.
+func (s Stats) Fields() []StatField {
+	sv := reflect.ValueOf(s)
+	st := sv.Type()
+	out := make([]StatField, 0, st.NumField())
+	for i := 0; i < st.NumField(); i++ {
+		tag := strings.Split(st.Field(i).Tag.Get("json"), ",")[0]
+		if tag == "" || tag == "-" {
+			continue
+		}
+		out = append(out, StatField{Name: tag, Value: sv.Field(i).Int()})
+	}
+	return out
 }
 
 // Manager owns one query's spill budget, temp files, and metrics. Methods

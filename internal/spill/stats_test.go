@@ -1,0 +1,54 @@
+package spill
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStatsDelta(t *testing.T) {
+	prev := Stats{SpilledBytes: 100, Files: 2, JoinSpills: 1, PeakMorselBytes: 4096}
+	cur := prev
+	cur.Add(Stats{SpilledBytes: 50, Files: 1, SortSpills: 3, PeakMorselBytes: 1024})
+	d := cur.Delta(prev)
+	if d.SpilledBytes != 50 || d.Files != 1 || d.SortSpills != 3 || d.JoinSpills != 0 {
+		t.Errorf("additive delta wrong: %+v", d)
+	}
+	// The window did not raise the high water (4096 stands), so the delta
+	// reports no new peak.
+	if d.PeakMorselBytes != 0 {
+		t.Errorf("peak delta = %d, want 0 (no new high water)", d.PeakMorselBytes)
+	}
+	cur.Add(Stats{PeakMorselBytes: 9000})
+	if d := cur.Delta(prev); d.PeakMorselBytes != 9000 {
+		t.Errorf("peak delta = %d, want 9000 (new high water)", d.PeakMorselBytes)
+	}
+	// Delta from zero reproduces the snapshot exactly — the basis for
+	// per-query spill attribution in profiles.
+	if d := cur.Delta(Stats{}); !reflect.DeepEqual(d, cur) {
+		t.Errorf("delta from zero = %+v, want %+v", d, cur)
+	}
+}
+
+func TestStatsFieldsCoverEveryCounter(t *testing.T) {
+	fields := Stats{}.Fields()
+	n := reflect.TypeOf(Stats{}).NumField()
+	if len(fields) != n {
+		t.Fatalf("Fields() covers %d of %d struct fields", len(fields), n)
+	}
+	seen := map[string]bool{}
+	for _, f := range fields {
+		if seen[f.Name] {
+			t.Errorf("duplicate field name %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	for _, want := range []string{"spilled_bytes", "peak_morsel_bytes", "breaker_materializations"} {
+		if !seen[want] {
+			t.Errorf("Fields() missing %q", want)
+		}
+	}
+	s := Stats{SpilledBytes: 7}
+	if got := s.Fields()[0]; got.Name != "spilled_bytes" || got.Value != 7 {
+		t.Errorf("first field = %+v, want spilled_bytes=7", got)
+	}
+}

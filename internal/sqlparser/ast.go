@@ -8,6 +8,13 @@ package sqlparser
 // set operation. A query such as `A UNION B UNION C` is represented
 // left-associatively: (A UNION B) with SetOp pointing at C.
 type SelectStmt struct {
+	// Explain marks a statement prefixed with EXPLAIN ANALYZE: the engine
+	// executes it fully and returns the per-operator profile instead of the
+	// rows. Only the top-level statement can carry it (Parse sets it;
+	// subqueries and CTEs never do). EXPLAIN and ANALYZE are deliberately
+	// not reserved keywords — they are recognized as leading identifiers —
+	// so existing queries using them as column or table names still parse.
+	Explain  bool
 	With     []CTE
 	Distinct bool
 	Columns  []SelectItem

@@ -31,10 +31,26 @@ func Parse(sql string) (*SelectStmt, error) {
 		return nil, err
 	}
 	p := &Parser{toks: toks}
+	// EXPLAIN ANALYZE prefix: recognized positionally (a SELECT statement
+	// cannot begin with a bare identifier) so EXPLAIN/ANALYZE stay valid
+	// identifiers everywhere else. Plain EXPLAIN without ANALYZE is
+	// rejected: the engine has no cost-based planner yet, so there is no
+	// estimated plan to show — only a measured one.
+	explain := false
+	if t := p.peek(); t.Kind == TokenIdent && strings.EqualFold(t.Text, "EXPLAIN") {
+		p.next()
+		t2 := p.peek()
+		if t2.Kind != TokenIdent || !strings.EqualFold(t2.Text, "ANALYZE") {
+			return nil, p.errf("expected ANALYZE after EXPLAIN (only EXPLAIN ANALYZE is supported)")
+		}
+		p.next()
+		explain = true
+	}
 	stmt, err := p.parseSelectStmt()
 	if err != nil {
 		return nil, err
 	}
+	stmt.Explain = explain
 	if p.peek().Kind == TokenSemicolon {
 		p.next()
 	}

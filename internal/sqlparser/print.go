@@ -10,6 +10,9 @@ import (
 // an equivalent AST (round-trip property, checked in tests).
 func Print(stmt *SelectStmt) string {
 	var sb strings.Builder
+	if stmt.Explain {
+		sb.WriteString("EXPLAIN ANALYZE ")
+	}
 	printSelect(&sb, stmt, true)
 	return sb.String()
 }

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// AuditEvent is one line of the budget audit log: who spent (or was refused,
+// or got refunded) how much privacy budget on which query, and how the run
+// ended. It deliberately carries NO query text and NO result values — only
+// the canonical-query hash — so the audit trail itself cannot leak what the
+// differential-privacy layer protects.
+type AuditEvent struct {
+	Analyst   string  // analyst identity ("" for the shared pool)
+	Op        string  // "spend", "refund", or "release"
+	Epsilon   float64 // ε charged / refunded / requested
+	Delta     float64 // δ charged / refunded / requested
+	QueryHash string  // QueryHash of the canonical SQL ("" when unknown)
+	Outcome   string  // e.g. "released", "budget_exhausted", "timed_out"
+	ElapsedMS float64 // wall time of the run, 0 when not applicable
+}
+
+// AuditLogger writes AuditEvents as structured JSON lines via log/slog.
+// All methods are safe on a nil receiver (auditing disabled).
+type AuditLogger struct {
+	l *slog.Logger
+}
+
+// NewAuditLogger returns an audit logger emitting JSON lines to w.
+func NewAuditLogger(w io.Writer) *AuditLogger {
+	return NewAuditLoggerWith(slog.New(slog.NewJSONHandler(w, nil)))
+}
+
+// NewAuditLoggerWith wraps an existing slog logger (e.g. the process-wide
+// ops logger) so audit lines share its sink and format.
+func NewAuditLoggerWith(l *slog.Logger) *AuditLogger {
+	if l == nil {
+		return nil
+	}
+	return &AuditLogger{l: l}
+}
+
+// Event emits one audit line. Nil-safe.
+func (a *AuditLogger) Event(ev AuditEvent) {
+	if a == nil || a.l == nil {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 8)
+	attrs = append(attrs,
+		slog.String("op", ev.Op),
+		slog.Float64("epsilon", ev.Epsilon),
+		slog.Float64("delta", ev.Delta),
+	)
+	if ev.Analyst != "" {
+		attrs = append(attrs, slog.String("analyst", ev.Analyst))
+	}
+	if ev.QueryHash != "" {
+		attrs = append(attrs, slog.String("query_hash", ev.QueryHash))
+	}
+	if ev.Outcome != "" {
+		attrs = append(attrs, slog.String("outcome", ev.Outcome))
+	}
+	if ev.ElapsedMS > 0 {
+		attrs = append(attrs, slog.Float64("elapsed_ms", ev.ElapsedMS))
+	}
+	a.l.LogAttrs(context.Background(), slog.LevelInfo, "budget_audit", attrs...)
+}
+
+// QueryHash returns the audit-log identifier for a canonical SQL string:
+// the first 16 hex digits of its SHA-256. Collision-resistant enough to
+// correlate audit lines with slow-query logs without recording query text.
+func QueryHash(canonicalSQL string) string {
+	sum := sha256.Sum256([]byte(canonicalSQL))
+	return hex.EncodeToString(sum[:8])
+}
+
+// SinceMS returns the elapsed wall time since start in milliseconds, for
+// populating AuditEvent.ElapsedMS and slow-query logs consistently.
+func SinceMS(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}

@@ -1,0 +1,117 @@
+// Package telemetry is the dependency-free observability substrate for the
+// FLEX proxy: log-bucketed latency histograms, counters and gauges rendered
+// in Prometheus text exposition format, and a structured budget audit log
+// built on log/slog. Everything here is hand-rolled on sync/atomic so the
+// engine keeps its zero-dependency footprint; the exposition format is the
+// stable Prometheus 0.0.4 text format so any scraper can consume it.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of finite histogram buckets. Bucket i holds
+// observations with duration ≤ 1µs·2^i, so the range spans 1µs to ~19h —
+// wide enough that a query latency never lands in the implicit +Inf bucket
+// in practice, narrow enough that quantile interpolation error stays under
+// a factor of 2 (the classic log-bucket trade-off).
+const histBuckets = 37
+
+// histBound returns the upper bound of bucket i in nanoseconds.
+func histBound(i int) int64 { return int64(1000) << uint(i) }
+
+// Histogram is a fixed-bucket log2 latency histogram. Observe is lock-free;
+// Snapshot and Quantile read a consistent-enough view for monitoring (counts
+// may skew by in-flight observations, never corrupt).
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	inf    atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	count  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	idx := 0
+	for idx < histBuckets && ns > histBound(idx) {
+		idx++
+	}
+	if idx == histBuckets {
+		h.inf.Add(1)
+	} else {
+		h.counts[idx].Add(1)
+	}
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Counts [histBuckets]int64
+	Inf    int64
+	SumNS  int64
+	Count  int64
+}
+
+// Snapshot copies the current bucket counts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Inf = h.inf.Load()
+	s.SumNS = h.sum.Load()
+	s.Count = h.count.Load()
+	return s
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) in seconds, linearly
+// interpolated within the containing bucket. Returns 0 for an empty
+// histogram; the top bucket bound for observations beyond the last bucket.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		next := cum + s.Counts[i]
+		if float64(next) >= rank && s.Counts[i] > 0 {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(histBound(i - 1))
+			}
+			hi := float64(histBound(i))
+			frac := (rank - float64(cum)) / float64(s.Counts[i])
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return (lo + frac*(hi-lo)) / 1e9
+		}
+		cum = next
+	}
+	return float64(histBound(histBuckets-1)) / 1e9
+}
+
+// BoundSeconds returns bucket i's upper bound in seconds for exposition.
+func BoundSeconds(i int) float64 {
+	if i >= histBuckets {
+		return math.Inf(1)
+	}
+	return float64(histBound(i)) / 1e9
+}

@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricNameRE is the registration-time lint: metric names and label keys
+// must be snake_case ASCII. Enforcing it here (with a panic, like an invalid
+// regexp) means a misnamed metric cannot ship — the name lint test just
+// re-checks what registration already guaranteed.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; negative deltas are ignored.
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// CounterVec is a counter family keyed by one label value. The label KEY is
+// fixed at registration; only values vary, and callers are expected to pass
+// values from a small closed set (e.g. query outcomes) — never raw user
+// input — to keep cardinality bounded.
+type CounterVec struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// With returns the counter for the given label value, creating it on first
+// use.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.m[value]
+	if !ok {
+		c = &Counter{}
+		v.m[value] = c
+	}
+	return c
+}
+
+func (v *CounterVec) snapshot() map[string]int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]int64, len(v.m))
+	for k, c := range v.m {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// Family describes one registered metric for the exposition and for lint
+// tests: its name, Prometheus type, and fixed label key ("" if unlabeled).
+type Family struct {
+	Name     string
+	Help     string
+	Type     string // "counter", "gauge", or "histogram"
+	LabelKey string
+}
+
+// family pairs the description with its sample source.
+type family struct {
+	Family
+	hist *Histogram
+	vec  *CounterVec
+	// collect emits (labelValue, value) samples at scrape time; labelValue
+	// is "" for unlabeled metrics. Exactly one of hist/collect is set.
+	collect func(emit func(labelValue string, value float64))
+}
+
+// Registry holds registered metrics and renders them in Prometheus text
+// format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+	seen map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: make(map[string]bool)}
+}
+
+func (r *Registry) register(f *family) {
+	if !metricNameRE.MatchString(f.Name) {
+		panic(fmt.Sprintf("telemetry: metric name %q is not snake_case", f.Name))
+	}
+	if f.LabelKey != "" && !metricNameRE.MatchString(f.LabelKey) {
+		panic(fmt.Sprintf("telemetry: label key %q is not snake_case", f.LabelKey))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen[f.Name] {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice", f.Name))
+	}
+	r.seen[f.Name] = true
+	r.fams = append(r.fams, f)
+}
+
+// NewCounter registers and returns an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{
+		Family: Family{Name: name, Help: help, Type: "counter"},
+		collect: func(emit func(string, float64)) {
+			emit("", float64(c.Value()))
+		},
+	})
+	return c
+}
+
+// NewCounterVec registers a counter family with one fixed label key.
+func (r *Registry) NewCounterVec(name, help, labelKey string) *CounterVec {
+	v := &CounterVec{m: make(map[string]*Counter)}
+	r.register(&family{
+		Family: Family{Name: name, Help: help, Type: "counter", LabelKey: labelKey},
+		vec:    v,
+	})
+	return v
+}
+
+// NewCounterFunc registers a counter whose value is read at scrape time.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	r.register(&family{
+		Family:  Family{Name: name, Help: help, Type: "counter"},
+		collect: func(emit func(string, float64)) { emit("", fn()) },
+	})
+}
+
+// NewGaugeFunc registers a gauge whose value is read at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{
+		Family:  Family{Name: name, Help: help, Type: "gauge"},
+		collect: func(emit func(string, float64)) { emit("", fn()) },
+	})
+}
+
+// NewGaugeVecFunc registers a labeled gauge whose samples are produced at
+// scrape time: fn returns labelValue → value. The label key is fixed here;
+// values may vary per scrape (e.g. one sample per analyst).
+func (r *Registry) NewGaugeVecFunc(name, help, labelKey string, fn func() map[string]float64) {
+	r.register(&family{
+		Family: Family{Name: name, Help: help, Type: "gauge", LabelKey: labelKey},
+		collect: func(emit func(string, float64)) {
+			vals := fn()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				emit(k, vals[k])
+			}
+		},
+	})
+}
+
+// NewHistogram registers and returns a latency histogram. Observed values
+// are durations; the exposition renders bucket bounds in seconds per
+// Prometheus convention.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.register(&family{
+		Family: Family{Name: name, Help: help, Type: "histogram"},
+		hist:   h,
+	})
+	return h
+}
+
+// Families lists registered metrics in registration order, for lint tests.
+func (r *Registry) Families() []Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Family, len(r.fams))
+	for i, f := range r.fams {
+		out[i] = f.Family
+	}
+	return out
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeSample(w io.Writer, name, labelKey, labelValue string, v float64) {
+	if labelKey == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n", name, labelKey, escapeLabel(labelValue), formatValue(v))
+}
+
+// Render writes every registered metric in Prometheus text format.
+func (r *Registry) Render(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type)
+		switch {
+		case f.hist != nil:
+			s := f.hist.Snapshot()
+			var cum int64
+			for i := 0; i < histBuckets; i++ {
+				cum += s.Counts[i]
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+					f.Name, strconv.FormatFloat(BoundSeconds(i), 'g', -1, 64), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.Name, cum+s.Inf)
+			fmt.Fprintf(w, "%s_sum %s\n", f.Name, formatValue(float64(s.SumNS)/1e9))
+			fmt.Fprintf(w, "%s_count %d\n", f.Name, s.Count)
+		case f.vec != nil:
+			vals := f.vec.snapshot()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				writeSample(w, f.Name, f.LabelKey, k, float64(vals[k]))
+			}
+		default:
+			f.collect(func(lv string, v float64) {
+				writeSample(w, f.Name, f.LabelKey, lv, v)
+			})
+		}
+	}
+}
+
+// ServeHTTP exposes the registry as a /metrics scrape endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.Render(w)
+}

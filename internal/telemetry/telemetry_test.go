@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 100 observations at 1ms, 10 at 100ms, 1 at 10s.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	h.Observe(10 * time.Second)
+	s := h.Snapshot()
+	if s.Count != 111 {
+		t.Fatalf("count = %d, want 111", s.Count)
+	}
+	wantSum := 100*time.Millisecond + 10*100*time.Millisecond + 10*time.Second
+	if s.SumNS != int64(wantSum) {
+		t.Fatalf("sum = %d, want %d", s.SumNS, int64(wantSum))
+	}
+	// p50 must land in the 1ms bucket (bound ≤ 2ms after log-bucket error),
+	// p999 in the 10s bucket.
+	if q := s.Quantile(0.5); q <= 0 || q > 0.002 {
+		t.Errorf("p50 = %g, want in (0, 2ms]", q)
+	}
+	if q := s.Quantile(0.95); q <= 0.002 || q > 0.2 {
+		t.Errorf("p95 = %g, want in (2ms, 200ms]", q)
+	}
+	if q := s.Quantile(0.999); q < 5 || q > 20 {
+		t.Errorf("p999 = %g, want around 10s", q)
+	}
+	// Empty histogram: all quantiles zero.
+	if q := (&Histogram{}).Snapshot().Quantile(0.99); q != 0 {
+		t.Errorf("empty p99 = %g, want 0", q)
+	}
+	// Monotone bucket bounds ending below +Inf.
+	for i := 1; i < histBuckets; i++ {
+		if BoundSeconds(i) <= BoundSeconds(i-1) {
+			t.Fatalf("bucket bounds not increasing at %d", i)
+		}
+	}
+	if !math.IsInf(BoundSeconds(histBuckets), 1) {
+		t.Fatalf("bound past last bucket should be +Inf")
+	}
+}
+
+func TestRegistryPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("flex_test_total", "a counter")
+	c.Add(3)
+	v := r.NewCounterVec("flex_outcomes_total", "by outcome", "outcome")
+	v.With("completed").Add(2)
+	v.With("shed").Inc()
+	r.NewGaugeFunc("flex_inflight", "a gauge", func() float64 { return 1.5 })
+	r.NewGaugeVecFunc("flex_budget_eps", "per analyst", "analyst", func() map[string]float64 {
+		return map[string]float64{"alice": 0.25, `bo"b`: 1}
+	})
+	h := r.NewHistogram("flex_latency_seconds", "latency")
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP flex_test_total a counter",
+		"# TYPE flex_test_total counter",
+		"flex_test_total 3",
+		`flex_outcomes_total{outcome="completed"} 2`,
+		`flex_outcomes_total{outcome="shed"} 1`,
+		"flex_inflight 1.5",
+		`flex_budget_eps{analyst="alice"} 0.25`,
+		`flex_budget_eps{analyst="bo\"b"} 1`,
+		"# TYPE flex_latency_seconds histogram",
+		`flex_latency_seconds_bucket{le="+Inf"} 2`,
+		"flex_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	validatePrometheusText(t, out)
+}
+
+// validatePrometheusText is a minimal checker for the 0.0.4 text format:
+// every non-comment line must be `name{label="value"}? value`.
+func validatePrometheusText(t *testing.T, text string) {
+	t.Helper()
+	sampleRE := regexp.MustCompile(`^[a-z][a-z0-9_]*(\{[a-z][a-z0-9_]*="(\\.|[^"\\])*"\})? (-?[0-9.e+\-]+|\+Inf|NaN)$`)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleRE.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"Bad", "has-dash", "1leading", "has space"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q should panic", bad)
+				}
+			}()
+			r.NewCounter(bad, "")
+		}()
+	}
+	r.NewCounter("dup_total", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("duplicate registration should panic")
+			}
+		}()
+		r.NewCounter("dup_total", "")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("bad label key should panic")
+			}
+		}()
+		r.NewCounterVec("ok_total", "", "Bad-Key")
+	}()
+}
+
+func TestAuditLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	a := NewAuditLogger(&buf)
+	a.Event(AuditEvent{
+		Analyst: "alice", Op: "spend", Epsilon: 0.1, Delta: 1e-9,
+		QueryHash: QueryHash("SELECT COUNT(*) FROM t;"), Outcome: "released",
+		ElapsedMS: 12.5,
+	})
+	a.Event(AuditEvent{Op: "refund", Epsilon: 0.1, Delta: 1e-9, Outcome: "timed_out"})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 audit lines, got %d: %q", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("audit line is not JSON: %v", err)
+	}
+	for k, want := range map[string]any{
+		"msg": "budget_audit", "op": "spend", "analyst": "alice",
+		"epsilon": 0.1, "outcome": "released",
+	} {
+		if first[k] != want {
+			t.Errorf("audit[%q] = %v, want %v", k, first[k], want)
+		}
+	}
+	if first["query_hash"] == "" || first["query_hash"] == nil {
+		t.Errorf("audit line missing query_hash")
+	}
+	// The audit log must never carry query text or result values.
+	for _, forbidden := range []string{"SELECT", "rows", "result"} {
+		if strings.Contains(lines[0], forbidden) {
+			t.Errorf("audit line leaks %q: %s", forbidden, lines[0])
+		}
+	}
+	// Nil logger: no-op, no panic.
+	var nilA *AuditLogger
+	nilA.Event(AuditEvent{Op: "spend"})
+}
+
+func TestQueryHashStable(t *testing.T) {
+	h1 := QueryHash("SELECT 1;")
+	h2 := QueryHash("SELECT 1;")
+	h3 := QueryHash("SELECT 2;")
+	if h1 != h2 {
+		t.Errorf("hash not deterministic")
+	}
+	if h1 == h3 {
+		t.Errorf("distinct queries collide")
+	}
+	if len(h1) != 16 {
+		t.Errorf("hash length = %d, want 16", len(h1))
+	}
+}

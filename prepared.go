@@ -177,7 +177,7 @@ func (st *preparedState) boundsFor(p smooth.PrivacyParams, mode NoiseMode) ([]sm
 // admission, noise-stream forking, smoothing, execution, perturbation — with
 // every query-dependent stage served from the prepared caches.
 func (p *Prepared) Run(epsilon, delta float64) (*PrivateResult, error) {
-	return p.run(context.Background(), epsilon, delta, nil)
+	return p.run(context.Background(), epsilon, delta, nil, nil)
 }
 
 // RunContext is Run under a cancellation context: cancellation or deadline
@@ -186,7 +186,22 @@ func (p *Prepared) Run(epsilon, delta float64) (*PrivateResult, error) {
 // is refunded; the prepared caches are unaffected and the next Run proceeds
 // normally.
 func (p *Prepared) RunContext(ctx context.Context, epsilon, delta float64) (*PrivateResult, error) {
-	return p.run(ctx, epsilon, delta, nil)
+	return p.run(ctx, epsilon, delta, nil, nil)
+}
+
+// QueryProfile re-exports the engine's per-query execution trace so serving
+// layers can request one without importing the engine package directly.
+type QueryProfile = engine.QueryProfile
+
+// RunProfiledContext is RunContext with an execution trace: when profile is
+// non-nil the underlying engine execution fills it with the per-operator
+// profile (see engine.QueryProfile). The trace describes the true execution
+// — real intermediate cardinalities, unperturbed by DP noise — so it is an
+// operator-facing diagnostic, never analyst-facing output. Profiling does
+// not change the released result: the differential suites pin profiled runs
+// bit-identical, noise included.
+func (p *Prepared) RunProfiledContext(ctx context.Context, epsilon, delta float64, profile *QueryProfile) (*PrivateResult, error) {
+	return p.run(ctx, epsilon, delta, nil, profile)
 }
 
 // RunWithBins answers the prepared histogram query with analyst-supplied bin
@@ -195,7 +210,7 @@ func (p *Prepared) RunWithBins(epsilon, delta float64, bins []any) (*PrivateResu
 	if len(bins) == 0 {
 		return nil, errNoBins
 	}
-	return p.run(context.Background(), epsilon, delta, bins)
+	return p.run(context.Background(), epsilon, delta, bins, nil)
 }
 
 // RunWithBinsContext is RunWithBins under a cancellation context (see
@@ -204,10 +219,10 @@ func (p *Prepared) RunWithBinsContext(ctx context.Context, epsilon, delta float6
 	if len(bins) == 0 {
 		return nil, errNoBins
 	}
-	return p.run(ctx, epsilon, delta, bins)
+	return p.run(ctx, epsilon, delta, bins, nil)
 }
 
-func (p *Prepared) run(ctx context.Context, epsilon, delta float64, analystBins []any) (*PrivateResult, error) {
+func (p *Prepared) run(ctx context.Context, epsilon, delta float64, analystBins []any, profile *QueryProfile) (*PrivateResult, error) {
 	s := p.sys
 	pp := smooth.PrivacyParams{Epsilon: epsilon, Delta: delta}
 	if err := pp.Validate(); err != nil {
@@ -241,7 +256,14 @@ func (p *Prepared) run(ctx context.Context, epsilon, delta float64, analystBins 
 	analysisTime := time.Since(t0)
 
 	t1 := time.Now()
-	rs, err := st.pq.ExecContext(ctx)
+	var rs *engine.ResultSet
+	if profile != nil {
+		cfg := s.db.eng.ExecConfig()
+		cfg.Profile = profile
+		rs, err = st.pq.ExecContextConfig(ctx, cfg)
+	} else {
+		rs, err = st.pq.ExecContext(ctx)
+	}
 	if err != nil {
 		refund()
 		return nil, err
