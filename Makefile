@@ -12,7 +12,7 @@ GATE_PREPARED_BENCH = BenchmarkSystemRunRepeated|BenchmarkPreparedRunRepeated
 GATE_COUNT = 5
 GATE_BENCHTIME = 200ms
 
-.PHONY: check build test vet race lint test-lowmem test-faults test-telemetry bench-short bench-engine bench-prepared bench-paper bench-parallel bench-spill bench-vector bench-streaming bench-telemetry bench-current bench-baseline bench-gate flexbench-small
+.PHONY: check build test vet race lint flexlint fuzz-smoke vuln test-lowmem test-faults test-telemetry bench-short bench-engine bench-prepared bench-paper bench-parallel bench-spill bench-vector bench-streaming bench-telemetry bench-current bench-baseline bench-gate flexbench-small
 
 # Default: the tier-1 verification plus static analysis.
 check: build vet test
@@ -143,10 +143,38 @@ test-lowmem:
 	FLEX_TEST_MEMORY_BUDGET=512B $(GO) test ./internal/engine/...
 
 # Formatting + static analysis exactly as CI's lint job runs them.
+# flexlint (cmd/flexlint) enforces the repo's invariants: map-iteration
+# determinism, the privacy boundary, cancellation polling, %w error chains,
+# and no ambient nondeterminism in the engine. See DESIGN.md "Static
+# analysis".
 lint:
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/flexlint ./...
+
+# The invariant analyzers alone (faster iteration than full lint).
+flexlint:
+	$(GO) run ./cmd/flexlint ./...
+
+# Short native-fuzzing legs for CI: the parser's parse→print→re-parse
+# fixpoint and the spill codec's never-panic contract. The checked-in
+# testdata/fuzz corpora replay as plain tests in `make test` too; this
+# target spends a little wall time searching for new inputs.
+fuzz-smoke:
+	$(GO) test ./internal/sqlparser/ -run '^$$' -fuzz FuzzParse -fuzztime 15s
+	$(GO) test ./internal/engine/ -run '^$$' -fuzz FuzzCodecDecode -fuzztime 15s
+
+# Known-vulnerability scan, advisory: govulncheck is not vendored and needs
+# network access to install, so this degrades to a notice where it is
+# missing. CI runs it continue-on-error for the same reason.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed; skipping (advisory)."; \
+		echo "vuln: install with: go install golang.org/x/vuln/cmd/govulncheck@latest"; \
+	fi
 
 # Gate-covered benchmarks, multiple samples, to stdout.
 bench-current:

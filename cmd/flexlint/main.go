@@ -1,0 +1,74 @@
+// Command flexlint is the repo's invariant-enforcing static analyzer
+// suite: a multichecker over the five custom analyzers in
+// internal/analysis (mapiter, privacylog, ctxpoll, errwrap, nondet). It is
+// wired into `make lint` and the CI lint job as `flexlint ./...`; a
+// non-empty finding list is a build failure.
+//
+// Usage:
+//
+//	flexlint [-only analyzer,analyzer] [-list] [packages...]
+//
+// Findings print as file:line:col: analyzer: message. A site that is
+// genuinely exempt carries //flexlint:ordered <why> (mapiter) or
+// //flexlint:ignore <analyzer> <why> on its line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexdp/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer subset to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: flexlint [flags] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		var err error
+		analyzers, err = analysis.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexlint:", err)
+			os.Exit(2)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "flexlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,250 @@
+// Package analysis is flexlint's analyzer framework: a deliberately small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// surface this repo needs. The container that builds this module has no
+// module proxy access, so the framework is grown from the standard library
+// (go/ast, go/types, go/importer) with package loading delegated to
+// `go list -export` — if golang.org/x/tools ever lands in the module cache,
+// the Analyzer/Pass/Diagnostic shapes here are close enough that the five
+// analyzers port over mechanically.
+//
+// The analyzers encode invariants previous PRs established and currently
+// protect only with differential test corpora:
+//
+//   - mapiter: no map-iteration order may leak into result-producing code
+//     (bit-identical results at any worker count).
+//   - privacylog: SQL text and result values never reach log/telemetry/audit
+//     sinks; telemetry.QueryHash is the one sanctioned transform.
+//   - ctxpoll: row/morsel loops in the engine poll the context, keeping the
+//     cancel-within-one-morsel contract.
+//   - errwrap: fmt.Errorf with an error operand uses %w in engine/spill so
+//     errors.Is(err, syscall.ENOSPC) survives the chain.
+//   - nondet: no ambient nondeterminism (time.Now, global math/rand,
+//     os.Getenv) in engine execution paths.
+//
+// Escape hatch: a site that is genuinely exempt carries a justification
+// comment on its line or the line above — `//flexlint:ordered <why>` for
+// mapiter, `//flexlint:ignore <analyzer> <why>` for any analyzer. The driver
+// (not the analyzers) applies suppressions, so every analyzer gets the same
+// comment semantics for free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one flexlint check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//flexlint:ignore <name>` suppression comments.
+	Name string
+	// Doc is a one-paragraph description: the invariant, where it came
+	// from, and the escape hatch.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Report.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer applied to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil if the type checker did not
+// record one.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to the object it denotes (uses before
+// defs), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// A Diagnostic is one reported violation, with the position already
+// resolved so suppression filtering and printing need no FileSet.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// pkgPathHasSuffix reports whether path is pkg or ends in "/"+pkg — the
+// scoping predicate every analyzer uses, written against path suffixes so
+// test fixtures (and a future module rename) scope identically to the real
+// tree.
+func pkgPathHasSuffix(path, pkg string) bool {
+	return path == pkg || strings.HasSuffix(path, "/"+pkg)
+}
+
+// inEngine reports whether the pass's package is the query engine.
+func (p *Pass) inEngine() bool {
+	return pkgPathHasSuffix(p.Pkg.Path(), "internal/engine")
+}
+
+// RunAnalyzers applies analyzers to pkgs, filters suppressed findings, and
+// returns the survivors sorted by file, line, column, analyzer. The
+// returned diagnostics are stable across runs: analyzers walk syntax in
+// file order and never iterate maps when reporting.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		sup := newSuppressions(pkg)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				if !sup.suppressed(a.Name, d.Pos) {
+					all = append(all, d)
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// All returns the five flexlint analyzers in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, PrivacyLog, CtxPoll, ErrWrap, NonDet}
+}
+
+// ByName resolves a comma-separated analyzer list ("mapiter,nondet").
+func ByName(names string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+// suppressions indexes //flexlint comments by file and line. A finding is
+// suppressed when its own line or the line directly above carries either
+// `//flexlint:ignore <analyzer> <why>` or — for mapiter only — the
+// sanctioned determinism justification `//flexlint:ordered <why>`.
+type suppressions struct {
+	// byLine maps filename → line → suppression directives on that line.
+	byLine map[string]map[int][]suppression
+}
+
+type suppression struct {
+	analyzer string // "" means the mapiter-specific "ordered" form
+	ordered  bool
+}
+
+func newSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int][]suppression)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				var dir suppression
+				switch {
+				case strings.HasPrefix(text, "flexlint:ordered"):
+					dir = suppression{ordered: true}
+				case strings.HasPrefix(text, "flexlint:ignore"):
+					rest := strings.TrimPrefix(text, "flexlint:ignore")
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue // malformed: no analyzer named
+					}
+					dir = suppression{analyzer: fields[0]}
+				default:
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := s.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]suppression)
+					s.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], dir)
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	m := s.byLine[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, dir := range m[line] {
+			if dir.ordered && analyzer == "mapiter" {
+				return true
+			}
+			if dir.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

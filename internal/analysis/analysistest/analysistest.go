@@ -1,0 +1,117 @@
+// Package analysistest runs flexlint analyzers over fixture packages and
+// checks their findings against `// want "regexp"` comments — the same
+// contract as golang.org/x/tools/go/analysis/analysistest, re-implemented
+// on the stdlib because this module builds without a module proxy.
+//
+// A fixture is one directory under internal/analysis/testdata/src/<name>,
+// type-checked *as if* it were the package named by asPath — which is how
+// testdata sources scope like real internal/engine or internal/relalg
+// code without self-importing. Fixture files may import real module
+// packages (flexdp/internal/sqlparser, flexdp/internal/telemetry) and the
+// standard library; imports resolve through `go list -export`.
+//
+// Every line producing a diagnostic must carry a `// want "re"` comment
+// whose regexp matches the message; every want comment must be matched by
+// a diagnostic on its line. Suppression comments (//flexlint:ordered,
+// //flexlint:ignore) are applied before matching, so a fixture line that
+// is suppressed and carries no want comment is the test for the
+// suppression path itself.
+package analysistest
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"flexdp/internal/analysis"
+)
+
+// A wantComment is one expectation: a line that must produce a matching
+// diagnostic.
+type wantComment struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// Run loads testdata/src/<fixture> relative to the caller's package
+// directory as package asPath, applies a, and verifies the findings
+// against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string, asPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := analysis.LoadFixture(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixture, err)
+	}
+	wants := collectWants(t, dir)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || !sameFile(w.file, d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: want %q, got no matching diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses `// want "re"` comments from every fixture file.
+func collectWants(t *testing.T, dir string) []wantComment {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture dir %s: %v", dir, err)
+	}
+	var wants []wantComment
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					spec := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+					spec = strings.Trim(spec, `"`)
+					re, err := regexp.Compile(spec)
+					if err != nil {
+						pos := fset.Position(c.Pos())
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, spec, err)
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, wantComment{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// sameFile compares by base name: the loader and the want scanner may hold
+// the path with different prefixes.
+func sameFile(a, b string) bool {
+	return filepath.Base(a) == filepath.Base(b)
+}

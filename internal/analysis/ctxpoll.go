@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPoll enforces PR 6's cancellation contract: a cancelled or expired
+// query context aborts execution within one morsel of work, which holds
+// only if every unbounded loop over row data polls the context. It flags
+// loops in internal/engine that iterate rows ([][]Value and friends) unless
+// the loop is provably covered:
+//
+//   - its body polls (a zero-argument .err()/.Err() call) or delegates to
+//     the polling morsel driver (runSpans);
+//   - an enclosing loop in the same function polls each iteration, which
+//     dominates the inner loop's entry;
+//   - the iteration space is one morsel by construction — a span slice
+//     (rows[lo:hi]) or a morsel value's rows (m.dense(), m.rows);
+//   - the enclosing function has no pollable handle (no execContext or
+//     context.Context anywhere in it), i.e. a pure helper whose callers
+//     own the polling — the insert/validation paths, byte estimators.
+//
+// Anything else — typically a loop bounded for a reason the analyzer
+// cannot see — justifies itself with `//flexlint:ignore ctxpoll <why>`.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc: "flags row/morsel loops in internal/engine that never poll the query context; " +
+		"PR 6 guarantees cancellation within one morsel. Poll ctx.err() at morsel boundaries, " +
+		"route through runSpans, or justify with //flexlint:ignore ctxpoll.",
+	Run: runCtxPoll,
+}
+
+func runCtxPoll(pass *Pass) error {
+	if !pass.inEngine() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !funcCanPoll(pass, fn) {
+				continue
+			}
+			checkLoops(pass, fn.Body.List, false)
+		}
+	}
+	return nil
+}
+
+// checkLoops walks stmts recursively, flagging uncovered row loops.
+// ancestorPolls records whether some enclosing loop's body polls each
+// iteration.
+func checkLoops(pass *Pass, stmts []ast.Stmt, ancestorPolls bool) {
+	for _, s := range stmts {
+		checkStmt(pass, s, ancestorPolls)
+	}
+}
+
+func checkStmt(pass *Pass, s ast.Stmt, ancestorPolls bool) {
+	switch s := s.(type) {
+	case *ast.RangeStmt:
+		polls := bodyPollsContext(s.Body)
+		if isRowsType(pass.TypeOf(s.X)) && !polls && !ancestorPolls && !morselBounded(pass, s.X) {
+			pass.Reportf(s.For,
+				"loop over rows never polls the query context; poll ctx.err() at morsel "+
+					"boundaries so cancellation aborts within one morsel")
+		}
+		checkLoops(pass, s.Body.List, ancestorPolls || polls)
+	case *ast.ForStmt:
+		polls := bodyPollsContext(s.Body)
+		if rows, ok := lenBoundOperand(s.Cond); ok &&
+			isRowsType(pass.TypeOf(rows)) && !polls && !ancestorPolls && !morselBounded(pass, rows) {
+			pass.Reportf(s.For,
+				"loop over rows never polls the query context; poll ctx.err() at morsel "+
+					"boundaries so cancellation aborts within one morsel")
+		}
+		checkLoops(pass, s.Body.List, ancestorPolls || polls)
+	case *ast.IfStmt:
+		checkLoops(pass, s.Body.List, ancestorPolls)
+		if s.Else != nil {
+			checkStmt(pass, s.Else, ancestorPolls)
+		}
+	case *ast.BlockStmt:
+		checkLoops(pass, s.List, ancestorPolls)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkLoops(pass, cc.Body, ancestorPolls)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkLoops(pass, cc.Body, ancestorPolls)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				checkLoops(pass, cc.Body, ancestorPolls)
+			}
+		}
+	case *ast.LabeledStmt:
+		checkStmt(pass, s.Stmt, ancestorPolls)
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt,
+		*ast.GoStmt, *ast.DeferStmt:
+		// Function literals nested in any statement are separate poll
+		// domains: their bodies run under their own caller's polling
+		// discipline (e.g. runSpans callbacks run once per claimed morsel).
+		ast.Inspect(s, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkLoops(pass, lit.Body.List, funcLitUnderPolledDriver(pass, lit))
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// funcLitUnderPolledDriver reports whether a function literal is an
+// argument to the morsel driver (runSpans) or the streaming pipeline's
+// per-morsel hooks, whose contract is to poll before each invocation. Such
+// bodies process one morsel per call.
+func funcLitUnderPolledDriver(pass *Pass, lit *ast.FuncLit) bool {
+	// The literal's parameters are the strongest signal: a callback taking
+	// a span or morsel processes exactly one span/morsel per call.
+	for _, field := range lit.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil &&
+			pkgPathHasSuffix(named.Obj().Pkg().Path(), "internal/engine") {
+			switch named.Obj().Name() {
+			case "span", "morsel":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcCanPoll reports whether fn has a pollable handle in scope: any
+// expression of type *execContext or context.Context in its receiver,
+// parameters, or body. Helpers without one (byte estimators, the insert
+// path) cannot poll; their callers own the contract.
+func funcCanPoll(pass *Pass, fn *ast.FuncDecl) bool {
+	can := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if can {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if isPollableType(pass.TypeOf(e)) {
+			can = true
+			return false
+		}
+		return true
+	})
+	return can
+}
+
+// isPollableType matches *execContext (the engine's poller) and
+// context.Context.
+func isPollableType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch {
+	case named.Obj().Name() == "execContext" &&
+		pkgPathHasSuffix(named.Obj().Pkg().Path(), "internal/engine"):
+		return true
+	case named.Obj().Name() == "Context" && named.Obj().Pkg().Path() == "context":
+		return true
+	}
+	return false
+}
+
+// morselBounded reports whether the range operand is one morsel by
+// construction: a span slice rows[lo:hi], or a morsel value's rows
+// (m.dense(), m.rows).
+func morselBounded(pass *Pass, x ast.Expr) bool {
+	switch x := x.(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+			return isMorselType(pass.TypeOf(sel.X))
+		}
+	case *ast.SelectorExpr:
+		return isMorselType(pass.TypeOf(x.X))
+	}
+	return false
+}
+
+// isMorselType matches the engine's morsel struct (by value or pointer).
+func isMorselType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "morsel" &&
+		pkgPathHasSuffix(named.Obj().Pkg().Path(), "internal/engine")
+}
+
+// isRowsType reports whether t is a slice of rows: []R where R's underlying
+// type is a slice of the engine's Value (so [][]Value and any named
+// aliases). Iteration over such a value is iteration over relation-scale
+// data — the loops the one-morsel cancellation bound is about.
+func isRowsType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	outer, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	inner, ok := outer.Elem().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := inner.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Value" &&
+		pkgPathHasSuffix(named.Obj().Pkg().Path(), "internal/engine")
+}
+
+// lenBoundOperand matches the condition `i < len(X)` and returns X.
+func lenBoundOperand(cond ast.Expr) (ast.Expr, bool) {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil, false
+	}
+	call, ok := bin.Y.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil, false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "len" {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// bodyPollsContext reports whether the loop body contains a context poll:
+// a zero-argument .err()/.Err() call (the execContext poller and
+// context.Context both use this shape) or a call into the morsel driver
+// (runSpans), which polls before every morsel claim.
+func bodyPollsContext(body *ast.BlockStmt) bool {
+	polls := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if (fun.Sel.Name == "err" || fun.Sel.Name == "Err") && len(call.Args) == 0 {
+				polls = true
+			}
+			if fun.Sel.Name == "runSpans" {
+				polls = true
+			}
+		case *ast.Ident:
+			if fun.Name == "runSpans" {
+				polls = true
+			}
+		}
+		return !polls
+	})
+	return polls
+}

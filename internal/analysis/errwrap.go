@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the error-chain invariant the out-of-core subsystem
+// (PR 4) and the fault suite (PR 6) rely on: a spill failure surfaces as a
+// clean query error that still satisfies errors.Is(err, syscall.ENOSPC).
+// That holds only while every rewrap along the chain uses %w. The analyzer
+// flags fmt.Errorf calls in internal/engine and internal/spill that format
+// an error operand with any verb other than %w.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "fmt.Errorf with an error operand in engine/spill must use %w so " +
+		"errors.Is(err, syscall.ENOSPC) keeps working through the chain. " +
+		"Escape hatch: //flexlint:ignore errwrap <why> (e.g. deliberately terminating a chain).",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !pkgPathHasSuffix(path, "internal/engine") && !pkgPathHasSuffix(path, "internal/spill") {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			obj := calleeObject(pass, call)
+			if obj == nil || obj.Pkg() == nil ||
+				obj.Pkg().Path() != "fmt" || obj.Name() != "Errorf" {
+				return true
+			}
+			format, ok := constantString(pass, call.Args[0])
+			if !ok {
+				return true // dynamic format: nothing to align verbs against
+			}
+			verbs, ok := formatVerbs(format)
+			if !ok {
+				return true // indexed or malformed verbs: out of scope
+			}
+			for i, arg := range call.Args[1:] {
+				if i >= len(verbs) {
+					break // arity mismatch is go vet's problem
+				}
+				t := pass.TypeOf(arg)
+				if t == nil || !types.Implements(t, errType) {
+					continue
+				}
+				if verbs[i] != 'w' {
+					pass.Reportf(arg.Pos(),
+						"error operand formatted with %%%c, not %%w; the %%w chain is what keeps "+
+							"errors.Is(err, syscall.ENOSPC) working", verbs[i])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constantString returns the compile-time string value of e, if it has one.
+func constantString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs extracts the verb letters of a Printf format string in
+// operand order. It returns ok=false for explicit argument indexes
+// (%[1]s) and * width/precision (which consume operands), keeping the
+// alignment logic honest rather than subtly wrong.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			return nil, false
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Skip flags, width, and precision; reject the operand-consuming
+		// and index forms.
+		for i < len(format) && strings.IndexByte("+-# 0123456789.", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) {
+			return nil, false
+		}
+		if format[i] == '*' || format[i] == '[' {
+			return nil, false
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs, true
+}

@@ -1,0 +1,67 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"flexdp/internal/analysis"
+	"flexdp/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over a fixture package that poses, via asPath, as the
+// real package the analyzer scopes to. Fixtures pair true positives
+// (`// want` lines) with must-not-flag idioms — the sanctioned patterns and
+// the //flexlint suppression escape hatch.
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, analysis.MapIter, "mapiter", "flexdp/internal/engine")
+}
+
+func TestPrivacyLog(t *testing.T) {
+	analysistest.Run(t, analysis.PrivacyLog, "privacylog", "flexdp/internal/server")
+}
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, analysis.CtxPoll, "ctxpoll", "flexdp/internal/engine")
+}
+
+func TestErrWrap(t *testing.T) {
+	analysistest.Run(t, analysis.ErrWrap, "errwrap", "flexdp/internal/spill")
+}
+
+func TestNonDet(t *testing.T) {
+	analysistest.Run(t, analysis.NonDet, "nondet", "flexdp/internal/engine")
+}
+
+// TestScopeGate proves the package-path gate: the ctxpoll fixture loaded as
+// a non-engine path must produce zero findings, so analyzers cannot leak
+// into packages whose idioms are legitimate (tests, tools, examples).
+func TestScopeGate(t *testing.T) {
+	pkg, err := analysis.LoadFixture("testdata/src/ctxpoll", "flexdp/internal/study")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.CtxPoll})
+	if err != nil {
+		t.Fatalf("running ctxpoll: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("ctxpoll fired outside internal/engine: %v", diags)
+	}
+}
+
+// TestByName covers the -only flag's analyzer resolution.
+func TestByName(t *testing.T) {
+	as, err := analysis.ByName("mapiter, nondet")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if len(as) != 2 || as[0].Name != "mapiter" || as[1].Name != "nondet" {
+		t.Fatalf("ByName resolved %v", as)
+	}
+	if _, err := analysis.ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+	if _, err := analysis.ByName(" , "); err == nil {
+		t.Fatal("ByName accepted an empty selection")
+	}
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked package under analysis: parsed syntax (with
+// comments, which the suppression filter needs) plus go/types results.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Load type-checks the packages matching patterns (e.g. "./...") in the
+// module rooted at or above dir. It shells out to `go list -export -deps`
+// for the package graph and compiled export data, parses each matched
+// package's non-test sources, and type-checks them against the export data
+// of their dependencies — the same split go vet uses: syntax for the
+// package under analysis, gc export data for everything below it.
+//
+// Test files are deliberately excluded: the invariants flexlint enforces
+// (determinism, the privacy boundary, cancellation) are production-path
+// contracts, and tests legitimately range over maps, read the clock, and
+// fabricate SQL strings.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	metas, exports, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, m := range metas {
+		pkg, err := typeCheck(fset, imp, m.Dir, m.GoFiles, m.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// listMeta is the subset of `go list -json` output the loader consumes.
+type listMeta struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// goList returns the metadata of the packages matching patterns (in
+// dependency-graph order) and an export-data index covering them and all
+// their dependencies.
+func goList(dir string, patterns []string) (targets []listMeta, exports map[string]string, err error) {
+	args := []string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	exports = make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m listMeta
+		if derr := dec.Decode(&m); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %w", derr)
+		}
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+		if !m.DepOnly && !m.Standard {
+			targets = append(targets, m)
+		}
+	}
+	return targets, exports, nil
+}
+
+// newExportImporter returns a go/types importer reading gc export data from
+// the files `go list -export` produced. The importer caches, so one
+// instance serves every target package of a Load.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// typeCheck parses files (named relative to dir) and type-checks them as
+// package path pkgPath using imp for all imports.
+func typeCheck(fset *token.FileSet, imp types.Importer, dir string, files []string, pkgPath string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   syntax,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// LoadFixture parses and type-checks a single fixture directory as if it
+// were the package named asPath — how the analysistest harness makes
+// testdata sources scope like real engine/relalg/server packages. Imports
+// in fixture files resolve against the enclosing module via `go list
+// -export`, so fixtures may import real module packages (sqlparser,
+// telemetry) as well as the standard library.
+func LoadFixture(dir string, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	// Collect the fixture's imports so one `go list -export` resolves them
+	// all (plus transitive deps) to export data.
+	fset := token.NewFileSet()
+	importSet := make(map[string]bool)
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		for _, spec := range f.Imports {
+			importSet[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		_, exports, err = goList(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+	}
+	imp := newExportImporter(fset, exports)
+	return typeCheck(fset, imp, dir, files, asPath)
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter enforces the determinism invariant PR 3 established: query
+// results are bit-identical at any worker count, so map-iteration order —
+// randomized by the runtime — must never reach a result-producing path. It
+// flags `range` over a map inside internal/engine and internal/relalg
+// (result paths) and internal/telemetry and internal/server (the /metrics
+// and audit renderings, which must be scrape-diffable) unless the loop is
+// one of two order-insensitive idioms — collect-keys-then-sort (the body
+// only appends to slices and a later statement in the same block sorts one
+// of them) or a map-to-map copy (every statement stores into another map) —
+// or the site carries a `//flexlint:ordered <why>` justification.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flags range-over-map in engine/relalg/telemetry/server result paths; map order is " +
+		"runtime-randomized and PR 3 guarantees bit-identical results at any worker count. " +
+		"Sort the keys first or justify with //flexlint:ordered.",
+	Run: runMapIter,
+}
+
+// mapIterScope lists the package-path suffixes mapiter applies to.
+var mapIterScope = []string{
+	"internal/engine", "internal/relalg", "internal/telemetry", "internal/server",
+}
+
+func runMapIter(pass *Pass) error {
+	inScope := false
+	for _, s := range mapIterScope {
+		if pkgPathHasSuffix(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmts := stmtList(n)
+			if stmts == nil {
+				return true
+			}
+			for i, s := range stmts {
+				rng, ok := s.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.TypeOf(rng.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if collectsThenSorts(pass, rng, stmts[i+1:]) || copiesIntoMap(pass, rng) {
+					continue
+				}
+				pass.Reportf(rng.For,
+					"range over map is iteration-order-dependent in a result-producing package; "+
+						"sort the keys first or justify with //flexlint:ordered")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtList returns the statement list a node owns, if it owns one. Every
+// statement lives in exactly one such list, so visiting lists visits every
+// range statement once with its trailing siblings in hand.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// collectsThenSorts reports whether rng is the sanctioned deterministic
+// idiom: its body does nothing but append to local slices, and a statement
+// after the loop in the same block sorts one of those slices. The iteration
+// order then never reaches an output — only the sorted result does.
+func collectsThenSorts(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) bool {
+	targets := make(map[string]bool)
+	if !onlyAppends(rng.Body.List, targets) || len(targets) == 0 {
+		return false
+	}
+	for _, s := range rest {
+		expr, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := expr.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if !isSortCall(pass, call) {
+			continue
+		}
+		for _, arg := range call.Args {
+			if mentionsIdent(arg, targets) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// copiesIntoMap reports whether rng is a pure map-to-map copy: every
+// statement in the body stores into a map (`dst[k] = v`). Map writes are
+// order-insensitive, so the iteration order cannot reach any output.
+func copiesIntoMap(pass *Pass, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return false
+	}
+	for _, s := range rng.Body.List {
+		assign, ok := s.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 {
+			return false
+		}
+		idx, ok := assign.Lhs[0].(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		t := pass.TypeOf(idx.X)
+		if t == nil {
+			return false
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return false
+		}
+	}
+	return true
+}
+
+// onlyAppends reports whether every statement is an append-assignment (or
+// an if-statement guarding only such assignments), recording the appended-to
+// identifiers in targets.
+func onlyAppends(stmts []ast.Stmt, targets map[string]bool) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				return false
+			}
+			targets[id.Name] = true
+		case *ast.IfStmt:
+			if s.Init != nil || s.Else != nil {
+				return false
+			}
+			if !onlyAppends(s.Body.List, targets) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isSortCall reports whether call invokes a sorting function from sort or
+// slices (sort.Strings, sort.Slice, sort.Sort, slices.Sort, ...).
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}
+
+// mentionsIdent reports whether expr references any identifier in names.
+func mentionsIdent(expr ast.Expr, names map[string]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && names[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

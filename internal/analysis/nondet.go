@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NonDet enforces the reproducibility rule the DP mechanism depends on
+// (PR 2's forked Samplers, PR 8's ExecConfig): at a fixed seed and config,
+// a query's noisy outputs are bit-identical regardless of when, where, or
+// under what environment it runs. Ambient nondeterminism in the engine —
+// wall-clock reads, the global math/rand source, environment lookups —
+// would silently break that. Noise must come only from forked Samplers and
+// configuration only from ExecConfig; the profiling subsystem's sanctioned
+// wall-clock reads carry //flexlint:ignore nondet justifications.
+var NonDet = &Analyzer{
+	Name: "nondet",
+	Doc: "forbids time.Now, un-forked math/rand, and os.Getenv in engine execution paths; " +
+		"noise comes only from forked Samplers and config only from ExecConfig. " +
+		"Escape hatch: //flexlint:ignore nondet <why> (e.g. profiling wall-clock).",
+	Run: runNonDet,
+}
+
+func runNonDet(pass *Pass) error {
+	if !pass.inEngine() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pass, call)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if obj.Name() == "Now" || obj.Name() == "Since" || obj.Name() == "Until" {
+					pass.Reportf(call.Pos(),
+						"time.%s in an engine execution path; wall-clock must not influence "+
+							"execution (profiling reads justify with //flexlint:ignore nondet)", obj.Name())
+				}
+			case "os":
+				switch obj.Name() {
+				case "Getenv", "LookupEnv", "Environ":
+					pass.Reportf(call.Pos(),
+						"os.%s in the engine; execution configuration comes only from ExecConfig",
+						obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Package-level functions draw from the shared global
+				// source; a seeded *rand.Rand (rand.New) is a forked
+				// generator and is allowed — though engine noise should
+				// come from the DP Samplers, not math/rand at all.
+				if isPackageLevelFunc(obj) && obj.Name() != "New" && obj.Name() != "NewSource" &&
+					obj.Name() != "NewPCG" && obj.Name() != "NewChaCha8" && obj.Name() != "NewZipf" {
+					pass.Reportf(call.Pos(),
+						"%s.%s draws from the un-forked global source; noise must come from "+
+							"forked Samplers", obj.Pkg().Path(), obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPackageLevelFunc distinguishes rand.Intn (global source) from
+// (*rand.Rand).Intn (a forked generator's method).
+func isPackageLevelFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// PrivacyLog enforces the privacy boundary PR 9 drew around observability:
+// log lines, metrics, and the budget audit log carry analyst, ε, δ, query
+// hash, and outcome — never SQL text or result values. It taints values by
+// type (sqlparser AST nodes, engine.Value rows/results, anything a
+// sqlparser function returns) and by name (string identifiers that look
+// like raw SQL), and flags tainted arguments reaching log/slog or
+// internal/telemetry call sites. telemetry.QueryHash is the one sanctioned
+// transform: hashing scrubs the taint.
+var PrivacyLog = &Analyzer{
+	Name: "privacylog",
+	Doc: "forbids SQL-carrying or result-carrying values (sqlparser AST nodes, raw query strings, " +
+		"engine.Value rows) at slog/telemetry/audit call sites; telemetry.QueryHash is the " +
+		"sanctioned transform. Escape hatch: //flexlint:ignore privacylog <why>.",
+	Run: runPrivacyLog,
+}
+
+// sqlNamePat marks string identifiers that look like they carry raw SQL;
+// sqlHashPat exempts hash-shaped names (queryHash is the sanctioned form).
+var (
+	sqlNamePat = regexp.MustCompile(`(?i)(sql|query|stmt|canonical)`)
+	sqlHashPat = regexp.MustCompile(`(?i)hash`)
+)
+
+func runPrivacyLog(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sink, ok := privacySink(pass, n)
+				if !ok {
+					return true
+				}
+				for _, arg := range n.Args {
+					if reason := taintOf(pass, arg); reason != "" {
+						pass.Reportf(arg.Pos(),
+							"%s reaches %s; log telemetry.QueryHash(...) instead of SQL text or result values",
+							reason, sink)
+					}
+				}
+			case *ast.CompositeLit:
+				// Telemetry event/record literals (e.g. telemetry.AuditEvent)
+				// are sinks wherever they are built: their fields end up on
+				// the audit stream.
+				if !isTelemetryType(pass.TypeOf(n)) {
+					return true
+				}
+				for _, elt := range n.Elts {
+					val := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						val = kv.Value
+					}
+					if reason := taintOf(pass, val); reason != "" {
+						pass.Reportf(val.Pos(),
+							"%s stored in a telemetry event; log telemetry.QueryHash(...) instead", reason)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// privacySink reports whether call targets a logging/telemetry sink and
+// names it for the diagnostic. Sinks are every function or method of
+// log/slog and of internal/telemetry — except telemetry.QueryHash, which is
+// the sanctioned scrubber, not a sink.
+func privacySink(pass *Pass, call *ast.CallExpr) (string, bool) {
+	obj := calleeObject(pass, call)
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	switch {
+	case obj.Pkg().Path() == "log/slog":
+		return "slog." + obj.Name(), true
+	case pkgPathHasSuffix(obj.Pkg().Path(), "internal/telemetry") && obj.Name() != "QueryHash":
+		return "telemetry." + obj.Name(), true
+	}
+	return "", false
+}
+
+// calleeObject resolves the function or method a call invokes, or nil.
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(fun.Sel)
+	}
+	return nil
+}
+
+// taintOf classifies an expression as SQL- or result-carrying. It returns a
+// human-readable reason ("" when clean). The check is a shallow syntactic
+// taint: types first (sound for AST nodes and rows), then identifier names
+// (the only handle on raw query strings), with string-returning calls
+// propagating their arguments' taint so fmt.Sprintf wrappers don't launder
+// SQL into a fresh string.
+func taintOf(pass *Pass, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		obj := calleeObject(pass, e)
+		if obj != nil && obj.Pkg() != nil {
+			if pkgPathHasSuffix(obj.Pkg().Path(), "internal/telemetry") && obj.Name() == "QueryHash" {
+				return "" // the sanctioned transform
+			}
+			if pkgPathHasSuffix(obj.Pkg().Path(), "internal/sqlparser") {
+				return "sqlparser." + obj.Name() + " output (rendered SQL)"
+			}
+		}
+		// A call yielding a string inherits taint from its arguments
+		// (Sprintf-style laundering); non-string results (len, counts,
+		// booleans) are clean.
+		if t := pass.TypeOf(e); t != nil && isStringish(t) {
+			for _, arg := range e.Args {
+				if reason := taintOf(pass, arg); reason != "" {
+					return reason
+				}
+			}
+		}
+		return ""
+	case *ast.BinaryExpr:
+		if reason := taintOf(pass, e.X); reason != "" {
+			return reason
+		}
+		return taintOf(pass, e.Y)
+	case *ast.ParenExpr:
+		return taintOf(pass, e.X)
+	case *ast.UnaryExpr:
+		return taintOf(pass, e.X)
+	case *ast.StarExpr:
+		return taintOf(pass, e.X)
+	case *ast.Ident:
+		return identTaint(pass, e, e.Name)
+	case *ast.SelectorExpr:
+		return identTaint(pass, e, e.Sel.Name)
+	case *ast.IndexExpr:
+		return typeTaint(pass.TypeOf(e))
+	case *ast.KeyValueExpr:
+		return taintOf(pass, e.Value)
+	default:
+		return typeTaint(pass.TypeOf(e))
+	}
+}
+
+// identTaint taints an identifier or field either by its type or — for
+// plain strings the type system cannot distinguish — by its name.
+func identTaint(pass *Pass, e ast.Expr, name string) string {
+	t := pass.TypeOf(e)
+	if reason := typeTaint(t); reason != "" {
+		return reason
+	}
+	if t != nil && isStringish(t) &&
+		sqlNamePat.MatchString(name) && !sqlHashPat.MatchString(name) {
+		return "identifier " + name + " (raw SQL string by name)"
+	}
+	return ""
+}
+
+// typeTaint reports SQL- or result-carrying types: anything declared in
+// internal/sqlparser, and the engine's Value/ResultSet (rows and results),
+// through any pointer/slice/array/map nesting.
+func typeTaint(t types.Type) string {
+	name, pkg := coreNamed(t, 0)
+	if pkg == "" {
+		return ""
+	}
+	if pkgPathHasSuffix(pkg, "internal/sqlparser") {
+		return "sqlparser." + name + " value (SQL AST)"
+	}
+	if pkgPathHasSuffix(pkg, "internal/engine") && (name == "Value" || name == "ResultSet") {
+		return "engine." + name + " (result data)"
+	}
+	return ""
+}
+
+// coreNamed unwraps pointers, slices, arrays, and map values to the first
+// named type and returns its name and package path.
+func coreNamed(t types.Type, depth int) (string, string) {
+	if t == nil || depth > 8 {
+		return "", ""
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		if t.Obj().Pkg() == nil {
+			return "", ""
+		}
+		return t.Obj().Name(), t.Obj().Pkg().Path()
+	case *types.Pointer:
+		return coreNamed(t.Elem(), depth+1)
+	case *types.Slice:
+		return coreNamed(t.Elem(), depth+1)
+	case *types.Array:
+		return coreNamed(t.Elem(), depth+1)
+	case *types.Map:
+		return coreNamed(t.Elem(), depth+1)
+	}
+	return "", ""
+}
+
+// isTelemetryType reports whether t is (or wraps) a type declared in
+// internal/telemetry — event and record structs whose fields reach the
+// audit/metrics stream.
+func isTelemetryType(t types.Type) bool {
+	_, pkg := coreNamed(t, 0)
+	return pkgPathHasSuffix(pkg, "internal/telemetry")
+}
+
+// isStringish reports whether t's underlying type is string.
+func isStringish(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

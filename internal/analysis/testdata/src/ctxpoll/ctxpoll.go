@@ -1,0 +1,130 @@
+// Fixture for the ctxpoll analyzer, type-checked as flexdp/internal/engine.
+// It defines minimal stand-ins for the engine's Value/execContext/morsel/span
+// types (a fixture posing as the engine cannot import the real one), which is
+// all the analyzer keys on: names and package-path suffix.
+package engine
+
+// Value stands in for the engine's columnar value.
+type Value struct{ n int64 }
+
+// execContext stands in for the engine's per-query context: morsel size and
+// the nil-safe cancellation poll.
+type execContext struct{ morsel int }
+
+func (c *execContext) err() error { return nil }
+
+// morsel stands in for one unit of scheduled work.
+type morsel struct{ rows [][]Value }
+
+func (m *morsel) dense() [][]Value { return m.rows }
+
+// span stands in for a half-open row range claimed from the morsel driver.
+type span struct{ lo, hi int }
+
+// scanAll iterates relation-scale rows with a pollable context in scope and
+// never polls: the canonical violation.
+func scanAll(ctx *execContext, rows [][]Value) int {
+	n := 0
+	for range rows { // want "loop over rows never polls the query context"
+		n++
+	}
+	_ = ctx
+	return n
+}
+
+// scanIdx is the same violation in index-loop form (i < len(rows)).
+func scanIdx(ctx *execContext, rows [][]Value) {
+	for i := 0; i < len(rows); i++ { // want "loop over rows never polls the query context"
+		_ = rows[i]
+	}
+	_ = ctx
+}
+
+// scanPolled polls at morsel boundaries: the fix ctxpoll asks for.
+func scanPolled(ctx *execContext, rows [][]Value) (int, error) {
+	n := 0
+	for i := range rows {
+		if i%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				return 0, err
+			}
+		}
+		n++
+	}
+	return n, nil
+}
+
+// scanMorsel iterates one morsel's rows (m.dense()): bounded by
+// construction, no poll needed.
+func scanMorsel(ctx *execContext, m *morsel) int {
+	n := 0
+	for range m.dense() {
+		n++
+	}
+	for range m.rows {
+		n++
+	}
+	_ = ctx
+	return n
+}
+
+// scanSpan iterates a span slice rows[lo:hi]: one morsel by construction.
+func scanSpan(ctx *execContext, rows [][]Value, s span) int {
+	n := 0
+	for range rows[s.lo:s.hi] {
+		n++
+	}
+	_ = ctx
+	return n
+}
+
+// nested polls in the outer loop each iteration; the inner loop is
+// dominated by that poll and stays clean.
+func nested(ctx *execContext, rows [][]Value) error {
+	for i := range rows {
+		if i%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				return err
+			}
+		}
+		for j := 0; j < len(rows); j++ {
+			_ = rows[j]
+		}
+	}
+	return nil
+}
+
+// estimateBytes has no pollable handle anywhere: a pure helper whose
+// callers own the polling contract. Not flagged.
+func estimateBytes(rows [][]Value) int {
+	n := 0
+	for range rows {
+		n += 16
+	}
+	return n
+}
+
+// viaDriver builds a callback taking a span — the morsel driver's shape,
+// whose contract is one span per invocation with a poll before each. The
+// loop inside the literal is clean.
+func viaDriver(ctx *execContext, rows [][]Value) {
+	work := func(s span) {
+		for range rows[s.lo:s.hi] {
+		}
+		for range rows {
+		}
+	}
+	work(span{lo: 0, hi: len(rows)})
+	_ = ctx
+}
+
+// justified demonstrates the escape hatch.
+func justified(ctx *execContext, rows [][]Value) int {
+	n := 0
+	//flexlint:ignore ctxpoll fixture demonstrates the escape hatch
+	for range rows {
+		n++
+	}
+	_ = ctx
+	return n
+}

@@ -1,0 +1,54 @@
+// Fixture for the errwrap analyzer, type-checked as flexdp/internal/spill.
+package spill
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errDiskFull = errors.New("disk full")
+
+// wrapV formats the error with %v, which breaks the errors.Is chain.
+func wrapV(err error) error {
+	return fmt.Errorf("spill segment: %v", err) // want "error operand formatted with %v, not %w"
+}
+
+// wrapS is the same break with %s.
+func wrapS(err error) error {
+	return fmt.Errorf("spill segment: %s", err) // want "error operand formatted with %s, not %w"
+}
+
+// wrapLater flags the error operand even when non-error operands precede it.
+func wrapLater(path string, n int, err error) error {
+	return fmt.Errorf("spill %s (%d rows): %v", path, n, err) // want "error operand formatted with %v, not %w"
+}
+
+// wrapW is the invariant-preserving form.
+func wrapW(err error) error {
+	return fmt.Errorf("spill segment: %w", err)
+}
+
+// wrapMixed wraps correctly amid non-error operands.
+func wrapMixed(path string, err error) error {
+	return fmt.Errorf("spill %s: %w", path, err)
+}
+
+// noError formats only non-error operands; nothing to check.
+func noError(path string, n int) error {
+	return fmt.Errorf("spill %s: short write of %d bytes", path, n)
+}
+
+// dynamicFormat has no constant format string to align verbs against.
+func dynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err)
+}
+
+// terminal demonstrates the escape hatch for a deliberately terminated
+// chain.
+func terminal(err error) error {
+	//flexlint:ignore errwrap fixture demonstrates deliberately terminating a chain
+	return fmt.Errorf("spill segment: %v", err)
+}
+
+// sentinel keeps errDiskFull referenced.
+func sentinel() error { return fmt.Errorf("segment full: %w", errDiskFull) }

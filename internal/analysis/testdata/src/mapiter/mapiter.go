@@ -1,0 +1,78 @@
+// Fixture for the mapiter analyzer, type-checked as flexdp/internal/engine.
+package engine
+
+import "sort"
+
+// inMapOrder leaks map-iteration order straight into an output slice: the
+// canonical violation.
+func inMapOrder(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "range over map is iteration-order-dependent"
+		out = append(out, v*2)
+	}
+	return out
+}
+
+// doubledInPlace leaks order through an index computed from the visit
+// sequence — neither sanctioned idiom matches.
+func doubledInPlace(m map[string]int, out []int) {
+	i := 0
+	for _, v := range m { // want "range over map is iteration-order-dependent"
+		out[i] = v
+		i++
+	}
+}
+
+// sortedKeys is the sanctioned collect-then-sort idiom: the body only
+// appends, and the keys are sorted before anything reads them.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// guardedCollect is collect-then-sort with an if-guard inside the loop,
+// still sanctioned.
+func guardedCollect(m map[string]int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// copyMap is the sanctioned map-to-map copy: map writes are
+// order-insensitive.
+func copyMap(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// commutativeSum justifies itself with the ordered escape hatch; the
+// suppression on the line above the range keeps it clean.
+func commutativeSum(m map[string]int) int {
+	n := 0
+	//flexlint:ordered integer sum is commutative; no order reaches the output
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// overSlice ranges a slice, which mapiter must ignore entirely.
+func overSlice(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}

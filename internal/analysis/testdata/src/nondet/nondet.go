@@ -1,0 +1,42 @@
+// Fixture for the nondet analyzer, type-checked as flexdp/internal/engine.
+package engine
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// stampNow reads the wall clock on an execution path.
+func stampNow() int64 {
+	return time.Now().UnixNano() // want "time.Now in an engine execution path"
+}
+
+// elapsed uses time.Since, which reads the clock too.
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want "time.Since in an engine execution path"
+}
+
+// readEnv pulls configuration from the environment instead of ExecConfig.
+func readEnv() string {
+	return os.Getenv("FLEX_DEBUG") // want "os.Getenv in the engine"
+}
+
+// globalNoise draws from the shared global math/rand source.
+func globalNoise() int {
+	return rand.Intn(10) // want "math/rand.Intn draws from the un-forked global source"
+}
+
+// forkedNoise seeds its own generator; methods on a *rand.Rand are a forked
+// source and allowed.
+func forkedNoise(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// profiled demonstrates the wall-clock escape hatch the profiling subsystem
+// uses.
+func profiled() time.Time {
+	//flexlint:ignore nondet fixture demonstrates the profiling escape hatch
+	return time.Now()
+}

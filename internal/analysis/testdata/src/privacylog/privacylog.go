@@ -1,0 +1,66 @@
+// Fixture for the privacylog analyzer, type-checked as
+// flexdp/internal/server. It imports the real sqlparser and telemetry
+// packages — the taint sources and sinks the analyzer reasons about.
+package server
+
+import (
+	"fmt"
+	"log/slog"
+
+	"flexdp/internal/sqlparser"
+	"flexdp/internal/telemetry"
+)
+
+// logRejected leaks rendered SQL and a raw query string into slog: the two
+// canonical violations.
+func logRejected(stmt *sqlparser.SelectStmt, rawSQL string) {
+	slog.Info("rejected",
+		"sql", sqlparser.Print(stmt), // want "sqlparser.Print output \(rendered SQL\) reaches slog.Info"
+	)
+	slog.Info("rejected",
+		"sql", rawSQL, // want "identifier rawSQL \(raw SQL string by name\) reaches slog.Info"
+	)
+}
+
+// logLaundered hides the query string inside fmt.Sprintf; string-returning
+// calls propagate their arguments' taint, so this is still flagged.
+func logLaundered(rawSQL string) {
+	slog.Warn("slow",
+		"detail", fmt.Sprintf("query=%s", rawSQL), // want "identifier rawSQL \(raw SQL string by name\) reaches slog.Warn"
+	)
+}
+
+// logAST leaks an AST node (by type, regardless of name) into slog.
+func logAST(node sqlparser.Expr) {
+	slog.Debug("plan",
+		"expr", node, // want "sqlparser.Expr value \(SQL AST\) reaches slog.Debug"
+	)
+}
+
+// auditWithText stores a raw query string in a telemetry event literal,
+// whose fields end up on the audit stream.
+func auditWithText(rawSQL string) telemetry.AuditEvent {
+	return telemetry.AuditEvent{
+		Op:        "spend",
+		QueryHash: rawSQL, // want "identifier rawSQL \(raw SQL string by name\) stored in a telemetry event"
+	}
+}
+
+// logHashed is the sanctioned path: telemetry.QueryHash scrubs the taint,
+// and hash-shaped identifier names are exempt from the name heuristic.
+func logHashed(rawSQL string, log *telemetry.AuditLogger) {
+	queryHash := telemetry.QueryHash(rawSQL)
+	slog.Info("accepted", "query_hash", queryHash)
+	slog.Info("accepted", "query_hash", telemetry.QueryHash(rawSQL))
+	log.Event(telemetry.AuditEvent{
+		Op:        "spend",
+		Epsilon:   0.1,
+		QueryHash: telemetry.QueryHash(rawSQL),
+		Outcome:   "released",
+	})
+}
+
+// logShape logs derived scalars — counts, booleans — which carry no taint.
+func logShape(stmt *sqlparser.SelectStmt) {
+	slog.Info("analyzed", "n_columns", len(stmt.Columns), "grouped", len(stmt.GroupBy) > 0)
+}

@@ -466,7 +466,14 @@ func (g *groupEnv) evalAggregate(x *sqlparser.FuncCall) (Value, error) {
 		seen = make(map[string]bool)
 	}
 	var scratch []byte
-	for _, row := range g.rows {
+	for i, row := range g.rows {
+		// One group can span the whole relation, so the serial argument
+		// scan polls at morsel boundaries like the parallel collectors.
+		if i%g.ctx.morsel == 0 {
+			if err := g.ctx.err(); err != nil {
+				return Null, err
+			}
+		}
 		v, err := arg(row)
 		if err != nil {
 			return Null, err

@@ -517,6 +517,7 @@ func (ctx *execContext) executeAggSpillStream(stmt *sqlparser.SelectStmt, p *pip
 	var keyScratch, recScratch []byte
 	consume := func(payload any) error {
 		km := payload.(keyedMorsel)
+		//flexlint:ignore ctxpoll one keyedMorsel holds one morsel's rows; the pipeline driver polls between consume calls
 		for i, row := range km.rows {
 			idx := nRows
 			nRows++

@@ -492,7 +492,11 @@ func (c *compiler) compileIn(x *sqlparser.InExpr) evalFn {
 					subErr = fmt.Errorf("engine: IN subquery must return one column, got %d",
 						len(rs.Columns))
 				} else {
-					for _, r := range rs.Rows {
+					for i, r := range rs.Rows {
+						if i%ctx.morsel == 0 && ctx.err() != nil {
+							subErr = ctx.err()
+							break
+						}
 						candidates = append(candidates, r[0])
 					}
 				}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countdownCtx is a context.Context whose Err() flips to context.Canceled
+// after a fixed number of polls. Sweeping the budget from zero upward drives
+// cancellation into every poll site the execution path has — exactly the
+// sites the ctxpoll analyzer requires — and pins the all-or-nothing
+// contract: a run either aborts with context.Canceled or returns the full
+// bit-identical result. The counter is atomic because morsel workers poll
+// concurrently.
+type countdownCtx struct {
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(budget int64) *countdownCtx {
+	c := &countdownCtx{}
+	c.remaining.Store(budget)
+	return c
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return nil }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// polled reports how many polls the execution consumed from a budget.
+func (c *countdownCtx) polled(budget int64) int64 { return budget - c.remaining.Load() }
+
+// ctxpollQueries exercise the paths that gained morsel-boundary polls when
+// the ctxpoll analyzer was introduced: outer-join padding, IN-subquery
+// candidate collection, grace-join build/probe wrapping, and serial grouped
+// aggregation — plus a plain scan as a control.
+var ctxpollQueries = []string{
+	`SELECT status, COUNT(*) FROM trips GROUP BY status ORDER BY status`,
+	`SELECT d.name, t.id FROM drivers d LEFT JOIN trips t ON d.id = t.driver_id ORDER BY d.name, t.id`,
+	`SELECT * FROM trips t FULL JOIN drivers d ON t.driver_id = d.id ORDER BY t.id, d.id`,
+	`SELECT COUNT(*) FROM trips WHERE driver_id IN (SELECT id FROM drivers WHERE home_city = 1)`,
+	`SELECT d.name, SUM(t.fare) FROM drivers d JOIN trips t ON d.id = t.driver_id GROUP BY d.name ORDER BY d.name`,
+}
+
+// TestCancellationAtEveryPollSite sweeps the poll budget over every value a
+// query can consume, at serial and parallel worker counts with a tiny
+// morsel size (so small tables still span many morsels). Every run must
+// either fail with context.Canceled (cleanly, database still serving) or
+// produce the exact baseline result — no partial results, no other errors.
+func TestCancellationAtEveryPollSite(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		db := testDB(t)
+		db.SetExecConfig(ExecConfig{Parallelism: workers, MorselSize: 2})
+		for _, sql := range ctxpollQueries {
+			label := fmt.Sprintf("workers=%d %s", workers, sql)
+
+			want, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("%s: baseline: %v", label, err)
+			}
+			// An effectively-unlimited budget measures how many polls a
+			// full run consumes; the sweep covers [0, that many].
+			probe := newCountdownCtx(1 << 30)
+			if _, err := db.QueryContext(probe, sql); err != nil {
+				t.Fatalf("%s: probe run: %v", label, err)
+			}
+			total := probe.polled(1 << 30)
+			if total == 0 {
+				t.Fatalf("%s: execution never polled the context", label)
+			}
+
+			canceled := 0
+			for budget := int64(0); budget <= total; budget++ {
+				ctx := newCountdownCtx(budget)
+				got, err := db.QueryContext(ctx, sql)
+				switch {
+				case err != nil:
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("%s: budget=%d: got %v, want context.Canceled or success", label, budget, err)
+					}
+					canceled++
+				default:
+					if diff := resultsEqualExact(want, got); diff != "" {
+						t.Fatalf("%s: budget=%d: completed run diverges from baseline: %s", label, budget, diff)
+					}
+				}
+			}
+			if canceled == 0 {
+				t.Fatalf("%s: no budget in [0,%d] produced a cancellation", label, total)
+			}
+			// The database keeps serving after every cancellation.
+			got, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("%s: database wedged after cancellation sweep: %v", label, err)
+			}
+			if diff := resultsEqualExact(want, got); diff != "" {
+				t.Fatalf("%s: post-sweep result diverges: %s", label, diff)
+			}
+		}
+	}
+}

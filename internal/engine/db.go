@@ -250,6 +250,7 @@ const MemoryBudgetEnv = "FLEX_TEST_MEMORY_BUDGET"
 // NewDB returns an empty database.
 func NewDB() *DB {
 	db := &DB{tables: make(map[string]*Table)}
+	//flexlint:ignore nondet test-only default-budget hook (FLEX_TEST_MEMORY_BUDGET), read once at DB construction, never on an execution path
 	if env := os.Getenv(MemoryBudgetEnv); env != "" {
 		if n, err := spill.ParseBytes(env); err == nil {
 			db.cfg.MemoryBudget = n
@@ -432,6 +433,7 @@ func (db *DB) TotalRows() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	n := 0
+	//flexlint:ordered integer sum over all tables is commutative; no order reaches the output
 	for _, t := range db.tables {
 		n += len(t.Rows)
 	}

@@ -435,7 +435,12 @@ func evalIn(env *rowEnv, x *sqlparser.InExpr) (Value, error) {
 			return Null, fmt.Errorf("engine: IN subquery must return one column, got %d",
 				len(rs.Columns))
 		}
-		for _, row := range rs.Rows {
+		for i, row := range rs.Rows {
+			if i%env.ctx.morsel == 0 {
+				if err := env.ctx.err(); err != nil {
+					return Null, err
+				}
+			}
 			candidates = append(candidates, row[0])
 		}
 	} else {

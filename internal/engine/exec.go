@@ -897,29 +897,37 @@ func (ctx *execContext) join(t *sqlparser.JoinExpr, left, right *relation) (*rel
 		}
 		combined.rows = append(combined.rows, row)
 	}
+	// Padding scans the full input side, so it polls at morsel boundaries
+	// like every other unbounded row loop (the one-morsel cancellation
+	// contract covers the padding phase too).
+	padSide := func(src *relation, matched []bool, leftSide bool) error {
+		for i := range src.rows {
+			if i%ctx.morsel == 0 {
+				if err := ctx.err(); err != nil {
+					return err
+				}
+			}
+			if !matched[i] {
+				pad(src, i, leftSide)
+			}
+		}
+		return nil
+	}
 	switch t.Kind {
 	case sqlparser.JoinLeft:
-		for li := range left.rows {
-			if !matchedLeft[li] {
-				pad(left, li, true)
-			}
+		if err := padSide(left, matchedLeft, true); err != nil {
+			return nil, err
 		}
 	case sqlparser.JoinRight:
-		for ri := range right.rows {
-			if !matchedRight[ri] {
-				pad(right, ri, false)
-			}
+		if err := padSide(right, matchedRight, false); err != nil {
+			return nil, err
 		}
 	case sqlparser.JoinFull:
-		for li := range left.rows {
-			if !matchedLeft[li] {
-				pad(left, li, true)
-			}
+		if err := padSide(left, matchedLeft, true); err != nil {
+			return nil, err
 		}
-		for ri := range right.rows {
-			if !matchedRight[ri] {
-				pad(right, ri, false)
-			}
+		if err := padSide(right, matchedRight, false); err != nil {
+			return nil, err
 		}
 	}
 	return combined, nil

@@ -88,12 +88,24 @@ func (ctx *execContext) graceJoin(keys []equiKey, resFns []evalFn, leftRows, rig
 	width int, matchedLeft, matchedRight []bool) ([][]Value, error) {
 	st := &graceState{keys: keys, resFns: resFns, width: width,
 		matchedLeft: matchedLeft, matchedRight: matchedRight}
+	// The position-tag wrap loops scan both full inputs, so they poll at
+	// morsel boundaries like every other unbounded row loop.
 	build := make([]idxRow, len(rightRows))
 	for i, r := range rightRows {
+		if i%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				return nil, err
+			}
+		}
 		build[i] = idxRow{idx: i, row: r}
 	}
 	probe := make([]idxRow, len(leftRows))
 	for i, r := range leftRows {
+		if i%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				return nil, err
+			}
+		}
 		probe[i] = idxRow{idx: i, row: r}
 	}
 	if err := ctx.graceNode(0, build, probe, -1, st); err != nil {

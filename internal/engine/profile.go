@@ -123,6 +123,7 @@ type queryProfiler struct {
 }
 
 func newQueryProfiler() *queryProfiler {
+	//flexlint:ignore nondet profiling wall-clock; trace timings never influence execution results
 	return &queryProfiler{start: time.Now()}
 }
 
@@ -167,8 +168,10 @@ func (pr *queryProfiler) sink(name string, fn produceFn) (produceFn, *opTrace) {
 	wrapped := func(w int, m morsel) (any, error) {
 		t.rowsIn.Add(int64(m.n()))
 		t.morsels.Add(1)
+		//flexlint:ignore nondet profiling wall-clock; trace timings never influence execution results
 		start := time.Now()
 		out, err := fn(w, m)
+		//flexlint:ignore nondet profiling wall-clock; trace timings never influence execution results
 		t.wall.Add(int64(time.Since(start)))
 		return out, err
 	}
@@ -200,8 +203,10 @@ func (o *tracedOp) spillBase(ctx *execContext) (int64, bool) {
 
 func (o *tracedOp) apply(ctx *execContext, w int, m morsel) (morsel, error) {
 	base, track := o.spillBase(ctx)
+	//flexlint:ignore nondet profiling wall-clock; trace timings never influence execution results
 	start := time.Now()
 	out, err := o.inner.apply(ctx, w, m)
+	//flexlint:ignore nondet profiling wall-clock; trace timings never influence execution results
 	o.t.wall.Add(int64(time.Since(start)))
 	o.t.morsels.Add(1)
 	o.t.rowsIn.Add(int64(m.n()))
@@ -217,11 +222,13 @@ func (o *tracedOp) apply(ctx *execContext, w int, m morsel) (morsel, error) {
 
 func (o *tracedOp) flush(ctx *execContext, emit func(morsel) error) error {
 	base, track := o.spillBase(ctx)
+	//flexlint:ignore nondet profiling wall-clock; trace timings never influence execution results
 	start := time.Now()
 	err := o.inner.flush(ctx, func(m morsel) error {
 		o.t.rowsOut.Add(int64(m.n()))
 		return emit(m)
 	})
+	//flexlint:ignore nondet profiling wall-clock; trace timings never influence execution results
 	o.t.wall.Add(int64(time.Since(start)))
 	if track {
 		o.t.spillBytes.Add(ctx.spill.Stats().SpilledBytes - base)
@@ -243,6 +250,7 @@ func (pr *queryProfiler) fill(dst *QueryProfile, cfg ExecConfig, mgr *spill.Mana
 	}
 	dst.Vectorized = cfg.vectorized()
 	dst.Streaming = !cfg.MaterializeStages
+	//flexlint:ignore nondet profiling wall-clock; trace timings never influence execution results
 	dst.WallNanos = int64(time.Since(pr.start))
 	dst.TruncatedOps = pr.truncated
 	dst.Operators = dst.Operators[:0]

@@ -527,6 +527,7 @@ func (ctx *execContext) materializeStream(p *pipeline) (*relation, error) {
 	st := ctx.prof.op("materialize", "")
 	var stStart time.Time
 	if st != nil {
+		//flexlint:ignore nondet profiling wall-clock; trace timings never influence execution results
 		stStart = time.Now()
 	}
 	rows := make([][]Value, 0, len(p.src.rows))
@@ -562,6 +563,7 @@ func (ctx *execContext) materializeStream(p *pipeline) (*relation, error) {
 	if st != nil {
 		st.rowsIn.Store(int64(len(p.src.rows)))
 		st.rowsOut.Store(int64(len(rows)))
+		//flexlint:ignore nondet profiling wall-clock; trace timings never influence execution results
 		st.wall.Add(int64(time.Since(stStart)))
 	}
 	return &relation{cols: p.rel.cols, rows: rows}, nil
@@ -733,6 +735,11 @@ func (o *hashJoinOp) flush(ctx *execContext, emit func(morsel) error) error {
 		}
 		sort.Ints(seqs)
 		for _, s := range seqs {
+			// One pad buffer holds at most one morsel's unmatched rows, so
+			// polling per buffer is polling at morsel boundaries.
+			if err := ctx.err(); err != nil {
+				return err
+			}
 			src := o.padBufs[s]
 			rows := make([][]Value, 0, len(src))
 			for _, lr := range src {
@@ -818,6 +825,11 @@ func (ctx *execContext) newGraceJoinOp(kind sqlparser.JoinKind, keys []equiKey,
 		keyBuf:   make([]Value, len(keys))}
 	build := make([]idxRow, len(right.rows))
 	for i, r := range right.rows {
+		if i%ctx.morsel == 0 {
+			if err := ctx.err(); err != nil {
+				return nil, err
+			}
+		}
 		build[i] = idxRow{idx: i, row: r}
 	}
 	o.fanout = graceFanout(estIdxRowsBytes(build), ctx.spill.Budget())
@@ -861,8 +873,7 @@ func (o *graceJoinOp) abort() {
 }
 
 func (o *graceJoinOp) apply(ctx *execContext, _ int, m morsel) (morsel, error) {
-	rows := m.dense()
-	for _, lr := range rows {
+	for _, lr := range m.dense() {
 		idx := o.nLeft
 		o.nLeft++
 		if o.keepLeft {
@@ -941,6 +952,12 @@ func (o *graceJoinOp) flush(ctx *execContext, emit func(morsel) error) error {
 	if o.keepLeft {
 		var rows [][]Value
 		for li, lr := range o.padRows {
+			// padRows holds the whole left side; poll at morsel boundaries.
+			if li%chunk == 0 {
+				if err := ctx.err(); err != nil {
+					return err
+				}
+			}
 			if st.matchedLeft[li] {
 				continue
 			}

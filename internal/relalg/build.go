@@ -85,6 +85,7 @@ func (br *boundRel) resolve(qual, name string) (Attr, error) {
 		return Attr{}, fmt.Errorf("relalg: ambiguous column %q", name)
 	}
 	if len(br.open) == 1 {
+		//flexlint:ordered single-entry map under the len==1 guard; only one iteration order exists
 		for _, leaf := range br.open {
 			return Attr{BaseTable: leaf.Table, Column: n, Leaf: leaf}, nil
 		}

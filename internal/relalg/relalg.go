@@ -111,6 +111,7 @@ func collectAncestors(r Relation, out map[string]bool) {
 // two relations is a self join.
 func AncestorsOverlap(r1, r2 Relation) bool {
 	a1 := Ancestors(r1)
+	//flexlint:ordered set-membership existence test; the boolean result is order-independent
 	for t := range Ancestors(r2) {
 		if a1[t] {
 			return true

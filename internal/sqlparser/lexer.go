@@ -3,7 +3,6 @@ package sqlparser
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // Lexer converts SQL text into a token stream. It supports line comments
@@ -96,12 +95,17 @@ func (l *Lexer) skipSpaceAndComments() error {
 	return nil
 }
 
+// Unquoted identifiers are ASCII-only. The byte-at-a-time lexer must not
+// treat bytes ≥ 0x80 as letters (rune(c) would misread Latin-1 bytes like
+// 0xBA as U+00BA, a Unicode letter): that accepts invalid-UTF-8 identifiers
+// that the keyword uppercasing then mangles, breaking the parse→print→
+// re-parse fixpoint. Exotic names go in quoted identifiers.
 func isIdentStart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c))
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
 }
 
 func isIdentPart(c byte) bool {
-	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+	return c == '_' || c == '$' || isIdentStart(c) || isDigit(c)
 }
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
@@ -186,18 +190,30 @@ func (l *Lexer) Next() (Token, error) {
 		return tok, nil
 
 	case c == '"' || c == '`':
+		// Quoted identifiers escape an embedded quote by doubling it (the
+		// same convention string literals use), so any name the parser
+		// accepts can be printed back out and re-parsed.
 		quote := c
 		l.advance()
-		start := l.pos
-		for l.pos < len(l.input) && l.peek() != quote {
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.input) {
+				return Token{}, l.errf("unterminated quoted identifier")
+			}
+			ch := l.peek()
 			l.advance()
-		}
-		if l.pos >= len(l.input) {
-			return Token{}, l.errf("unterminated quoted identifier")
+			if ch == quote {
+				if l.pos < len(l.input) && l.peek() == quote {
+					sb.WriteByte(quote)
+					l.advance()
+					continue
+				}
+				break
+			}
+			sb.WriteByte(ch)
 		}
 		tok.Kind = TokenIdent
-		tok.Text = l.input[start:l.pos]
-		l.advance()
+		tok.Text = sb.String()
 		return tok, nil
 
 	case c == ',':

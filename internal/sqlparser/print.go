@@ -170,21 +170,37 @@ func quoteIdent(name string) string {
 	}
 	needQuote := IsKeyword(strings.ToUpper(name)) && !IsAggregateFunc(strings.ToUpper(name))
 	if !needQuote {
-		for i := 0; i < len(name); i++ {
-			c := name[i]
-			ok := c == '_' || c == '.' ||
-				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-				(i > 0 && c >= '0' && c <= '9')
-			if !ok {
+		// A dot may appear only between valid bare identifier parts: a name
+		// like "." or "a." must be quoted or it re-parses as an operator.
+		for _, part := range strings.Split(name, ".") {
+			if !bareIdentPart(part) {
 				needQuote = true
 				break
 			}
 		}
 	}
 	if needQuote {
-		return `"` + name + `"`
+		return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
 	}
 	return name
+}
+
+// bareIdentPart reports whether s can stand unquoted in SQL output: a
+// nonempty ASCII identifier that does not start with a digit.
+func bareIdentPart(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // PrintExpr renders an expression to SQL. Binary operands are
@@ -199,7 +215,14 @@ func PrintExpr(e Expr) string {
 	case *IntLit:
 		return strconv.FormatInt(x.Value, 10)
 	case *FloatLit:
-		return strconv.FormatFloat(x.Value, 'g', -1, 64)
+		s := strconv.FormatFloat(x.Value, 'g', -1, 64)
+		// Keep the rendering float-shaped: FormatFloat emits "-0" for
+		// negative zero (and "2" for 2.0), which would re-parse as an
+		// integer literal and break the print fixpoint.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
 	case *StringLit:
 		return "'" + strings.ReplaceAll(x.Value, "'", "''") + "'"
 	case *BoolLit:
